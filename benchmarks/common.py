@@ -1,0 +1,125 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper on small
+simulated fleets (see DESIGN.md for the experiment index).  The fleets and
+the FIS-ONE runs are cached at module level so that benchmarks which look at
+the same runs from different angles (e.g. Figure 10 and Figure 11) do not pay
+for the pipeline twice.
+
+The configuration used here is a scaled-down version of the paper's settings
+(fewer buildings, fewer samples per floor, fewer training epochs) so the full
+benchmark suite finishes in minutes on a laptop; the *relative* comparisons —
+which method wins, which ablation hurts — are what the benchmarks assert and
+print.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+from repro.baselines import DAEGCBaseline, MDSBaseline, MetisLikeBaseline, SDCNBaseline
+from repro.core.config import FisOneConfig
+from repro.experiments.runner import (
+    BuildingEvaluation,
+    evaluate_baseline_on_building,
+    evaluate_fis_one_on_building,
+    summarize,
+)
+from repro.gnn.model import RFGNNConfig
+from repro.signals.dataset import SignalDataset
+from repro.simulate.fleet import FleetConfig, generate_mall_fleet, generate_microsoft_like_fleet
+
+#: Samples collected per floor in the benchmark fleets (the paper uses ~1000).
+SAMPLES_PER_FLOOR = 40
+
+#: Number of Microsoft-like buildings in the benchmark fleet (the paper uses 152).
+NUM_OFFICE_BUILDINGS = 3
+
+#: Number of shopping malls (the paper surveys 3; we keep the two five-floor ones here).
+NUM_MALLS = 2
+
+
+def fast_config(embedding_dim: int = 16, seed: int = 0) -> FisOneConfig:
+    """The scaled-down FIS-ONE configuration used throughout the benchmarks."""
+    return FisOneConfig(
+        gnn=RFGNNConfig(embedding_dim=embedding_dim, neighbor_sample_sizes=(10, 5)),
+        num_epochs=3,
+        max_pairs_per_epoch=15_000,
+        inference_passes=2,
+        inference_sample_sizes=(30, 15),
+        seed=seed,
+    )
+
+
+@lru_cache(maxsize=1)
+def office_fleet() -> Tuple[SignalDataset, ...]:
+    """The Microsoft-like benchmark fleet (cached)."""
+    fleet = generate_microsoft_like_fleet(
+        FleetConfig(num_buildings=NUM_OFFICE_BUILDINGS, samples_per_floor=SAMPLES_PER_FLOOR)
+    )
+    return tuple(fleet)
+
+
+@lru_cache(maxsize=1)
+def mall_fleet() -> Tuple[SignalDataset, ...]:
+    """The shopping-mall benchmark fleet (cached)."""
+    return tuple(generate_mall_fleet(samples_per_floor=SAMPLES_PER_FLOOR)[:NUM_MALLS])
+
+
+_FIS_ONE_CACHE: Dict[Tuple[str, str], BuildingEvaluation] = {}
+
+
+def fis_one_on(dataset: SignalDataset, variant: str = "default") -> BuildingEvaluation:
+    """Run (and cache) a FIS-ONE variant on one building.
+
+    Variants: ``default``, ``no_attention``, ``kmeans``, ``jaccard``,
+    ``two_opt``, ``dim8`` / ``dim16`` / ``dim32`` / ``dim64``.
+    """
+    key = (dataset.building_id or "building", variant)
+    if key in _FIS_ONE_CACHE:
+        return _FIS_ONE_CACHE[key]
+    config = fast_config()
+    if variant == "no_attention":
+        config = config.without_attention()
+    elif variant == "kmeans":
+        config = config.with_kmeans()
+    elif variant == "jaccard":
+        config = config.with_jaccard()
+    elif variant == "two_opt":
+        config = config.with_tsp_method("two_opt")
+    elif variant.startswith("dim"):
+        config = fast_config(embedding_dim=int(variant[3:]))
+    elif variant != "default":
+        raise ValueError(f"unknown FIS-ONE variant {variant!r}")
+    evaluation = evaluate_fis_one_on_building(dataset, config, method_name=f"FIS-ONE[{variant}]")
+    _FIS_ONE_CACHE[key] = evaluation
+    return evaluation
+
+
+def baselines() -> List:
+    """Fresh instances of the four baseline algorithms (benchmark-sized)."""
+    return [
+        SDCNBaseline(pretrain_epochs=30, train_epochs=30, embedding_dim=16, hidden_dim=32),
+        DAEGCBaseline(pretrain_epochs=30, train_epochs=30, embedding_dim=16, hidden_dim=32),
+        MetisLikeBaseline(),
+        MDSBaseline(embedding_dim=16),
+    ]
+
+
+_BASELINE_CACHE: Dict[Tuple[str, str], BuildingEvaluation] = {}
+
+
+def baseline_on(dataset: SignalDataset, baseline) -> BuildingEvaluation:
+    """Run (and cache) one baseline on one building."""
+    key = (dataset.building_id or "building", baseline.name)
+    if key in _BASELINE_CACHE:
+        return _BASELINE_CACHE[key]
+    evaluation = evaluate_baseline_on_building(dataset, baseline, fast_config())
+    _BASELINE_CACHE[key] = evaluation
+    return evaluation
+
+
+def summarize_variant(datasets, variant: str):
+    """Summary (mean/std over buildings) of one FIS-ONE variant."""
+    return summarize([fis_one_on(dataset, variant) for dataset in datasets], variant)

@@ -1,0 +1,30 @@
+"""E8 — Figure 10: impact of the embedding dimension on clustering (ARI / NMI)."""
+
+from common import office_fleet, summarize_variant
+
+from repro.experiments.reporting import format_ratio_table
+
+DIMENSIONS = (8, 16, 32, 64)
+
+
+def sweep_embedding_dimension():
+    """FIS-ONE over the Figure 10/11 embedding-dimension grid (cached by common)."""
+    datasets = office_fleet()
+    return {dim: summarize_variant(datasets, f"dim{dim}") for dim in DIMENSIONS}
+
+
+def test_fig10_embedding_dimension_clustering(benchmark):
+    summaries = benchmark.pedantic(sweep_embedding_dimension, rounds=1, iterations=1)
+
+    table = {
+        f"dim={dim}": {"ARI": summary.mean["ari"], "NMI": summary.mean["nmi"]}
+        for dim, summary in summaries.items()
+    }
+    print("\n" + format_ratio_table(table, column_order=["ARI", "NMI"], title="Figure 10 — embedding dimension vs clustering"))
+
+    # The paper: FIS-ONE is robust across dimensions 8..64 (no collapse at any
+    # dimension).  We assert every dimension stays within a band of the best.
+    best_ari = max(summary.mean["ari"] for summary in summaries.values())
+    for dim, summary in summaries.items():
+        assert summary.mean["ari"] >= best_ari - 0.35, f"dimension {dim} collapsed"
+        assert summary.mean["nmi"] > 0.4

@@ -1,0 +1,32 @@
+"""E9 — Figure 11: impact of the embedding dimension on indexing (edit distance)."""
+
+from common import office_fleet, summarize_variant
+from test_fig10_embedding_dim import DIMENSIONS
+
+from repro.experiments.reporting import format_ratio_table
+
+
+def test_fig11_embedding_dimension_indexing(benchmark):
+    datasets = office_fleet()
+
+    def run():
+        return {dim: summarize_variant(datasets, f"dim{dim}") for dim in DIMENSIONS}
+
+    summaries = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = {
+        f"dim={dim}": {"EditDistance": summary.mean["edit_distance"], "Accuracy": summary.mean["accuracy"]}
+        for dim, summary in summaries.items()
+    }
+    print(
+        "\n"
+        + format_ratio_table(
+            table,
+            column_order=["EditDistance", "Accuracy"],
+            title="Figure 11 — embedding dimension vs indexing",
+        )
+    )
+
+    # Robustness claim: the indexing quality does not collapse at any dimension.
+    best = max(summary.mean["edit_distance"] for summary in summaries.values())
+    for dim, summary in summaries.items():
+        assert summary.mean["edit_distance"] >= best - 0.35, f"dimension {dim} collapsed"

@@ -1,0 +1,48 @@
+"""E10 — Figure 12: FIS-ONE performance across building types (floor counts)."""
+
+from common import SAMPLES_PER_FLOOR, fast_config
+
+from repro.experiments.reporting import format_ratio_table
+from repro.experiments.runner import evaluate_fis_one_on_building
+from repro.simulate.generators import generate_building_dataset, office_building_config
+
+FLOOR_COUNTS = (3, 5, 7, 9)
+
+
+def test_fig12_performance_by_building_type(benchmark):
+    def run():
+        results = {}
+        for num_floors in FLOOR_COUNTS:
+            config = office_building_config(
+                num_floors=num_floors,
+                samples_per_floor=SAMPLES_PER_FLOOR,
+                building_id=f"fig12-{num_floors}f",
+            )
+            dataset = generate_building_dataset(config, seed=100 + num_floors)
+            results[num_floors] = evaluate_fis_one_on_building(dataset, fast_config())
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = {
+        f"{floors} floors": {
+            "ARI": evaluation.ari,
+            "NMI": evaluation.nmi,
+            "EditDistance": evaluation.edit_distance,
+        }
+        for floors, evaluation in results.items()
+    }
+    print(
+        "\n"
+        + format_ratio_table(
+            table,
+            column_order=["ARI", "NMI", "EditDistance"],
+            title="Figure 12 — FIS-ONE across building floor counts",
+        )
+    )
+
+    # The paper: FIS-ONE performs well for every building type, with moderate
+    # fluctuation for taller buildings.
+    for floors, evaluation in results.items():
+        assert evaluation.nmi > 0.5, f"{floors}-floor building collapsed (NMI {evaluation.nmi:.2f})"
+        assert evaluation.edit_distance > 0.5

@@ -1,0 +1,26 @@
+"""E2 — Figure 7: distribution of evaluation buildings over floor counts."""
+
+from collections import Counter
+
+from repro.simulate.fleet import MICROSOFT_FLOOR_DISTRIBUTION, MALL_FLOOR_COUNTS, floor_counts_for_fleet
+
+
+def test_fig7_building_floor_distribution(benchmark):
+    # The paper evaluates 152 Microsoft buildings plus 3 malls; we regenerate
+    # the floor-count distribution at that fleet size (generation of the full
+    # fleet's signal data is exercised at reduced size by the other benches).
+    counts = benchmark.pedantic(floor_counts_for_fleet, args=(152,), rounds=1, iterations=1)
+    combined = Counter(counts)
+    for floors in MALL_FLOOR_COUNTS:
+        combined[floors] += 1
+
+    print("\nFigure 7 — number of buildings per floor count (152 offices + 3 malls):")
+    for floors in sorted(combined):
+        print(f"  {floors:2d} floors: {combined[floors]:3d} " + "#" * combined[floors])
+
+    assert sum(combined.values()) == 155
+    assert set(combined) <= set(range(3, 11))
+    # The distribution is decreasing from the 3-5 floor mode to the tall tail.
+    assert combined[3] >= combined[8]
+    assert combined[4] >= combined[9]
+    assert all(combined[f] > 0 for f in MICROSOFT_FLOOR_DISTRIBUTION)

@@ -1,0 +1,34 @@
+"""E7 — Figure 9(c-d): exact (Held-Karp) vs 2-opt approximate TSP solving."""
+
+import numpy as np
+
+from common import mall_fleet, office_fleet, summarize_variant
+
+from repro.experiments.reporting import format_table
+from repro.indexing.tsp import held_karp_path, path_cost, two_opt_path
+
+
+def test_fig9_tsp_ablation(benchmark):
+    datasets = office_fleet() + mall_fleet()
+
+    def run():
+        return summarize_variant(datasets, "default"), summarize_variant(datasets, "two_opt")
+
+    exact, approximate = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + format_table([exact, approximate], title="Figure 9(c-d) — TSP solver ablation"))
+
+    # The paper: the 2-opt approximation costs only a few percent.
+    assert approximate.mean["edit_distance"] >= exact.mean["edit_distance"] - 0.1
+    assert approximate.mean["ari"] == exact.mean["ari"]
+
+    # Also check the solvers directly on random indexing instances.
+    rng = np.random.default_rng(0)
+    gaps = []
+    for _ in range(20):
+        points = rng.random((8, 2))
+        distances = np.linalg.norm(points[:, None] - points[None, :], axis=2)
+        exact_cost = path_cost(distances, held_karp_path(distances, 0))
+        approx_cost = path_cost(distances, two_opt_path(distances, 0))
+        gaps.append(approx_cost / max(exact_cost, 1e-12) - 1.0)
+    print(f"2-opt mean optimality gap over 20 random 8-city instances: {np.mean(gaps) * 100:.1f}%")
+    assert np.mean(gaps) < 0.10

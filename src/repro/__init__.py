@@ -1,0 +1,35 @@
+"""repro — a reproduction of FIS-ONE (ICDCS 2023).
+
+FIS-ONE identifies the floor of every crowdsourced RF signal sample in a
+multi-floor building while requiring only **one** floor-labeled sample.  The
+package layout follows the system's stages:
+
+* :mod:`repro.signals` — RF fingerprint data model and I/O.
+* :mod:`repro.simulate` — multi-floor RF propagation simulator standing in
+  for the Microsoft and shopping-mall datasets.
+* :mod:`repro.graph` — the weighted bipartite MAC-sample graph, random walks
+  and negative sampling.
+* :mod:`repro.nn` / :mod:`repro.gnn` — the NumPy neural substrate and the
+  RF-GNN encoder.
+* :mod:`repro.clustering` — hierarchical and K-means clustering.
+* :mod:`repro.indexing` — spillover similarity, TSP solvers, cluster indexing.
+* :mod:`repro.metrics` — ARI, NMI, Jaro edit distance, accuracy.
+* :mod:`repro.baselines` — SDCN, DAEGC, METIS-like, MDS.
+* :mod:`repro.core` — the end-to-end :class:`~repro.core.pipeline.FisOne`.
+* :mod:`repro.experiments` — the harness regenerating the paper's tables and
+  figures.
+"""
+
+from repro.core import FisOne, FisOneConfig, FisOneResult
+from repro.signals import SignalDataset, SignalRecord
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FisOne",
+    "FisOneConfig",
+    "FisOneResult",
+    "SignalDataset",
+    "SignalRecord",
+    "__version__",
+]

@@ -1,0 +1,39 @@
+"""Baseline clustering algorithms the paper compares against (Section V-A).
+
+Each baseline only produces a *clustering* of the signal samples; as in the
+paper, the experiment harness then applies FIS-ONE's cluster-indexing step to
+the baseline's clusters so that all methods can be scored on the same three
+metrics (ARI, NMI, edit distance).
+
+* :class:`~repro.baselines.mds.MDSBaseline` — classical multidimensional
+  scaling on the dense RSS matrix (missing entries filled with -120 dBm),
+  followed by hierarchical clustering.
+* :class:`~repro.baselines.metis_like.MetisLikeBaseline` — a multilevel graph
+  partitioner in the METIS family (heavy-edge-matching coarsening, greedy
+  initial partitioning, boundary Kernighan–Lin refinement).
+* :class:`~repro.baselines.sdcn.SDCNBaseline` — Structural Deep Clustering
+  Network: autoencoder + GCN with a self-supervised target distribution.
+* :class:`~repro.baselines.daegc.DAEGCBaseline` — Deep Attentional Embedded
+  Graph Clustering: graph-attention autoencoder with a KL self-training
+  cluster loss.
+"""
+
+from repro.baselines.base import BaselineClusterer, sample_similarity_graph
+from repro.baselines.mds import MDSBaseline, classical_mds
+from repro.baselines.metis_like import MetisLikeBaseline, MultilevelPartitioner
+from repro.baselines.gcn import GCNLayer, normalized_adjacency
+from repro.baselines.sdcn import SDCNBaseline
+from repro.baselines.daegc import DAEGCBaseline
+
+__all__ = [
+    "BaselineClusterer",
+    "sample_similarity_graph",
+    "MDSBaseline",
+    "classical_mds",
+    "MetisLikeBaseline",
+    "MultilevelPartitioner",
+    "GCNLayer",
+    "normalized_adjacency",
+    "SDCNBaseline",
+    "DAEGCBaseline",
+]

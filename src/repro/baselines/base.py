@@ -1,0 +1,60 @@
+"""Shared interface and utilities for the baseline clustering algorithms."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from repro.clustering.assignments import ClusterAssignment
+from repro.graph.bipartite import BipartiteGraph
+from repro.signals.dataset import SignalDataset
+
+
+class BaselineClusterer(ABC):
+    """A clustering baseline: dataset in, cluster assignment out.
+
+    Baselines do not index clusters with floor numbers; the experiment runner
+    reuses FIS-ONE's indexing step for that, exactly as the paper does.
+    """
+
+    name: str = "baseline"
+
+    @abstractmethod
+    def fit_predict(
+        self, dataset: SignalDataset, num_clusters: int, seed: int = 0
+    ) -> ClusterAssignment:
+        """Cluster the dataset's records into ``num_clusters`` groups."""
+
+    def embeddings(self) -> Optional[np.ndarray]:
+        """Sample embeddings learned during the last fit, if the method has any."""
+        return None
+
+
+def sample_similarity_graph(
+    dataset: SignalDataset,
+    graph: Optional[BipartiteGraph] = None,
+    self_loops: bool = True,
+) -> np.ndarray:
+    """Weighted sample-sample adjacency obtained by projecting the bipartite graph.
+
+    Two signal samples are connected with a weight equal to the cosine
+    similarity of their (positive) ``f(RSS)`` profiles over shared MACs.  The
+    deep baselines (SDCN, DAEGC) operate on a homogeneous graph of samples;
+    this projection is the standard way to derive one from the bipartite
+    MAC-sample graph.
+    """
+    graph = graph or BipartiteGraph.from_dataset(dataset)
+    matrix = graph.sample_feature_matrix(dataset, fill_dbm=-120.0)
+    # Shift to the positive edge-weight domain: missing readings become 0.
+    weights = matrix + 120.0
+    norms = np.linalg.norm(weights, axis=1, keepdims=True)
+    normalized = weights / np.maximum(norms, 1e-12)
+    adjacency = normalized @ normalized.T
+    np.clip(adjacency, 0.0, 1.0, out=adjacency)
+    if not self_loops:
+        np.fill_diagonal(adjacency, 0.0)
+    else:
+        np.fill_diagonal(adjacency, 1.0)
+    return adjacency

@@ -1,0 +1,65 @@
+"""A small graph-convolution layer used by the SDCN baseline."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.nn.activations import Activation, Identity, get_activation
+from repro.nn.init import glorot_uniform
+
+
+def normalized_adjacency(adjacency: np.ndarray, add_self_loops: bool = True) -> np.ndarray:
+    """Symmetric GCN normalisation ``D^{-1/2} (A + I) D^{-1/2}``."""
+    adjacency = np.asarray(adjacency, dtype=np.float64)
+    if adjacency.ndim != 2 or adjacency.shape[0] != adjacency.shape[1]:
+        raise ValueError("the adjacency matrix must be square")
+    if np.any(adjacency < 0):
+        raise ValueError("adjacency weights must be non-negative")
+    matrix = adjacency.copy()
+    if add_self_loops:
+        matrix = matrix + np.eye(matrix.shape[0])
+    degree = matrix.sum(axis=1)
+    inv_sqrt = np.where(degree > 0, 1.0 / np.sqrt(degree), 0.0)
+    return matrix * inv_sqrt[:, None] * inv_sqrt[None, :]
+
+
+class GCNLayer:
+    """One graph-convolution layer ``H' = activation(A_hat @ H @ W)`` with backward."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        activation: Activation | str | None = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        rng = rng or np.random.default_rng()
+        if isinstance(activation, str):
+            activation = get_activation(activation)
+        self.activation: Activation = activation or Identity()
+        self.params: Dict[str, np.ndarray] = {"W": glorot_uniform(in_dim, out_dim, rng)}
+        self.grads: Dict[str, np.ndarray] = {"W": np.zeros_like(self.params["W"])}
+        self._cache: Optional[tuple] = None
+
+    def forward(self, adjacency_hat: np.ndarray, features: np.ndarray) -> np.ndarray:
+        """Apply the layer; ``adjacency_hat`` must already be normalised."""
+        propagated = adjacency_hat @ features
+        pre = propagated @ self.params["W"]
+        out = self.activation.forward(pre)
+        self._cache = (adjacency_hat, propagated, pre, out)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Return the gradient with respect to the input features."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        adjacency_hat, propagated, pre, out = self._cache
+        dpre = grad_output * self.activation.backward(pre, out)
+        self.grads["W"] += propagated.T @ dpre
+        dpropagated = dpre @ self.params["W"].T
+        return adjacency_hat.T @ dpropagated
+
+    def zero_grad(self) -> None:
+        self.grads["W"][...] = 0.0

@@ -1,0 +1,85 @@
+"""Multidimensional scaling baseline (paper Section V-A).
+
+The MDS baseline represents every signal sample as a dense vector over the
+superset of MACs (missing entries filled with -120 dBm, see the paper's
+Figure 3), computes pairwise ``1 - cosine similarity`` distances, embeds the
+samples with classical (Torgerson) MDS, and applies the same hierarchical
+clustering FIS-ONE uses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import BaselineClusterer
+from repro.clustering.assignments import ClusterAssignment
+from repro.clustering.hierarchical import HierarchicalClustering
+from repro.graph.bipartite import BipartiteGraph
+from repro.signals.dataset import SignalDataset
+
+
+def cosine_distance_matrix(features: np.ndarray) -> np.ndarray:
+    """Pairwise ``1 - cosine similarity`` between the rows of ``features``."""
+    features = np.asarray(features, dtype=np.float64)
+    norms = np.linalg.norm(features, axis=1, keepdims=True)
+    normalized = features / np.maximum(norms, 1e-12)
+    similarity = np.clip(normalized @ normalized.T, -1.0, 1.0)
+    distances = 1.0 - similarity
+    np.fill_diagonal(distances, 0.0)
+    np.clip(distances, 0.0, None, out=distances)
+    return distances
+
+
+def classical_mds(distances: np.ndarray, dim: int) -> np.ndarray:
+    """Classical (Torgerson) MDS: embed a distance matrix into ``dim`` dimensions."""
+    distances = np.asarray(distances, dtype=np.float64)
+    if distances.ndim != 2 or distances.shape[0] != distances.shape[1]:
+        raise ValueError("the distance matrix must be square")
+    if dim < 1:
+        raise ValueError("dim must be >= 1")
+    n = distances.shape[0]
+    squared = distances**2
+    centering = np.eye(n) - np.full((n, n), 1.0 / n)
+    gram = -0.5 * centering @ squared @ centering
+    eigenvalues, eigenvectors = np.linalg.eigh(gram)
+    order = np.argsort(eigenvalues)[::-1]
+    eigenvalues = eigenvalues[order][:dim]
+    eigenvectors = eigenvectors[:, order][:, :dim]
+    positive = np.maximum(eigenvalues, 0.0)
+    return eigenvectors * np.sqrt(positive)[None, :]
+
+
+class MDSBaseline(BaselineClusterer):
+    """MDS on the dense RSS matrix + hierarchical clustering."""
+
+    name = "MDS"
+
+    def __init__(
+        self, embedding_dim: int = 32, fill_dbm: float = -120.0, linkage: str = "ward"
+    ) -> None:
+        if embedding_dim < 1:
+            raise ValueError("embedding_dim must be >= 1")
+        self.embedding_dim = embedding_dim
+        self.fill_dbm = fill_dbm
+        self.linkage = linkage
+        self._embeddings: Optional[np.ndarray] = None
+
+    def fit_predict(
+        self, dataset: SignalDataset, num_clusters: int, seed: int = 0
+    ) -> ClusterAssignment:
+        del seed  # classical MDS and average linkage are deterministic
+        graph = BipartiteGraph.from_dataset(dataset)
+        features = graph.sample_feature_matrix(dataset, fill_dbm=self.fill_dbm)
+        distances = cosine_distance_matrix(features)
+        dim = min(self.embedding_dim, max(1, len(dataset) - 1))
+        embeddings = classical_mds(distances, dim)
+        self._embeddings = embeddings
+        labels = HierarchicalClustering(num_clusters, linkage=self.linkage).fit_predict(
+            embeddings
+        )
+        return ClusterAssignment(labels=labels, num_clusters=num_clusters)
+
+    def embeddings(self) -> Optional[np.ndarray]:
+        return self._embeddings

@@ -1,0 +1,213 @@
+"""SDCN baseline: Structural Deep Clustering Network (Bo et al., WWW 2020).
+
+SDCN couples an autoencoder over the raw features with a GCN over the sample
+graph and trains both with a self-supervised target distribution:
+
+* the autoencoder learns a latent representation ``Z_ae`` by reconstruction;
+* the GCN consumes the (normalised) sample adjacency and, layer by layer, a
+  blend of its own hidden state and the autoencoder's;
+* a Student-t kernel around learnable cluster centres produces a soft
+  assignment ``Q``; sharpening ``Q`` gives the target ``P``; minimising
+  ``KL(P || Q)`` plus the reconstruction loss self-trains the clusters.
+
+This NumPy reimplementation keeps the architecture and the objective but is
+deliberately small (two encoder layers), matching the scale of the floor
+identification task.  Cluster centres are initialised with k-means on the
+pretrained autoencoder latents and updated by gradient descent.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import BaselineClusterer, sample_similarity_graph
+from repro.baselines.gcn import GCNLayer, normalized_adjacency
+from repro.clustering.assignments import ClusterAssignment
+from repro.clustering.kmeans import KMeans
+from repro.graph.bipartite import BipartiteGraph
+from repro.nn.layers import Dense
+from repro.nn.optimizers import Adam
+from repro.signals.dataset import SignalDataset
+
+
+def student_t_assignment(latent: np.ndarray, centers: np.ndarray, alpha: float = 1.0) -> np.ndarray:
+    """Soft cluster assignment ``Q`` with a Student-t kernel (as in DEC/SDCN)."""
+    distances_sq = (
+        np.sum(latent**2, axis=1)[:, None]
+        - 2.0 * latent @ centers.T
+        + np.sum(centers**2, axis=1)[None, :]
+    )
+    np.maximum(distances_sq, 0.0, out=distances_sq)
+    numerator = (1.0 + distances_sq / alpha) ** (-(alpha + 1.0) / 2.0)
+    return numerator / numerator.sum(axis=1, keepdims=True)
+
+
+def target_distribution(q: np.ndarray) -> np.ndarray:
+    """The sharpened target distribution ``P`` of DEC/SDCN."""
+    weight = q**2 / q.sum(axis=0, keepdims=True)
+    return weight / weight.sum(axis=1, keepdims=True)
+
+
+class SDCNBaseline(BaselineClusterer):
+    """NumPy SDCN: autoencoder + GCN + self-supervised clustering."""
+
+    name = "SDCN"
+
+    def __init__(
+        self,
+        embedding_dim: int = 32,
+        hidden_dim: int = 64,
+        pretrain_epochs: int = 60,
+        train_epochs: int = 60,
+        learning_rate: float = 0.005,
+        reconstruction_weight: float = 1.0,
+        cluster_weight: float = 0.5,
+        gcn_blend: float = 0.5,
+    ) -> None:
+        self.embedding_dim = embedding_dim
+        self.hidden_dim = hidden_dim
+        self.pretrain_epochs = pretrain_epochs
+        self.train_epochs = train_epochs
+        self.learning_rate = learning_rate
+        self.reconstruction_weight = reconstruction_weight
+        self.cluster_weight = cluster_weight
+        self.gcn_blend = gcn_blend
+        self._embeddings: Optional[np.ndarray] = None
+
+    # -- helpers -----------------------------------------------------------------
+
+    @staticmethod
+    def _features(dataset: SignalDataset, graph: BipartiteGraph) -> np.ndarray:
+        """Row-normalised positive RSS features for every sample."""
+        features = graph.sample_feature_matrix(dataset, fill_dbm=-120.0) + 120.0
+        scale = np.maximum(features.max(axis=1, keepdims=True), 1e-12)
+        return features / scale
+
+    def fit_predict(
+        self, dataset: SignalDataset, num_clusters: int, seed: int = 0
+    ) -> ClusterAssignment:
+        rng = np.random.default_rng(seed)
+        graph = BipartiteGraph.from_dataset(dataset)
+        features = self._features(dataset, graph)
+        adjacency_hat = normalized_adjacency(
+            sample_similarity_graph(dataset, graph, self_loops=False)
+        )
+        input_dim = features.shape[1]
+
+        # Autoencoder: input -> hidden -> latent -> hidden -> input.
+        encoder_hidden = Dense(input_dim, self.hidden_dim, activation="relu", rng=rng)
+        encoder_out = Dense(self.hidden_dim, self.embedding_dim, activation="identity", rng=rng)
+        decoder_hidden = Dense(self.embedding_dim, self.hidden_dim, activation="relu", rng=rng)
+        decoder_out = Dense(self.hidden_dim, input_dim, activation="identity", rng=rng)
+        ae_layers = [encoder_hidden, encoder_out, decoder_hidden, decoder_out]
+        ae_params = [layer.params for layer in ae_layers]
+        ae_grads = [layer.grads for layer in ae_layers]
+        pretrain_optimizer = Adam(ae_params, ae_grads, lr=self.learning_rate)
+
+        n = features.shape[0]
+
+        def autoencoder_forward() -> tuple:
+            hidden = encoder_hidden.forward(features)
+            latent = encoder_out.forward(hidden)
+            decoded_hidden = decoder_hidden.forward(latent)
+            reconstruction = decoder_out.forward(decoded_hidden)
+            return hidden, latent, reconstruction
+
+        # -- phase 1: autoencoder pretraining (reconstruction only) -------------
+        for _ in range(self.pretrain_epochs):
+            _, _, reconstruction = autoencoder_forward()
+            grad_reconstruction = 2.0 * (reconstruction - features) / n
+            for layer in ae_layers:
+                layer.zero_grad()
+            grad = decoder_out.backward(grad_reconstruction)
+            grad = decoder_hidden.backward(grad)
+            grad = encoder_out.backward(grad)
+            encoder_hidden.backward(grad)
+            pretrain_optimizer.step()
+
+        # -- cluster-centre initialisation on the pretrained latents -------------
+        _, latent, _ = autoencoder_forward()
+        kmeans = KMeans(num_clusters, seed=seed)
+        kmeans.fit_predict(latent)
+        centers = kmeans.centroids_.copy()
+
+        # GCN branch: two layers blending the AE hidden states.
+        gcn_hidden = GCNLayer(input_dim, self.hidden_dim, activation="relu", rng=rng)
+        gcn_out = GCNLayer(self.hidden_dim, num_clusters, activation="identity", rng=rng)
+        all_params = ae_params + [gcn_hidden.params, gcn_out.params, {"centers": centers}]
+        center_grads = {"centers": np.zeros_like(centers)}
+        all_grads = ae_grads + [gcn_hidden.grads, gcn_out.grads, center_grads]
+        optimizer = Adam(all_params, all_grads, lr=self.learning_rate)
+
+        # -- phase 2: joint self-supervised training ------------------------------
+        for _ in range(self.train_epochs):
+            hidden, latent, reconstruction = autoencoder_forward()
+            gcn_h = gcn_hidden.forward(adjacency_hat, features)
+            blended = self.gcn_blend * gcn_h + (1.0 - self.gcn_blend) * hidden
+            gcn_logits = gcn_out.forward(adjacency_hat, blended)
+
+            q = student_t_assignment(latent, centers)
+            p = target_distribution(q)
+
+            # Gradients -------------------------------------------------------
+            for layer in ae_layers:
+                layer.zero_grad()
+            gcn_hidden.zero_grad()
+            gcn_out.zero_grad()
+            center_grads["centers"][...] = 0.0
+
+            # Reconstruction term.
+            grad_reconstruction = (
+                self.reconstruction_weight * 2.0 * (reconstruction - features) / n
+            )
+            grad = decoder_out.backward(grad_reconstruction)
+            grad = decoder_hidden.backward(grad)
+            grad_latent_from_decoder = grad  # dL_rec / dlatent
+
+            # KL(P || Q) term through the Student-t kernel (as in DEC):
+            # dL/dz_i = 2 * sum_j (1 + ||z_i - mu_j||^2)^{-1} (p_ij - q_ij)(z_i - mu_j)
+            diff = latent[:, None, :] - centers[None, :, :]
+            inv_kernel = 1.0 / (1.0 + np.sum(diff**2, axis=2))
+            coeff = self.cluster_weight * 2.0 * inv_kernel * (q - p) / n
+            grad_latent_cluster = np.sum(coeff[:, :, None] * diff, axis=1)
+            grad_centers = -np.sum(coeff[:, :, None] * diff, axis=0)
+            center_grads["centers"] += grad_centers
+
+            # GCN branch is trained to match P as well (softmax cross-entropy).
+            logits = gcn_logits - gcn_logits.max(axis=1, keepdims=True)
+            softmax = np.exp(logits)
+            softmax /= softmax.sum(axis=1, keepdims=True)
+            grad_logits = self.cluster_weight * (softmax - p) / n
+            grad_blended = gcn_out.backward(grad_logits)
+            gcn_hidden.backward(self.gcn_blend * grad_blended)
+            grad_hidden_from_gcn = (1.0 - self.gcn_blend) * grad_blended
+
+            # Push the latent gradients through the encoder.
+            grad_latent_total = grad_latent_from_decoder + grad_latent_cluster
+            grad_hidden = encoder_out.backward(grad_latent_total)
+            encoder_hidden.backward(grad_hidden + grad_hidden_from_gcn)
+
+            optimizer.step()
+
+        # Final assignment: argmax of the Student-t soft assignment.
+        _, latent, _ = autoencoder_forward()
+        q = student_t_assignment(latent, centers)
+        labels = np.argmax(q, axis=1)
+        self._embeddings = latent
+        labels = self._ensure_all_clusters(labels, latent, num_clusters, seed)
+        return ClusterAssignment(labels=labels, num_clusters=num_clusters)
+
+    @staticmethod
+    def _ensure_all_clusters(
+        labels: np.ndarray, latent: np.ndarray, num_clusters: int, seed: int
+    ) -> np.ndarray:
+        """Guard against degenerate solutions that leave some cluster empty."""
+        if np.unique(labels).size == num_clusters:
+            return labels
+        fallback = KMeans(num_clusters, seed=seed).fit_predict(latent)
+        return fallback
+
+    def embeddings(self) -> Optional[np.ndarray]:
+        return self._embeddings

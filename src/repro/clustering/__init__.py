@@ -1,0 +1,32 @@
+"""Signal clustering (paper Section IV-A).
+
+FIS-ONE groups the learned signal-sample embeddings into as many clusters as
+the building has floors, using proximity-based hierarchical clustering with
+the average-pairwise-Euclidean cluster distance (UPGMA / average linkage).
+K-means is provided as well — it is the clustering ablation of Figure 8(c–d).
+"""
+
+from repro.clustering.hierarchical import (
+    HierarchicalClustering,
+    average_linkage_labels,
+    ward_linkage_labels,
+)
+from repro.clustering.kmeans import KMeans, kmeans_labels
+from repro.clustering.assignments import (
+    ClusterAssignment,
+    cluster_sizes,
+    records_by_cluster,
+    relabel_clusters_by_size,
+)
+
+__all__ = [
+    "HierarchicalClustering",
+    "average_linkage_labels",
+    "ward_linkage_labels",
+    "KMeans",
+    "kmeans_labels",
+    "ClusterAssignment",
+    "cluster_sizes",
+    "records_by_cluster",
+    "relabel_clusters_by_size",
+]

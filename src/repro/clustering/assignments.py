@@ -1,0 +1,88 @@
+"""Helpers for working with cluster assignments of signal records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.signals.dataset import SignalDataset
+from repro.signals.record import SignalRecord
+
+
+@dataclass(frozen=True)
+class ClusterAssignment:
+    """A cluster assignment of every record in a dataset.
+
+    Attributes
+    ----------
+    labels:
+        Integer cluster label of each record, in dataset record order.
+    num_clusters:
+        Number of distinct clusters.
+    """
+
+    labels: np.ndarray
+    num_clusters: int
+
+    def __post_init__(self) -> None:
+        labels = np.asarray(self.labels, dtype=np.int64)
+        object.__setattr__(self, "labels", labels)
+        if labels.ndim != 1:
+            raise ValueError("labels must be a 1-D array")
+        if self.num_clusters < 1:
+            raise ValueError("num_clusters must be >= 1")
+        if labels.size and (labels.min() < 0 or labels.max() >= self.num_clusters):
+            raise ValueError("labels must lie in [0, num_clusters)")
+
+    def __len__(self) -> int:
+        return int(self.labels.shape[0])
+
+    def members(self, cluster: int) -> np.ndarray:
+        """Record indices belonging to ``cluster``."""
+        return np.flatnonzero(self.labels == cluster)
+
+    def remap(self, mapping: Dict[int, int]) -> "ClusterAssignment":
+        """Apply a cluster -> new-label mapping (e.g. cluster -> floor)."""
+        missing = set(np.unique(self.labels).tolist()) - set(mapping)
+        if missing:
+            raise ValueError(f"mapping is missing clusters {sorted(missing)}")
+        new_labels = np.array([mapping[int(label)] for label in self.labels], dtype=np.int64)
+        return ClusterAssignment(labels=new_labels, num_clusters=max(mapping.values()) + 1)
+
+
+def cluster_sizes(assignment: ClusterAssignment) -> Dict[int, int]:
+    """Number of records in every cluster."""
+    values, counts = np.unique(assignment.labels, return_counts=True)
+    sizes = {int(cluster): 0 for cluster in range(assignment.num_clusters)}
+    sizes.update({int(value): int(count) for value, count in zip(values, counts)})
+    return sizes
+
+
+def records_by_cluster(
+    dataset: SignalDataset, assignment: ClusterAssignment
+) -> Dict[int, List[SignalRecord]]:
+    """Group the dataset's records by their cluster label."""
+    if len(dataset) != len(assignment):
+        raise ValueError(
+            f"dataset has {len(dataset)} records but the assignment covers {len(assignment)}"
+        )
+    groups: Dict[int, List[SignalRecord]] = {
+        cluster: [] for cluster in range(assignment.num_clusters)
+    }
+    for record, label in zip(dataset, assignment.labels):
+        groups[int(label)].append(record)
+    return groups
+
+
+def relabel_clusters_by_size(assignment: ClusterAssignment) -> ClusterAssignment:
+    """Renumber clusters so that cluster 0 is the largest, 1 the second largest, ...
+
+    Useful for deterministic presentation; the indexing step assigns the real
+    floor numbers afterwards.
+    """
+    sizes = cluster_sizes(assignment)
+    order = sorted(sizes, key=lambda cluster: sizes[cluster], reverse=True)
+    mapping = {cluster: rank for rank, cluster in enumerate(order)}
+    return assignment.remap(mapping)

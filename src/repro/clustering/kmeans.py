@@ -1,0 +1,122 @@
+"""K-means clustering (the clustering ablation of Figure 8(c–d))."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ initialisation.
+
+    Parameters
+    ----------
+    num_clusters:
+        Number of clusters ``k``.
+    max_iterations:
+        Maximum number of Lloyd iterations.
+    tolerance:
+        Convergence threshold on the change of total centroid movement.
+    num_restarts:
+        Number of random restarts; the assignment with the lowest inertia wins.
+    seed:
+        RNG seed.
+    """
+
+    def __init__(
+        self,
+        num_clusters: int,
+        max_iterations: int = 100,
+        tolerance: float = 1e-6,
+        num_restarts: int = 4,
+        seed: int = 0,
+    ) -> None:
+        if num_clusters < 1:
+            raise ValueError("num_clusters must be >= 1")
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if num_restarts < 1:
+            raise ValueError("num_restarts must be >= 1")
+        self.num_clusters = num_clusters
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.num_restarts = num_restarts
+        self._rng = np.random.default_rng(seed)
+        self.centroids_: Optional[np.ndarray] = None
+        self.inertia_: Optional[float] = None
+        self.labels_: Optional[np.ndarray] = None
+
+    def _init_centroids(self, points: np.ndarray) -> np.ndarray:
+        """k-means++ seeding."""
+        n = points.shape[0]
+        centroids = np.empty((self.num_clusters, points.shape[1]), dtype=np.float64)
+        first = int(self._rng.integers(n))
+        centroids[0] = points[first]
+        closest_sq = np.sum((points - centroids[0]) ** 2, axis=1)
+        for index in range(1, self.num_clusters):
+            total = closest_sq.sum()
+            if total <= 0:
+                # All remaining points coincide with chosen centroids.
+                choice = int(self._rng.integers(n))
+            else:
+                choice = int(self._rng.choice(n, p=closest_sq / total))
+            centroids[index] = points[choice]
+            new_sq = np.sum((points - centroids[index]) ** 2, axis=1)
+            np.minimum(closest_sq, new_sq, out=closest_sq)
+        return centroids
+
+    def _run_once(self, points: np.ndarray) -> tuple:
+        centroids = self._init_centroids(points)
+        labels = np.zeros(points.shape[0], dtype=np.int64)
+        for _ in range(self.max_iterations):
+            distances = (
+                np.sum(points * points, axis=1)[:, None]
+                - 2.0 * points @ centroids.T
+                + np.sum(centroids * centroids, axis=1)[None, :]
+            )
+            labels = np.argmin(distances, axis=1)
+            new_centroids = centroids.copy()
+            for cluster in range(self.num_clusters):
+                mask = labels == cluster
+                if np.any(mask):
+                    new_centroids[cluster] = points[mask].mean(axis=0)
+                else:
+                    # Re-seed an empty cluster at the point furthest from its centroid.
+                    farthest = int(np.argmax(distances.min(axis=1)))
+                    new_centroids[cluster] = points[farthest]
+            movement = float(np.linalg.norm(new_centroids - centroids))
+            centroids = new_centroids
+            if movement < self.tolerance:
+                break
+        distances = (
+            np.sum(points * points, axis=1)[:, None]
+            - 2.0 * points @ centroids.T
+            + np.sum(centroids * centroids, axis=1)[None, :]
+        )
+        labels = np.argmin(distances, axis=1)
+        inertia = float(np.take_along_axis(distances, labels[:, None], axis=1).sum())
+        return labels, centroids, inertia
+
+    def fit_predict(self, points: np.ndarray) -> np.ndarray:
+        """Cluster the rows of ``points`` and return integer labels in [0, k)."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ValueError("points must be a 2-D array (n_samples, n_features)")
+        if points.shape[0] < self.num_clusters:
+            raise ValueError(
+                f"cannot form {self.num_clusters} clusters from {points.shape[0]} points"
+            )
+        best = None
+        for _ in range(self.num_restarts):
+            labels, centroids, inertia = self._run_once(points)
+            if best is None or inertia < best[2]:
+                best = (labels, centroids, inertia)
+        assert best is not None
+        self.labels_, self.centroids_, self.inertia_ = best
+        return self.labels_.copy()
+
+
+def kmeans_labels(points: np.ndarray, num_clusters: int, seed: int = 0) -> np.ndarray:
+    """Convenience wrapper: k-means labels for ``points``."""
+    return KMeans(num_clusters, seed=seed).fit_predict(points)

@@ -1,0 +1,6 @@
+"""The FIS-ONE pipeline: graph construction → RF-GNN → clustering → indexing."""
+
+from repro.core.config import FisOneConfig
+from repro.core.pipeline import FisOne, FisOneResult
+
+__all__ = ["FisOneConfig", "FisOne", "FisOneResult"]

@@ -1,0 +1,115 @@
+"""Configuration of the end-to-end FIS-ONE pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.gnn.model import RFGNNConfig
+from repro.graph.walks import WalkConfig
+
+
+@dataclass(frozen=True)
+class FisOneConfig:
+    """All knobs of the FIS-ONE pipeline in one place.
+
+    The defaults reproduce the paper's configuration: a 2-hop RF-GNN with the
+    RSS attention, embedding dimension 32, random walks of length 5, the
+    adapted Jaccard cluster similarity and the exact (Held–Karp) TSP solver,
+    with hierarchical (average-linkage) clustering.
+
+    Parameters
+    ----------
+    gnn:
+        RF-GNN encoder configuration (dimension, hops, attention).
+    walks:
+        Random-walk configuration for the unsupervised loss.
+    num_epochs, batch_size, learning_rate, negatives_per_pair:
+        Training-loop hyper-parameters (``negatives_per_pair`` is the paper's
+        ``tau = 4``).
+    max_pairs_per_epoch:
+        Cap on positive pairs used per epoch (bounds training cost).
+    inference_passes:
+        Number of forward passes averaged when embedding the sample nodes at
+        inference time; averaging reduces the variance introduced by
+        neighbourhood sampling.
+    inference_sample_sizes:
+        Per-hop neighbourhood sizes used at inference time; larger than the
+        training sizes so the aggregation approaches the full-neighbourhood
+        weighted mean.
+    clustering:
+        ``"hierarchical"`` (the paper) or ``"kmeans"`` (the ablation of
+        Figure 8(c–d)).
+    linkage:
+        Linkage criterion of the hierarchical clustering: ``"ward"``
+        (default, robust at our smaller simulated data scale) or
+        ``"average"`` (the paper's exact average-pairwise-distance formula);
+        see DESIGN.md for the rationale.
+    similarity:
+        ``"adapted_jaccard"`` (the paper) or ``"jaccard"`` (Figure 9(a–b)).
+    tsp_method:
+        ``"exact"``, ``"two_opt"`` or ``"nearest_neighbor"`` (Figure 9(c–d)).
+    seed:
+        Seed controlling all randomness in the pipeline.
+    """
+
+    gnn: RFGNNConfig = field(default_factory=RFGNNConfig)
+    walks: WalkConfig = field(default_factory=WalkConfig)
+    num_epochs: int = 5
+    batch_size: int = 512
+    learning_rate: float = 0.05
+    negatives_per_pair: int = 4
+    max_pairs_per_epoch: int = 60_000
+    inference_passes: int = 3
+    inference_sample_sizes: tuple = (40, 20)
+    clustering: str = "hierarchical"
+    linkage: str = "ward"
+    similarity: str = "adapted_jaccard"
+    tsp_method: str = "exact"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.clustering not in ("hierarchical", "kmeans"):
+            raise ValueError("clustering must be 'hierarchical' or 'kmeans'")
+        if self.linkage not in ("ward", "average"):
+            raise ValueError("linkage must be 'ward' or 'average'")
+        if self.similarity not in ("adapted_jaccard", "jaccard"):
+            raise ValueError("similarity must be 'adapted_jaccard' or 'jaccard'")
+        if self.num_epochs < 1:
+            raise ValueError("num_epochs must be >= 1")
+        if self.inference_passes < 1:
+            raise ValueError("inference_passes must be >= 1")
+        if len(self.inference_sample_sizes) != self.gnn.num_hops:
+            raise ValueError(
+                "inference_sample_sizes must have one entry per GNN hop"
+            )
+        # Keep the walk weighting consistent with the attention setting unless
+        # the caller explicitly overrode it.
+        object.__setattr__(
+            self, "walks", replace(self.walks, weighted=self.gnn.attention)
+        )
+
+    # -- convenience constructors for the paper's ablations -------------------------
+
+    def without_attention(self) -> "FisOneConfig":
+        """The Figure 8(a–b) ablation: uniform sampling and mean aggregation."""
+        return replace(self, gnn=replace(self.gnn, attention=False))
+
+    def with_kmeans(self) -> "FisOneConfig":
+        """The Figure 8(c–d) ablation: K-means instead of hierarchical clustering."""
+        return replace(self, clustering="kmeans")
+
+    def with_jaccard(self) -> "FisOneConfig":
+        """The Figure 9(a–b) ablation: original Jaccard similarity."""
+        return replace(self, similarity="jaccard")
+
+    def with_tsp_method(self, method: str) -> "FisOneConfig":
+        """The Figure 9(c–d) ablation: choose the TSP solver."""
+        return replace(self, tsp_method=method)
+
+    def with_embedding_dim(self, dim: int) -> "FisOneConfig":
+        """The Figure 10/11 parameter study: change the embedding dimension."""
+        return replace(self, gnn=replace(self.gnn, embedding_dim=dim))
+
+    def with_seed(self, seed: int) -> "FisOneConfig":
+        """Re-seed every random component of the pipeline."""
+        return replace(self, seed=seed)

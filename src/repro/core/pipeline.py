@@ -1,0 +1,204 @@
+"""The end-to-end FIS-ONE system (paper Figure 2).
+
+``FisOne.fit_predict(dataset, labeled_record_id, labeled_floor)`` runs:
+
+1. bipartite graph construction from the crowdsourced signals,
+2. unsupervised RF-GNN training and signal-sample embedding,
+3. hierarchical clustering into one cluster per floor,
+4. spillover-based cluster indexing anchored at the single labeled sample.
+
+The result carries the predicted floor of every record along with all the
+intermediate artefacts (embeddings, clustering, cluster order) so that the
+evaluation harness and the ablation benchmarks can inspect each stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.clustering.assignments import ClusterAssignment
+from repro.clustering.hierarchical import HierarchicalClustering
+from repro.clustering.kmeans import KMeans
+from repro.core.config import FisOneConfig
+from repro.gnn.trainer import RFGNNTrainer, TrainingHistory
+from repro.graph.bipartite import BipartiteGraph
+from repro.indexing.arbitrary import ArbitraryFloorIndexer
+from repro.indexing.indexer import ClusterIndexer, IndexingResult
+from repro.signals.dataset import SignalDataset
+
+
+@dataclass(frozen=True)
+class FisOneResult:
+    """Everything FIS-ONE produced for one building.
+
+    Attributes
+    ----------
+    floor_labels:
+        Predicted floor of every record, in dataset record order.
+    assignment:
+        The cluster assignment before indexing.
+    indexing:
+        The indexing result (cluster order, cluster -> floor mapping).
+    embeddings:
+        Signal-sample embeddings in dataset record order.
+    training_history:
+        RF-GNN loss trajectory.
+    """
+
+    floor_labels: np.ndarray
+    assignment: ClusterAssignment
+    indexing: IndexingResult
+    embeddings: np.ndarray
+    training_history: TrainingHistory
+
+    def predicted_floor_of(self, dataset: SignalDataset, record_id: str) -> int:
+        """Predicted floor of one record."""
+        return int(self.floor_labels[dataset.index_of(record_id)])
+
+    def floors_by_record_id(self, dataset: SignalDataset) -> Dict[str, int]:
+        """Mapping record id -> predicted floor."""
+        return {
+            record.record_id: int(floor)
+            for record, floor in zip(dataset, self.floor_labels)
+        }
+
+
+class FisOne:
+    """Floor identification with one labeled sample.
+
+    Parameters
+    ----------
+    config:
+        Pipeline configuration; the defaults reproduce the paper's system.
+
+    Examples
+    --------
+    >>> from repro.simulate import generate_single_building
+    >>> from repro.core import FisOne
+    >>> labeled = generate_single_building(num_floors=3, samples_per_floor=30, seed=1)
+    >>> anchor = labeled.pick_labeled_sample(floor=0)
+    >>> observed = labeled.strip_labels(keep_record_ids=[anchor.record_id])
+    >>> result = FisOne().fit_predict(observed, anchor.record_id, labeled_floor=0)
+    >>> len(result.floor_labels) == len(observed)
+    True
+    """
+
+    def __init__(self, config: Optional[FisOneConfig] = None) -> None:
+        self.config = config or FisOneConfig()
+
+    # -- pipeline stages -----------------------------------------------------------
+
+    def build_graph(self, dataset: SignalDataset) -> BipartiteGraph:
+        """Stage 1: the weighted bipartite MAC-sample graph."""
+        return BipartiteGraph.from_dataset(dataset)
+
+    def embed(self, graph: BipartiteGraph) -> tuple:
+        """Stage 2: train RF-GNN without labels and embed the sample nodes.
+
+        Returns ``(sample_embeddings, training_history)``.
+        """
+        config = self.config
+        trainer = RFGNNTrainer(
+            graph,
+            config.gnn,
+            walk_config=config.walks,
+            num_epochs=config.num_epochs,
+            batch_size=config.batch_size,
+            learning_rate=config.learning_rate,
+            negatives_per_pair=config.negatives_per_pair,
+            max_pairs_per_epoch=config.max_pairs_per_epoch,
+            seed=config.seed,
+        )
+        trainer.fit()
+        passes = [
+            trainer.sample_embeddings(sample_sizes=config.inference_sample_sizes)
+            for _ in range(config.inference_passes)
+        ]
+        embeddings = np.mean(passes, axis=0)
+        norms = np.linalg.norm(embeddings, axis=1, keepdims=True)
+        embeddings = embeddings / np.maximum(norms, 1e-12)
+        return embeddings, trainer.history
+
+    def cluster(self, embeddings: np.ndarray, num_floors: int) -> ClusterAssignment:
+        """Stage 3: group the sample embeddings into one cluster per floor."""
+        if self.config.clustering == "kmeans":
+            labels = KMeans(num_floors, seed=self.config.seed).fit_predict(embeddings)
+        else:
+            labels = HierarchicalClustering(
+                num_floors, linkage=self.config.linkage
+            ).fit_predict(embeddings)
+        return ClusterAssignment(labels=labels, num_clusters=num_floors)
+
+    def index_clusters(
+        self,
+        dataset: SignalDataset,
+        assignment: ClusterAssignment,
+        labeled_record_id: str,
+        labeled_floor: int,
+        embeddings: np.ndarray,
+    ) -> IndexingResult:
+        """Stage 4: assign floor numbers to clusters via the spillover TSP."""
+        num_floors = assignment.num_clusters
+        if labeled_floor in (0, num_floors - 1):
+            indexer = ClusterIndexer(
+                similarity=self.config.similarity, tsp_method=self.config.tsp_method
+            )
+            return indexer.index(dataset, assignment, labeled_record_id, labeled_floor)
+        arbitrary = ArbitraryFloorIndexer(
+            similarity=self.config.similarity, tsp_method=self.config.tsp_method
+        )
+        return arbitrary.index(
+            dataset, assignment, labeled_record_id, labeled_floor, embeddings
+        )
+
+    # -- end-to-end -------------------------------------------------------------------
+
+    def fit_predict(
+        self,
+        dataset: SignalDataset,
+        labeled_record_id: str,
+        labeled_floor: int = 0,
+        num_floors: Optional[int] = None,
+    ) -> FisOneResult:
+        """Run the full pipeline on one building's crowdsourced signals.
+
+        Parameters
+        ----------
+        dataset:
+            The crowdsourced signals.  Labels other than the anchor record's
+            are ignored (the pipeline never reads them), so passing a fully
+            labeled evaluation dataset is safe.
+        labeled_record_id:
+            Record id of the single labeled sample.
+        labeled_floor:
+            Floor of that sample — 0 (bottom) in the paper's main scenario;
+            any floor is accepted and triggers the Section VI extension.
+        num_floors:
+            Number of floors; defaults to ``dataset.num_floors``.
+        """
+        if labeled_record_id not in dataset:
+            raise KeyError(f"labeled record {labeled_record_id!r} is not in the dataset")
+        num_floors = num_floors or dataset.num_floors
+        if num_floors < 2:
+            raise ValueError("floor identification needs at least two floors")
+        if not (0 <= labeled_floor < num_floors):
+            raise ValueError(
+                f"labeled_floor {labeled_floor} is outside [0, {num_floors})"
+            )
+
+        graph = self.build_graph(dataset)
+        embeddings, history = self.embed(graph)
+        assignment = self.cluster(embeddings, num_floors)
+        indexing = self.index_clusters(
+            dataset, assignment, labeled_record_id, labeled_floor, embeddings
+        )
+        return FisOneResult(
+            floor_labels=indexing.floor_labels,
+            assignment=assignment,
+            indexing=indexing,
+            embeddings=embeddings,
+            training_history=history,
+        )

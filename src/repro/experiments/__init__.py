@@ -1,0 +1,35 @@
+"""Experiment harness regenerating the paper's tables and figures.
+
+The benchmarks under ``benchmarks/`` are thin wrappers around this package:
+:mod:`~repro.experiments.runner` evaluates FIS-ONE and the baselines on
+fleets of (simulated) buildings, :mod:`~repro.experiments.spillover` computes
+the Figure 1(b) statistic, and :mod:`~repro.experiments.reporting` renders
+the aggregated numbers as the paper-style tables printed by each benchmark.
+"""
+
+from repro.experiments.runner import (
+    BuildingEvaluation,
+    MethodSummary,
+    evaluate_baseline_on_building,
+    evaluate_fis_one_on_building,
+    evaluate_fleet,
+    indexing_sequence,
+    summarize,
+)
+from repro.experiments.spillover import spillover_histogram, spillover_by_floor_distance
+from repro.experiments.reporting import format_mean_std, format_table, format_ratio_table
+
+__all__ = [
+    "BuildingEvaluation",
+    "MethodSummary",
+    "evaluate_fis_one_on_building",
+    "evaluate_baseline_on_building",
+    "evaluate_fleet",
+    "indexing_sequence",
+    "summarize",
+    "spillover_histogram",
+    "spillover_by_floor_distance",
+    "format_mean_std",
+    "format_table",
+    "format_ratio_table",
+]

@@ -1,0 +1,80 @@
+"""Plain-text rendering of experiment results (paper-style tables)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from repro.experiments.runner import MethodSummary
+
+
+def format_mean_std(mean: float, std: float, digits: int = 3) -> str:
+    """``0.856(0.086)``-style cell formatting used by the paper's Table I."""
+    return f"{mean:.{digits}f}({std:.{digits}f})"
+
+
+def format_table(
+    summaries: Sequence[MethodSummary],
+    metrics: Sequence[str] = ("ari", "nmi", "edit_distance"),
+    title: str = "",
+) -> str:
+    """Render method summaries as an aligned text table."""
+    headers = ["Algorithm"] + [metric.upper() for metric in metrics]
+    rows: List[List[str]] = []
+    for summary in summaries:
+        row = [summary.method]
+        for metric in metrics:
+            row.append(format_mean_std(summary.mean[metric], summary.std[metric]))
+        rows.append(row)
+    widths = [
+        max(len(headers[column]), *(len(row[column]) for row in rows))
+        for column in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(width) for header, width in zip(headers, widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_ratio_table(
+    values: Mapping[str, Mapping[str, float]],
+    column_order: Sequence[str],
+    title: str = "",
+    digits: int = 3,
+) -> str:
+    """Render a nested mapping (row -> column -> value) as an aligned text table."""
+    headers = [""] + list(column_order)
+    rows: List[List[str]] = []
+    for row_name, columns in values.items():
+        row = [str(row_name)]
+        for column in column_order:
+            value = columns.get(column)
+            row.append("-" if value is None else f"{value:.{digits}f}")
+        rows.append(row)
+    widths = [
+        max(len(headers[column]), *(len(row[column]) for row in rows))
+        for column in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(width) for header, width in zip(headers, widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def improvement_percent(candidate: float, reference: float) -> float:
+    """Relative improvement of ``candidate`` over ``reference`` in percent."""
+    if reference == 0:
+        raise ValueError("reference value must be non-zero")
+    return 100.0 * (candidate - reference) / reference
+
+
+def summaries_as_dict(summaries: Sequence[MethodSummary]) -> Dict[str, Dict[str, float]]:
+    """Mean metrics of each method, keyed by method name (for quick comparisons)."""
+    return {summary.method: dict(summary.mean) for summary in summaries}

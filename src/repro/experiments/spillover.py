@@ -1,0 +1,55 @@
+"""Signal-spillover statistics (paper Figure 1(b)).
+
+The figure counts, for every MAC address in a building, on how many distinct
+floors it was detected.  The histogram of those counts shows that most access
+points are heard on a small number of adjacent floors, with a thin tail of
+long-range MACs (e.g. those mounted near open atria).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.signals.dataset import SignalDataset
+
+
+def spillover_histogram(dataset: SignalDataset) -> Dict[int, int]:
+    """Number of MACs detected on exactly ``k`` floors, for every ``k``.
+
+    The dataset must carry ground-truth floor labels (the statistic is a
+    property of the data, not of the unlabeled crowdsourcing scenario).
+    """
+    coverage = dataset.mac_floor_coverage()
+    if not coverage:
+        raise ValueError("the dataset has no labeled records; cannot compute spillover")
+    histogram: Dict[int, int] = {}
+    for floors in coverage.values():
+        count = len(floors)
+        histogram[count] = histogram.get(count, 0) + 1
+    return dict(sorted(histogram.items()))
+
+
+def spillover_by_floor_distance(dataset: SignalDataset) -> Dict[int, float]:
+    """Mean number of shared MACs between floor pairs, grouped by floor distance.
+
+    This is the quantitative backbone of the spillover argument: the number
+    of MACs two floors share should decrease monotonically (on average) with
+    their vertical distance.
+    """
+    coverage = dataset.mac_floor_coverage()
+    floors = dataset.floors_present
+    if len(floors) < 2:
+        raise ValueError("need at least two labeled floors")
+    shared_counts: Dict[int, list] = {}
+    for i, floor_a in enumerate(floors):
+        for floor_b in floors[i + 1 :]:
+            distance = abs(floor_b - floor_a)
+            shared = sum(
+                1 for observed in coverage.values() if floor_a in observed and floor_b in observed
+            )
+            shared_counts.setdefault(distance, []).append(shared)
+    return {
+        distance: float(np.mean(values)) for distance, values in sorted(shared_counts.items())
+    }

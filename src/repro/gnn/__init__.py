@@ -1,0 +1,34 @@
+"""RF-GNN: attention-based graph neural network for RF signals (paper Sec. III).
+
+The model is a GraphSAGE-style K-hop encoder in which the RSS-derived edge
+weights act as the attention mechanism: they bias both which neighbours get
+sampled and how the sampled neighbours are aggregated.  Training is fully
+unsupervised, using random-walk co-occurrence with negative sampling.
+
+Typical usage::
+
+    graph = BipartiteGraph.from_dataset(dataset)
+    config = RFGNNConfig(embedding_dim=32)
+    trainer = RFGNNTrainer(graph, config, seed=0)
+    embeddings = trainer.fit()              # (num_nodes, dim)
+    sample_vectors = embeddings[graph.sample_ids]
+"""
+
+from repro.gnn.samplers import NeighborSampler, SampledNeighborhood
+from repro.gnn.aggregators import MeanAggregator, WeightedAggregator, get_aggregator
+from repro.gnn.model import RFGNN, RFGNNConfig
+from repro.gnn.loss import negative_sampling_loss
+from repro.gnn.trainer import RFGNNTrainer, TrainingHistory
+
+__all__ = [
+    "NeighborSampler",
+    "SampledNeighborhood",
+    "MeanAggregator",
+    "WeightedAggregator",
+    "get_aggregator",
+    "RFGNN",
+    "RFGNNConfig",
+    "negative_sampling_loss",
+    "RFGNNTrainer",
+    "TrainingHistory",
+]

@@ -1,0 +1,63 @@
+"""Neighbourhood aggregators (paper Section III-B).
+
+The paper's ``AGGREGATE_w`` computes a weighted mean of the sampled
+neighbours' representations, with weights proportional to the sampled edge
+weights ``f(RSS)`` — this is the "attention" of RF-GNN.  The no-attention
+ablation uses a plain mean.
+
+Aggregators only compute the *coefficients*; the actual weighted sum (and its
+gradient) lives in the model, because the coefficients are constants with
+respect to the trainable parameters.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class Aggregator(ABC):
+    """Turns sampled edge weights into per-neighbour aggregation coefficients."""
+
+    name: str = "aggregator"
+
+    @abstractmethod
+    def coefficients(self, edge_weights: np.ndarray) -> np.ndarray:
+        """Aggregation coefficients of shape ``(batch, sample_size)``.
+
+        Every row must sum to 1 (a convex combination of neighbour vectors).
+        """
+
+
+class WeightedAggregator(Aggregator):
+    """The paper's RSS-weighted aggregator: coefficients ∝ f(RSS)."""
+
+    name = "weighted"
+
+    def coefficients(self, edge_weights: np.ndarray) -> np.ndarray:
+        weights = np.asarray(edge_weights, dtype=np.float64)
+        if np.any(weights <= 0):
+            raise ValueError("edge weights must be strictly positive")
+        totals = weights.sum(axis=1, keepdims=True)
+        return weights / totals
+
+
+class MeanAggregator(Aggregator):
+    """Uniform-mean aggregator (the "without attention" ablation)."""
+
+    name = "mean"
+
+    def coefficients(self, edge_weights: np.ndarray) -> np.ndarray:
+        weights = np.asarray(edge_weights, dtype=np.float64)
+        batch, sample_size = weights.shape
+        return np.full((batch, sample_size), 1.0 / sample_size, dtype=np.float64)
+
+
+def get_aggregator(name: str) -> Aggregator:
+    """Look up an aggregator by name ('weighted' or 'mean')."""
+    table = {"weighted": WeightedAggregator, "mean": MeanAggregator}
+    try:
+        return table[name.lower()]()
+    except KeyError:
+        raise ValueError(f"unknown aggregator {name!r}; available: {sorted(table)}") from None

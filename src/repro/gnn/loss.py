@@ -1,0 +1,78 @@
+"""Unsupervised negative-sampling loss (paper Section III-B).
+
+For a positive pair ``(i, j)`` that co-occurs in a random walk, and ``tau``
+negative nodes ``z`` drawn from ``Pr(z) ∝ d_z^{3/4}``::
+
+    L = -log sigma(r_i · r_j) - sum_z log sigma(-r_i · r_z)
+
+The function below evaluates the loss for a batch of pairs and returns the
+gradients with respect to the target, context and negative embeddings, which
+the trainer scatters back into the minibatch before calling
+:meth:`RFGNN.backward`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn.activations import sigmoid
+
+
+def negative_sampling_loss(
+    target_embeddings: np.ndarray,
+    context_embeddings: np.ndarray,
+    negative_embeddings: np.ndarray,
+) -> Tuple[float, np.ndarray, np.ndarray, np.ndarray]:
+    """Skip-gram negative-sampling loss and its gradients.
+
+    Parameters
+    ----------
+    target_embeddings:
+        Shape ``(batch, dim)`` — embeddings of the walk targets ``r_i``.
+    context_embeddings:
+        Shape ``(batch, dim)`` — embeddings of the co-occurring nodes ``r_j``.
+    negative_embeddings:
+        Shape ``(batch, num_negatives, dim)`` — embeddings of the sampled
+        negative nodes ``r_z``.
+
+    Returns
+    -------
+    (loss, grad_target, grad_context, grad_negative)
+        ``loss`` is the mean loss per pair; the gradient arrays match the
+        shapes of the corresponding inputs and are already divided by the
+        batch size.
+    """
+    target = np.asarray(target_embeddings, dtype=np.float64)
+    context = np.asarray(context_embeddings, dtype=np.float64)
+    negative = np.asarray(negative_embeddings, dtype=np.float64)
+    if target.shape != context.shape:
+        raise ValueError("target and context embeddings must have the same shape")
+    if negative.ndim != 3 or negative.shape[0] != target.shape[0]:
+        raise ValueError("negative embeddings must have shape (batch, num_negatives, dim)")
+    batch = target.shape[0]
+    if batch == 0:
+        raise ValueError("the pair batch must not be empty")
+
+    positive_scores = np.sum(target * context, axis=1)
+    negative_scores = np.einsum("bd,bnd->bn", target, negative)
+
+    positive_prob = np.asarray(sigmoid(positive_scores))
+    negative_prob = np.asarray(sigmoid(-negative_scores))
+
+    eps = 1e-12
+    loss = float(
+        (-np.log(positive_prob + eps) - np.log(negative_prob + eps).sum(axis=1)).mean()
+    )
+
+    # d/ds of -log(sigmoid(s)) is -(1 - sigmoid(s)); of -log(sigmoid(-s)) is sigmoid(s).
+    grad_positive_score = -(1.0 - positive_prob) / batch
+    grad_negative_score = np.asarray(sigmoid(negative_scores)) / batch
+
+    grad_target = grad_positive_score[:, None] * context + np.einsum(
+        "bn,bnd->bd", grad_negative_score, negative
+    )
+    grad_context = grad_positive_score[:, None] * target
+    grad_negative = grad_negative_score[:, :, None] * target[:, None, :]
+    return loss, grad_target, grad_context, grad_negative

@@ -1,0 +1,320 @@
+"""The RF-GNN encoder (paper Section III-B).
+
+The encoder is a K-hop GraphSAGE-style network.  For every node ``i`` and
+iteration ``k``::
+
+    r^k_N(i) = AGGREGATE_w( r^{k-1}_j for j in sampled N'(i) )
+    r^k_i    = sigma( W_k @ concat(r^{k-1}_i, r^k_N(i)) )
+    r^k_i    = r^k_i / ||r^k_i||_2
+
+Initial representations ``r^0_i`` are fixed random unit vectors.  The only
+trainable parameters are the ``W_k`` matrices; the aggregation coefficients
+(the attention) come straight from the RSS edge weights and carry no
+parameters, which is what lets the model train without any labels.
+
+The model implements forward and backward passes over *minibatches of target
+nodes*: to embed a batch, it samples the K-hop neighbourhood tree and keeps
+all intermediates so the backward pass can push loss gradients down to every
+``W_k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.gnn.aggregators import Aggregator, MeanAggregator, WeightedAggregator
+from repro.gnn.samplers import NeighborSampler
+from repro.graph.bipartite import BipartiteGraph
+from repro.nn.activations import Activation, get_activation
+from repro.nn.init import glorot_uniform, random_node_features
+
+
+@dataclass(frozen=True)
+class RFGNNConfig:
+    """Hyper-parameters of the RF-GNN encoder.
+
+    Parameters
+    ----------
+    embedding_dim:
+        Output embedding dimension (the paper sweeps 8–64, default 32).
+    input_dim:
+        Dimension of the fixed random initial representations ``r^0``;
+        defaults to ``embedding_dim``.
+    num_hops:
+        Number of aggregation iterations ``K`` (the paper uses 2).
+    neighbor_sample_sizes:
+        Neighbours sampled per hop, outermost hop first; length must equal
+        ``num_hops``.
+    attention:
+        Use the RSS-based attention (weighted sampling + weighted
+        aggregation).  ``False`` reproduces the "without attention" ablation:
+        uniform sampling and mean aggregation.
+    activation:
+        Name of the nonlinearity ``sigma`` (default ``tanh``).
+    train_node_features:
+        Learn the initial node representations ``r^0`` together with the
+        ``W_k`` (the paper trains "the vector representation of each node and
+        the weight matrices"); they are still *initialised* to random unit
+        vectors.  Setting this to ``False`` keeps them frozen at their random
+        initialisation.
+    """
+
+    embedding_dim: int = 32
+    input_dim: Optional[int] = None
+    num_hops: int = 2
+    neighbor_sample_sizes: Sequence[int] = (10, 5)
+    attention: bool = True
+    activation: str = "tanh"
+    train_node_features: bool = True
+
+    def __post_init__(self) -> None:
+        if self.embedding_dim < 1:
+            raise ValueError("embedding_dim must be >= 1")
+        if self.num_hops < 1:
+            raise ValueError("num_hops must be >= 1")
+        if len(self.neighbor_sample_sizes) != self.num_hops:
+            raise ValueError(
+                f"neighbor_sample_sizes must have {self.num_hops} entries, "
+                f"got {len(self.neighbor_sample_sizes)}"
+            )
+        if any(size < 1 for size in self.neighbor_sample_sizes):
+            raise ValueError("neighbour sample sizes must be >= 1")
+
+    @property
+    def resolved_input_dim(self) -> int:
+        """The input feature dimension actually used."""
+        return self.input_dim if self.input_dim is not None else self.embedding_dim
+
+
+@dataclass
+class _ForwardCache:
+    """Intermediates of one minibatch forward pass, consumed by backward()."""
+
+    layer_nodes: List[np.ndarray] = field(default_factory=list)
+    coefficients: List[np.ndarray] = field(default_factory=list)
+    hidden: List[np.ndarray] = field(default_factory=list)
+    concatenated: List[np.ndarray] = field(default_factory=list)
+    pre_activation: List[np.ndarray] = field(default_factory=list)
+    activated: List[np.ndarray] = field(default_factory=list)
+    norms: List[np.ndarray] = field(default_factory=list)
+
+
+class RFGNN:
+    """The RF-GNN encoder with explicit forward/backward minibatch passes."""
+
+    def __init__(
+        self,
+        graph: BipartiteGraph,
+        config: RFGNNConfig = RFGNNConfig(),
+        seed: int = 0,
+    ) -> None:
+        self.graph = graph
+        self.config = config
+        rng = np.random.default_rng(seed)
+        self._rng = rng
+        self.sampler = NeighborSampler(graph, weighted=config.attention, seed=seed)
+        self.aggregator: Aggregator = (
+            WeightedAggregator() if config.attention else MeanAggregator()
+        )
+        self.activation: Activation = get_activation(config.activation)
+        input_dim = config.resolved_input_dim
+        # Initial node representations r^0, randomly initialised; trainable by
+        # default (the paper learns them jointly with the W_k).
+        self.node_features = random_node_features(graph.num_nodes, input_dim, rng)
+        self.feature_grads = np.zeros_like(self.node_features)
+        # One weight matrix per hop, mapping concat(self, neighbourhood) -> out.
+        dims = [input_dim] + [config.embedding_dim] * config.num_hops
+        self.weights: List[np.ndarray] = [
+            glorot_uniform(2 * dims[k], dims[k + 1], rng) for k in range(config.num_hops)
+        ]
+        self.weight_grads: List[np.ndarray] = [np.zeros_like(w) for w in self.weights]
+        self._cache: Optional[_ForwardCache] = None
+
+    # -- parameter plumbing ----------------------------------------------------
+
+    def parameters(self) -> List[Dict[str, np.ndarray]]:
+        """Parameter groups in the format expected by :mod:`repro.nn.optimizers`."""
+        groups = [{f"W{k}": self.weights[k]} for k in range(len(self.weights))]
+        if self.config.train_node_features:
+            groups.append({"features": self.node_features})
+        return groups
+
+    def gradients(self) -> List[Dict[str, np.ndarray]]:
+        """Gradient groups aligned with :meth:`parameters`."""
+        groups = [{f"W{k}": self.weight_grads[k]} for k in range(len(self.weight_grads))]
+        if self.config.train_node_features:
+            groups.append({"features": self.feature_grads})
+        return groups
+
+    def zero_grad(self) -> None:
+        """Reset accumulated weight (and feature) gradients."""
+        for grad in self.weight_grads:
+            grad[...] = 0.0
+        self.feature_grads[...] = 0.0
+
+    # -- forward ---------------------------------------------------------------
+
+    def forward(self, targets: Sequence[int]) -> np.ndarray:
+        """Embed a batch of target nodes, caching intermediates for backward().
+
+        Returns an array of shape ``(len(targets), embedding_dim)``.
+        """
+        config = self.config
+        targets = np.asarray(targets, dtype=np.int64)
+        cache = _ForwardCache()
+
+        # Build the K-level node tree: level K holds the targets, level k-1
+        # holds [level-k nodes] followed by their sampled neighbours.
+        layer_nodes: List[np.ndarray] = [None] * (config.num_hops + 1)  # type: ignore[list-item]
+        coefficients: List[np.ndarray] = [None] * (config.num_hops + 1)  # type: ignore[list-item]
+        layer_nodes[config.num_hops] = targets
+        for k in range(config.num_hops, 0, -1):
+            sample_size = config.neighbor_sample_sizes[config.num_hops - k]
+            sampled = self.sampler.sample(layer_nodes[k], sample_size)
+            coefficients[k] = self.aggregator.coefficients(sampled.edge_weights)
+            layer_nodes[k - 1] = np.concatenate([layer_nodes[k], sampled.neighbors.reshape(-1)])
+        cache.layer_nodes = layer_nodes
+        cache.coefficients = coefficients
+
+        # Bottom-up aggregation.
+        hidden: List[np.ndarray] = [None] * (config.num_hops + 1)  # type: ignore[list-item]
+        hidden[0] = self.node_features[layer_nodes[0]]
+        cache.concatenated = [None] * (config.num_hops + 1)  # type: ignore[list-item]
+        cache.pre_activation = [None] * (config.num_hops + 1)  # type: ignore[list-item]
+        cache.activated = [None] * (config.num_hops + 1)  # type: ignore[list-item]
+        cache.norms = [None] * (config.num_hops + 1)  # type: ignore[list-item]
+        for k in range(1, config.num_hops + 1):
+            sample_size = config.neighbor_sample_sizes[config.num_hops - k]
+            num_parents = layer_nodes[k].shape[0]
+            previous = hidden[k - 1]
+            h_self = previous[:num_parents]
+            h_neighbors = previous[num_parents:].reshape(num_parents, sample_size, -1)
+            coeff = coefficients[k][:, :, None]
+            aggregated = (coeff * h_neighbors).sum(axis=1)
+            concatenated = np.concatenate([h_self, aggregated], axis=1)
+            pre_activation = concatenated @ self.weights[k - 1]
+            activated = self.activation.forward(pre_activation)
+            norms = np.maximum(np.linalg.norm(activated, axis=1, keepdims=True), 1e-12)
+            hidden[k] = activated / norms
+            cache.concatenated[k] = concatenated
+            cache.pre_activation[k] = pre_activation
+            cache.activated[k] = activated
+            cache.norms[k] = norms
+        cache.hidden = hidden
+        self._cache = cache
+        return hidden[config.num_hops]
+
+    # -- backward ----------------------------------------------------------------
+
+    def backward(self, grad_embeddings: np.ndarray) -> None:
+        """Backpropagate a gradient w.r.t. the last forward() output into the W_k.
+
+        Parameters
+        ----------
+        grad_embeddings:
+            Array of shape ``(batch, embedding_dim)`` — dLoss/dEmbedding for
+            the targets passed to the last :meth:`forward` call.
+        """
+        if self._cache is None:
+            raise RuntimeError("backward() called before forward()")
+        cache = self._cache
+        config = self.config
+        grad_hidden = np.asarray(grad_embeddings, dtype=np.float64)
+        for k in range(config.num_hops, 0, -1):
+            # Undo the L2 normalisation: y = a / ||a||.
+            normalized = cache.hidden[k]
+            norms = cache.norms[k]
+            dot = np.sum(grad_hidden * normalized, axis=1, keepdims=True)
+            grad_activated = (grad_hidden - normalized * dot) / norms
+            # Activation.
+            grad_pre = grad_activated * self.activation.backward(
+                cache.pre_activation[k], cache.activated[k]
+            )
+            # Linear map.
+            self.weight_grads[k - 1] += cache.concatenated[k].T @ grad_pre
+            grad_concat = grad_pre @ self.weights[k - 1].T
+            # Split into self part and aggregated-neighbourhood part.
+            previous_dim = cache.hidden[k - 1].shape[1]
+            grad_self = grad_concat[:, :previous_dim]
+            grad_aggregated = grad_concat[:, previous_dim:]
+            # Distribute the aggregated gradient over the sampled neighbours.
+            sample_size = config.neighbor_sample_sizes[config.num_hops - k]
+            coeff = cache.coefficients[k][:, :, None]
+            grad_neighbors = coeff * grad_aggregated[:, None, :]
+            # Assemble the gradient of the level-(k-1) hidden matrix.
+            num_parents = cache.layer_nodes[k].shape[0]
+            grad_previous = np.zeros_like(cache.hidden[k - 1])
+            grad_previous[:num_parents] += grad_self
+            grad_previous[num_parents:] += grad_neighbors.reshape(-1, previous_dim)
+            grad_hidden = grad_previous
+        # Level 0 holds the initial node representations r^0; scatter the
+        # remaining gradient into their rows when they are trainable.
+        if self.config.train_node_features:
+            np.add.at(self.feature_grads, cache.layer_nodes[0], grad_hidden)
+        self._cache = None
+
+    # -- inference ------------------------------------------------------------------
+
+    def embed_nodes(
+        self,
+        nodes: Optional[Sequence[int]] = None,
+        batch_size: int = 512,
+        sample_sizes: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Embed nodes without keeping backward state (inference).
+
+        Parameters
+        ----------
+        nodes:
+            Node ids to embed; all nodes when omitted.
+        batch_size:
+            Number of nodes embedded per forward pass.
+        sample_sizes:
+            Optional per-hop neighbourhood sample sizes to use at inference
+            time.  Larger sizes approximate full-neighbourhood aggregation
+            and remove most of the sampling variance; defaults to the
+            training-time sizes.
+        """
+        if nodes is None:
+            nodes = np.arange(self.graph.num_nodes, dtype=np.int64)
+        else:
+            nodes = np.asarray(nodes, dtype=np.int64)
+        config = self.config
+        if sample_sizes is not None:
+            if len(sample_sizes) != config.num_hops:
+                raise ValueError(
+                    f"sample_sizes must have {config.num_hops} entries, got {len(sample_sizes)}"
+                )
+            inference_config = RFGNNConfig(
+                embedding_dim=config.embedding_dim,
+                input_dim=config.input_dim,
+                num_hops=config.num_hops,
+                neighbor_sample_sizes=tuple(sample_sizes),
+                attention=config.attention,
+                activation=config.activation,
+                train_node_features=config.train_node_features,
+            )
+        else:
+            inference_config = config
+        outputs = np.empty((nodes.shape[0], config.embedding_dim), dtype=np.float64)
+        original_config = self.config
+        try:
+            self.config = inference_config
+            for start in range(0, nodes.shape[0], batch_size):
+                batch = nodes[start : start + batch_size]
+                outputs[start : start + batch.shape[0]] = self.forward(batch)
+        finally:
+            self.config = original_config
+        self._cache = None
+        return outputs
+
+    def embed_record_nodes(
+        self, batch_size: int = 512, sample_sizes: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
+        """Embed all signal-sample nodes, in dataset record order."""
+        return self.embed_nodes(
+            self.graph.sample_ids, batch_size=batch_size, sample_sizes=sample_sizes
+        )

@@ -1,0 +1,192 @@
+"""Unsupervised training loop for RF-GNN (paper Section III-B).
+
+Each epoch the trainer:
+
+1. generates RSS-weighted random walks over the bipartite graph and extracts
+   positive (target, context) pairs from a sliding window,
+2. draws ``tau`` negative nodes per pair from ``Pr(z) ∝ degree^{3/4}``,
+3. embeds the unique nodes of each minibatch with :class:`RFGNN.forward`,
+4. evaluates the negative-sampling loss, scatters its gradients back onto the
+   minibatch embeddings, and backpropagates into the ``W_k`` matrices,
+5. takes an Adam step.
+
+``fit()`` returns the final embeddings of *all* nodes (MACs and samples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.gnn.loss import negative_sampling_loss
+from repro.gnn.model import RFGNN, RFGNNConfig
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.negative_sampling import NegativeSampler
+from repro.graph.walks import RandomWalkGenerator, WalkConfig
+from repro.nn.optimizers import Adam, clip_gradients
+
+
+@dataclass
+class TrainingHistory:
+    """Loss trajectory of one training run."""
+
+    epoch_losses: List[float] = field(default_factory=list)
+
+    @property
+    def num_epochs(self) -> int:
+        """Number of completed epochs."""
+        return len(self.epoch_losses)
+
+    @property
+    def final_loss(self) -> float:
+        """Mean loss of the last epoch.
+
+        Raises
+        ------
+        ValueError
+            If no epoch has completed yet.
+        """
+        if not self.epoch_losses:
+            raise ValueError("no epochs have been recorded")
+        return self.epoch_losses[-1]
+
+
+class RFGNNTrainer:
+    """Trains an :class:`RFGNN` encoder without labels.
+
+    Parameters
+    ----------
+    graph:
+        The bipartite RF graph of one building.
+    config:
+        RF-GNN hyper-parameters.  The walk generator inherits the
+        ``attention`` flag (weighted vs. uniform walks).
+    walk_config:
+        Random-walk parameters; defaults to the paper's walk length of 5.
+    num_epochs:
+        Training epochs (one round of walks per epoch).
+    batch_size:
+        Number of positive pairs per gradient step.
+    learning_rate:
+        Adam learning rate.
+    negatives_per_pair:
+        The paper's ``tau`` (4).
+    max_pairs_per_epoch:
+        Optional cap on the number of positive pairs used per epoch — keeps
+        the cost of very dense graphs bounded without changing the objective.
+    grad_clip_norm:
+        Global gradient-norm clip.
+    seed:
+        RNG seed controlling walks, negative sampling, and initialisation.
+    """
+
+    def __init__(
+        self,
+        graph: BipartiteGraph,
+        config: RFGNNConfig = RFGNNConfig(),
+        walk_config: Optional[WalkConfig] = None,
+        num_epochs: int = 5,
+        batch_size: int = 512,
+        learning_rate: float = 0.05,
+        negatives_per_pair: int = 4,
+        max_pairs_per_epoch: Optional[int] = 60_000,
+        grad_clip_norm: float = 5.0,
+        seed: int = 0,
+    ) -> None:
+        if num_epochs < 1:
+            raise ValueError("num_epochs must be >= 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if negatives_per_pair < 1:
+            raise ValueError("negatives_per_pair must be >= 1")
+        self.graph = graph
+        self.config = config
+        self.model = RFGNN(graph, config, seed=seed)
+        self.walk_config = walk_config or WalkConfig(weighted=config.attention)
+        self.walker = RandomWalkGenerator(graph, self.walk_config, seed=seed + 1)
+        self.negative_sampler = NegativeSampler(graph, seed=seed + 2)
+        self.num_epochs = num_epochs
+        self.batch_size = batch_size
+        self.negatives_per_pair = negatives_per_pair
+        self.max_pairs_per_epoch = max_pairs_per_epoch
+        self.grad_clip_norm = grad_clip_norm
+        self._rng = np.random.default_rng(seed + 3)
+        self.optimizer = Adam(
+            self.model.parameters(), self.model.gradients(), lr=learning_rate
+        )
+        self.history = TrainingHistory()
+
+    # -- single training step -----------------------------------------------------
+
+    def _train_batch(self, pairs: np.ndarray, negatives: np.ndarray) -> float:
+        """One gradient step on a batch of positive pairs plus their negatives."""
+        batch = pairs.shape[0]
+        flat_negatives = negatives.reshape(-1)
+        all_nodes = np.concatenate([pairs[:, 0], pairs[:, 1], flat_negatives])
+        unique_nodes, inverse = np.unique(all_nodes, return_inverse=True)
+        embeddings = self.model.forward(unique_nodes)
+
+        target_index = inverse[:batch]
+        context_index = inverse[batch : 2 * batch]
+        negative_index = inverse[2 * batch :].reshape(batch, self.negatives_per_pair)
+
+        loss, grad_target, grad_context, grad_negative = negative_sampling_loss(
+            embeddings[target_index],
+            embeddings[context_index],
+            embeddings[negative_index],
+        )
+
+        grad_embeddings = np.zeros_like(embeddings)
+        np.add.at(grad_embeddings, target_index, grad_target)
+        np.add.at(grad_embeddings, context_index, grad_context)
+        np.add.at(
+            grad_embeddings,
+            negative_index.reshape(-1),
+            grad_negative.reshape(-1, grad_negative.shape[-1]),
+        )
+
+        self.optimizer.zero_grad()
+        self.model.backward(grad_embeddings)
+        clip_gradients(self.model.gradients(), self.grad_clip_norm)
+        self.optimizer.step()
+        return loss
+
+    # -- epoch / fit ----------------------------------------------------------------
+
+    def train_epoch(self) -> float:
+        """Run one epoch (a fresh round of walks) and return its mean loss."""
+        pairs = self.walker.positive_pairs()
+        order = self._rng.permutation(pairs.shape[0])
+        pairs = pairs[order]
+        if self.max_pairs_per_epoch is not None and pairs.shape[0] > self.max_pairs_per_epoch:
+            pairs = pairs[: self.max_pairs_per_epoch]
+        negatives = self.negative_sampler.sample_for_pairs(
+            pairs.shape[0], self.negatives_per_pair
+        )
+        losses: List[float] = []
+        for start in range(0, pairs.shape[0], self.batch_size):
+            batch_pairs = pairs[start : start + self.batch_size]
+            batch_negatives = negatives[start : start + self.batch_size]
+            losses.append(self._train_batch(batch_pairs, batch_negatives))
+        epoch_loss = float(np.mean(losses))
+        self.history.epoch_losses.append(epoch_loss)
+        return epoch_loss
+
+    def fit(self) -> np.ndarray:
+        """Train for ``num_epochs`` epochs and return embeddings of all nodes."""
+        for _ in range(self.num_epochs):
+            self.train_epoch()
+        return self.model.embed_nodes()
+
+    def sample_embeddings(self, sample_sizes=None) -> np.ndarray:
+        """Embeddings of the signal-sample nodes only, in dataset record order.
+
+        Parameters
+        ----------
+        sample_sizes:
+            Optional per-hop neighbourhood sizes for inference; see
+            :meth:`RFGNN.embed_nodes`.
+        """
+        return self.model.embed_record_nodes(sample_sizes=sample_sizes)

@@ -1,0 +1,20 @@
+"""Weighted bipartite graph modeling of crowdsourced RF signals (paper Sec. III-A).
+
+MAC addresses form one node partition, signal samples the other; an edge
+connects a MAC to every sample that observed it, weighted by
+``f(RSS) = RSS + c`` with ``c = 120`` dBm so that all weights are positive.
+"""
+
+from repro.graph.bipartite import BipartiteGraph, GraphNode, NodeKind, rss_edge_weight
+from repro.graph.walks import RandomWalkGenerator, WalkConfig
+from repro.graph.negative_sampling import NegativeSampler
+
+__all__ = [
+    "BipartiteGraph",
+    "GraphNode",
+    "NodeKind",
+    "rss_edge_weight",
+    "RandomWalkGenerator",
+    "WalkConfig",
+    "NegativeSampler",
+]

@@ -1,0 +1,142 @@
+"""Batched weighted sampling over per-node neighbour lists (Walker alias method).
+
+Both the RF-GNN neighbour sampler and the random-walk generator need to draw
+neighbours of *many* nodes at once, with per-node probability distributions
+(proportional to the RSS edge weights, or uniform for the no-attention
+ablation).  Doing this with one ``numpy.random.choice`` call per node is far
+too slow, so this module pre-computes Vose alias tables for every node and
+packs them into padded 2-D arrays, which makes drawing a ``(batch, size)``
+block of neighbours a handful of vectorised NumPy operations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def build_alias_table(probabilities: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Build a Vose alias table for one discrete distribution.
+
+    Returns ``(prob, alias)`` arrays of the same length as ``probabilities``:
+    to sample, draw a slot uniformly, then return the slot with probability
+    ``prob[slot]`` and ``alias[slot]`` otherwise.
+    """
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    n = probabilities.shape[0]
+    if n == 0:
+        raise ValueError("cannot build an alias table for an empty distribution")
+    if np.any(probabilities < 0):
+        raise ValueError("probabilities must be non-negative")
+    total = probabilities.sum()
+    if total <= 0:
+        raise ValueError("probabilities must sum to a positive value")
+    scaled = probabilities * (n / total)
+    prob = np.zeros(n, dtype=np.float64)
+    alias = np.zeros(n, dtype=np.int64)
+    small: List[int] = []
+    large: List[int] = []
+    for index, value in enumerate(scaled):
+        (small if value < 1.0 else large).append(index)
+    scaled = scaled.copy()
+    while small and large:
+        s = small.pop()
+        l = large.pop()
+        prob[s] = scaled[s]
+        alias[s] = l
+        scaled[l] = scaled[l] - (1.0 - scaled[s])
+        (small if scaled[l] < 1.0 else large).append(l)
+    for index in large:
+        prob[index] = 1.0
+    for index in small:
+        prob[index] = 1.0
+    return prob, alias
+
+
+class BatchedAliasSampler:
+    """Weighted with-replacement sampling from per-node neighbour lists.
+
+    Parameters
+    ----------
+    neighbors_per_node:
+        ``neighbors_per_node[i]`` is the integer array of node ``i``'s
+        neighbours.  Every node must have at least one neighbour.
+    weights_per_node:
+        Matching positive sampling weights (ignored when ``uniform``).
+    uniform:
+        Sample neighbours uniformly instead of weight-proportionally.
+    seed:
+        RNG seed.
+    """
+
+    def __init__(
+        self,
+        neighbors_per_node: Sequence[np.ndarray],
+        weights_per_node: Sequence[np.ndarray],
+        uniform: bool = False,
+        seed: int = 0,
+    ) -> None:
+        if len(neighbors_per_node) != len(weights_per_node):
+            raise ValueError("neighbors and weights must have the same number of nodes")
+        num_nodes = len(neighbors_per_node)
+        if num_nodes == 0:
+            raise ValueError("the graph must contain at least one node")
+        degrees = np.array([len(neighbors) for neighbors in neighbors_per_node], dtype=np.int64)
+        if np.any(degrees == 0):
+            empty = int(np.argmax(degrees == 0))
+            raise ValueError(f"node {empty} has no neighbours")
+        max_degree = int(degrees.max())
+        self._rng = np.random.default_rng(seed)
+        self.degrees = degrees
+        self._neighbors = np.zeros((num_nodes, max_degree), dtype=np.int64)
+        self._weights = np.zeros((num_nodes, max_degree), dtype=np.float64)
+        self._prob = np.ones((num_nodes, max_degree), dtype=np.float64)
+        self._alias = np.zeros((num_nodes, max_degree), dtype=np.int64)
+        for node, (neighbors, weights) in enumerate(zip(neighbors_per_node, weights_per_node)):
+            degree = len(neighbors)
+            neighbors = np.asarray(neighbors, dtype=np.int64)
+            weights = np.asarray(weights, dtype=np.float64)
+            if neighbors.shape != weights.shape:
+                raise ValueError(f"node {node}: neighbours and weights have different lengths")
+            self._neighbors[node, :degree] = neighbors
+            self._weights[node, :degree] = weights
+            distribution = np.full(degree, 1.0 / degree) if uniform else weights
+            prob, alias = build_alias_table(distribution)
+            self._prob[node, :degree] = prob
+            self._alias[node, :degree] = alias
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes the sampler knows about."""
+        return self.degrees.shape[0]
+
+    def neighbors_of(self, node: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The full (unpadded) neighbour and weight arrays of one node."""
+        degree = int(self.degrees[node])
+        return self._neighbors[node, :degree].copy(), self._weights[node, :degree].copy()
+
+    def sample(self, targets: np.ndarray, size: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw ``size`` neighbours (with replacement) for every target node.
+
+        Returns ``(neighbors, weights)`` arrays of shape ``(len(targets), size)``
+        where ``weights`` holds the edge weight of each sampled edge.
+        """
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        targets = np.asarray(targets, dtype=np.int64)
+        degrees = self.degrees[targets]
+        slots = (self._rng.random((targets.shape[0], size)) * degrees[:, None]).astype(np.int64)
+        # Guard against the (measure-zero) case random() == 1.0 after scaling.
+        slots = np.minimum(slots, degrees[:, None] - 1)
+        keep = self._rng.random((targets.shape[0], size)) < self._prob[targets[:, None], slots]
+        chosen = np.where(keep, slots, self._alias[targets[:, None], slots])
+        return (
+            self._neighbors[targets[:, None], chosen],
+            self._weights[targets[:, None], chosen],
+        )
+
+    def sample_one(self, targets: np.ndarray) -> np.ndarray:
+        """Draw a single neighbour for every target node (random-walk step)."""
+        neighbors, _ = self.sample(targets, 1)
+        return neighbors[:, 0]

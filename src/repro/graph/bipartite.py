@@ -1,0 +1,265 @@
+"""The weighted bipartite RF-signal graph (paper Section III-A).
+
+Nodes are either MAC addresses (partition ``U``) or signal samples
+(partition ``V``).  A MAC node and a sample node are connected when the MAC
+was detected in the sample, with edge weight ``f(RSS) = RSS + c`` where
+``c = 120`` dBm makes every weight strictly positive.  The graph keeps dense
+integer node ids (0..n-1) so the GNN and clustering layers can index NumPy
+arrays directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.signals.dataset import SignalDataset
+from repro.signals.record import SignalRecord
+
+#: The constant ``c`` of the paper: f(RSS) = RSS + c, chosen so that
+#: c > max |RSS| over the dataset.  The paper uses 120 dBm.
+RSS_OFFSET_DB = 120.0
+
+
+def rss_edge_weight(rss_dbm: float, offset_db: float = RSS_OFFSET_DB) -> float:
+    """The paper's edge weight ``f(RSS) = RSS + c`` (must be positive).
+
+    Raises
+    ------
+    ValueError
+        If the resulting weight would be non-positive (i.e. the offset does
+        not dominate the RSS magnitude).
+    """
+    weight = float(rss_dbm) + float(offset_db)
+    if weight <= 0:
+        raise ValueError(
+            f"edge weight f({rss_dbm}) = {weight} is not positive; increase the offset"
+        )
+    return weight
+
+
+class NodeKind(Enum):
+    """The two partitions of the bipartite graph."""
+
+    MAC = "mac"
+    SAMPLE = "sample"
+
+
+@dataclass(frozen=True)
+class GraphNode:
+    """One node of the bipartite graph.
+
+    Attributes
+    ----------
+    node_id:
+        Dense integer id (index into embedding matrices).
+    kind:
+        Which partition the node belongs to.
+    key:
+        The MAC address string (for MAC nodes) or the record id
+        (for sample nodes).
+    """
+
+    node_id: int
+    kind: NodeKind
+    key: str
+
+
+class BipartiteGraph:
+    """Weighted bipartite graph over MAC addresses and signal samples.
+
+    Build it from a dataset with :meth:`from_dataset`; sample nodes appear in
+    the same order as the dataset's records, which lets callers map sample
+    node ids back to record indices trivially.
+    """
+
+    def __init__(self, offset_db: float = RSS_OFFSET_DB) -> None:
+        self.offset_db = offset_db
+        self._nodes: List[GraphNode] = []
+        self._id_by_key: Dict[Tuple[NodeKind, str], int] = {}
+        self._adjacency: List[List[int]] = []
+        self._weights: List[List[float]] = []
+
+    # -- construction ---------------------------------------------------------
+
+    def add_node(self, kind: NodeKind, key: str) -> int:
+        """Add a node (idempotent) and return its dense id."""
+        lookup = (kind, key)
+        existing = self._id_by_key.get(lookup)
+        if existing is not None:
+            return existing
+        node_id = len(self._nodes)
+        self._nodes.append(GraphNode(node_id=node_id, kind=kind, key=key))
+        self._id_by_key[lookup] = node_id
+        self._adjacency.append([])
+        self._weights.append([])
+        return node_id
+
+    def add_edge(self, mac_id: int, sample_id: int, rss_dbm: float) -> None:
+        """Connect a MAC node and a sample node with weight ``f(RSS)``."""
+        if self._nodes[mac_id].kind is not NodeKind.MAC:
+            raise ValueError(f"node {mac_id} is not a MAC node")
+        if self._nodes[sample_id].kind is not NodeKind.SAMPLE:
+            raise ValueError(f"node {sample_id} is not a sample node")
+        weight = rss_edge_weight(rss_dbm, self.offset_db)
+        self._adjacency[mac_id].append(sample_id)
+        self._weights[mac_id].append(weight)
+        self._adjacency[sample_id].append(mac_id)
+        self._weights[sample_id].append(weight)
+
+    def add_record(self, record: SignalRecord) -> int:
+        """Add a signal record: its sample node plus one edge per reading.
+
+        Returns the sample node id.  This is also the primitive used to feed
+        *new* incoming RF signals into an existing graph (the dynamic-graph
+        scenario the paper motivates RF-GNN with).
+        """
+        sample_id = self.add_node(NodeKind.SAMPLE, record.record_id)
+        for mac, rss in record.readings.items():
+            mac_id = self.add_node(NodeKind.MAC, mac)
+            self.add_edge(mac_id, sample_id, rss)
+        return sample_id
+
+    @classmethod
+    def from_dataset(
+        cls, dataset: SignalDataset, offset_db: float = RSS_OFFSET_DB
+    ) -> "BipartiteGraph":
+        """Build the bipartite graph of a whole dataset.
+
+        Sample nodes are created in dataset record order, so
+        ``graph.sample_ids[i]`` corresponds to ``dataset[i]``.
+        """
+        graph = cls(offset_db=offset_db)
+        for record in dataset:
+            graph.add_record(record)
+        return graph
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of nodes in both partitions."""
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of (MAC, sample) edges."""
+        return sum(len(neighbors) for neighbors in self._adjacency) // 2
+
+    @property
+    def nodes(self) -> Sequence[GraphNode]:
+        """All nodes, indexed by their dense id."""
+        return tuple(self._nodes)
+
+    @property
+    def mac_ids(self) -> List[int]:
+        """Dense ids of MAC nodes, in insertion order."""
+        return [node.node_id for node in self._nodes if node.kind is NodeKind.MAC]
+
+    @property
+    def sample_ids(self) -> List[int]:
+        """Dense ids of sample nodes, in insertion order (= dataset record order)."""
+        return [node.node_id for node in self._nodes if node.kind is NodeKind.SAMPLE]
+
+    def node(self, node_id: int) -> GraphNode:
+        """The node with the given dense id."""
+        return self._nodes[node_id]
+
+    def node_id(self, kind: NodeKind, key: str) -> int:
+        """Dense id of the node identified by (kind, key).
+
+        Raises
+        ------
+        KeyError
+            If no such node exists.
+        """
+        return self._id_by_key[(kind, key)]
+
+    def sample_node_id(self, record_id: str) -> int:
+        """Dense id of the sample node for a record id."""
+        return self.node_id(NodeKind.SAMPLE, record_id)
+
+    def mac_node_id(self, mac: str) -> int:
+        """Dense id of the MAC node for a MAC address."""
+        return self.node_id(NodeKind.MAC, mac)
+
+    def neighbors(self, node_id: int) -> List[int]:
+        """Neighbor node ids of a node."""
+        return list(self._adjacency[node_id])
+
+    def neighbor_weights(self, node_id: int) -> List[float]:
+        """Edge weights aligned with :meth:`neighbors`."""
+        return list(self._weights[node_id])
+
+    def degree(self, node_id: int) -> int:
+        """Number of incident edges of a node."""
+        return len(self._adjacency[node_id])
+
+    def degrees(self) -> np.ndarray:
+        """Vector of degrees for all nodes (indexed by dense id)."""
+        return np.array([len(neighbors) for neighbors in self._adjacency], dtype=np.int64)
+
+    def neighbor_arrays(self, node_id: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Neighbors and weights of a node as NumPy arrays (possibly empty)."""
+        return (
+            np.asarray(self._adjacency[node_id], dtype=np.int64),
+            np.asarray(self._weights[node_id], dtype=np.float64),
+        )
+
+    def edge_weight(self, node_a: int, node_b: int) -> Optional[float]:
+        """Weight of the edge between two nodes, or ``None`` when absent.
+
+        If multiple parallel edges exist (a MAC observed several times for
+        the same record cannot happen, since readings are a mapping), the
+        first is returned.
+        """
+        neighbors = self._adjacency[node_a]
+        for index, neighbor in enumerate(neighbors):
+            if neighbor == node_b:
+                return self._weights[node_a][index]
+        return None
+
+    # -- matrix views -----------------------------------------------------------
+
+    def adjacency_matrix(self, normalize: bool = False) -> np.ndarray:
+        """Dense (num_nodes x num_nodes) weighted adjacency matrix.
+
+        Parameters
+        ----------
+        normalize:
+            When set, returns the symmetrically normalised adjacency
+            ``D^{-1/2} (A + I) D^{-1/2}`` used by GCN-style baselines.
+        """
+        matrix = np.zeros((self.num_nodes, self.num_nodes), dtype=np.float64)
+        for node_id, (neighbors, weights) in enumerate(zip(self._adjacency, self._weights)):
+            for neighbor, weight in zip(neighbors, weights):
+                matrix[node_id, neighbor] = weight
+        if not normalize:
+            return matrix
+        with_self_loops = matrix + np.eye(self.num_nodes)
+        degree = with_self_loops.sum(axis=1)
+        inv_sqrt = np.where(degree > 0, 1.0 / np.sqrt(degree), 0.0)
+        return with_self_loops * inv_sqrt[:, None] * inv_sqrt[None, :]
+
+    def sample_feature_matrix(self, dataset: SignalDataset, fill_dbm: float = -120.0) -> np.ndarray:
+        """The dense matrix view of Figure 3: samples x MACs, missing = ``fill_dbm``.
+
+        Used by the MDS baseline, which needs a fixed-width vector per sample.
+        """
+        mac_index = {self._nodes[mac_id].key: col for col, mac_id in enumerate(self.mac_ids)}
+        matrix = np.full((len(dataset), len(mac_index)), fill_dbm, dtype=np.float64)
+        for row, record in enumerate(dataset):
+            for mac, rss in record.readings.items():
+                column = mac_index.get(mac)
+                if column is not None:
+                    matrix[row, column] = rss
+        return matrix
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BipartiteGraph(macs={len(self.mac_ids)}, samples={len(self.sample_ids)}, "
+            f"edges={self.num_edges})"
+        )

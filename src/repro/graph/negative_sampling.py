@@ -1,0 +1,83 @@
+"""Degree-biased negative sampling (paper Section III-B).
+
+The second term of the RF-GNN loss samples ``tau`` negative nodes per
+positive pair from the distribution ``Pr(z) ∝ d_z^{3/4}`` (the word2vec
+unigram-to-the-3/4 trick), where ``d_z`` is the degree of node ``z``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.bipartite import BipartiteGraph
+
+#: The exponent applied to node degrees, following word2vec / LINE.
+DEGREE_EXPONENT = 0.75
+
+
+class NegativeSampler:
+    """Draws negative nodes with probability proportional to ``degree^{3/4}``."""
+
+    def __init__(
+        self,
+        graph: BipartiteGraph,
+        exponent: float = DEGREE_EXPONENT,
+        seed: int = 0,
+        restrict_to: Optional[np.ndarray] = None,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        graph:
+            The bipartite RF graph.
+        exponent:
+            Degree exponent of the sampling distribution.
+        seed:
+            RNG seed.
+        restrict_to:
+            Optional array of node ids to restrict sampling to (e.g. only
+            sample nodes); by default all nodes are candidates, as in the
+            paper ("randomly sampled from the entire graph").
+        """
+        if exponent < 0:
+            raise ValueError("exponent must be non-negative")
+        self.graph = graph
+        self._rng = np.random.default_rng(seed)
+        degrees = graph.degrees().astype(np.float64)
+        if restrict_to is not None:
+            candidates = np.asarray(restrict_to, dtype=np.int64)
+        else:
+            candidates = np.arange(graph.num_nodes, dtype=np.int64)
+        if candidates.size == 0:
+            raise ValueError("the candidate node set for negative sampling is empty")
+        weights = np.power(np.maximum(degrees[candidates], 1e-12), exponent)
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("all candidate nodes have zero degree")
+        self._candidates = candidates
+        self._probabilities = weights / total
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Sampling probability of each candidate node (aligned with candidates)."""
+        return self._probabilities.copy()
+
+    @property
+    def candidates(self) -> np.ndarray:
+        """The candidate node ids."""
+        return self._candidates.copy()
+
+    def sample(self, count: int) -> np.ndarray:
+        """Draw ``count`` negative node ids (with replacement)."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        return self._rng.choice(self._candidates, size=count, p=self._probabilities)
+
+    def sample_for_pairs(self, num_pairs: int, negatives_per_pair: int) -> np.ndarray:
+        """Draw a ``(num_pairs, negatives_per_pair)`` matrix of negative node ids."""
+        if num_pairs < 1 or negatives_per_pair < 1:
+            raise ValueError("num_pairs and negatives_per_pair must be >= 1")
+        flat = self.sample(num_pairs * negatives_per_pair)
+        return flat.reshape(num_pairs, negatives_per_pair)

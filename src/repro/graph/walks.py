@@ -1,0 +1,163 @@
+"""Random walk generation for unsupervised GNN training (paper Section III-B).
+
+The RF-GNN loss is built from node pairs that co-occur in short random walks
+(length five in the paper): co-occurring nodes are pulled together in
+embedding space, negatively sampled nodes are pushed apart.  Walks are
+RSS-weighted — at each step the next node is chosen with probability
+proportional to the edge weight ``f(RSS)`` — so strong links dominate the
+positive pairs, mirroring the attention mechanism in the aggregator.
+
+Walk generation is vectorised: one call produces the walks of *all* start
+nodes simultaneously as a matrix, stepping every walk forward at once through
+the :class:`~repro.graph.alias.BatchedAliasSampler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.alias import BatchedAliasSampler
+from repro.graph.bipartite import BipartiteGraph
+
+
+@dataclass(frozen=True)
+class WalkConfig:
+    """Random-walk generation parameters.
+
+    Parameters
+    ----------
+    walk_length:
+        Number of nodes per walk (the paper uses walks of five steps).
+    walks_per_node:
+        How many walks start from each node.
+    window_size:
+        Co-occurrence window: nodes at most this many hops apart inside one
+        walk form a positive pair.
+    weighted:
+        Whether to bias transition probabilities by edge weight (RSS-based
+        attention); unweighted walks choose neighbours uniformly and are part
+        of the "without attention" ablation of Figure 8(a–b).
+    """
+
+    walk_length: int = 5
+    walks_per_node: int = 8
+    window_size: int = 2
+    weighted: bool = True
+
+    def __post_init__(self) -> None:
+        if self.walk_length < 2:
+            raise ValueError("walk_length must be >= 2")
+        if self.walks_per_node < 1:
+            raise ValueError("walks_per_node must be >= 1")
+        if self.window_size < 1:
+            raise ValueError("window_size must be >= 1")
+
+
+class RandomWalkGenerator:
+    """Generates weighted random walks and positive co-occurrence pairs."""
+
+    def __init__(
+        self,
+        graph: BipartiteGraph,
+        config: WalkConfig = WalkConfig(),
+        seed: int = 0,
+    ) -> None:
+        self.graph = graph
+        self.config = config
+        self._rng = np.random.default_rng(seed)
+        neighbors_per_node = []
+        weights_per_node = []
+        for node_id in range(graph.num_nodes):
+            neighbors, weights = graph.neighbor_arrays(node_id)
+            if neighbors.size == 0:
+                raise ValueError(f"node {node_id} has no neighbours; cannot walk from it")
+            neighbors_per_node.append(neighbors)
+            weights_per_node.append(weights)
+        self._alias = BatchedAliasSampler(
+            neighbors_per_node,
+            weights_per_node,
+            uniform=not config.weighted,
+            seed=seed,
+        )
+
+    # -- walk generation --------------------------------------------------------
+
+    def walk_matrix(self, nodes: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Generate walks for every start node, ``walks_per_node`` times.
+
+        Returns an integer matrix of shape
+        ``(len(nodes) * walks_per_node, walk_length)`` whose first column is
+        the start node of each walk.
+        """
+        if nodes is None:
+            starts = np.arange(self.graph.num_nodes, dtype=np.int64)
+        else:
+            starts = np.asarray(list(nodes), dtype=np.int64)
+        starts = np.tile(starts, self.config.walks_per_node)
+        walks = np.empty((starts.shape[0], self.config.walk_length), dtype=np.int64)
+        walks[:, 0] = starts
+        current = starts
+        for step in range(1, self.config.walk_length):
+            current = self._alias.sample_one(current)
+            walks[:, step] = current
+        return walks
+
+    def walk_from(self, start: int) -> List[int]:
+        """Generate one random walk starting at ``start``."""
+        current = np.asarray([start], dtype=np.int64)
+        walk = [int(start)]
+        for _ in range(self.config.walk_length - 1):
+            current = self._alias.sample_one(current)
+            walk.append(int(current[0]))
+        return walk
+
+    def walks(self, nodes: Optional[Sequence[int]] = None) -> Iterator[List[int]]:
+        """Yield ``walks_per_node`` walks from every node (or the given subset)."""
+        matrix = self.walk_matrix(nodes)
+        for row in matrix:
+            yield [int(node) for node in row]
+
+    # -- positive pair extraction -------------------------------------------------
+
+    @staticmethod
+    def pairs_from_walk(walk: Sequence[int], window_size: int) -> List[Tuple[int, int]]:
+        """Positive (target, context) pairs within a window of one walk."""
+        pairs: List[Tuple[int, int]] = []
+        for i, target in enumerate(walk):
+            for j in range(max(0, i - window_size), min(len(walk), i + window_size + 1)):
+                if i == j:
+                    continue
+                context = walk[j]
+                if context != target:
+                    pairs.append((target, context))
+        return pairs
+
+    def positive_pairs(self, nodes: Optional[Sequence[int]] = None) -> np.ndarray:
+        """All positive co-occurrence pairs from one round of walk generation.
+
+        Returns an integer array of shape ``(num_pairs, 2)`` with
+        ``(target, context)`` columns.  Pairs where target and context are the
+        same node (the walk revisited it) are dropped.
+        """
+        walks = self.walk_matrix(nodes)
+        window = self.config.window_size
+        length = self.config.walk_length
+        targets: List[np.ndarray] = []
+        contexts: List[np.ndarray] = []
+        for offset in range(1, window + 1):
+            if offset >= length:
+                break
+            left = walks[:, :-offset].reshape(-1)
+            right = walks[:, offset:].reshape(-1)
+            targets.append(left)
+            contexts.append(right)
+            # Symmetric pair: the later node also treats the earlier as context.
+            targets.append(right)
+            contexts.append(left)
+        target_array = np.concatenate(targets)
+        context_array = np.concatenate(contexts)
+        keep = target_array != context_array
+        return np.stack([target_array[keep], context_array[keep]], axis=1)

@@ -1,0 +1,45 @@
+"""Cluster indexing based on signal spillover (paper Section IV-B and VI).
+
+Once the signal samples are clustered (one cluster per floor), the clusters
+still need floor *numbers*.  The spillover observation — adjacent floors share
+more and stronger access points — turns this into an ordering problem: find
+the ordering of clusters maximising the summed pairwise similarity of
+adjacent clusters, which (Theorem 1) is a shortest-Hamiltonian-path TSP with
+the single labeled sample's cluster as the start city.
+"""
+
+from repro.indexing.similarity import (
+    ClusterMacProfile,
+    cluster_mac_frequencies,
+    jaccard_similarity_matrix,
+    adapted_jaccard_similarity_matrix,
+    jaccard_coefficient,
+    adapted_jaccard_coefficient,
+)
+from repro.indexing.tsp import (
+    held_karp_path,
+    nearest_neighbor_path,
+    two_opt_path,
+    path_cost,
+    solve_shortest_hamiltonian_path,
+)
+from repro.indexing.indexer import ClusterIndexer, IndexingResult
+from repro.indexing.arbitrary import ArbitraryFloorIndexer, MiddleFloorAmbiguityError
+
+__all__ = [
+    "ClusterMacProfile",
+    "cluster_mac_frequencies",
+    "jaccard_similarity_matrix",
+    "adapted_jaccard_similarity_matrix",
+    "jaccard_coefficient",
+    "adapted_jaccard_coefficient",
+    "held_karp_path",
+    "nearest_neighbor_path",
+    "two_opt_path",
+    "path_cost",
+    "solve_shortest_hamiltonian_path",
+    "ClusterIndexer",
+    "IndexingResult",
+    "ArbitraryFloorIndexer",
+    "MiddleFloorAmbiguityError",
+]

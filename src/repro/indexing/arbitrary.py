@@ -1,0 +1,183 @@
+"""Indexing with a labeled sample from an *arbitrary* floor (paper Section VI).
+
+When the single labeled sample does not come from the bottom (or top) floor,
+its cluster can no longer serve as the TSP start city.  The paper's extension:
+
+1. Solve the shortest-Hamiltonian-path problem from *every* possible start
+   cluster and keep the ordering with the maximum summed adjacent similarity
+   (minimum cost).
+2. The labeled sample's floor ``f`` pins down two candidate clusters on that
+   path — position ``f`` counted from either end.
+3. If the two candidates coincide (odd number of floors, label exactly in the
+   middle), the orientation cannot be determined (**Case 1**) and
+   :class:`MiddleFloorAmbiguityError` is raised.
+4. Otherwise (**Case 2**) the candidate whose members are closest (in mean
+   embedding distance) to the labeled sample's embedding wins, which fixes
+   the orientation of the path and hence the floor of every cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.clustering.assignments import ClusterAssignment
+from repro.indexing.indexer import IndexingResult, build_tsp_distance_matrix
+from repro.indexing.similarity import (
+    ClusterMacProfile,
+    adapted_jaccard_similarity_matrix,
+    cluster_mac_frequencies,
+    jaccard_similarity_matrix,
+)
+from repro.indexing.tsp import path_cost, solve_shortest_hamiltonian_path
+from repro.signals.dataset import SignalDataset
+
+
+class MiddleFloorAmbiguityError(RuntimeError):
+    """Raised when the labeled sample sits exactly on the middle floor (Case 1)."""
+
+
+def mean_distance_to_cluster(
+    embedding: np.ndarray, cluster_embeddings: np.ndarray
+) -> float:
+    """Average Euclidean distance from one embedding to a cluster's members."""
+    cluster_embeddings = np.atleast_2d(cluster_embeddings)
+    if cluster_embeddings.shape[0] == 0:
+        raise ValueError("the cluster has no members")
+    return float(np.linalg.norm(cluster_embeddings - embedding[None, :], axis=1).mean())
+
+
+@dataclass(frozen=True)
+class ArbitraryFloorResult(IndexingResult):
+    """Indexing result carrying the orientation decision of Section VI.
+
+    Attributes
+    ----------
+    candidate_clusters:
+        The two candidate clusters that could contain the labeled sample.
+    chosen_candidate:
+        The candidate selected by the embedding-distance test.
+    """
+
+    candidate_clusters: tuple = (0, 0)
+    chosen_candidate: int = 0
+
+
+class ArbitraryFloorIndexer:
+    """Floor indexing when the one labeled sample comes from any floor.
+
+    Parameters
+    ----------
+    similarity:
+        ``"adapted_jaccard"`` or ``"jaccard"``.
+    tsp_method:
+        ``"exact"``, ``"two_opt"`` or ``"nearest_neighbor"``.
+    """
+
+    def __init__(
+        self, similarity: str = "adapted_jaccard", tsp_method: str = "exact"
+    ) -> None:
+        builders = {
+            "adapted_jaccard": adapted_jaccard_similarity_matrix,
+            "jaccard": jaccard_similarity_matrix,
+        }
+        try:
+            self._similarity_builder = builders[similarity.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown similarity {similarity!r}; available: {sorted(builders)}"
+            ) from None
+        self.tsp_method = tsp_method
+
+    def best_unanchored_path(self, similarity: np.ndarray) -> List[int]:
+        """The minimum-cost Hamiltonian path over all possible start clusters."""
+        n = similarity.shape[0]
+        best_path: Optional[List[int]] = None
+        best_cost = np.inf
+        for start in range(n):
+            distances = build_tsp_distance_matrix(similarity, start)
+            path = solve_shortest_hamiltonian_path(distances, start, self.tsp_method)
+            # Compare paths on the anchored-free cost (sum of 1 - J over
+            # consecutive clusters), not on the matrix with the zeroed column.
+            plain = 1.0 - similarity
+            np.fill_diagonal(plain, 0.0)
+            cost = path_cost(np.clip(plain, 0.0, None), path)
+            if cost < best_cost:
+                best_cost = cost
+                best_path = path
+        assert best_path is not None
+        return best_path
+
+    def index(
+        self,
+        dataset: SignalDataset,
+        assignment: ClusterAssignment,
+        labeled_record_id: str,
+        labeled_floor: int,
+        embeddings: np.ndarray,
+        profile: Optional[ClusterMacProfile] = None,
+    ) -> ArbitraryFloorResult:
+        """Index all clusters given one labeled sample from an arbitrary floor.
+
+        Parameters
+        ----------
+        embeddings:
+            Signal-sample embeddings in dataset record order; used to decide
+            which of the two candidate clusters contains the labeled sample.
+        """
+        num_clusters = assignment.num_clusters
+        if not (0 <= labeled_floor < num_clusters):
+            raise ValueError(
+                f"labeled_floor {labeled_floor} is outside [0, {num_clusters})"
+            )
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        if embeddings.shape[0] != len(dataset):
+            raise ValueError("embeddings must have one row per dataset record")
+
+        if profile is None:
+            profile = cluster_mac_frequencies(dataset, assignment)
+        similarity = self._similarity_builder(profile)
+        path = self.best_unanchored_path(similarity)
+
+        mirrored_floor = num_clusters - 1 - labeled_floor
+        candidate_a = path[labeled_floor]
+        candidate_b = path[mirrored_floor]
+        if candidate_a == candidate_b:
+            raise MiddleFloorAmbiguityError(
+                "the labeled sample lies on the middle floor of an odd-floor building; "
+                "the path orientation cannot be determined (paper Section VI, Case 1)"
+            )
+
+        record_index = dataset.index_of(labeled_record_id)
+        labeled_embedding = embeddings[record_index]
+        member_mask = np.arange(len(dataset)) != record_index
+
+        def candidate_distance(cluster: int) -> float:
+            members = (assignment.labels == cluster) & member_mask
+            if not np.any(members):
+                members = assignment.labels == cluster
+            return mean_distance_to_cluster(labeled_embedding, embeddings[members])
+
+        distance_a = candidate_distance(candidate_a)
+        distance_b = candidate_distance(candidate_b)
+        chosen = candidate_a if distance_a <= distance_b else candidate_b
+
+        # Orient the path so that the chosen candidate lands on labeled_floor.
+        if chosen == candidate_a:
+            oriented = path
+        else:
+            oriented = path[::-1]
+        cluster_to_floor = {int(cluster): floor for floor, cluster in enumerate(oriented)}
+        floor_labels = np.array(
+            [cluster_to_floor[int(label)] for label in assignment.labels], dtype=np.int64
+        )
+        return ArbitraryFloorResult(
+            cluster_order=[int(cluster) for cluster in oriented],
+            cluster_to_floor=cluster_to_floor,
+            floor_labels=floor_labels,
+            similarity=similarity,
+            candidate_clusters=(int(candidate_a), int(candidate_b)),
+            chosen_candidate=int(chosen),
+        )

@@ -1,0 +1,171 @@
+"""Cluster indexing with one bottom-floor labeled sample (paper Section IV-B).
+
+Given a clustering of the signal samples and the single labeled sample known
+to lie on the bottom floor, the indexer
+
+1. computes the (adapted) Jaccard similarity between every pair of clusters,
+2. builds the TSP weight matrix ``w_ij = 1 - J^n_ij`` (with ``w_i,start = 0``
+   so returning to the start city is free, turning the tour into a path),
+3. solves the shortest-Hamiltonian-path problem starting from the cluster
+   that contains the labeled sample, and
+4. reads the visiting order off as floor numbers: the start cluster is the
+   bottom floor, the next cluster floor 1, and so on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.clustering.assignments import ClusterAssignment
+from repro.indexing.similarity import (
+    ClusterMacProfile,
+    adapted_jaccard_similarity_matrix,
+    cluster_mac_frequencies,
+    jaccard_similarity_matrix,
+)
+from repro.indexing.tsp import solve_shortest_hamiltonian_path
+from repro.signals.dataset import SignalDataset
+
+
+@dataclass(frozen=True)
+class IndexingResult:
+    """Outcome of cluster indexing.
+
+    Attributes
+    ----------
+    cluster_order:
+        Clusters in visiting order; ``cluster_order[f]`` is the cluster
+        assigned to floor ``f``.
+    cluster_to_floor:
+        Mapping cluster label -> floor number.
+    floor_labels:
+        Predicted floor of every record, in dataset record order.
+    similarity:
+        The cluster-similarity matrix that was used.
+    """
+
+    cluster_order: List[int]
+    cluster_to_floor: Dict[int, int]
+    floor_labels: np.ndarray
+    similarity: np.ndarray
+
+
+def build_tsp_distance_matrix(similarity: np.ndarray, start: int) -> np.ndarray:
+    """The Theorem-1 weight matrix: ``w_ij = 1 - J_ij`` except ``w_i,start = 0``.
+
+    Setting every distance *into* the start node to zero converts the TSP
+    tour (which must return to the start) into a shortest Hamiltonian path
+    with fixed start, because the closing edge becomes free.
+    """
+    similarity = np.asarray(similarity, dtype=np.float64)
+    if similarity.ndim != 2 or similarity.shape[0] != similarity.shape[1]:
+        raise ValueError("the similarity matrix must be square")
+    n = similarity.shape[0]
+    if not (0 <= start < n):
+        raise ValueError(f"start cluster {start} is out of range for {n} clusters")
+    distances = 1.0 - similarity
+    np.clip(distances, 0.0, None, out=distances)
+    np.fill_diagonal(distances, 0.0)
+    distances[:, start] = 0.0
+    return distances
+
+
+class ClusterIndexer:
+    """Assigns floor numbers to clusters using the signal-spillover TSP.
+
+    Parameters
+    ----------
+    similarity:
+        ``"adapted_jaccard"`` (the paper's measure) or ``"jaccard"``
+        (the ablation of Figure 9(a–b)).
+    tsp_method:
+        ``"exact"`` (Held–Karp), ``"two_opt"`` or ``"nearest_neighbor"``
+        (Figure 9(c–d) compares exact vs. 2-opt).
+    """
+
+    def __init__(
+        self, similarity: str = "adapted_jaccard", tsp_method: str = "exact"
+    ) -> None:
+        builders = {
+            "adapted_jaccard": adapted_jaccard_similarity_matrix,
+            "jaccard": jaccard_similarity_matrix,
+        }
+        try:
+            self._similarity_builder = builders[similarity.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown similarity {similarity!r}; available: {sorted(builders)}"
+            ) from None
+        self.similarity_name = similarity.lower()
+        self.tsp_method = tsp_method
+
+    # -- building blocks -----------------------------------------------------------
+
+    def similarity_matrix(self, profile: ClusterMacProfile) -> np.ndarray:
+        """Pairwise cluster similarity using the configured measure."""
+        return self._similarity_builder(profile)
+
+    def order_clusters(self, similarity: np.ndarray, start_cluster: int) -> List[int]:
+        """Solve the indexing TSP and return clusters in floor order."""
+        distances = build_tsp_distance_matrix(similarity, start_cluster)
+        return solve_shortest_hamiltonian_path(distances, start_cluster, self.tsp_method)
+
+    # -- end-to-end ------------------------------------------------------------------
+
+    def index(
+        self,
+        dataset: SignalDataset,
+        assignment: ClusterAssignment,
+        labeled_record_id: str,
+        labeled_floor: int = 0,
+        profile: Optional[ClusterMacProfile] = None,
+    ) -> IndexingResult:
+        """Index all clusters given one labeled sample on the bottom (or top) floor.
+
+        Parameters
+        ----------
+        dataset:
+            The (unlabeled) crowdsourced dataset.
+        assignment:
+            Cluster label of every record.
+        labeled_record_id:
+            Record id of the single labeled sample.
+        labeled_floor:
+            The floor of the labeled sample.  Must be the bottom floor (0) or
+            the top floor (``num_clusters - 1``); for arbitrary floors use
+            :class:`~repro.indexing.arbitrary.ArbitraryFloorIndexer`.
+        profile:
+            Optional pre-computed MAC profile (avoids recomputation when
+            indexing the same clustering with several similarity measures).
+        """
+        num_clusters = assignment.num_clusters
+        if labeled_floor not in (0, num_clusters - 1):
+            raise ValueError(
+                "ClusterIndexer requires the labeled sample on the bottom or top floor; "
+                "use ArbitraryFloorIndexer otherwise"
+            )
+        record_index = dataset.index_of(labeled_record_id)
+        start_cluster = int(assignment.labels[record_index])
+
+        if profile is None:
+            profile = cluster_mac_frequencies(dataset, assignment)
+        similarity = self.similarity_matrix(profile)
+        order = self.order_clusters(similarity, start_cluster)
+
+        if labeled_floor == 0:
+            floors = range(num_clusters)
+        else:  # labeled sample on the top floor: the path starts at the top
+            floors = range(num_clusters - 1, -1, -1)
+        cluster_to_floor = {int(cluster): int(floor) for cluster, floor in zip(order, floors)}
+        floor_labels = np.array(
+            [cluster_to_floor[int(label)] for label in assignment.labels], dtype=np.int64
+        )
+        return IndexingResult(
+            cluster_order=[int(cluster) for cluster in order],
+            cluster_to_floor=cluster_to_floor,
+            floor_labels=floor_labels,
+            similarity=similarity,
+        )

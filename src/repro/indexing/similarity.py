@@ -1,0 +1,130 @@
+"""Cluster similarity measures based on signal spillover (paper Section IV-B).
+
+Two measures are provided:
+
+* the original **Jaccard coefficient** over the *sets* of MACs detected in
+  each cluster, and
+* the paper's **adapted Jaccard coefficient**, which weighs MACs by how often
+  they appear in each cluster (their coverage), via
+
+      f_share_ij = sum_k f_ik * f_jk
+      f_diff_ij  = sum_k [ 1{f_ik = 0} * f_jk * mean_i  +  1{f_jk = 0} * f_ik * mean_j ]
+      J^n_ij     = f_share_ij / (f_share_ij + f_diff_ij)
+
+  where ``f_ik`` is the number of records in cluster ``i`` that observed MAC
+  ``k`` and ``mean_i`` the average of ``f_ik`` over all m MACs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.clustering.assignments import ClusterAssignment
+from repro.signals.dataset import SignalDataset
+
+
+@dataclass(frozen=True)
+class ClusterMacProfile:
+    """Per-cluster MAC appearance frequencies.
+
+    Attributes
+    ----------
+    macs:
+        All MAC addresses observed in the dataset, in a fixed order.
+    frequencies:
+        Array of shape ``(num_clusters, num_macs)``; entry ``[i, k]`` is the
+        number of records in cluster ``i`` that observed MAC ``macs[k]``.
+    """
+
+    macs: List[str]
+    frequencies: np.ndarray
+
+    def __post_init__(self) -> None:
+        frequencies = np.asarray(self.frequencies, dtype=np.float64)
+        object.__setattr__(self, "frequencies", frequencies)
+        if frequencies.ndim != 2:
+            raise ValueError("frequencies must be a 2-D array (clusters x MACs)")
+        if frequencies.shape[1] != len(self.macs):
+            raise ValueError("frequencies second dimension must match the number of MACs")
+        if np.any(frequencies < 0):
+            raise ValueError("frequencies must be non-negative")
+
+    @property
+    def num_clusters(self) -> int:
+        """Number of clusters the profile covers."""
+        return int(self.frequencies.shape[0])
+
+    def mac_set(self, cluster: int) -> set:
+        """The set of MACs detected at least once in ``cluster``."""
+        mask = self.frequencies[cluster] > 0
+        return {mac for mac, present in zip(self.macs, mask) if present}
+
+
+def cluster_mac_frequencies(
+    dataset: SignalDataset, assignment: ClusterAssignment
+) -> ClusterMacProfile:
+    """Count, per cluster, in how many records each MAC appears."""
+    if len(dataset) != len(assignment):
+        raise ValueError(
+            f"dataset has {len(dataset)} records but the assignment covers {len(assignment)}"
+        )
+    macs = sorted(dataset.macs)
+    mac_index: Dict[str, int] = {mac: index for index, mac in enumerate(macs)}
+    frequencies = np.zeros((assignment.num_clusters, len(macs)), dtype=np.float64)
+    for record, cluster in zip(dataset, assignment.labels):
+        for mac in record.readings:
+            frequencies[int(cluster), mac_index[mac]] += 1.0
+    return ClusterMacProfile(macs=macs, frequencies=frequencies)
+
+
+def jaccard_coefficient(profile: ClusterMacProfile, cluster_i: int, cluster_j: int) -> float:
+    """Original Jaccard coefficient |A_i ∩ A_j| / |A_i ∪ A_j| over MAC sets."""
+    present_i = profile.frequencies[cluster_i] > 0
+    present_j = profile.frequencies[cluster_j] > 0
+    union = np.count_nonzero(present_i | present_j)
+    if union == 0:
+        return 0.0
+    intersection = np.count_nonzero(present_i & present_j)
+    return float(intersection / union)
+
+
+def adapted_jaccard_coefficient(
+    profile: ClusterMacProfile, cluster_i: int, cluster_j: int
+) -> float:
+    """The paper's adapted Jaccard coefficient J^n_ij (Equation 3)."""
+    freq_i = profile.frequencies[cluster_i]
+    freq_j = profile.frequencies[cluster_j]
+    f_share = float(np.dot(freq_i, freq_j))
+    mean_i = float(freq_i.mean()) if freq_i.size else 0.0
+    mean_j = float(freq_j.mean()) if freq_j.size else 0.0
+    only_j = (freq_i == 0) * freq_j * mean_i
+    only_i = (freq_j == 0) * freq_i * mean_j
+    f_diff = float(only_j.sum() + only_i.sum())
+    denominator = f_share + f_diff
+    if denominator == 0:
+        return 0.0
+    return f_share / denominator
+
+
+def _similarity_matrix(profile: ClusterMacProfile, coefficient) -> np.ndarray:
+    n = profile.num_clusters
+    matrix = np.ones((n, n), dtype=np.float64)
+    for i in range(n):
+        for j in range(i + 1, n):
+            value = coefficient(profile, i, j)
+            matrix[i, j] = value
+            matrix[j, i] = value
+    return matrix
+
+
+def jaccard_similarity_matrix(profile: ClusterMacProfile) -> np.ndarray:
+    """Pairwise original-Jaccard similarity between all clusters."""
+    return _similarity_matrix(profile, jaccard_coefficient)
+
+
+def adapted_jaccard_similarity_matrix(profile: ClusterMacProfile) -> np.ndarray:
+    """Pairwise adapted-Jaccard similarity (J^n) between all clusters."""
+    return _similarity_matrix(profile, adapted_jaccard_coefficient)

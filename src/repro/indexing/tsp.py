@@ -1,0 +1,199 @@
+"""Shortest-Hamiltonian-path solvers for the cluster-indexing TSP (Theorem 1).
+
+The cluster indexing problem is: given pairwise distances
+``w_ij = 1 - J^n_ij`` between clusters and a fixed start cluster, find the
+ordering (Hamiltonian path) that minimises the summed distance of adjacent
+clusters.  The paper solves it exactly with Held–Karp dynamic programming
+(O(N^2 2^N), fine for buildings of up to ~15 floors) and shows that the
+2-opt local-search approximation loses almost nothing.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+def _validate_distances(distances: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(distances, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError("the distance matrix must be square")
+    if matrix.shape[0] < 1:
+        raise ValueError("the distance matrix must be non-empty")
+    if np.any(matrix < 0):
+        raise ValueError("distances must be non-negative")
+    return matrix
+
+
+def path_cost(distances: np.ndarray, path: Sequence[int]) -> float:
+    """Total cost of a path (sum of consecutive pairwise distances)."""
+    matrix = _validate_distances(distances)
+    if sorted(path) != list(range(matrix.shape[0])):
+        raise ValueError("path must visit every node exactly once")
+    return float(sum(matrix[path[i], path[i + 1]] for i in range(len(path) - 1)))
+
+
+def held_karp_path(distances: np.ndarray, start: int = 0) -> List[int]:
+    """Exact shortest Hamiltonian path with a fixed start node (Held–Karp DP).
+
+    Parameters
+    ----------
+    distances:
+        Symmetric (or not) non-negative distance matrix.
+    start:
+        The node the path must start from (the cluster containing the one
+        labeled sample).
+
+    Returns
+    -------
+    list of int
+        The optimal visiting order, beginning with ``start``.
+    """
+    matrix = _validate_distances(distances)
+    n = matrix.shape[0]
+    if not (0 <= start < n):
+        raise ValueError(f"start node {start} is out of range for {n} nodes")
+    if n == 1:
+        return [start]
+
+    others = [node for node in range(n) if node != start]
+    index_of = {node: position for position, node in enumerate(others)}
+    num_others = len(others)
+    full_mask = (1 << num_others) - 1
+
+    # dp[mask][last] = minimal cost of a path that starts at `start`, visits
+    # exactly the nodes in `mask` (subset of `others`), and ends at `last`.
+    dp = [dict() for _ in range(1 << num_others)]
+    parent = [dict() for _ in range(1 << num_others)]
+    for node in others:
+        bit = 1 << index_of[node]
+        dp[bit][node] = float(matrix[start, node])
+        parent[bit][node] = None
+
+    for subset_size in range(2, num_others + 1):
+        for subset in combinations(others, subset_size):
+            mask = 0
+            for node in subset:
+                mask |= 1 << index_of[node]
+            for last in subset:
+                previous_mask = mask ^ (1 << index_of[last])
+                best_cost = np.inf
+                best_previous = None
+                for previous in subset:
+                    if previous == last:
+                        continue
+                    candidate = dp[previous_mask].get(previous)
+                    if candidate is None:
+                        continue
+                    cost = candidate + float(matrix[previous, last])
+                    if cost < best_cost:
+                        best_cost = cost
+                        best_previous = previous
+                if best_previous is not None:
+                    dp[mask][last] = best_cost
+                    parent[mask][last] = best_previous
+
+    # Choose the best endpoint of the full path.
+    best_last = min(dp[full_mask], key=lambda node: dp[full_mask][node])
+    order = [best_last]
+    mask = full_mask
+    while parent[mask][order[-1]] is not None:
+        previous = parent[mask][order[-1]]
+        mask ^= 1 << index_of[order[-1]]
+        order.append(previous)
+    return [start] + order[::-1]
+
+
+def nearest_neighbor_path(distances: np.ndarray, start: int = 0) -> List[int]:
+    """Greedy nearest-neighbour Hamiltonian path from ``start``."""
+    matrix = _validate_distances(distances)
+    n = matrix.shape[0]
+    if not (0 <= start < n):
+        raise ValueError(f"start node {start} is out of range for {n} nodes")
+    unvisited = set(range(n)) - {start}
+    path = [start]
+    current = start
+    while unvisited:
+        nearest = min(unvisited, key=lambda node: matrix[current, node])
+        path.append(nearest)
+        unvisited.remove(nearest)
+        current = nearest
+    return path
+
+
+def two_opt_path(
+    distances: np.ndarray,
+    start: int = 0,
+    initial_path: Optional[Sequence[int]] = None,
+    max_passes: int = 50,
+) -> List[int]:
+    """2-opt local search for the shortest Hamiltonian path with a fixed start.
+
+    Starts from the nearest-neighbour tour (or a supplied path) and repeatedly
+    reverses segments while that reduces the path cost.  The start node is
+    never moved.
+    """
+    matrix = _validate_distances(distances)
+    n = matrix.shape[0]
+    if initial_path is not None:
+        path = list(initial_path)
+        if path[0] != start:
+            raise ValueError("initial_path must begin with the start node")
+        if sorted(path) != list(range(n)):
+            raise ValueError("initial_path must visit every node exactly once")
+    else:
+        path = nearest_neighbor_path(matrix, start)
+    if n <= 3:
+        return path
+
+    improved = True
+    passes = 0
+    while improved and passes < max_passes:
+        improved = False
+        passes += 1
+        # i ranges over the first index of the reversed segment (never 0:
+        # the start node stays fixed); j over the last index.
+        for i in range(1, n - 1):
+            for j in range(i + 1, n):
+                before_i = path[i - 1]
+                node_i = path[i]
+                node_j = path[j]
+                after_j = path[j + 1] if j + 1 < n else None
+                removed = matrix[before_i, node_i]
+                added = matrix[before_i, node_j]
+                if after_j is not None:
+                    removed += matrix[node_j, after_j]
+                    added += matrix[node_i, after_j]
+                if added + 1e-12 < removed:
+                    path[i : j + 1] = reversed(path[i : j + 1])
+                    improved = True
+    return path
+
+
+def solve_shortest_hamiltonian_path(
+    distances: np.ndarray, start: int = 0, method: str = "exact"
+) -> List[int]:
+    """Dispatch between the exact and approximate path solvers.
+
+    Parameters
+    ----------
+    method:
+        ``"exact"`` (Held–Karp), ``"two_opt"`` or ``"nearest_neighbor"``.
+    """
+    solvers = {
+        "exact": held_karp_path,
+        "held_karp": held_karp_path,
+        "two_opt": two_opt_path,
+        "2opt": two_opt_path,
+        "nearest_neighbor": nearest_neighbor_path,
+        "greedy": nearest_neighbor_path,
+    }
+    try:
+        solver = solvers[method.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown TSP method {method!r}; available: exact, two_opt, nearest_neighbor"
+        ) from None
+    return solver(distances, start)

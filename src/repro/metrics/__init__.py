@@ -1,0 +1,29 @@
+"""Evaluation metrics used in the paper's Section V-A.
+
+* Adjusted Rand Index (ARI) and Normalised Mutual Information (NMI) measure
+  the quality of the *clustering* (floor grouping) independently of which
+  floor number each cluster received.
+* The Jaro(-Winkler) edit distance measures the quality of the *indexing*
+  (the cluster -> floor-number ordering).
+* Floor accuracy is the plain per-record accuracy of the final predictions.
+
+All metrics are "higher is better" and bounded above by 1.
+"""
+
+from repro.metrics.ari import adjusted_rand_index, rand_index
+from repro.metrics.nmi import entropy, mutual_information, normalized_mutual_information
+from repro.metrics.edit_distance import jaro_similarity, jaro_winkler_similarity, indexing_edit_distance
+from repro.metrics.accuracy import floor_accuracy, confusion_matrix
+
+__all__ = [
+    "adjusted_rand_index",
+    "rand_index",
+    "entropy",
+    "mutual_information",
+    "normalized_mutual_information",
+    "jaro_similarity",
+    "jaro_winkler_similarity",
+    "indexing_edit_distance",
+    "floor_accuracy",
+    "confusion_matrix",
+]

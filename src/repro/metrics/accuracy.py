@@ -1,0 +1,37 @@
+"""Per-record floor accuracy and confusion matrix."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def floor_accuracy(labels_true: Sequence[int], labels_pred: Sequence[int]) -> float:
+    """Fraction of records whose predicted floor equals the ground truth."""
+    true_array = np.asarray(labels_true)
+    pred_array = np.asarray(labels_pred)
+    if true_array.shape != pred_array.shape:
+        raise ValueError("labelings must have the same shape")
+    if true_array.size == 0:
+        raise ValueError("labelings must not be empty")
+    return float(np.mean(true_array == pred_array))
+
+
+def confusion_matrix(
+    labels_true: Sequence[int], labels_pred: Sequence[int], num_classes: int | None = None
+) -> np.ndarray:
+    """Confusion matrix ``C[i, j]`` = number of records with true floor i predicted j."""
+    true_array = np.asarray(labels_true, dtype=np.int64)
+    pred_array = np.asarray(labels_pred, dtype=np.int64)
+    if true_array.shape != pred_array.shape:
+        raise ValueError("labelings must have the same shape")
+    if true_array.size == 0:
+        raise ValueError("labelings must not be empty")
+    if np.any(true_array < 0) or np.any(pred_array < 0):
+        raise ValueError("labels must be non-negative integers")
+    if num_classes is None:
+        num_classes = int(max(true_array.max(), pred_array.max())) + 1
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (true_array, pred_array), 1)
+    return matrix

@@ -1,0 +1,74 @@
+"""Rand index and adjusted Rand index (Rand 1971; Hubert & Arabie 1985)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def _contingency(labels_true: np.ndarray, labels_pred: np.ndarray) -> np.ndarray:
+    """Contingency table between two labelings."""
+    true_values, true_inverse = np.unique(labels_true, return_inverse=True)
+    pred_values, pred_inverse = np.unique(labels_pred, return_inverse=True)
+    table = np.zeros((true_values.size, pred_values.size), dtype=np.int64)
+    np.add.at(table, (true_inverse, pred_inverse), 1)
+    return table
+
+
+def _validate(labels_true: Sequence[int], labels_pred: Sequence[int]) -> tuple:
+    true_array = np.asarray(labels_true)
+    pred_array = np.asarray(labels_pred)
+    if true_array.ndim != 1 or pred_array.ndim != 1:
+        raise ValueError("labelings must be 1-D sequences")
+    if true_array.shape[0] != pred_array.shape[0]:
+        raise ValueError(
+            f"labelings have different lengths: {true_array.shape[0]} vs {pred_array.shape[0]}"
+        )
+    if true_array.shape[0] == 0:
+        raise ValueError("labelings must not be empty")
+    return true_array, pred_array
+
+
+def _comb2(x: np.ndarray) -> np.ndarray:
+    """Vectorised ``x choose 2``."""
+    x = x.astype(np.float64)
+    return x * (x - 1.0) / 2.0
+
+
+def rand_index(labels_true: Sequence[int], labels_pred: Sequence[int]) -> float:
+    """The (unadjusted) Rand index: fraction of agreeing pairs."""
+    true_array, pred_array = _validate(labels_true, labels_pred)
+    n = true_array.shape[0]
+    if n == 1:
+        return 1.0
+    table = _contingency(true_array, pred_array)
+    sum_cells = _comb2(table).sum()
+    sum_rows = _comb2(table.sum(axis=1)).sum()
+    sum_cols = _comb2(table.sum(axis=0)).sum()
+    total_pairs = _comb2(np.array([n]))[0]
+    agreements = total_pairs + 2.0 * sum_cells - sum_rows - sum_cols
+    return float(agreements / total_pairs)
+
+
+def adjusted_rand_index(labels_true: Sequence[int], labels_pred: Sequence[int]) -> float:
+    """Adjusted Rand index (chance-corrected), as defined in the paper.
+
+    Returns 1.0 for identical partitions, ~0 for independent random
+    partitions; can be negative for partitions worse than chance.
+    """
+    true_array, pred_array = _validate(labels_true, labels_pred)
+    n = true_array.shape[0]
+    if n == 1:
+        return 1.0
+    table = _contingency(true_array, pred_array)
+    sum_cells = _comb2(table).sum()
+    sum_rows = _comb2(table.sum(axis=1)).sum()
+    sum_cols = _comb2(table.sum(axis=0)).sum()
+    total_pairs = _comb2(np.array([n]))[0]
+    expected = sum_rows * sum_cols / total_pairs
+    maximum = 0.5 * (sum_rows + sum_cols)
+    if np.isclose(maximum, expected):
+        # Degenerate cases (e.g. both partitions put everything in one cluster).
+        return 1.0
+    return float((sum_cells - expected) / (maximum - expected))

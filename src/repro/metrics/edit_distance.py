@@ -1,0 +1,100 @@
+"""Jaro / Jaro-Winkler similarity for cluster-indexing sequences.
+
+The paper evaluates how close the predicted floor ordering is to the ground
+truth using the Jaro(-Winkler) "edit distance" (their Equation):
+
+    ED = 0                                       if m = 0
+    ED = 1/3 * ( m/|S_X| + m/|S_Y| + (m - t)/m ) otherwise
+
+where ``m`` is the number of matching elements (within the usual Jaro
+matching window) and ``t`` the number of transpositions (half the number of
+matched elements that appear in a different order).  Despite the name, higher
+values mean *more similar* sequences (1.0 = identical).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def jaro_similarity(sequence_x: Sequence, sequence_y: Sequence) -> float:
+    """Jaro similarity between two sequences (1.0 = identical, 0.0 = disjoint)."""
+    length_x = len(sequence_x)
+    length_y = len(sequence_y)
+    if length_x == 0 and length_y == 0:
+        return 1.0
+    if length_x == 0 or length_y == 0:
+        return 0.0
+    match_window = max(length_x, length_y) // 2 - 1
+    match_window = max(match_window, 0)
+
+    x_matched = [False] * length_x
+    y_matched = [False] * length_y
+    matches = 0
+    for i, x_value in enumerate(sequence_x):
+        low = max(0, i - match_window)
+        high = min(length_y, i + match_window + 1)
+        for j in range(low, high):
+            if y_matched[j]:
+                continue
+            if x_value == sequence_y[j]:
+                x_matched[i] = True
+                y_matched[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+
+    # Count transpositions among the matched elements.
+    y_match_values = [value for value, matched in zip(sequence_y, y_matched) if matched]
+    transposition_count = 0
+    match_index = 0
+    for value, matched in zip(sequence_x, x_matched):
+        if not matched:
+            continue
+        if value != y_match_values[match_index]:
+            transposition_count += 1
+        match_index += 1
+    transpositions = transposition_count / 2.0
+
+    return (
+        matches / length_x + matches / length_y + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler_similarity(
+    sequence_x: Sequence,
+    sequence_y: Sequence,
+    prefix_scale: float = 0.1,
+    max_prefix: int = 4,
+) -> float:
+    """Jaro-Winkler similarity: Jaro plus a bonus for a common prefix.
+
+    Parameters
+    ----------
+    prefix_scale:
+        Winkler's scaling factor ``p`` (must satisfy ``0 <= p <= 0.25``).
+    max_prefix:
+        Maximum prefix length considered for the bonus (4 in the original).
+    """
+    if not (0.0 <= prefix_scale <= 0.25):
+        raise ValueError("prefix_scale must be in [0, 0.25]")
+    jaro = jaro_similarity(sequence_x, sequence_y)
+    prefix = 0
+    for x_value, y_value in zip(sequence_x, sequence_y):
+        if x_value != y_value or prefix >= max_prefix:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_scale * (1.0 - jaro)
+
+
+def indexing_edit_distance(
+    predicted_order: Sequence[int], ground_truth_order: Sequence[int]
+) -> float:
+    """The paper's indexing metric: Jaro similarity between floor sequences.
+
+    ``predicted_order[i]`` is the predicted floor of the cluster whose ground
+    truth floor is ``ground_truth_order[i]`` (typically the ground truth is
+    simply ``(1, 2, ..., N)``).  Returns a value in [0, 1], higher = better.
+    """
+    return jaro_similarity(list(predicted_order), list(ground_truth_order))

@@ -1,0 +1,61 @@
+"""Mutual information, entropy and NMI between two labelings."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def _as_labels(labels: Sequence[int]) -> np.ndarray:
+    array = np.asarray(labels)
+    if array.ndim != 1:
+        raise ValueError("labels must be a 1-D sequence")
+    if array.shape[0] == 0:
+        raise ValueError("labels must not be empty")
+    return array
+
+
+def entropy(labels: Sequence[int]) -> float:
+    """Shannon entropy (in nats) of a labeling's cluster-size distribution."""
+    array = _as_labels(labels)
+    _, counts = np.unique(array, return_counts=True)
+    probabilities = counts / counts.sum()
+    return float(-np.sum(probabilities * np.log(probabilities)))
+
+
+def mutual_information(labels_true: Sequence[int], labels_pred: Sequence[int]) -> float:
+    """Mutual information (in nats) between two labelings of the same items."""
+    true_array = _as_labels(labels_true)
+    pred_array = _as_labels(labels_pred)
+    if true_array.shape[0] != pred_array.shape[0]:
+        raise ValueError("labelings must have the same length")
+    n = true_array.shape[0]
+    true_values, true_inverse = np.unique(true_array, return_inverse=True)
+    pred_values, pred_inverse = np.unique(pred_array, return_inverse=True)
+    table = np.zeros((true_values.size, pred_values.size), dtype=np.float64)
+    np.add.at(table, (true_inverse, pred_inverse), 1.0)
+    joint = table / n
+    marginal_true = joint.sum(axis=1, keepdims=True)
+    marginal_pred = joint.sum(axis=0, keepdims=True)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(joint > 0, joint / (marginal_true * marginal_pred), 1.0)
+        terms = np.where(joint > 0, joint * np.log(ratio), 0.0)
+    return float(max(terms.sum(), 0.0))
+
+
+def normalized_mutual_information(
+    labels_true: Sequence[int], labels_pred: Sequence[int]
+) -> float:
+    """NMI with the arithmetic-mean normalisation used in the paper.
+
+    ``NMI = 2 * MI(X, Y) / (H(X) + H(Y))``, in [0, 1].  When both labelings
+    are constant (zero entropy) the partitions are identical and 1.0 is
+    returned.
+    """
+    mi = mutual_information(labels_true, labels_pred)
+    h_true = entropy(labels_true)
+    h_pred = entropy(labels_pred)
+    if h_true + h_pred == 0.0:
+        return 1.0
+    return float(2.0 * mi / (h_true + h_pred))

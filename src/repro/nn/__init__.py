@@ -1,0 +1,46 @@
+"""Minimal NumPy neural-network substrate.
+
+The paper's models are small (two-hop GNN encoders, embedding dimensions
+8–64, shallow autoencoders for the SDCN/DAEGC baselines), so instead of
+depending on a deep-learning framework this package provides exactly the
+pieces they need, with explicit forward/backward methods:
+
+* weight initialisers (:mod:`~repro.nn.init`),
+* activation functions with derivatives (:mod:`~repro.nn.activations`),
+* dense layers, L2-normalisation and a small sequential MLP container
+  (:mod:`~repro.nn.layers`),
+* SGD and Adam optimisers with gradient clipping
+  (:mod:`~repro.nn.optimizers`).
+"""
+
+from repro.nn.init import glorot_uniform, random_node_features
+from repro.nn.activations import (
+    Activation,
+    Identity,
+    ReLU,
+    Sigmoid,
+    Tanh,
+    get_activation,
+    sigmoid,
+)
+from repro.nn.layers import Dense, L2Normalize, Sequential
+from repro.nn.optimizers import SGD, Adam, Optimizer, clip_gradients
+
+__all__ = [
+    "glorot_uniform",
+    "random_node_features",
+    "Activation",
+    "Identity",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "get_activation",
+    "sigmoid",
+    "Dense",
+    "L2Normalize",
+    "Sequential",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "clip_gradients",
+]

@@ -1,0 +1,110 @@
+"""Activation functions with explicit derivatives."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+def sigmoid(x: np.ndarray | float) -> np.ndarray | float:
+    """Numerically stable logistic sigmoid."""
+    return np.where(
+        np.asarray(x) >= 0,
+        1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0))),
+        np.exp(np.clip(x, -60.0, 60.0)) / (1.0 + np.exp(np.clip(x, -60.0, 60.0))),
+    )
+
+
+class Activation(ABC):
+    """An elementwise activation with forward and derivative."""
+
+    name: str = "activation"
+
+    @abstractmethod
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Apply the activation elementwise."""
+
+    @abstractmethod
+    def backward(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Derivative dy/dx evaluated elementwise.
+
+        Both the pre-activation ``x`` and the output ``y = forward(x)`` are
+        provided so implementations can use whichever is cheaper.
+        """
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+
+class Identity(Activation):
+    """The identity activation (linear layer)."""
+
+    name = "identity"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return np.ones_like(x)
+
+
+class ReLU(Activation):
+    """Rectified linear unit."""
+
+    name = "relu"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0.0)
+
+    def backward(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return (x > 0.0).astype(x.dtype)
+
+
+class Tanh(Activation):
+    """Hyperbolic tangent."""
+
+    name = "tanh"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
+
+    def backward(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return 1.0 - y * y
+
+
+class Sigmoid(Activation):
+    """Logistic sigmoid."""
+
+    name = "sigmoid"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(sigmoid(x))
+
+    def backward(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return y * (1.0 - y)
+
+
+_ACTIVATIONS = {
+    "identity": Identity,
+    "linear": Identity,
+    "relu": ReLU,
+    "tanh": Tanh,
+    "sigmoid": Sigmoid,
+}
+
+
+def get_activation(name: str) -> Activation:
+    """Look up an activation by name.
+
+    Raises
+    ------
+    ValueError
+        If the name is unknown.
+    """
+    try:
+        return _ACTIVATIONS[name.lower()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown activation {name!r}; available: {sorted(_ACTIVATIONS)}"
+        ) from None

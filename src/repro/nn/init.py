@@ -1,0 +1,34 @@
+"""Weight and feature initialisers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def glorot_uniform(
+    fan_in: int, fan_out: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for a ``(fan_in, fan_out)`` matrix."""
+    if fan_in < 1 or fan_out < 1:
+        raise ValueError("fan_in and fan_out must be >= 1")
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def random_node_features(
+    num_nodes: int, dim: int, rng: np.random.Generator, normalize: bool = True
+) -> np.ndarray:
+    """Random initial node representations (the paper's ``r^0_i``).
+
+    The paper initialises each node's representation to a random vector; we
+    draw standard Gaussians and (by default) L2-normalise each row so all
+    nodes start on the unit sphere, matching the normalisation applied after
+    every aggregation iteration.
+    """
+    if num_nodes < 1 or dim < 1:
+        raise ValueError("num_nodes and dim must be >= 1")
+    features = rng.standard_normal(size=(num_nodes, dim))
+    if normalize:
+        norms = np.linalg.norm(features, axis=1, keepdims=True)
+        features = features / np.maximum(norms, 1e-12)
+    return features

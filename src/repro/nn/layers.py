@@ -1,0 +1,149 @@
+"""Dense layers, L2-normalisation and a sequential container.
+
+Every layer exposes ``forward(x)`` and ``backward(grad_output)``; ``backward``
+must be called after ``forward`` (layers cache what they need) and returns the
+gradient with respect to the layer input while accumulating parameter
+gradients in ``layer.grads``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.activations import Activation, Identity, get_activation
+from repro.nn.init import glorot_uniform
+
+
+class Dense:
+    """A fully connected layer ``y = activation(x @ W + b)``.
+
+    Parameters
+    ----------
+    in_dim, out_dim:
+        Input and output dimensions.
+    activation:
+        Activation instance or name (default: identity).
+    use_bias:
+        Whether to add a learned bias.
+    rng:
+        Random generator for weight initialisation.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        activation: Activation | str | None = None,
+        use_bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        rng = rng or np.random.default_rng()
+        if isinstance(activation, str):
+            activation = get_activation(activation)
+        self.activation: Activation = activation or Identity()
+        self.use_bias = use_bias
+        self.params: Dict[str, np.ndarray] = {
+            "W": glorot_uniform(in_dim, out_dim, rng),
+        }
+        if use_bias:
+            self.params["b"] = np.zeros(out_dim)
+        self.grads: Dict[str, np.ndarray] = {key: np.zeros_like(value) for key, value in self.params.items()}
+        self._cache_x: Optional[np.ndarray] = None
+        self._cache_pre: Optional[np.ndarray] = None
+        self._cache_out: Optional[np.ndarray] = None
+
+    @property
+    def in_dim(self) -> int:
+        return self.params["W"].shape[0]
+
+    @property
+    def out_dim(self) -> int:
+        return self.params["W"].shape[1]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Compute the layer output for a batch ``x`` of shape (n, in_dim)."""
+        pre = x @ self.params["W"]
+        if self.use_bias:
+            pre = pre + self.params["b"]
+        out = self.activation.forward(pre)
+        self._cache_x, self._cache_pre, self._cache_out = x, pre, out
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Accumulate parameter gradients and return the gradient w.r.t. the input."""
+        if self._cache_x is None:
+            raise RuntimeError("backward called before forward")
+        dpre = grad_output * self.activation.backward(self._cache_pre, self._cache_out)
+        self.grads["W"] += self._cache_x.T @ dpre
+        if self.use_bias:
+            self.grads["b"] += dpre.sum(axis=0)
+        return dpre @ self.params["W"].T
+
+    def zero_grad(self) -> None:
+        """Reset accumulated gradients to zero."""
+        for key in self.grads:
+            self.grads[key][...] = 0.0
+
+
+class L2Normalize:
+    """Row-wise L2 normalisation ``y = x / max(||x||, eps)`` with backward."""
+
+    def __init__(self, eps: float = 1e-12) -> None:
+        self.eps = eps
+        self._cache_x: Optional[np.ndarray] = None
+        self._cache_norm: Optional[np.ndarray] = None
+        self._cache_out: Optional[np.ndarray] = None
+        self.params: Dict[str, np.ndarray] = {}
+        self.grads: Dict[str, np.ndarray] = {}
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        norm = np.maximum(np.linalg.norm(x, axis=-1, keepdims=True), self.eps)
+        out = x / norm
+        self._cache_x, self._cache_norm, self._cache_out = x, norm, out
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache_out is None:
+            raise RuntimeError("backward called before forward")
+        y = self._cache_out
+        dot = np.sum(grad_output * y, axis=-1, keepdims=True)
+        return (grad_output - y * dot) / self._cache_norm
+
+    def zero_grad(self) -> None:  # pragma: no cover - trivial, no parameters
+        return None
+
+
+class Sequential:
+    """A simple feed-forward stack of layers (used by the autoencoder baselines)."""
+
+    def __init__(self, layers: Sequence) -> None:
+        if not layers:
+            raise ValueError("a Sequential model needs at least one layer")
+        self.layers: List = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_output = layer.backward(grad_output)
+        return grad_output
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    def parameters(self) -> List[Dict[str, np.ndarray]]:
+        """Parameter dicts of all layers that have parameters."""
+        return [layer.params for layer in self.layers if getattr(layer, "params", None)]
+
+    def gradients(self) -> List[Dict[str, np.ndarray]]:
+        """Gradient dicts aligned with :meth:`parameters`."""
+        return [layer.grads for layer in self.layers if getattr(layer, "params", None)]
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)

@@ -1,0 +1,51 @@
+"""Crowdsourced RF signal data model.
+
+This package provides the data structures FIS-ONE consumes:
+
+* :class:`~repro.signals.record.SignalRecord` — a single crowdsourced RF
+  fingerprint: a mapping from observed MAC addresses to received signal
+  strength (RSS, in dBm), plus optional metadata (floor label, position,
+  device, timestamp).
+* :class:`~repro.signals.dataset.SignalDataset` — an ordered collection of
+  records belonging to one building, with per-floor grouping, summary
+  statistics and subset/merge operations.
+* :mod:`~repro.signals.io` — JSON and CSV persistence.
+* :mod:`~repro.signals.filters` — the preprocessing used in the paper's
+  Section V-A (dropping two-storey buildings, dropping floors with fewer
+  than 100 samples, RSS thresholding, rare-MAC removal).
+"""
+
+from repro.signals.record import SignalRecord
+from repro.signals.dataset import SignalDataset, DatasetSummary
+from repro.signals.io import (
+    dataset_to_json,
+    dataset_from_json,
+    save_dataset_json,
+    load_dataset_json,
+    save_dataset_csv,
+    load_dataset_csv,
+)
+from repro.signals.filters import (
+    drop_sparse_floors,
+    drop_weak_readings,
+    drop_rare_macs,
+    keep_strongest_readings,
+    filter_fleet_for_evaluation,
+)
+
+__all__ = [
+    "SignalRecord",
+    "SignalDataset",
+    "DatasetSummary",
+    "dataset_to_json",
+    "dataset_from_json",
+    "save_dataset_json",
+    "load_dataset_json",
+    "save_dataset_csv",
+    "load_dataset_csv",
+    "drop_sparse_floors",
+    "drop_weak_readings",
+    "drop_rare_macs",
+    "keep_strongest_readings",
+    "filter_fleet_for_evaluation",
+]

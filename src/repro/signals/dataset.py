@@ -1,0 +1,329 @@
+"""Dataset container for the crowdsourced RF signals of one building."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set
+
+from repro.signals.record import SignalRecord
+
+
+class DatasetError(ValueError):
+    """Raised on invalid dataset operations (empty dataset, missing labels, ...)."""
+
+
+@dataclass(frozen=True)
+class DatasetSummary:
+    """Summary statistics of a :class:`SignalDataset`.
+
+    Attributes
+    ----------
+    num_records:
+        Total number of signal samples.
+    num_macs:
+        Number of distinct MAC addresses observed across all samples.
+    num_floors:
+        Number of distinct ground-truth floors present among labeled samples
+        (0 when the dataset is fully unlabeled).
+    records_per_floor:
+        Mapping floor index -> number of labeled samples on that floor.
+    mean_readings_per_record:
+        Average number of MAC addresses per sample.
+    labeled_fraction:
+        Fraction of samples that carry a ground-truth floor label.
+    """
+
+    num_records: int
+    num_macs: int
+    num_floors: int
+    records_per_floor: Dict[int, int]
+    mean_readings_per_record: float
+    labeled_fraction: float
+
+
+class SignalDataset:
+    """An ordered collection of :class:`SignalRecord` for one building.
+
+    The dataset preserves insertion order (record index ``i`` always refers
+    to the same sample), enforces unique record ids, and offers the grouping
+    and subsetting operations the FIS-ONE pipeline and its evaluation need.
+
+    Parameters
+    ----------
+    records:
+        The signal samples.  Record ids must be unique.
+    building_id:
+        Optional identifier of the building the samples were collected in.
+    num_floors:
+        The number of floors of the building, when known.  FIS-ONE requires
+        the floor count (it fixes the number of clusters); when ``None`` it
+        falls back to the number of distinct labels present.
+    """
+
+    def __init__(
+        self,
+        records: Iterable[SignalRecord],
+        building_id: Optional[str] = None,
+        num_floors: Optional[int] = None,
+    ) -> None:
+        self._records: List[SignalRecord] = list(records)
+        if not self._records:
+            raise DatasetError("a SignalDataset must contain at least one record")
+        seen: Set[str] = set()
+        for record in self._records:
+            if record.record_id in seen:
+                raise DatasetError(f"duplicate record_id {record.record_id!r}")
+            seen.add(record.record_id)
+        self.building_id = building_id
+        if num_floors is not None and num_floors < 1:
+            raise DatasetError(f"num_floors must be >= 1, got {num_floors}")
+        self._declared_num_floors = num_floors
+        self._index_by_id: Dict[str, int] = {
+            record.record_id: i for i, record in enumerate(self._records)
+        }
+
+    # -- container protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[SignalRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> SignalRecord:
+        return self._records[index]
+
+    def __contains__(self, record_id: str) -> bool:
+        return record_id in self._index_by_id
+
+    # -- basic accessors -----------------------------------------------------
+
+    @property
+    def records(self) -> Sequence[SignalRecord]:
+        """The records in insertion order (read-only view)."""
+        return tuple(self._records)
+
+    @property
+    def record_ids(self) -> List[str]:
+        """Record ids in insertion order."""
+        return [record.record_id for record in self._records]
+
+    def get(self, record_id: str) -> SignalRecord:
+        """Return the record with the given id.
+
+        Raises
+        ------
+        KeyError
+            If no record has that id.
+        """
+        return self._records[self._index_by_id[record_id]]
+
+    def index_of(self, record_id: str) -> int:
+        """Return the positional index of the record with the given id."""
+        return self._index_by_id[record_id]
+
+    @property
+    def macs(self) -> Set[str]:
+        """The set of all MAC addresses observed in the dataset."""
+        all_macs: Set[str] = set()
+        for record in self._records:
+            all_macs.update(record.readings)
+        return all_macs
+
+    @property
+    def num_floors(self) -> int:
+        """The number of floors of the building.
+
+        Returns the declared floor count if one was given at construction,
+        otherwise the number of distinct floor labels among labeled samples.
+        """
+        if self._declared_num_floors is not None:
+            return self._declared_num_floors
+        floors = {record.floor for record in self._records if record.floor is not None}
+        if not floors:
+            raise DatasetError(
+                "num_floors was not declared and the dataset has no labeled records"
+            )
+        return max(floors) + 1
+
+    @property
+    def floors_present(self) -> List[int]:
+        """Sorted list of distinct floor labels among labeled records."""
+        return sorted({record.floor for record in self._records if record.floor is not None})
+
+    # -- label handling -------------------------------------------------------
+
+    @property
+    def labels(self) -> List[Optional[int]]:
+        """Floor labels in record order (``None`` for unlabeled records)."""
+        return [record.floor for record in self._records]
+
+    @property
+    def ground_truth(self) -> List[int]:
+        """Floor labels in record order, requiring every record to be labeled.
+
+        Raises
+        ------
+        DatasetError
+            If any record is unlabeled.
+        """
+        labels: List[int] = []
+        for record in self._records:
+            if record.floor is None:
+                raise DatasetError(
+                    f"record {record.record_id!r} is unlabeled; ground_truth requires full labels"
+                )
+            labels.append(record.floor)
+        return labels
+
+    @property
+    def labeled_records(self) -> List[SignalRecord]:
+        """All records that carry a floor label."""
+        return [record for record in self._records if record.is_labeled]
+
+    def strip_labels(self, keep_record_ids: Iterable[str] = ()) -> "SignalDataset":
+        """Return a copy where every record is unlabeled except ``keep_record_ids``.
+
+        This models the crowdsourcing setting of the paper: the evaluation
+        datasets are fully labeled (ground truth), but the system only gets
+        to see the label of one sample.
+        """
+        keep = set(keep_record_ids)
+        missing = keep - set(self._index_by_id)
+        if missing:
+            raise DatasetError(f"unknown record ids in keep_record_ids: {sorted(missing)}")
+        stripped = [
+            record if record.record_id in keep else record.without_floor()
+            for record in self._records
+        ]
+        return SignalDataset(stripped, building_id=self.building_id, num_floors=self.num_floors)
+
+    def pick_labeled_sample(
+        self,
+        floor: int = 0,
+        rng: Optional[random.Random] = None,
+    ) -> SignalRecord:
+        """Pick one labeled sample from ``floor`` (the paper's single label).
+
+        Parameters
+        ----------
+        floor:
+            The floor to pick from; the paper's default scenario uses the
+            bottom floor (0).
+        rng:
+            Optional random generator for reproducible selection; when omitted
+            the first sample on the floor (in insertion order) is returned.
+        """
+        candidates = [record for record in self._records if record.floor == floor]
+        if not candidates:
+            raise DatasetError(f"no labeled records on floor {floor}")
+        if rng is None:
+            return candidates[0]
+        return candidates[rng.randrange(len(candidates))]
+
+    # -- grouping / subsetting -------------------------------------------------
+
+    def by_floor(self) -> Dict[int, List[SignalRecord]]:
+        """Group labeled records by their floor label."""
+        groups: Dict[int, List[SignalRecord]] = {}
+        for record in self._records:
+            if record.floor is None:
+                continue
+            groups.setdefault(record.floor, []).append(record)
+        return groups
+
+    def subset(self, predicate: Callable[[SignalRecord], bool]) -> "SignalDataset":
+        """Return a new dataset with the records satisfying ``predicate``."""
+        kept = [record for record in self._records if predicate(record)]
+        if not kept:
+            raise DatasetError("subset() would produce an empty dataset")
+        return SignalDataset(
+            kept, building_id=self.building_id, num_floors=self._declared_num_floors
+        )
+
+    def sample(self, n: int, rng: Optional[random.Random] = None) -> "SignalDataset":
+        """Return a uniform random subset of ``n`` records (without replacement)."""
+        if n < 1:
+            raise DatasetError("sample size must be >= 1")
+        if n > len(self._records):
+            raise DatasetError(
+                f"cannot sample {n} records from a dataset of {len(self._records)}"
+            )
+        rng = rng or random.Random()
+        chosen = rng.sample(self._records, n)
+        return SignalDataset(
+            chosen, building_id=self.building_id, num_floors=self._declared_num_floors
+        )
+
+    def merge(self, other: "SignalDataset") -> "SignalDataset":
+        """Concatenate two datasets of the same building."""
+        num_floors = self._declared_num_floors
+        if num_floors is None:
+            num_floors = other._declared_num_floors
+        return SignalDataset(
+            list(self._records) + list(other._records),
+            building_id=self.building_id or other.building_id,
+            num_floors=num_floors,
+        )
+
+    def relabeled(self, labels: Mapping[str, int]) -> "SignalDataset":
+        """Return a copy where records listed in ``labels`` get new floor labels."""
+        new_records = []
+        for record in self._records:
+            if record.record_id in labels:
+                new_records.append(record.with_floor(labels[record.record_id]))
+            else:
+                new_records.append(record)
+        return SignalDataset(
+            new_records, building_id=self.building_id, num_floors=self._declared_num_floors
+        )
+
+    # -- statistics -----------------------------------------------------------
+
+    def mac_frequencies(self) -> Dict[str, int]:
+        """Number of records each MAC address appears in."""
+        counts: Dict[str, int] = {}
+        for record in self._records:
+            for mac in record.readings:
+                counts[mac] = counts.get(mac, 0) + 1
+        return counts
+
+    def mac_floor_coverage(self) -> Dict[str, Set[int]]:
+        """For each MAC, the set of (ground-truth) floors it was observed on.
+
+        Only labeled records contribute.  This is the statistic behind the
+        paper's Figure 1(b) (signal spillover histogram).
+        """
+        coverage: Dict[str, Set[int]] = {}
+        for record in self._records:
+            if record.floor is None:
+                continue
+            for mac in record.readings:
+                coverage.setdefault(mac, set()).add(record.floor)
+        return coverage
+
+    def summary(self) -> DatasetSummary:
+        """Compute summary statistics for the dataset."""
+        per_floor: Dict[int, int] = {}
+        labeled = 0
+        total_readings = 0
+        for record in self._records:
+            total_readings += len(record)
+            if record.floor is not None:
+                labeled += 1
+                per_floor[record.floor] = per_floor.get(record.floor, 0) + 1
+        return DatasetSummary(
+            num_records=len(self._records),
+            num_macs=len(self.macs),
+            num_floors=len(per_floor),
+            records_per_floor=per_floor,
+            mean_readings_per_record=total_readings / len(self._records),
+            labeled_fraction=labeled / len(self._records),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SignalDataset(building_id={self.building_id!r}, "
+            f"records={len(self._records)}, macs={len(self.macs)})"
+        )

@@ -1,0 +1,150 @@
+"""Dataset preprocessing filters.
+
+These implement the preprocessing described in Section V-A of the paper:
+
+* buildings with only two storeys are removed from the evaluation fleet
+  (with one labeled bottom-floor sample the indexing is trivial there);
+* floors with fewer than 100 samples are removed (crowdsourced data are
+  assumed abundant);
+
+plus the generic hygiene filters any RF fingerprinting system applies
+(dropping readings below the receiver sensitivity, dropping MACs seen in
+almost no samples, keeping only the strongest readings per sample).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.signals.dataset import DatasetError, SignalDataset
+from repro.signals.record import SignalRecord
+
+#: The paper removes floors that have fewer than this many crowdsourced samples.
+MIN_SAMPLES_PER_FLOOR = 100
+
+#: The paper removes buildings with this many floors or fewer from evaluation.
+MIN_FLOORS_FOR_EVALUATION = 3
+
+
+def drop_sparse_floors(
+    dataset: SignalDataset, min_samples: int = MIN_SAMPLES_PER_FLOOR
+) -> SignalDataset:
+    """Remove labeled records on floors that have fewer than ``min_samples`` samples.
+
+    Unlabeled records are kept untouched (their floor is unknown, so they
+    cannot be attributed to a sparse floor).
+    """
+    if min_samples < 1:
+        raise ValueError("min_samples must be >= 1")
+    per_floor: Dict[int, int] = {}
+    for record in dataset:
+        if record.floor is not None:
+            per_floor[record.floor] = per_floor.get(record.floor, 0) + 1
+    sparse = {floor for floor, count in per_floor.items() if count < min_samples}
+    if not sparse:
+        return dataset
+    return dataset.subset(lambda record: record.floor is None or record.floor not in sparse)
+
+
+def drop_weak_readings(dataset: SignalDataset, threshold_dbm: float = -100.0) -> SignalDataset:
+    """Remove individual readings weaker than ``threshold_dbm``.
+
+    Records that end up with no readings at all are dropped entirely.
+    """
+    new_records: List[SignalRecord] = []
+    for record in dataset:
+        kept = {mac: rss for mac, rss in record.readings.items() if rss >= threshold_dbm}
+        if not kept:
+            continue
+        new_records.append(
+            SignalRecord(
+                record_id=record.record_id,
+                readings=kept,
+                floor=record.floor,
+                position=record.position,
+                device_id=record.device_id,
+                timestamp=record.timestamp,
+            )
+        )
+    if not new_records:
+        raise DatasetError("drop_weak_readings removed every record")
+    return SignalDataset(
+        new_records, building_id=dataset.building_id, num_floors=dataset.num_floors
+    )
+
+
+def drop_rare_macs(dataset: SignalDataset, min_appearances: int = 2) -> SignalDataset:
+    """Remove MAC addresses that appear in fewer than ``min_appearances`` records.
+
+    Rare MACs (mobile hotspots, passing devices) add noise to the bipartite
+    graph without contributing useful floor structure.  Records that lose all
+    their readings are dropped.
+    """
+    if min_appearances < 1:
+        raise ValueError("min_appearances must be >= 1")
+    frequencies = dataset.mac_frequencies()
+    keep_macs = {mac for mac, count in frequencies.items() if count >= min_appearances}
+    new_records: List[SignalRecord] = []
+    for record in dataset:
+        kept = {mac: rss for mac, rss in record.readings.items() if mac in keep_macs}
+        if not kept:
+            continue
+        new_records.append(
+            SignalRecord(
+                record_id=record.record_id,
+                readings=kept,
+                floor=record.floor,
+                position=record.position,
+                device_id=record.device_id,
+                timestamp=record.timestamp,
+            )
+        )
+    if not new_records:
+        raise DatasetError("drop_rare_macs removed every record")
+    return SignalDataset(
+        new_records, building_id=dataset.building_id, num_floors=dataset.num_floors
+    )
+
+
+def keep_strongest_readings(dataset: SignalDataset, k: int) -> SignalDataset:
+    """Keep only the ``k`` strongest readings in every record."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    new_records = []
+    for record in dataset:
+        strongest = dict(record.strongest(k))
+        new_records.append(
+            SignalRecord(
+                record_id=record.record_id,
+                readings=strongest,
+                floor=record.floor,
+                position=record.position,
+                device_id=record.device_id,
+                timestamp=record.timestamp,
+            )
+        )
+    return SignalDataset(
+        new_records, building_id=dataset.building_id, num_floors=dataset.num_floors
+    )
+
+
+def filter_fleet_for_evaluation(
+    datasets: List[SignalDataset],
+    min_floors: int = MIN_FLOORS_FOR_EVALUATION,
+    min_samples_per_floor: int = MIN_SAMPLES_PER_FLOOR,
+) -> List[SignalDataset]:
+    """Apply the paper's fleet-level preprocessing (Section V-A).
+
+    Buildings with fewer than ``min_floors`` floors are dropped; within the
+    remaining buildings, floors with fewer than ``min_samples_per_floor``
+    samples are removed.  Buildings that fall below ``min_floors`` after the
+    per-floor filter are also dropped.
+    """
+    kept: List[SignalDataset] = []
+    for dataset in datasets:
+        if dataset.num_floors < min_floors:
+            continue
+        filtered = drop_sparse_floors(dataset, min_samples=min_samples_per_floor)
+        if len(filtered.floors_present) >= min_floors:
+            kept.append(filtered)
+    return kept

@@ -1,0 +1,138 @@
+"""JSON and CSV persistence for :class:`~repro.signals.dataset.SignalDataset`."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.signals.dataset import SignalDataset
+from repro.signals.record import SignalRecord
+
+PathLike = Union[str, Path]
+
+#: Format version written into JSON payloads so that future readers can
+#: detect and reject incompatible files.
+JSON_FORMAT_VERSION = 1
+
+
+def dataset_to_json(dataset: SignalDataset) -> Dict:
+    """Convert a dataset to a JSON-compatible dictionary."""
+    return {
+        "format_version": JSON_FORMAT_VERSION,
+        "building_id": dataset.building_id,
+        "num_floors": dataset.num_floors,
+        "records": [record.to_dict() for record in dataset],
+    }
+
+
+def dataset_from_json(payload: Dict) -> SignalDataset:
+    """Reconstruct a dataset from :func:`dataset_to_json` output."""
+    version = payload.get("format_version", JSON_FORMAT_VERSION)
+    if version != JSON_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported dataset format version {version}; expected {JSON_FORMAT_VERSION}"
+        )
+    records = [SignalRecord.from_dict(item) for item in payload["records"]]
+    return SignalDataset(
+        records,
+        building_id=payload.get("building_id"),
+        num_floors=payload.get("num_floors"),
+    )
+
+
+def save_dataset_json(dataset: SignalDataset, path: PathLike) -> None:
+    """Write a dataset to a JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(dataset_to_json(dataset), handle)
+
+
+def load_dataset_json(path: PathLike) -> SignalDataset:
+    """Read a dataset from a JSON file written by :func:`save_dataset_json`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return dataset_from_json(json.load(handle))
+
+
+#: Column order of the long-format CSV layout: one row per (record, MAC) pair.
+CSV_COLUMNS = ["record_id", "mac", "rss", "floor", "x", "y", "device_id", "timestamp"]
+
+
+def save_dataset_csv(dataset: SignalDataset, path: PathLike) -> None:
+    """Write a dataset to a long-format CSV (one row per (record, MAC) reading).
+
+    The long format mirrors how public crowdsourced WiFi datasets (e.g. the
+    Microsoft Indoor Location competition traces) are distributed, and avoids
+    the extremely wide, mostly-empty matrix a one-column-per-MAC layout would
+    produce.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(CSV_COLUMNS)
+        for record in dataset:
+            x, y = ("", "")
+            if record.position is not None:
+                x, y = record.position
+            for mac, rss in record.readings.items():
+                writer.writerow(
+                    [
+                        record.record_id,
+                        mac,
+                        rss,
+                        "" if record.floor is None else record.floor,
+                        x,
+                        y,
+                        record.device_id or "",
+                        "" if record.timestamp is None else record.timestamp,
+                    ]
+                )
+
+
+def load_dataset_csv(
+    path: PathLike,
+    building_id: Optional[str] = None,
+    num_floors: Optional[int] = None,
+) -> SignalDataset:
+    """Read a dataset from a long-format CSV written by :func:`save_dataset_csv`."""
+    rows_by_record: Dict[str, Dict] = {}
+    order: List[str] = []
+    with Path(path).open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.DictReader(handle)
+        missing = set(CSV_COLUMNS) - set(reader.fieldnames or [])
+        if missing:
+            raise ValueError(f"CSV is missing required columns: {sorted(missing)}")
+        for row in reader:
+            record_id = row["record_id"]
+            if record_id not in rows_by_record:
+                order.append(record_id)
+                floor = row["floor"]
+                position = None
+                if row["x"] != "" and row["y"] != "":
+                    position = (float(row["x"]), float(row["y"]))
+                rows_by_record[record_id] = {
+                    "record_id": record_id,
+                    "readings": {},
+                    "floor": int(floor) if floor != "" else None,
+                    "position": position,
+                    "device_id": row["device_id"] or None,
+                    "timestamp": float(row["timestamp"]) if row["timestamp"] != "" else None,
+                }
+            rows_by_record[record_id]["readings"][row["mac"]] = float(row["rss"])
+    records = []
+    for record_id in order:
+        info = rows_by_record[record_id]
+        records.append(
+            SignalRecord(
+                record_id=info["record_id"],
+                readings=info["readings"],
+                floor=info["floor"],
+                position=info["position"],
+                device_id=info["device_id"],
+                timestamp=info["timestamp"],
+            )
+        )
+    return SignalDataset(records, building_id=building_id, num_floors=num_floors)

@@ -1,0 +1,173 @@
+"""A single crowdsourced RF signal sample (fingerprint)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+
+#: RSS values below this are physically implausible for WiFi receivers and
+#: are rejected at construction time.
+MIN_VALID_RSS_DBM = -120.0
+
+#: RSS values above this are physically implausible (0 dBm would mean the
+#: receiver sits inside the transmitting antenna).
+MAX_VALID_RSS_DBM = 0.0
+
+
+class InvalidRecordError(ValueError):
+    """Raised when a :class:`SignalRecord` is constructed from invalid data."""
+
+
+@dataclass(frozen=True)
+class SignalRecord:
+    """One crowdsourced RF fingerprint.
+
+    A record is what a contributor's phone reports after one WiFi scan: the
+    set of access points (identified by MAC address) it heard, each with a
+    received signal strength in dBm.  Crowdsourced records are mostly
+    unlabeled; the optional ``floor`` field carries the ground-truth floor
+    index (0-based, bottom floor is 0) when it is known — the evaluation
+    harness uses it as ground truth, and FIS-ONE itself only ever reads it
+    for the *single* labeled sample.
+
+    Parameters
+    ----------
+    record_id:
+        Unique identifier of the sample within its dataset.
+    readings:
+        Mapping from MAC address (string) to RSS in dBm.  Must be non-empty;
+        every RSS must lie in ``[-120, 0]`` dBm.
+    floor:
+        Ground-truth floor index, or ``None`` when unknown (the common case
+        for crowdsourced data).
+    position:
+        Optional ``(x, y)`` coordinates in metres on the floor, used only by
+        the simulator and for debugging.
+    device_id:
+        Optional identifier of the contributing device.
+    timestamp:
+        Optional collection time (seconds since an arbitrary epoch).
+    """
+
+    record_id: str
+    readings: Mapping[str, float]
+    floor: Optional[int] = None
+    position: Optional[Tuple[float, float]] = None
+    device_id: Optional[str] = None
+    timestamp: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.record_id:
+            raise InvalidRecordError("record_id must be a non-empty string")
+        if not self.readings:
+            raise InvalidRecordError(
+                f"record {self.record_id!r}: a signal record must contain at least one reading"
+            )
+        clean: Dict[str, float] = {}
+        for mac, rss in self.readings.items():
+            if not mac:
+                raise InvalidRecordError(
+                    f"record {self.record_id!r}: MAC addresses must be non-empty strings"
+                )
+            rss = float(rss)
+            if not (MIN_VALID_RSS_DBM <= rss <= MAX_VALID_RSS_DBM):
+                raise InvalidRecordError(
+                    f"record {self.record_id!r}: RSS {rss} dBm for MAC {mac!r} is outside "
+                    f"[{MIN_VALID_RSS_DBM}, {MAX_VALID_RSS_DBM}]"
+                )
+            clean[str(mac)] = rss
+        object.__setattr__(self, "readings", clean)
+        if self.floor is not None and int(self.floor) < 0:
+            raise InvalidRecordError(
+                f"record {self.record_id!r}: floor index must be >= 0, got {self.floor}"
+            )
+        if self.floor is not None:
+            object.__setattr__(self, "floor", int(self.floor))
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of MAC addresses observed in this sample."""
+        return len(self.readings)
+
+    def __contains__(self, mac: str) -> bool:
+        return mac in self.readings
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.readings)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def macs(self) -> frozenset:
+        """The set of MAC addresses observed in this sample."""
+        return frozenset(self.readings)
+
+    @property
+    def is_labeled(self) -> bool:
+        """Whether the ground-truth floor of this sample is known."""
+        return self.floor is not None
+
+    def rss(self, mac: str) -> float:
+        """Return the RSS (dBm) observed for ``mac``.
+
+        Raises
+        ------
+        KeyError
+            If the MAC was not observed in this sample.
+        """
+        return self.readings[mac]
+
+    def strongest(self, k: int = 1) -> Tuple[Tuple[str, float], ...]:
+        """Return the ``k`` strongest ``(mac, rss)`` readings, strongest first."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        ordered = sorted(self.readings.items(), key=lambda item: item[1], reverse=True)
+        return tuple(ordered[:k])
+
+    def with_floor(self, floor: Optional[int]) -> "SignalRecord":
+        """Return a copy of this record with the floor label replaced."""
+        return SignalRecord(
+            record_id=self.record_id,
+            readings=dict(self.readings),
+            floor=floor,
+            position=self.position,
+            device_id=self.device_id,
+            timestamp=self.timestamp,
+        )
+
+    def without_floor(self) -> "SignalRecord":
+        """Return an unlabeled copy of this record."""
+        return self.with_floor(None)
+
+    def to_dict(self) -> Dict:
+        """Serialise to a plain dictionary (JSON-compatible)."""
+        payload: Dict = {
+            "record_id": self.record_id,
+            "readings": dict(self.readings),
+        }
+        if self.floor is not None:
+            payload["floor"] = self.floor
+        if self.position is not None:
+            payload["position"] = [float(self.position[0]), float(self.position[1])]
+        if self.device_id is not None:
+            payload["device_id"] = self.device_id
+        if self.timestamp is not None:
+            payload["timestamp"] = float(self.timestamp)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "SignalRecord":
+        """Reconstruct a record from :meth:`to_dict` output."""
+        position = payload.get("position")
+        if position is not None:
+            position = (float(position[0]), float(position[1]))
+        return cls(
+            record_id=str(payload["record_id"]),
+            readings={str(k): float(v) for k, v in payload["readings"].items()},
+            floor=payload.get("floor"),
+            position=position,
+            device_id=payload.get("device_id"),
+            timestamp=payload.get("timestamp"),
+        )

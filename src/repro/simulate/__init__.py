@@ -1,0 +1,69 @@
+"""Multi-floor RF propagation and crowdsourced collection simulator.
+
+The paper evaluates FIS-ONE on the Microsoft Indoor Location open dataset and
+on surveys of three large shopping malls.  Neither is available offline, so
+this package provides the substitution documented in ``DESIGN.md``: a
+physically grounded simulator that reproduces the one property the system
+relies on — **signal spillover that decays with floor distance** (Figure 1(b)
+of the paper) — while emitting exactly the same data structures
+(:class:`~repro.signals.record.SignalRecord`) the real datasets would.
+
+Main entry points
+-----------------
+* :func:`~repro.simulate.generators.generate_building_dataset` — one building.
+* :func:`~repro.simulate.fleet.generate_microsoft_like_fleet` — a fleet of
+  buildings whose floor-count distribution follows the paper's Figure 7.
+* :func:`~repro.simulate.fleet.generate_mall_fleet` — the three shopping
+  malls (two 5-floor, one 7-floor) with an atrium producing long-range
+  spillover.
+"""
+
+from repro.simulate.pathloss import (
+    FloorAttenuationPathLoss,
+    LogDistancePathLoss,
+    PathLossModel,
+)
+from repro.simulate.access_point import AccessPoint, generate_mac_address
+from repro.simulate.building import Building, BuildingGeometry, Atrium
+from repro.simulate.collector import CrowdsourcedCollector, CollectionConfig
+from repro.simulate.generators import (
+    BuildingConfig,
+    generate_building,
+    generate_building_dataset,
+    office_building_config,
+    mall_building_config,
+)
+from repro.simulate.fleet import (
+    FleetConfig,
+    MICROSOFT_FLOOR_DISTRIBUTION,
+    MALL_FLOOR_COUNTS,
+    floor_counts_for_fleet,
+    generate_microsoft_like_fleet,
+    generate_mall_fleet,
+    generate_single_building,
+)
+
+__all__ = [
+    "PathLossModel",
+    "LogDistancePathLoss",
+    "FloorAttenuationPathLoss",
+    "AccessPoint",
+    "generate_mac_address",
+    "Building",
+    "BuildingGeometry",
+    "Atrium",
+    "CrowdsourcedCollector",
+    "CollectionConfig",
+    "BuildingConfig",
+    "generate_building",
+    "generate_building_dataset",
+    "office_building_config",
+    "mall_building_config",
+    "FleetConfig",
+    "MICROSOFT_FLOOR_DISTRIBUTION",
+    "MALL_FLOOR_COUNTS",
+    "floor_counts_for_fleet",
+    "generate_microsoft_like_fleet",
+    "generate_mall_fleet",
+    "generate_single_building",
+]

@@ -1,0 +1,98 @@
+"""Access points (WiFi transmitters) placed inside simulated buildings."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+def generate_mac_address(rng: random.Random) -> str:
+    """Generate a random, locally administered unicast MAC address string."""
+    octets = [rng.randrange(256) for _ in range(6)]
+    # Set the locally-administered bit, clear the multicast bit.
+    octets[0] = (octets[0] | 0x02) & 0xFE
+    return ":".join(f"{octet:02x}" for octet in octets)
+
+
+@dataclass(frozen=True)
+class AccessPoint:
+    """A WiFi access point in a simulated building.
+
+    Parameters
+    ----------
+    mac:
+        The MAC address (BSSID) the simulator reports for this AP.
+    position:
+        ``(x, y)`` position in metres on its floor.
+    floor:
+        Floor index (0 = bottom floor) where the AP is mounted.
+    tx_power_dbm:
+        Effective isotropic radiated power in dBm (typical enterprise APs
+        radiate around 15–20 dBm).
+    in_atrium:
+        Whether the AP is mounted inside an open vertical space; signals of
+        atrium APs propagate between floors without slab attenuation, which
+        reproduces the long tail of the paper's Figure 1(b).
+    """
+
+    mac: str
+    position: Tuple[float, float]
+    floor: int
+    tx_power_dbm: float = 18.0
+    in_atrium: bool = False
+
+    def __post_init__(self) -> None:
+        if self.floor < 0:
+            raise ValueError("floor index must be >= 0")
+        if not (-10.0 <= self.tx_power_dbm <= 36.0):
+            raise ValueError(
+                f"tx_power_dbm {self.tx_power_dbm} is outside the plausible range [-10, 36]"
+            )
+
+    def distance_to(
+        self, position: Tuple[float, float], floor: int, floor_height_m: float
+    ) -> float:
+        """3-D distance (metres) from the AP to a receiver position."""
+        dx = self.position[0] - position[0]
+        dy = self.position[1] - position[1]
+        dz = (self.floor - floor) * floor_height_m
+        return float((dx * dx + dy * dy + dz * dz) ** 0.5)
+
+
+def place_access_points(
+    count: int,
+    width_m: float,
+    depth_m: float,
+    floor: int,
+    rng: random.Random,
+    tx_power_dbm: float = 18.0,
+    tx_power_jitter_db: float = 2.0,
+    existing_macs: Optional[set] = None,
+) -> list:
+    """Place ``count`` access points uniformly at random on one floor.
+
+    Parameters
+    ----------
+    existing_macs:
+        Set of MAC addresses already in use; newly generated MACs are
+        guaranteed not to collide with it (the set is updated in place).
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    macs_in_use = existing_macs if existing_macs is not None else set()
+    aps = []
+    for _ in range(count):
+        mac = generate_mac_address(rng)
+        while mac in macs_in_use:
+            mac = generate_mac_address(rng)
+        macs_in_use.add(mac)
+        aps.append(
+            AccessPoint(
+                mac=mac,
+                position=(rng.uniform(0.0, width_m), rng.uniform(0.0, depth_m)),
+                floor=floor,
+                tx_power_dbm=tx_power_dbm + rng.uniform(-tx_power_jitter_db, tx_power_jitter_db),
+            )
+        )
+    return aps

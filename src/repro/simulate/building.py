@@ -1,0 +1,221 @@
+"""Simulated multi-floor building geometry and RF environment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.simulate.access_point import AccessPoint
+from repro.simulate.pathloss import FloorAttenuationPathLoss, PathLossModel, LogDistancePathLoss
+
+
+@dataclass(frozen=True)
+class Atrium:
+    """An open vertical space (e.g. a shopping-mall atrium).
+
+    Signals whose transmitter or receiver falls inside the atrium footprint
+    propagate between floors without crossing concrete slabs, so the floor
+    attenuation factor does not apply and the signal spills much further.
+    This reproduces the paper's observation that "a few MACs could be
+    detected in many floors because there is a large empty space in the
+    middle of the mall".
+
+    Parameters
+    ----------
+    center:
+        ``(x, y)`` centre of the atrium footprint in metres.
+    radius_m:
+        Radius of the (circular) atrium footprint.
+    """
+
+    center: Tuple[float, float]
+    radius_m: float
+
+    def __post_init__(self) -> None:
+        if self.radius_m <= 0:
+            raise ValueError("atrium radius must be positive")
+
+    def contains(self, position: Tuple[float, float]) -> bool:
+        """Whether ``position`` lies inside the atrium footprint."""
+        dx = position[0] - self.center[0]
+        dy = position[1] - self.center[1]
+        return dx * dx + dy * dy <= self.radius_m * self.radius_m
+
+
+@dataclass(frozen=True)
+class BuildingGeometry:
+    """Static geometry of a simulated building.
+
+    Parameters
+    ----------
+    num_floors:
+        Number of floors (>= 1).  Floor 0 is the bottom floor.
+    width_m, depth_m:
+        Horizontal footprint in metres.
+    floor_height_m:
+        Vertical distance between consecutive floors.
+    atrium:
+        Optional open vertical space cutting through all floors.
+    """
+
+    num_floors: int
+    width_m: float = 80.0
+    depth_m: float = 50.0
+    floor_height_m: float = 4.0
+    atrium: Optional[Atrium] = None
+
+    def __post_init__(self) -> None:
+        if self.num_floors < 1:
+            raise ValueError("a building needs at least one floor")
+        if self.width_m <= 0 or self.depth_m <= 0:
+            raise ValueError("building footprint dimensions must be positive")
+        if self.floor_height_m <= 0:
+            raise ValueError("floor height must be positive")
+
+    def clamp(self, position: Tuple[float, float]) -> Tuple[float, float]:
+        """Clamp a position to the building footprint."""
+        return (
+            float(min(max(position[0], 0.0), self.width_m)),
+            float(min(max(position[1], 0.0), self.depth_m)),
+        )
+
+
+class Building:
+    """A simulated building: geometry, access points, and propagation model.
+
+    The building answers the only physical question the collector needs:
+    *what RSS does a receiver at position (x, y) on floor f observe from
+    each access point?*
+
+    Parameters
+    ----------
+    geometry:
+        Static geometry of the building.
+    access_points:
+        The deployed access points.  Every AP floor must be within range.
+    path_loss:
+        The through-slab propagation model.  Defaults to
+        :class:`FloorAttenuationPathLoss` with ITU-like parameters.
+    atrium_path_loss:
+        The propagation model used when both endpoints are inside the atrium
+        footprint (no slab attenuation).  Defaults to a free-space-like
+        log-distance model.
+    building_id:
+        Identifier propagated into the generated datasets.
+    """
+
+    def __init__(
+        self,
+        geometry: BuildingGeometry,
+        access_points: Sequence[AccessPoint],
+        path_loss: Optional[PathLossModel] = None,
+        atrium_path_loss: Optional[PathLossModel] = None,
+        building_id: str = "building",
+    ) -> None:
+        if not access_points:
+            raise ValueError("a building needs at least one access point")
+        for ap in access_points:
+            if ap.floor >= geometry.num_floors:
+                raise ValueError(
+                    f"access point {ap.mac} is on floor {ap.floor} but the building has "
+                    f"{geometry.num_floors} floors"
+                )
+        self.geometry = geometry
+        self.access_points: List[AccessPoint] = list(access_points)
+        self.path_loss = path_loss or FloorAttenuationPathLoss()
+        self.atrium_path_loss = atrium_path_loss or LogDistancePathLoss(
+            exponent=2.2, shadowing_sigma_db=4.0
+        )
+        self.building_id = building_id
+
+    @property
+    def num_floors(self) -> int:
+        """Number of floors of the building."""
+        return self.geometry.num_floors
+
+    @property
+    def macs(self) -> List[str]:
+        """MAC addresses of all deployed access points."""
+        return [ap.mac for ap in self.access_points]
+
+    def access_points_on_floor(self, floor: int) -> List[AccessPoint]:
+        """The access points mounted on the given floor."""
+        return [ap for ap in self.access_points if ap.floor == floor]
+
+    def _uses_atrium_path(self, ap: AccessPoint, position: Tuple[float, float]) -> bool:
+        """Whether the AP-receiver link benefits from the open atrium."""
+        atrium = self.geometry.atrium
+        if atrium is None:
+            return False
+        return ap.in_atrium or atrium.contains(ap.position) or atrium.contains(position)
+
+    def received_power_dbm(
+        self,
+        ap: AccessPoint,
+        position: Tuple[float, float],
+        floor: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        """RSS (dBm) a receiver at ``position`` on ``floor`` observes from ``ap``."""
+        if not (0 <= floor < self.num_floors):
+            raise ValueError(f"floor {floor} is outside the building (0..{self.num_floors - 1})")
+        distance = ap.distance_to(position, floor, self.geometry.floor_height_m)
+        floors_crossed = abs(ap.floor - floor)
+        if self._uses_atrium_path(ap, position):
+            model: PathLossModel = self.atrium_path_loss
+        else:
+            model = self.path_loss
+        return model.received_power_dbm(ap.tx_power_dbm, distance, floors_crossed, rng=rng)
+
+    def scan(
+        self,
+        position: Tuple[float, float],
+        floor: int,
+        rng: Optional[np.random.Generator] = None,
+        sensitivity_dbm: float = -92.0,
+        device_bias_db: float = 0.0,
+        max_aps: Optional[int] = None,
+    ) -> dict:
+        """Simulate one WiFi scan: RSS from every AP above the sensitivity floor.
+
+        Parameters
+        ----------
+        position, floor:
+            Receiver location.
+        rng:
+            Random generator for shadowing / measurement noise (deterministic
+            mean prediction when omitted).
+        sensitivity_dbm:
+            Receiver sensitivity; APs predicted below this are not reported.
+        device_bias_db:
+            Constant offset added to every reading — models device
+            heterogeneity across crowdsourcing contributors.
+        max_aps:
+            If given, only the strongest ``max_aps`` readings are reported
+            (phones cap their scan reports).
+
+        Returns
+        -------
+        dict
+            Mapping MAC address -> RSS (dBm), clipped to ``[-119.9, -1.0]``
+            so the readings always satisfy the
+            :class:`~repro.signals.record.SignalRecord` validity range.
+        """
+        readings = {}
+        for ap in self.access_points:
+            rss = self.received_power_dbm(ap, position, floor, rng=rng) + device_bias_db
+            if rss < sensitivity_dbm:
+                continue
+            readings[ap.mac] = float(np.clip(rss, -119.9, -1.0))
+        if max_aps is not None and len(readings) > max_aps:
+            strongest = sorted(readings.items(), key=lambda item: item[1], reverse=True)
+            readings = dict(strongest[:max_aps])
+        return readings
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Building(id={self.building_id!r}, floors={self.num_floors}, "
+            f"aps={len(self.access_points)})"
+        )

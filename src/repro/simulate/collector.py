@@ -1,0 +1,186 @@
+"""Crowdsourced data collection simulator.
+
+Real crowdsourced RF datasets are produced by many contributors wandering
+through a building with heterogeneous phones.  The collector reproduces the
+statistical fingerprint of that process:
+
+* each contributor performs a bounded random walk on one floor and records a
+  WiFi scan every few metres;
+* each contributor's device has a constant RSS bias (device heterogeneity)
+  and per-scan measurement noise;
+* scans report at most a capped number of the strongest APs;
+* the resulting records are fully labeled with ground-truth floors (the
+  evaluation needs ground truth) — the FIS-ONE pipeline itself strips the
+  labels except for the single sample it is allowed to see.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.signals.dataset import SignalDataset
+from repro.signals.record import SignalRecord
+from repro.simulate.building import Building
+
+
+@dataclass(frozen=True)
+class CollectionConfig:
+    """Parameters of the crowdsourced collection process.
+
+    Parameters
+    ----------
+    samples_per_floor:
+        Number of signal samples to collect on each floor.
+    scans_per_contributor:
+        Number of scans each simulated contributor records before leaving.
+    step_length_m:
+        Mean distance walked between consecutive scans.
+    sensitivity_dbm:
+        Receiver sensitivity below which APs are not reported.
+    max_aps_per_scan:
+        Cap on the number of APs reported per scan (``None`` = no cap).
+    detection_miss_rate:
+        Probability that an audible AP is missing from a given scan report;
+        real phone scans frequently drop access points, which is the source
+        of the heterogeneity the paper highlights (different samples observe
+        different subsets of APs even on the same floor).
+    device_bias_sigma_db:
+        Standard deviation of the per-contributor constant RSS bias.
+    measurement_noise_db:
+        Standard deviation of additional per-reading measurement noise.
+    """
+
+    samples_per_floor: int = 100
+    scans_per_contributor: int = 20
+    step_length_m: float = 5.0
+    sensitivity_dbm: float = -92.0
+    max_aps_per_scan: Optional[int] = 30
+    detection_miss_rate: float = 0.25
+    device_bias_sigma_db: float = 5.0
+    measurement_noise_db: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.samples_per_floor < 1:
+            raise ValueError("samples_per_floor must be >= 1")
+        if self.scans_per_contributor < 1:
+            raise ValueError("scans_per_contributor must be >= 1")
+        if self.step_length_m <= 0:
+            raise ValueError("step_length_m must be positive")
+        if self.max_aps_per_scan is not None and self.max_aps_per_scan < 1:
+            raise ValueError("max_aps_per_scan must be >= 1 or None")
+        if not (0.0 <= self.detection_miss_rate < 1.0):
+            raise ValueError("detection_miss_rate must be in [0, 1)")
+        if self.device_bias_sigma_db < 0 or self.measurement_noise_db < 0:
+            raise ValueError("noise parameters must be non-negative")
+
+
+class CrowdsourcedCollector:
+    """Simulates crowdsourced WiFi scanning inside a :class:`Building`."""
+
+    def __init__(self, building: Building, config: Optional[CollectionConfig] = None) -> None:
+        self.building = building
+        self.config = config or CollectionConfig()
+
+    def _contributor_walk(
+        self,
+        floor: int,
+        num_scans: int,
+        rng: random.Random,
+        np_rng: np.random.Generator,
+        device_bias_db: float,
+        contributor_id: str,
+        start_index: int,
+    ) -> List[SignalRecord]:
+        """Simulate one contributor's random walk on ``floor``."""
+        geometry = self.building.geometry
+        position = (
+            rng.uniform(0.0, geometry.width_m),
+            rng.uniform(0.0, geometry.depth_m),
+        )
+        records: List[SignalRecord] = []
+        for scan_index in range(num_scans):
+            readings = self.building.scan(
+                position,
+                floor,
+                rng=np_rng,
+                sensitivity_dbm=self.config.sensitivity_dbm,
+                device_bias_db=device_bias_db,
+                max_aps=self.config.max_aps_per_scan,
+            )
+            if self.config.detection_miss_rate > 0 and len(readings) > 1:
+                kept = {
+                    mac: rss
+                    for mac, rss in readings.items()
+                    if np_rng.random() >= self.config.detection_miss_rate
+                }
+                if kept:
+                    readings = kept
+            if self.config.measurement_noise_db > 0:
+                noisy = {}
+                for mac, rss in readings.items():
+                    jitter = float(np_rng.normal(0.0, self.config.measurement_noise_db))
+                    noisy[mac] = float(np.clip(rss + jitter, -119.9, -1.0))
+                readings = noisy
+            if readings:
+                records.append(
+                    SignalRecord(
+                        record_id=(
+                            f"{self.building.building_id}-f{floor}-"
+                            f"{contributor_id}-{start_index + scan_index}"
+                        ),
+                        readings=readings,
+                        floor=floor,
+                        position=position,
+                        device_id=contributor_id,
+                        timestamp=float(start_index + scan_index),
+                    )
+                )
+            # Take a random-direction step, staying inside the footprint.
+            angle = rng.uniform(0.0, 2.0 * np.pi)
+            step = rng.gauss(self.config.step_length_m, self.config.step_length_m / 4.0)
+            step = max(step, 0.5)
+            position = geometry.clamp(
+                (position[0] + step * np.cos(angle), position[1] + step * np.sin(angle))
+            )
+        return records
+
+    def collect_floor(self, floor: int, seed: int = 0) -> List[SignalRecord]:
+        """Collect ``samples_per_floor`` records on one floor."""
+        rng = random.Random(seed)
+        np_rng = np.random.default_rng(seed)
+        records: List[SignalRecord] = []
+        contributor = 0
+        while len(records) < self.config.samples_per_floor:
+            device_bias = rng.gauss(0.0, self.config.device_bias_sigma_db)
+            contributor_id = f"dev{contributor:04d}"
+            walk = self._contributor_walk(
+                floor=floor,
+                num_scans=self.config.scans_per_contributor,
+                rng=rng,
+                np_rng=np_rng,
+                device_bias_db=device_bias,
+                contributor_id=contributor_id,
+                start_index=len(records),
+            )
+            records.extend(walk)
+            contributor += 1
+            if contributor > 10_000:
+                raise RuntimeError(
+                    "collection is not converging; check sensitivity and AP deployment"
+                )
+        return records[: self.config.samples_per_floor]
+
+    def collect(self, seed: int = 0) -> SignalDataset:
+        """Collect a full, ground-truth-labeled dataset for the building."""
+        all_records: List[SignalRecord] = []
+        for floor in range(self.building.num_floors):
+            all_records.extend(self.collect_floor(floor, seed=seed * 1_000 + floor))
+        return SignalDataset(
+            all_records,
+            building_id=self.building.building_id,
+            num_floors=self.building.num_floors,
+        )

@@ -1,0 +1,144 @@
+"""Fleet generators: collections of buildings mirroring the paper's datasets.
+
+The paper evaluates on (i) 152 buildings from the Microsoft Indoor Location
+open dataset, with 3 to 10 floors each and roughly 1000 samples per floor
+(its Figure 7 shows the distribution of buildings over floor counts), and
+(ii) three large shopping malls — two with five floors, one with seven.
+
+The generators below reproduce those fleet shapes at configurable scale so
+the benchmark harness can run on a laptop: the *number of buildings* and the
+*samples per floor* shrink, the floor-count distribution and the mall layout
+do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.signals.dataset import SignalDataset
+from repro.simulate.generators import (
+    BuildingConfig,
+    generate_building_dataset,
+    mall_building_config,
+    office_building_config,
+)
+
+#: Approximate distribution of buildings over floor counts in the paper's
+#: Figure 7 (both datasets combined, 155 buildings total).  Keys are floor
+#: counts, values are relative weights.
+MICROSOFT_FLOOR_DISTRIBUTION: Dict[int, float] = {
+    3: 0.26,
+    4: 0.25,
+    5: 0.22,
+    6: 0.12,
+    7: 0.07,
+    8: 0.04,
+    9: 0.02,
+    10: 0.02,
+}
+
+#: Floor counts of the three shopping malls surveyed in the paper.
+MALL_FLOOR_COUNTS: Sequence[int] = (5, 5, 7)
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Scale parameters for generated building fleets.
+
+    Parameters
+    ----------
+    num_buildings:
+        Number of Microsoft-like buildings to generate.
+    samples_per_floor:
+        Crowdsourced samples collected per floor in every building.  The
+        paper uses ~1000; the default here is laptop-friendly.
+    base_seed:
+        Seed offset; building ``i`` uses seed ``base_seed + i``.
+    """
+
+    num_buildings: int = 12
+    samples_per_floor: int = 80
+    base_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_buildings < 1:
+            raise ValueError("num_buildings must be >= 1")
+        if self.samples_per_floor < 1:
+            raise ValueError("samples_per_floor must be >= 1")
+
+
+def floor_counts_for_fleet(num_buildings: int) -> List[int]:
+    """Deterministically assign floor counts following the Figure 7 distribution.
+
+    Uses largest-remainder apportionment so that even small fleets cover the
+    common floor counts (3–5) first and taller buildings appear as the fleet
+    grows — matching the long-tailed shape of the paper's Figure 7.
+    """
+    if num_buildings < 1:
+        raise ValueError("num_buildings must be >= 1")
+    weights = MICROSOFT_FLOOR_DISTRIBUTION
+    total = sum(weights.values())
+    quotas = {floors: num_buildings * weight / total for floors, weight in weights.items()}
+    counts = {floors: int(quota) for floors, quota in quotas.items()}
+    assigned = sum(counts.values())
+    remainders = sorted(
+        weights, key=lambda floors: (quotas[floors] - counts[floors]), reverse=True
+    )
+    index = 0
+    while assigned < num_buildings:
+        counts[remainders[index % len(remainders)]] += 1
+        assigned += 1
+        index += 1
+    result: List[int] = []
+    for floors in sorted(counts):
+        result.extend([floors] * counts[floors])
+    return result[:num_buildings]
+
+
+def generate_microsoft_like_fleet(config: FleetConfig = FleetConfig()) -> List[SignalDataset]:
+    """Generate a fleet of office-style buildings shaped like the Microsoft dataset."""
+    datasets: List[SignalDataset] = []
+    for index, num_floors in enumerate(floor_counts_for_fleet(config.num_buildings)):
+        building_config = office_building_config(
+            num_floors=num_floors,
+            samples_per_floor=config.samples_per_floor,
+            building_id=f"ms-{index:03d}-{num_floors}f",
+        )
+        datasets.append(
+            generate_building_dataset(building_config, seed=config.base_seed + index)
+        )
+    return datasets
+
+
+def generate_mall_fleet(
+    samples_per_floor: int = 80, base_seed: int = 1_000
+) -> List[SignalDataset]:
+    """Generate the three shopping malls of the paper (two 5-floor, one 7-floor)."""
+    datasets: List[SignalDataset] = []
+    for index, num_floors in enumerate(MALL_FLOOR_COUNTS):
+        config = mall_building_config(
+            num_floors=num_floors,
+            samples_per_floor=samples_per_floor,
+            building_id=f"mall-{index}-{num_floors}f",
+        )
+        datasets.append(generate_building_dataset(config, seed=base_seed + index))
+    return datasets
+
+
+def generate_single_building(
+    num_floors: int = 5,
+    samples_per_floor: int = 80,
+    mall: bool = False,
+    seed: int = 0,
+) -> SignalDataset:
+    """Convenience helper: one labeled building dataset for examples and tests."""
+    if mall:
+        config: BuildingConfig = mall_building_config(
+            num_floors=num_floors, samples_per_floor=samples_per_floor
+        )
+    else:
+        config = office_building_config(
+            num_floors=num_floors, samples_per_floor=samples_per_floor
+        )
+    return generate_building_dataset(config, seed=seed)

@@ -1,0 +1,178 @@
+"""Building and dataset generators.
+
+These compose the geometry, access-point placement, propagation model and
+crowdsourced collector into one call that yields a ground-truth-labeled
+:class:`~repro.signals.dataset.SignalDataset` for a synthetic building.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.signals.dataset import SignalDataset
+from repro.simulate.access_point import place_access_points
+from repro.simulate.building import Atrium, Building, BuildingGeometry
+from repro.simulate.collector import CollectionConfig, CrowdsourcedCollector
+from repro.simulate.pathloss import FloorAttenuationPathLoss, LogDistancePathLoss
+
+
+@dataclass(frozen=True)
+class BuildingConfig:
+    """Configuration of one synthetic building.
+
+    Parameters
+    ----------
+    num_floors:
+        Number of floors (bottom floor = 0).
+    aps_per_floor:
+        Number of access points deployed per floor.
+    width_m, depth_m, floor_height_m:
+        Building geometry.
+    with_atrium:
+        Whether the building has an open vertical atrium (shopping malls do;
+        the Microsoft office/campus buildings mostly do not).
+    atrium_radius_m:
+        Radius of the atrium footprint when ``with_atrium`` is set.
+    ap_tx_power_dbm:
+        Transmit power of the deployed access points.
+    path_loss_exponent:
+        Same-floor path loss exponent.
+    floor_attenuation_db:
+        Per-slab attenuation increments (see
+        :class:`~repro.simulate.pathloss.FloorAttenuationPathLoss`).
+    collection:
+        Crowdsourced collection parameters.
+    building_id:
+        Identifier of the building.
+    """
+
+    num_floors: int
+    aps_per_floor: int = 12
+    width_m: float = 80.0
+    depth_m: float = 50.0
+    floor_height_m: float = 4.0
+    with_atrium: bool = False
+    atrium_radius_m: float = 12.0
+    ap_tx_power_dbm: float = 15.0
+    path_loss_exponent: float = 3.3
+    floor_attenuation_db: tuple = (20.0, 15.0, 12.0, 10.0)
+    collection: CollectionConfig = field(default_factory=CollectionConfig)
+    building_id: str = "building"
+
+    def __post_init__(self) -> None:
+        if self.num_floors < 1:
+            raise ValueError("num_floors must be >= 1")
+        if self.aps_per_floor < 1:
+            raise ValueError("aps_per_floor must be >= 1")
+
+    def with_samples_per_floor(self, samples_per_floor: int) -> "BuildingConfig":
+        """Return a copy with a different number of samples collected per floor."""
+        return replace(self, collection=replace(self.collection, samples_per_floor=samples_per_floor))
+
+
+def generate_building(config: BuildingConfig, seed: int = 0) -> Building:
+    """Construct a :class:`Building` (geometry + APs + propagation) from a config."""
+    rng = random.Random(seed)
+    atrium = None
+    if config.with_atrium:
+        atrium = Atrium(
+            center=(config.width_m / 2.0, config.depth_m / 2.0),
+            radius_m=config.atrium_radius_m,
+        )
+    geometry = BuildingGeometry(
+        num_floors=config.num_floors,
+        width_m=config.width_m,
+        depth_m=config.depth_m,
+        floor_height_m=config.floor_height_m,
+        atrium=atrium,
+    )
+    macs_in_use: set = set()
+    access_points = []
+    for floor in range(config.num_floors):
+        access_points.extend(
+            place_access_points(
+                count=config.aps_per_floor,
+                width_m=config.width_m,
+                depth_m=config.depth_m,
+                floor=floor,
+                rng=rng,
+                tx_power_dbm=config.ap_tx_power_dbm,
+                existing_macs=macs_in_use,
+            )
+        )
+    path_loss = FloorAttenuationPathLoss(
+        base=LogDistancePathLoss(exponent=config.path_loss_exponent),
+        floor_attenuation_db=config.floor_attenuation_db,
+    )
+    return Building(
+        geometry=geometry,
+        access_points=access_points,
+        path_loss=path_loss,
+        building_id=config.building_id,
+    )
+
+
+def generate_building_dataset(config: BuildingConfig, seed: int = 0) -> SignalDataset:
+    """Generate a fully-labeled crowdsourced dataset for one synthetic building.
+
+    The returned dataset carries ground-truth floor labels on every record.
+    Evaluation code passes it through
+    :meth:`~repro.signals.dataset.SignalDataset.strip_labels` (keeping only
+    the one sample FIS-ONE is allowed to see) before handing it to the
+    pipeline.
+    """
+    building = generate_building(config, seed=seed)
+    collector = CrowdsourcedCollector(building, config.collection)
+    return collector.collect(seed=seed)
+
+
+def office_building_config(
+    num_floors: int,
+    samples_per_floor: int = 100,
+    building_id: Optional[str] = None,
+) -> BuildingConfig:
+    """A Microsoft-dataset-like office/campus building (no atrium).
+
+    The footprint is large relative to the access points' audible range, so
+    samples collected in different wings of the same floor observe different
+    AP subsets — the multi-modal, heterogeneous setting the paper targets.
+    """
+    return BuildingConfig(
+        num_floors=num_floors,
+        aps_per_floor=16,
+        width_m=140.0,
+        depth_m=80.0,
+        with_atrium=False,
+        ap_tx_power_dbm=13.0,
+        path_loss_exponent=3.4,
+        collection=CollectionConfig(
+            samples_per_floor=samples_per_floor, sensitivity_dbm=-90.0
+        ),
+        building_id=building_id or f"office-{num_floors}f",
+    )
+
+
+def mall_building_config(
+    num_floors: int,
+    samples_per_floor: int = 100,
+    building_id: Optional[str] = None,
+) -> BuildingConfig:
+    """A shopping-mall-like building: larger footprint, denser APs, central atrium."""
+    return BuildingConfig(
+        num_floors=num_floors,
+        aps_per_floor=20,
+        width_m=160.0,
+        depth_m=100.0,
+        with_atrium=True,
+        atrium_radius_m=18.0,
+        ap_tx_power_dbm=13.0,
+        path_loss_exponent=3.4,
+        collection=CollectionConfig(
+            samples_per_floor=samples_per_floor,
+            sensitivity_dbm=-90.0,
+            max_aps_per_scan=40,
+        ),
+        building_id=building_id or f"mall-{num_floors}f",
+    )

@@ -1,0 +1,58 @@
+"""Shared fixtures: small synthetic datasets reused across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.signals.dataset import SignalDataset
+from repro.signals.record import SignalRecord
+from repro.simulate.collector import CollectionConfig
+from repro.simulate.generators import BuildingConfig, generate_building_dataset
+
+
+def make_tiny_records():
+    """A handful of hand-written records spanning two floors."""
+    return [
+        SignalRecord("r0", {"aa": -40.0, "bb": -55.0}, floor=0),
+        SignalRecord("r1", {"aa": -42.0, "bb": -60.0, "cc": -80.0}, floor=0),
+        SignalRecord("r2", {"bb": -50.0, "cc": -45.0}, floor=1),
+        SignalRecord("r3", {"cc": -48.0, "dd": -52.0}, floor=1),
+        SignalRecord("r4", {"aa": -70.0, "dd": -50.0}, floor=1),
+    ]
+
+
+@pytest.fixture
+def tiny_dataset() -> SignalDataset:
+    """Five hand-written records, two floors, four MACs."""
+    return SignalDataset(make_tiny_records(), building_id="tiny", num_floors=2)
+
+
+def small_building_config(num_floors: int = 3, samples_per_floor: int = 25) -> BuildingConfig:
+    """A small, fast-to-generate simulated building for tests."""
+    return BuildingConfig(
+        num_floors=num_floors,
+        aps_per_floor=8,
+        width_m=60.0,
+        depth_m=40.0,
+        ap_tx_power_dbm=15.0,
+        collection=CollectionConfig(
+            samples_per_floor=samples_per_floor,
+            scans_per_contributor=10,
+            sensitivity_dbm=-90.0,
+        ),
+        building_id=f"test-{num_floors}f",
+    )
+
+
+@pytest.fixture(scope="session")
+def small_building_dataset() -> SignalDataset:
+    """A simulated 3-floor building with 25 labeled samples per floor."""
+    return generate_building_dataset(small_building_config(), seed=7)
+
+
+@pytest.fixture(scope="session")
+def medium_building_dataset() -> SignalDataset:
+    """A simulated 4-floor building with 40 labeled samples per floor."""
+    return generate_building_dataset(
+        small_building_config(num_floors=4, samples_per_floor=40), seed=11
+    )

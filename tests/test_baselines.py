@@ -1,0 +1,167 @@
+"""Tests for the baseline clustering algorithms (MDS, METIS-like, SDCN, DAEGC)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import sample_similarity_graph
+from repro.baselines.daegc import DAEGCBaseline
+from repro.baselines.gcn import GCNLayer, normalized_adjacency
+from repro.baselines.mds import MDSBaseline, classical_mds, cosine_distance_matrix
+from repro.baselines.metis_like import MetisLikeBaseline, MultilevelPartitioner, _WeightedGraph
+from repro.baselines.sdcn import SDCNBaseline, student_t_assignment, target_distribution
+from repro.graph.bipartite import BipartiteGraph
+from repro.metrics.ari import adjusted_rand_index
+
+
+class TestBaseUtilities:
+    def test_sample_similarity_graph(self, small_building_dataset):
+        adjacency = sample_similarity_graph(small_building_dataset)
+        n = len(small_building_dataset)
+        assert adjacency.shape == (n, n)
+        assert np.allclose(adjacency, adjacency.T)
+        assert np.all((adjacency >= 0.0) & (adjacency <= 1.0))
+
+    def test_normalized_adjacency(self):
+        adjacency = np.array([[0.0, 1.0], [1.0, 0.0]])
+        normalized = normalized_adjacency(adjacency)
+        assert normalized.shape == (2, 2)
+        eigenvalues = np.linalg.eigvalsh(normalized)
+        assert np.max(np.abs(eigenvalues)) <= 1.0 + 1e-9
+
+    def test_normalized_adjacency_validation(self):
+        with pytest.raises(ValueError):
+            normalized_adjacency(np.array([[0.0, -1.0], [1.0, 0.0]]))
+        with pytest.raises(ValueError):
+            normalized_adjacency(np.zeros((2, 3)))
+
+    def test_gcn_layer_gradient(self):
+        rng = np.random.default_rng(0)
+        adjacency_hat = normalized_adjacency(rng.random((5, 5)))
+        layer = GCNLayer(3, 2, activation="tanh", rng=rng)
+        features = rng.standard_normal((5, 3))
+        target = rng.standard_normal((5, 2))
+
+        def loss():
+            out = layer.forward(adjacency_hat, features)
+            return 0.5 * float(np.sum((out - target) ** 2)), out - target
+
+        _, grad_out = loss()
+        layer.zero_grad()
+        layer.backward(grad_out)
+        analytic = layer.grads["W"].copy()
+        eps = 1e-6
+        original = layer.params["W"][0, 0]
+        layer.params["W"][0, 0] = original + eps
+        plus, _ = loss()
+        layer.params["W"][0, 0] = original - eps
+        minus, _ = loss()
+        layer.params["W"][0, 0] = original
+        assert analytic[0, 0] == pytest.approx((plus - minus) / (2 * eps), rel=1e-4)
+
+
+class TestMDS:
+    def test_cosine_distance_matrix(self):
+        features = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+        distances = cosine_distance_matrix(features)
+        assert distances[0, 2] == pytest.approx(0.0, abs=1e-12)
+        assert distances[0, 1] == pytest.approx(1.0)
+
+    def test_classical_mds_recovers_line(self):
+        positions = np.array([[0.0], [1.0], [2.0], [5.0]])
+        distances = np.abs(positions - positions.T)
+        embedding = classical_mds(distances, dim=1)
+        recovered = np.abs(embedding - embedding.T).reshape(4, 4)
+        assert np.allclose(recovered, distances, atol=1e-8)
+
+    def test_classical_mds_validation(self):
+        with pytest.raises(ValueError):
+            classical_mds(np.zeros((2, 3)), 1)
+        with pytest.raises(ValueError):
+            classical_mds(np.zeros((2, 2)), 0)
+
+    def test_fit_predict(self, small_building_dataset):
+        baseline = MDSBaseline(embedding_dim=16)
+        assignment = baseline.fit_predict(small_building_dataset, num_clusters=3, seed=0)
+        assert len(assignment) == len(small_building_dataset)
+        assert assignment.num_clusters == 3
+        assert baseline.embeddings().shape[0] == len(small_building_dataset)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MDSBaseline(embedding_dim=0)
+
+
+class TestMetisLike:
+    def test_partition_two_cliques(self):
+        # Two dense cliques weakly connected: the partitioner must separate them.
+        graph = _WeightedGraph(8)
+        for group in (range(0, 4), range(4, 8)):
+            nodes = list(group)
+            for i in nodes:
+                for j in nodes:
+                    if i < j:
+                        graph.add_edge(i, j, 10.0)
+        graph.add_edge(3, 4, 0.1)
+        parts = MultilevelPartitioner(num_parts=2, seed=0).partition(graph)
+        assert len(set(parts[:4])) == 1
+        assert len(set(parts[4:])) == 1
+        assert parts[0] != parts[7]
+
+    def test_partition_single_part(self):
+        graph = _WeightedGraph(4)
+        graph.add_edge(0, 1, 1.0)
+        parts = MultilevelPartitioner(num_parts=1).partition(graph)
+        assert np.all(parts == 0)
+
+    def test_partition_covers_all_parts(self, small_building_dataset):
+        baseline = MetisLikeBaseline()
+        assignment = baseline.fit_predict(small_building_dataset, num_clusters=3, seed=0)
+        assert assignment.num_clusters == 3
+        assert np.unique(assignment.labels).size == 3
+
+    def test_from_bipartite(self, tiny_dataset):
+        graph = BipartiteGraph.from_dataset(tiny_dataset)
+        weighted = _WeightedGraph.from_bipartite(graph)
+        assert weighted.num_nodes == graph.num_nodes
+        assert sum(len(adj) for adj in weighted.adjacency) // 2 == graph.num_edges
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultilevelPartitioner(num_parts=0)
+        with pytest.raises(ValueError):
+            MultilevelPartitioner(num_parts=2, balance_factor=0.9)
+
+
+class TestDeepBaselines:
+    def test_student_t_and_target_distribution(self):
+        latent = np.array([[0.0, 0.0], [1.0, 1.0], [5.0, 5.0]])
+        centers = np.array([[0.0, 0.0], [5.0, 5.0]])
+        q = student_t_assignment(latent, centers)
+        assert q.shape == (3, 2)
+        assert np.allclose(q.sum(axis=1), 1.0)
+        assert q[0, 0] > q[0, 1]
+        assert q[2, 1] > q[2, 0]
+        p = target_distribution(q)
+        assert np.allclose(p.sum(axis=1), 1.0)
+        # sharpening: the dominant assignment becomes even more dominant
+        assert p[0, 0] >= q[0, 0]
+
+    @pytest.mark.parametrize("baseline_cls", [SDCNBaseline, DAEGCBaseline])
+    def test_fit_predict_shapes(self, baseline_cls, small_building_dataset):
+        baseline = baseline_cls(pretrain_epochs=5, train_epochs=5, embedding_dim=8, hidden_dim=16)
+        assignment = baseline.fit_predict(small_building_dataset, num_clusters=3, seed=0)
+        assert len(assignment) == len(small_building_dataset)
+        assert assignment.num_clusters == 3
+        assert np.unique(assignment.labels).size == 3  # no empty clusters
+        assert baseline.embeddings() is not None
+
+    @pytest.mark.parametrize("baseline_cls", [SDCNBaseline, DAEGCBaseline])
+    def test_better_than_random(self, baseline_cls, small_building_dataset):
+        baseline = baseline_cls(pretrain_epochs=10, train_epochs=10, embedding_dim=8, hidden_dim=16)
+        assignment = baseline.fit_predict(small_building_dataset, num_clusters=3, seed=0)
+        truth = small_building_dataset.ground_truth
+        rng = np.random.default_rng(0)
+        random_labels = rng.integers(0, 3, size=len(truth))
+        assert adjusted_rand_index(truth, assignment.labels) > adjusted_rand_index(
+            truth, random_labels
+        )

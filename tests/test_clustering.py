@@ -1,0 +1,172 @@
+"""Tests for hierarchical clustering, K-means and cluster-assignment helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.cluster.hierarchy import fcluster, linkage
+
+from repro.clustering.assignments import (
+    ClusterAssignment,
+    cluster_sizes,
+    records_by_cluster,
+    relabel_clusters_by_size,
+)
+from repro.clustering.hierarchical import HierarchicalClustering, average_linkage_labels, ward_linkage_labels
+from repro.clustering.kmeans import KMeans, kmeans_labels
+from repro.metrics.ari import adjusted_rand_index
+
+
+def make_blobs(centers, points_per_cluster=20, spread=0.3, seed=0):
+    rng = np.random.default_rng(seed)
+    points = []
+    labels = []
+    for index, center in enumerate(centers):
+        points.append(center + spread * rng.standard_normal((points_per_cluster, len(center))))
+        labels.extend([index] * points_per_cluster)
+    return np.vstack(points), np.array(labels)
+
+
+class TestHierarchical:
+    def test_recovers_well_separated_blobs(self):
+        points, truth = make_blobs([np.array([0.0, 0.0]), np.array([10.0, 0.0]), np.array([0.0, 10.0])])
+        for linkage_name in ("average", "ward"):
+            labels = HierarchicalClustering(3, linkage=linkage_name).fit_predict(points)
+            assert adjusted_rand_index(truth, labels) == 1.0
+
+    def test_matches_scipy_average_linkage(self):
+        points, _ = make_blobs(
+            [np.array([0.0, 0.0]), np.array([4.0, 1.0]), np.array([1.0, 5.0])],
+            points_per_cluster=12,
+            spread=0.8,
+            seed=3,
+        )
+        ours = average_linkage_labels(points, 3)
+        scipy_labels = fcluster(linkage(points, method="average"), t=3, criterion="maxclust")
+        assert adjusted_rand_index(scipy_labels, ours) == 1.0
+
+    def test_matches_scipy_ward_linkage(self):
+        points, _ = make_blobs(
+            [np.array([0.0, 0.0]), np.array([4.0, 1.0]), np.array([1.0, 5.0])],
+            points_per_cluster=12,
+            spread=0.8,
+            seed=4,
+        )
+        ours = ward_linkage_labels(points, 3)
+        scipy_labels = fcluster(linkage(points, method="ward"), t=3, criterion="maxclust")
+        assert adjusted_rand_index(scipy_labels, ours) == 1.0
+
+    def test_num_clusters_respected(self):
+        points, _ = make_blobs([np.array([0.0, 0.0]), np.array([5.0, 5.0])])
+        for k in (2, 3, 5):
+            labels = HierarchicalClustering(k, linkage="ward").fit_predict(points)
+            assert np.unique(labels).size == k
+
+    def test_trivial_cases(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        assert np.unique(HierarchicalClustering(3).fit_predict(points)).size == 3
+        with pytest.raises(ValueError):
+            HierarchicalClustering(5).fit_predict(points)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HierarchicalClustering(0)
+        with pytest.raises(ValueError):
+            HierarchicalClustering(2, linkage="single")
+        with pytest.raises(ValueError):
+            HierarchicalClustering(2).fit_predict(np.zeros(5))
+
+    def test_merge_history_recorded(self):
+        points, _ = make_blobs([np.array([0.0, 0.0]), np.array([5.0, 5.0])], points_per_cluster=5)
+        model = HierarchicalClustering(2)
+        model.fit_predict(points)
+        assert len(model.merge_history_) == len(points) - 2
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n_points=st.integers(min_value=4, max_value=30),
+        k=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_property_partition_is_valid(self, n_points, k, seed):
+        if k > n_points:
+            k = n_points
+        points = np.random.default_rng(seed).standard_normal((n_points, 3))
+        labels = HierarchicalClustering(k, linkage="ward").fit_predict(points)
+        assert labels.shape == (n_points,)
+        assert np.unique(labels).size == k
+        assert labels.min() >= 0 and labels.max() < k
+
+
+class TestKMeans:
+    def test_recovers_blobs(self):
+        points, truth = make_blobs([np.array([0.0, 0.0]), np.array([8.0, 0.0]), np.array([0.0, 8.0])])
+        labels = KMeans(3, seed=0).fit_predict(points)
+        assert adjusted_rand_index(truth, labels) == 1.0
+
+    def test_inertia_and_centroids_set(self):
+        points, _ = make_blobs([np.array([0.0, 0.0]), np.array([8.0, 0.0])])
+        model = KMeans(2, seed=0)
+        model.fit_predict(points)
+        assert model.centroids_.shape == (2, 2)
+        assert model.inertia_ >= 0.0
+
+    def test_k_equal_n(self):
+        points = np.arange(8, dtype=float).reshape(4, 2)
+        labels = KMeans(4, seed=0).fit_predict(points)
+        assert np.unique(labels).size == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KMeans(0)
+        with pytest.raises(ValueError):
+            KMeans(2).fit_predict(np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            KMeans(2).fit_predict(np.zeros(4))
+
+    def test_wrapper(self):
+        points, _ = make_blobs([np.array([0.0, 0.0]), np.array([8.0, 0.0])])
+        assert np.unique(kmeans_labels(points, 2)).size == 2
+
+    def test_reproducible_with_seed(self):
+        points, _ = make_blobs([np.array([0.0, 0.0]), np.array([8.0, 0.0])], spread=1.5)
+        a = KMeans(2, seed=5).fit_predict(points)
+        b = KMeans(2, seed=5).fit_predict(points)
+        assert np.array_equal(a, b)
+
+
+class TestAssignments:
+    def test_members_and_sizes(self):
+        assignment = ClusterAssignment(labels=np.array([0, 1, 1, 2, 2, 2]), num_clusters=3)
+        assert cluster_sizes(assignment) == {0: 1, 1: 2, 2: 3}
+        assert assignment.members(1).tolist() == [1, 2]
+        assert len(assignment) == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterAssignment(labels=np.array([0, 5]), num_clusters=2)
+        with pytest.raises(ValueError):
+            ClusterAssignment(labels=np.array([[0], [1]]), num_clusters=2)
+
+    def test_remap(self):
+        assignment = ClusterAssignment(labels=np.array([0, 1, 1]), num_clusters=2)
+        remapped = assignment.remap({0: 1, 1: 0})
+        assert remapped.labels.tolist() == [1, 0, 0]
+        with pytest.raises(ValueError):
+            assignment.remap({0: 1})
+
+    def test_records_by_cluster(self, tiny_dataset):
+        assignment = ClusterAssignment(labels=np.array([0, 0, 1, 1, 1]), num_clusters=2)
+        groups = records_by_cluster(tiny_dataset, assignment)
+        assert [record.record_id for record in groups[0]] == ["r0", "r1"]
+        assert len(groups[1]) == 3
+
+    def test_records_by_cluster_length_mismatch(self, tiny_dataset):
+        assignment = ClusterAssignment(labels=np.array([0, 1]), num_clusters=2)
+        with pytest.raises(ValueError):
+            records_by_cluster(tiny_dataset, assignment)
+
+    def test_relabel_by_size(self):
+        assignment = ClusterAssignment(labels=np.array([2, 2, 2, 0, 1, 1]), num_clusters=3)
+        relabeled = relabel_clusters_by_size(assignment)
+        sizes = cluster_sizes(relabeled)
+        assert sizes[0] >= sizes[1] >= sizes[2]

@@ -1,0 +1,142 @@
+"""Integration tests for the end-to-end FIS-ONE pipeline and its configuration."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FisOneConfig
+from repro.core.pipeline import FisOne
+from repro.gnn.model import RFGNNConfig
+from repro.metrics.ari import adjusted_rand_index
+from repro.metrics.accuracy import floor_accuracy
+
+
+def fast_config(**overrides) -> FisOneConfig:
+    """A configuration small enough for integration tests."""
+    defaults = dict(
+        gnn=RFGNNConfig(embedding_dim=16, neighbor_sample_sizes=(6, 3)),
+        num_epochs=2,
+        max_pairs_per_epoch=6000,
+        inference_passes=2,
+        inference_sample_sizes=(15, 8),
+    )
+    defaults.update(overrides)
+    return FisOneConfig(**defaults)
+
+
+class TestConfig:
+    def test_defaults_are_papers(self):
+        config = FisOneConfig()
+        assert config.clustering == "hierarchical"
+        assert config.similarity == "adapted_jaccard"
+        assert config.tsp_method == "exact"
+        assert config.gnn.attention is True
+        assert config.negatives_per_pair == 4
+        assert config.walks.walk_length == 5
+
+    def test_ablation_constructors(self):
+        config = FisOneConfig()
+        assert config.without_attention().gnn.attention is False
+        assert config.without_attention().walks.weighted is False
+        assert config.with_kmeans().clustering == "kmeans"
+        assert config.with_jaccard().similarity == "jaccard"
+        assert config.with_tsp_method("two_opt").tsp_method == "two_opt"
+        assert config.with_embedding_dim(8).gnn.embedding_dim == 8
+        assert config.with_seed(9).seed == 9
+
+    def test_walk_weighting_follows_attention(self):
+        assert FisOneConfig().walks.weighted is True
+        assert FisOneConfig(gnn=RFGNNConfig(attention=False)).walks.weighted is False
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FisOneConfig(clustering="spectral")
+        with pytest.raises(ValueError):
+            FisOneConfig(similarity="dice")
+        with pytest.raises(ValueError):
+            FisOneConfig(num_epochs=0)
+        with pytest.raises(ValueError):
+            FisOneConfig(inference_passes=0)
+        with pytest.raises(ValueError):
+            FisOneConfig(linkage="single")
+        with pytest.raises(ValueError):
+            FisOneConfig(inference_sample_sizes=(5,))
+
+
+class TestPipeline:
+    def test_end_to_end_bottom_floor(self, small_building_dataset):
+        dataset = small_building_dataset
+        anchor = dataset.pick_labeled_sample(floor=0).record_id
+        observed = dataset.strip_labels(keep_record_ids=[anchor])
+        result = FisOne(fast_config()).fit_predict(observed, anchor, labeled_floor=0)
+
+        assert result.floor_labels.shape == (len(dataset),)
+        assert set(np.unique(result.floor_labels)) <= set(range(dataset.num_floors))
+        assert result.embeddings.shape[0] == len(dataset)
+        assert result.training_history.num_epochs == 2
+
+        truth = dataset.ground_truth
+        assert adjusted_rand_index(truth, result.floor_labels) > 0.4
+        assert floor_accuracy(truth, result.floor_labels) > 0.4
+
+    def test_anchor_floor_prediction_matches_label(self, small_building_dataset):
+        dataset = small_building_dataset
+        anchor = dataset.pick_labeled_sample(floor=0).record_id
+        observed = dataset.strip_labels(keep_record_ids=[anchor])
+        result = FisOne(fast_config()).fit_predict(observed, anchor, labeled_floor=0)
+        # The anchor's own cluster is by construction the bottom floor.
+        assert result.predicted_floor_of(dataset, anchor) == 0
+
+    def test_pipeline_never_reads_other_labels(self, small_building_dataset):
+        """Feeding the fully labeled dataset and the stripped one gives identical output."""
+        dataset = small_building_dataset
+        anchor = dataset.pick_labeled_sample(floor=0).record_id
+        observed = dataset.strip_labels(keep_record_ids=[anchor])
+        config = fast_config()
+        labeled_result = FisOne(config).fit_predict(dataset, anchor, labeled_floor=0)
+        stripped_result = FisOne(config).fit_predict(observed, anchor, labeled_floor=0)
+        assert np.array_equal(labeled_result.floor_labels, stripped_result.floor_labels)
+
+    def test_reproducible_with_same_seed(self, small_building_dataset):
+        dataset = small_building_dataset
+        anchor = dataset.pick_labeled_sample(floor=0).record_id
+        config = fast_config()
+        a = FisOne(config).fit_predict(dataset, anchor, labeled_floor=0)
+        b = FisOne(config).fit_predict(dataset, anchor, labeled_floor=0)
+        assert np.array_equal(a.floor_labels, b.floor_labels)
+
+    def test_kmeans_and_ablation_variants_run(self, small_building_dataset):
+        dataset = small_building_dataset
+        anchor = dataset.pick_labeled_sample(floor=0).record_id
+        for config in (
+            fast_config().with_kmeans(),
+            fast_config().without_attention(),
+            fast_config().with_jaccard(),
+            fast_config().with_tsp_method("two_opt"),
+            fast_config(linkage="average"),
+        ):
+            result = FisOne(config).fit_predict(dataset, anchor, labeled_floor=0)
+            assert result.floor_labels.shape == (len(dataset),)
+
+    def test_arbitrary_floor_label(self, medium_building_dataset):
+        dataset = medium_building_dataset  # 4 floors: floor 1 is neither bottom nor top
+        anchor = dataset.pick_labeled_sample(floor=1).record_id
+        result = FisOne(fast_config()).fit_predict(dataset, anchor, labeled_floor=1)
+        truth = dataset.ground_truth
+        assert adjusted_rand_index(truth, result.floor_labels) > 0.3
+
+    def test_unknown_anchor_rejected(self, small_building_dataset):
+        with pytest.raises(KeyError):
+            FisOne(fast_config()).fit_predict(small_building_dataset, "nope", labeled_floor=0)
+
+    def test_invalid_floor_rejected(self, small_building_dataset):
+        anchor = small_building_dataset.pick_labeled_sample(floor=0).record_id
+        with pytest.raises(ValueError):
+            FisOne(fast_config()).fit_predict(small_building_dataset, anchor, labeled_floor=99)
+
+    def test_floors_by_record_id(self, small_building_dataset):
+        dataset = small_building_dataset
+        anchor = dataset.pick_labeled_sample(floor=0).record_id
+        result = FisOne(fast_config()).fit_predict(dataset, anchor, labeled_floor=0)
+        mapping = result.floors_by_record_id(dataset)
+        assert len(mapping) == len(dataset)
+        assert mapping[anchor] == result.predicted_floor_of(dataset, anchor)

@@ -1,0 +1,150 @@
+"""Tests for the experiment runner, spillover statistics and reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mds import MDSBaseline
+from repro.core.config import FisOneConfig
+from repro.experiments.reporting import (
+    format_mean_std,
+    format_ratio_table,
+    format_table,
+    improvement_percent,
+    summaries_as_dict,
+)
+from repro.experiments.runner import (
+    BuildingEvaluation,
+    evaluate_baseline_on_building,
+    evaluate_fis_one_on_building,
+    evaluate_fleet,
+    indexing_sequence,
+    pick_anchor,
+    summarize,
+)
+from repro.experiments.spillover import spillover_by_floor_distance, spillover_histogram
+from repro.gnn.model import RFGNNConfig
+
+
+def fast_config():
+    return FisOneConfig(
+        gnn=RFGNNConfig(embedding_dim=16, neighbor_sample_sizes=(6, 3)),
+        num_epochs=2,
+        max_pairs_per_epoch=6000,
+        inference_passes=2,
+        inference_sample_sizes=(15, 8),
+    )
+
+
+class TestIndexingSequence:
+    def test_perfect_prediction(self):
+        truth = [0, 0, 1, 1, 2, 2]
+        assert indexing_sequence(truth, truth, 3) == [1, 2, 3]
+
+    def test_swapped_floors(self):
+        truth = [0, 0, 1, 1]
+        predicted = [1, 1, 0, 0]
+        assert indexing_sequence(truth, predicted, 2) == [2, 1]
+
+    def test_empty_predicted_floor(self):
+        truth = [0, 0, 1, 1]
+        predicted = [0, 0, 0, 0]
+        sequence = indexing_sequence(truth, predicted, 2)
+        assert sequence[1] == 0  # the empty floor can never match
+
+
+class TestSpillover:
+    def test_histogram(self, small_building_dataset):
+        histogram = spillover_histogram(small_building_dataset)
+        assert sum(histogram.values()) == len(small_building_dataset.macs)
+        assert all(1 <= floors <= 3 for floors in histogram)
+
+    def test_adjacent_floors_share_more(self, medium_building_dataset):
+        by_distance = spillover_by_floor_distance(medium_building_dataset)
+        assert by_distance[1] >= by_distance[max(by_distance)]
+
+    def test_unlabeled_dataset_rejected(self, small_building_dataset):
+        stripped = small_building_dataset.strip_labels()
+        with pytest.raises(ValueError):
+            spillover_histogram(stripped)
+
+
+class TestRunner:
+    def test_pick_anchor(self, small_building_dataset):
+        anchor = pick_anchor(small_building_dataset, floor=0)
+        assert small_building_dataset.get(anchor).floor == 0
+
+    def test_evaluate_fis_one(self, small_building_dataset):
+        evaluation = evaluate_fis_one_on_building(small_building_dataset, fast_config())
+        assert isinstance(evaluation, BuildingEvaluation)
+        assert evaluation.method == "FIS-ONE"
+        assert 0.0 <= evaluation.nmi <= 1.0
+        assert 0.0 <= evaluation.edit_distance <= 1.0
+        assert evaluation.num_floors == 3
+        assert set(evaluation.as_dict()) == {"ari", "nmi", "edit_distance", "accuracy"}
+
+    def test_evaluate_baseline(self, small_building_dataset):
+        evaluation = evaluate_baseline_on_building(
+            small_building_dataset, MDSBaseline(embedding_dim=8), fast_config()
+        )
+        assert evaluation.method == "MDS"
+        assert 0.0 <= evaluation.accuracy <= 1.0
+
+    def test_evaluate_fleet_and_summarize(self, small_building_dataset):
+        methods = {
+            "MDS": lambda ds: evaluate_baseline_on_building(
+                ds, MDSBaseline(embedding_dim=8), fast_config()
+            ),
+        }
+        results = evaluate_fleet([small_building_dataset], methods)
+        assert set(results) == {"MDS"}
+        summary = summarize(results["MDS"], "MDS")
+        assert summary.num_buildings == 1
+        assert set(summary.mean) == {"ari", "nmi", "edit_distance", "accuracy"}
+        assert all(std == 0.0 for std in summary.std.values())
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([], "none")
+
+
+class TestReporting:
+    def _summaries(self):
+        evaluations = [
+            BuildingEvaluation("b1", "FIS-ONE", 0.9, 0.92, 0.95, 0.9, 5),
+            BuildingEvaluation("b2", "FIS-ONE", 0.8, 0.82, 0.85, 0.8, 4),
+        ]
+        return [summarize(evaluations, "FIS-ONE")]
+
+    def test_format_mean_std(self):
+        assert format_mean_std(0.8564, 0.0861) == "0.856(0.086)"
+
+    def test_format_table(self):
+        table = format_table(self._summaries(), title="Table I")
+        assert "Table I" in table
+        assert "FIS-ONE" in table
+        assert "ARI" in table and "EDIT_DISTANCE" in table
+
+    def test_format_ratio_table(self):
+        table = format_ratio_table(
+            {"FIS-ONE": {"ari": 0.9, "nmi": 0.92}}, column_order=["ari", "nmi"]
+        )
+        assert "FIS-ONE" in table
+        assert "0.900" in table
+
+    def test_improvement_percent(self):
+        assert improvement_percent(1.2, 1.0) == pytest.approx(20.0)
+        with pytest.raises(ValueError):
+            improvement_percent(1.0, 0.0)
+
+    def test_summaries_as_dict(self):
+        as_dict = summaries_as_dict(self._summaries())
+        assert as_dict["FIS-ONE"]["ari"] == pytest.approx(0.85)
+
+
+class TestPackageMetadata:
+    def test_version_and_exports(self):
+        import repro
+
+        assert repro.__version__
+        assert hasattr(repro, "FisOne")
+        assert hasattr(repro, "SignalDataset")

@@ -1,0 +1,233 @@
+"""Tests for the bipartite graph, alias sampling, random walks and negative sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.alias import BatchedAliasSampler, build_alias_table
+from repro.graph.bipartite import BipartiteGraph, NodeKind, rss_edge_weight
+from repro.graph.negative_sampling import NegativeSampler
+from repro.graph.walks import RandomWalkGenerator, WalkConfig
+from repro.signals.record import SignalRecord
+
+
+class TestEdgeWeight:
+    def test_offset(self):
+        assert rss_edge_weight(-50.0) == pytest.approx(70.0)
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            rss_edge_weight(-130.0)
+
+    @given(st.floats(min_value=-119.0, max_value=0.0))
+    def test_always_positive_in_valid_range(self, rss):
+        assert rss_edge_weight(rss) > 0
+
+
+class TestBipartiteGraph:
+    def test_from_dataset_structure(self, tiny_dataset):
+        graph = BipartiteGraph.from_dataset(tiny_dataset)
+        assert len(graph.sample_ids) == len(tiny_dataset)
+        assert len(graph.mac_ids) == len(tiny_dataset.macs)
+        total_readings = sum(len(record) for record in tiny_dataset)
+        assert graph.num_edges == total_readings
+
+    def test_sample_order_matches_dataset(self, tiny_dataset):
+        graph = BipartiteGraph.from_dataset(tiny_dataset)
+        for index, record in enumerate(tiny_dataset):
+            node = graph.node(graph.sample_ids[index])
+            assert node.key == record.record_id
+            assert node.kind is NodeKind.SAMPLE
+
+    def test_edge_weights_follow_rss(self, tiny_dataset):
+        graph = BipartiteGraph.from_dataset(tiny_dataset)
+        sample = graph.sample_node_id("r0")
+        mac = graph.mac_node_id("aa")
+        assert graph.edge_weight(sample, mac) == pytest.approx(-40.0 + 120.0)
+        assert graph.edge_weight(mac, sample) == pytest.approx(80.0)
+
+    def test_edge_weight_missing(self, tiny_dataset):
+        graph = BipartiteGraph.from_dataset(tiny_dataset)
+        assert graph.edge_weight(graph.sample_node_id("r0"), graph.mac_node_id("dd")) is None
+
+    def test_add_node_idempotent(self):
+        graph = BipartiteGraph()
+        first = graph.add_node(NodeKind.MAC, "aa")
+        second = graph.add_node(NodeKind.MAC, "aa")
+        assert first == second
+
+    def test_add_edge_type_check(self, tiny_dataset):
+        graph = BipartiteGraph.from_dataset(tiny_dataset)
+        mac = graph.mac_node_id("aa")
+        sample = graph.sample_node_id("r0")
+        with pytest.raises(ValueError):
+            graph.add_edge(sample, sample, -50.0)
+        with pytest.raises(ValueError):
+            graph.add_edge(mac, mac, -50.0)
+
+    def test_degrees_and_neighbors(self, tiny_dataset):
+        graph = BipartiteGraph.from_dataset(tiny_dataset)
+        sample = graph.sample_node_id("r1")
+        assert graph.degree(sample) == 3
+        neighbors, weights = graph.neighbor_arrays(sample)
+        assert neighbors.shape == weights.shape == (3,)
+        assert np.all(weights > 0)
+
+    def test_incremental_add_record(self, tiny_dataset):
+        graph = BipartiteGraph.from_dataset(tiny_dataset)
+        before = graph.num_nodes
+        new = SignalRecord("new", {"aa": -60.0, "zz": -70.0})
+        graph.add_record(new)
+        assert graph.num_nodes == before + 2  # one new sample node, one new MAC node
+        assert graph.sample_node_id("new") >= 0
+
+    def test_adjacency_matrix_symmetric(self, tiny_dataset):
+        graph = BipartiteGraph.from_dataset(tiny_dataset)
+        matrix = graph.adjacency_matrix()
+        assert matrix.shape == (graph.num_nodes, graph.num_nodes)
+        assert np.allclose(matrix, matrix.T)
+
+    def test_normalized_adjacency_rows(self, tiny_dataset):
+        graph = BipartiteGraph.from_dataset(tiny_dataset)
+        matrix = graph.adjacency_matrix(normalize=True)
+        assert np.all(np.isfinite(matrix))
+
+    def test_sample_feature_matrix(self, tiny_dataset):
+        graph = BipartiteGraph.from_dataset(tiny_dataset)
+        features = graph.sample_feature_matrix(tiny_dataset)
+        assert features.shape == (len(tiny_dataset), len(tiny_dataset.macs))
+        # missing entries are filled with -120
+        assert np.min(features) == -120.0
+
+
+class TestAliasSampler:
+    def test_alias_table_distribution(self):
+        prob, alias = build_alias_table(np.array([0.1, 0.2, 0.7]))
+        assert prob.shape == alias.shape == (3,)
+        assert np.all((0.0 <= prob) & (prob <= 1.0 + 1e-9))
+
+    def test_alias_table_validation(self):
+        with pytest.raises(ValueError):
+            build_alias_table(np.array([]))
+        with pytest.raises(ValueError):
+            build_alias_table(np.array([0.0, 0.0]))
+        with pytest.raises(ValueError):
+            build_alias_table(np.array([-1.0, 2.0]))
+
+    def test_batched_sampling_shapes(self):
+        neighbors = [np.array([1, 2]), np.array([0]), np.array([0, 1])]
+        weights = [np.array([1.0, 3.0]), np.array([2.0]), np.array([1.0, 1.0])]
+        sampler = BatchedAliasSampler(neighbors, weights, seed=0)
+        sampled, sampled_weights = sampler.sample(np.array([0, 1, 2, 0]), 5)
+        assert sampled.shape == sampled_weights.shape == (4, 5)
+        # node 1 has a single neighbour: every draw must be node 0
+        assert np.all(sampled[1] == 0)
+
+    def test_weighted_sampling_bias(self):
+        neighbors = [np.array([1, 2])]
+        weights = [np.array([1.0, 9.0])]
+        sampler = BatchedAliasSampler(neighbors, weights, seed=0)
+        sampled, _ = sampler.sample(np.array([0]), 5000)
+        frequency_of_2 = float(np.mean(sampled == 2))
+        assert 0.85 < frequency_of_2 < 0.95
+
+    def test_uniform_sampling(self):
+        neighbors = [np.array([1, 2])]
+        weights = [np.array([1.0, 9.0])]
+        sampler = BatchedAliasSampler(neighbors, weights, uniform=True, seed=0)
+        sampled, _ = sampler.sample(np.array([0]), 5000)
+        frequency_of_2 = float(np.mean(sampled == 2))
+        assert 0.45 < frequency_of_2 < 0.55
+
+    def test_empty_neighbors_rejected(self):
+        with pytest.raises(ValueError):
+            BatchedAliasSampler([np.array([], dtype=np.int64)], [np.array([])])
+
+    @settings(max_examples=25, deadline=None)
+    @given(weights=st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=1, max_size=8))
+    def test_property_sampled_values_are_neighbors(self, weights):
+        neighbor_ids = np.arange(1, len(weights) + 1)
+        sampler = BatchedAliasSampler([neighbor_ids], [np.array(weights)], seed=1)
+        sampled, sampled_weights = sampler.sample(np.array([0]), 16)
+        assert set(sampled.reshape(-1).tolist()) <= set(neighbor_ids.tolist())
+        assert np.all(sampled_weights > 0)
+
+
+class TestRandomWalks:
+    def test_walk_length_and_start(self, tiny_dataset):
+        graph = BipartiteGraph.from_dataset(tiny_dataset)
+        generator = RandomWalkGenerator(graph, WalkConfig(walk_length=5, walks_per_node=2), seed=0)
+        walks = generator.walk_matrix()
+        assert walks.shape == (graph.num_nodes * 2, 5)
+        assert set(walks[:, 0].tolist()) == set(range(graph.num_nodes))
+
+    def test_walks_alternate_partitions(self, tiny_dataset):
+        graph = BipartiteGraph.from_dataset(tiny_dataset)
+        generator = RandomWalkGenerator(graph, seed=0)
+        walk = generator.walk_from(graph.sample_node_id("r0"))
+        kinds = [graph.node(node).kind for node in walk]
+        for first, second in zip(kinds, kinds[1:]):
+            assert first != second  # bipartite: walk alternates MAC / sample
+
+    def test_pairs_from_walk_window(self):
+        pairs = RandomWalkGenerator.pairs_from_walk([1, 2, 3], window_size=1)
+        assert (1, 2) in pairs and (2, 1) in pairs
+        assert (1, 3) not in pairs
+
+    def test_positive_pairs_no_self_pairs(self, tiny_dataset):
+        graph = BipartiteGraph.from_dataset(tiny_dataset)
+        generator = RandomWalkGenerator(graph, seed=0)
+        pairs = generator.positive_pairs()
+        assert pairs.shape[1] == 2
+        assert np.all(pairs[:, 0] != pairs[:, 1])
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            WalkConfig(walk_length=1)
+        with pytest.raises(ValueError):
+            WalkConfig(walks_per_node=0)
+        with pytest.raises(ValueError):
+            WalkConfig(window_size=0)
+
+    def test_reproducible(self, tiny_dataset):
+        graph = BipartiteGraph.from_dataset(tiny_dataset)
+        a = RandomWalkGenerator(graph, seed=3).walk_matrix()
+        b = RandomWalkGenerator(graph, seed=3).walk_matrix()
+        assert np.array_equal(a, b)
+
+
+class TestNegativeSampler:
+    def test_sample_shapes(self, tiny_dataset):
+        graph = BipartiteGraph.from_dataset(tiny_dataset)
+        sampler = NegativeSampler(graph, seed=0)
+        assert sampler.sample(10).shape == (10,)
+        assert sampler.sample_for_pairs(7, 4).shape == (7, 4)
+
+    def test_probabilities_sum_to_one(self, tiny_dataset):
+        graph = BipartiteGraph.from_dataset(tiny_dataset)
+        sampler = NegativeSampler(graph, seed=0)
+        assert sampler.probabilities.sum() == pytest.approx(1.0)
+
+    def test_degree_bias(self, tiny_dataset):
+        graph = BipartiteGraph.from_dataset(tiny_dataset)
+        sampler = NegativeSampler(graph, seed=0)
+        degrees = graph.degrees()
+        probabilities = sampler.probabilities
+        # a higher-degree node never has a lower sampling probability
+        order = np.argsort(degrees)
+        assert probabilities[order[-1]] >= probabilities[order[0]]
+
+    def test_restrict_to(self, tiny_dataset):
+        graph = BipartiteGraph.from_dataset(tiny_dataset)
+        sample_ids = np.array(graph.sample_ids)
+        sampler = NegativeSampler(graph, seed=0, restrict_to=sample_ids)
+        drawn = sampler.sample(50)
+        assert set(drawn.tolist()) <= set(sample_ids.tolist())
+
+    def test_validation(self, tiny_dataset):
+        graph = BipartiteGraph.from_dataset(tiny_dataset)
+        with pytest.raises(ValueError):
+            NegativeSampler(graph, exponent=-1.0)
+        sampler = NegativeSampler(graph)
+        with pytest.raises(ValueError):
+            sampler.sample(0)

@@ -1,0 +1,300 @@
+"""Tests for cluster similarity, the TSP solvers and the cluster indexers."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clustering.assignments import ClusterAssignment
+from repro.indexing.arbitrary import (
+    ArbitraryFloorIndexer,
+    MiddleFloorAmbiguityError,
+    mean_distance_to_cluster,
+)
+from repro.indexing.indexer import ClusterIndexer, build_tsp_distance_matrix
+from repro.indexing.similarity import (
+    adapted_jaccard_coefficient,
+    adapted_jaccard_similarity_matrix,
+    cluster_mac_frequencies,
+    jaccard_coefficient,
+    jaccard_similarity_matrix,
+)
+from repro.indexing.tsp import (
+    held_karp_path,
+    nearest_neighbor_path,
+    path_cost,
+    solve_shortest_hamiltonian_path,
+    two_opt_path,
+)
+from repro.signals.dataset import SignalDataset
+from repro.signals.record import SignalRecord
+
+
+def chain_dataset(num_floors=4, per_floor=6):
+    """A synthetic dataset where floor f's samples see MACs f and f+1 (spillover chain)."""
+    records = []
+    for floor in range(num_floors):
+        for i in range(per_floor):
+            readings = {f"mac{floor}": -45.0}
+            if floor + 1 < num_floors:
+                readings[f"mac{floor + 1}"] = -80.0
+            records.append(SignalRecord(f"f{floor}-{i}", readings, floor=floor))
+    return SignalDataset(records, num_floors=num_floors, building_id="chain")
+
+
+def perfect_assignment(dataset):
+    labels = np.array([record.floor for record in dataset])
+    return ClusterAssignment(labels=labels, num_clusters=dataset.num_floors)
+
+
+class TestSimilarity:
+    def test_mac_frequencies(self):
+        dataset = chain_dataset()
+        profile = cluster_mac_frequencies(dataset, perfect_assignment(dataset))
+        assert profile.num_clusters == 4
+        index = profile.macs.index("mac1")
+        assert profile.frequencies[0, index] == 6  # floor 0 hears mac1 via spillover
+        assert profile.frequencies[1, index] == 6
+
+    def test_jaccard_adjacent_higher_than_distant(self):
+        dataset = chain_dataset()
+        profile = cluster_mac_frequencies(dataset, perfect_assignment(dataset))
+        assert jaccard_coefficient(profile, 0, 1) > jaccard_coefficient(profile, 0, 3)
+        assert adapted_jaccard_coefficient(profile, 0, 1) > adapted_jaccard_coefficient(profile, 0, 3)
+
+    def test_coefficients_bounded_and_symmetric(self):
+        dataset = chain_dataset()
+        profile = cluster_mac_frequencies(dataset, perfect_assignment(dataset))
+        for i, j in itertools.combinations(range(4), 2):
+            for coefficient in (jaccard_coefficient, adapted_jaccard_coefficient):
+                value = coefficient(profile, i, j)
+                assert 0.0 <= value <= 1.0
+                assert value == pytest.approx(coefficient(profile, j, i))
+
+    def test_similarity_matrices(self):
+        dataset = chain_dataset()
+        profile = cluster_mac_frequencies(dataset, perfect_assignment(dataset))
+        for matrix in (jaccard_similarity_matrix(profile), adapted_jaccard_similarity_matrix(profile)):
+            assert matrix.shape == (4, 4)
+            assert np.allclose(matrix, matrix.T)
+            assert np.allclose(np.diag(matrix), 1.0)
+
+    def test_adapted_jaccard_accounts_for_coverage(self):
+        # Clusters A and B share a MAC observed by *every* sample, clusters A
+        # and C share a MAC observed by a *single* sample in each.  The plain
+        # Jaccard coefficient cannot tell the two situations apart (both pairs
+        # share one of three MACs); the adapted coefficient must rank the
+        # widely-covered overlap higher.
+        records = []
+        for i in range(10):
+            a_readings = {"m_hi": -50.0}
+            if i == 0:
+                a_readings["rare_a"] = -60.0
+            records.append(SignalRecord(f"a{i}", a_readings, floor=0))
+            b_readings = {"m_hi": -50.0}
+            if i == 0:
+                b_readings["rare_b"] = -60.0
+            records.append(SignalRecord(f"b{i}", b_readings, floor=1))
+            c_readings = {"m_c": -50.0}
+            if i == 0:
+                c_readings["m_hi"] = -80.0
+            records.append(SignalRecord(f"c{i}", c_readings, floor=2))
+        dataset = SignalDataset(records, num_floors=3)
+        profile = cluster_mac_frequencies(dataset, perfect_assignment(dataset))
+        assert jaccard_coefficient(profile, 0, 1) == pytest.approx(
+            jaccard_coefficient(profile, 0, 2)
+        )
+        assert adapted_jaccard_coefficient(profile, 0, 1) > adapted_jaccard_coefficient(
+            profile, 0, 2
+        )
+
+    def test_length_mismatch_rejected(self):
+        dataset = chain_dataset()
+        with pytest.raises(ValueError):
+            cluster_mac_frequencies(dataset, ClusterAssignment(labels=np.zeros(3, dtype=int), num_clusters=1))
+
+
+class TestTSP:
+    def line_distances(self, n=5):
+        """Cities on a line: the optimal path from city 0 visits them in order."""
+        positions = np.arange(n, dtype=float)
+        return np.abs(positions[:, None] - positions[None, :])
+
+    def test_held_karp_on_line(self):
+        distances = self.line_distances(6)
+        assert held_karp_path(distances, start=0) == [0, 1, 2, 3, 4, 5]
+
+    def test_held_karp_other_start(self):
+        distances = self.line_distances(4)
+        path = held_karp_path(distances, start=2)
+        assert path[0] == 2
+        assert sorted(path) == [0, 1, 2, 3]
+
+    def test_held_karp_matches_brute_force(self):
+        rng = np.random.default_rng(0)
+        points = rng.random((6, 2))
+        distances = np.linalg.norm(points[:, None] - points[None, :], axis=2)
+        best_cost = min(
+            path_cost(distances, [0] + list(perm))
+            for perm in itertools.permutations(range(1, 6))
+        )
+        hk = held_karp_path(distances, start=0)
+        assert path_cost(distances, hk) == pytest.approx(best_cost)
+
+    def test_two_opt_close_to_optimal(self):
+        rng = np.random.default_rng(1)
+        points = rng.random((8, 2))
+        distances = np.linalg.norm(points[:, None] - points[None, :], axis=2)
+        exact = path_cost(distances, held_karp_path(distances, start=0))
+        approx = path_cost(distances, two_opt_path(distances, start=0))
+        assert approx <= exact * 1.25
+
+    def test_nearest_neighbor_valid_path(self):
+        distances = self.line_distances(5)
+        path = nearest_neighbor_path(distances, start=3)
+        assert sorted(path) == list(range(5))
+        assert path[0] == 3
+
+    def test_two_opt_initial_path_validation(self):
+        distances = self.line_distances(4)
+        with pytest.raises(ValueError):
+            two_opt_path(distances, start=0, initial_path=[1, 0, 2, 3])
+        with pytest.raises(ValueError):
+            two_opt_path(distances, start=0, initial_path=[0, 1, 1, 3])
+
+    def test_path_cost_validation(self):
+        distances = self.line_distances(3)
+        with pytest.raises(ValueError):
+            path_cost(distances, [0, 1])
+        with pytest.raises(ValueError):
+            path_cost(np.array([[0.0, -1.0], [1.0, 0.0]]), [0, 1])
+
+    def test_dispatcher(self):
+        distances = self.line_distances(4)
+        assert solve_shortest_hamiltonian_path(distances, 0, "exact") == [0, 1, 2, 3]
+        assert sorted(solve_shortest_hamiltonian_path(distances, 0, "two_opt")) == [0, 1, 2, 3]
+        with pytest.raises(ValueError):
+            solve_shortest_hamiltonian_path(distances, 0, "quantum")
+
+    def test_single_city(self):
+        assert held_karp_path(np.zeros((1, 1)), 0) == [0]
+
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.integers(min_value=2, max_value=7), seed=st.integers(min_value=0, max_value=50))
+    def test_property_two_opt_never_worse_than_greedy(self, n, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.random((n, 2))
+        distances = np.linalg.norm(points[:, None] - points[None, :], axis=2)
+        greedy = path_cost(distances, nearest_neighbor_path(distances, 0))
+        improved = path_cost(distances, two_opt_path(distances, 0))
+        assert improved <= greedy + 1e-9
+
+
+class TestIndexer:
+    def test_build_distance_matrix(self):
+        similarity = np.array([[1.0, 0.8, 0.1], [0.8, 1.0, 0.6], [0.1, 0.6, 1.0]])
+        distances = build_tsp_distance_matrix(similarity, start=1)
+        assert np.all(distances[:, 1] == 0.0)
+        assert distances[0, 2] == pytest.approx(0.9)
+        with pytest.raises(ValueError):
+            build_tsp_distance_matrix(similarity, start=5)
+
+    def test_index_perfect_clusters_bottom_floor(self):
+        dataset = chain_dataset(num_floors=5, per_floor=8)
+        assignment = perfect_assignment(dataset)
+        anchor = dataset.pick_labeled_sample(floor=0).record_id
+        result = ClusterIndexer().index(dataset, assignment, anchor, labeled_floor=0)
+        assert np.array_equal(result.floor_labels, np.array(dataset.ground_truth))
+        assert result.cluster_order[0] == assignment.labels[dataset.index_of(anchor)]
+
+    def test_index_with_shuffled_cluster_ids(self):
+        dataset = chain_dataset(num_floors=4, per_floor=6)
+        truth = np.array(dataset.ground_truth)
+        permutation = np.array([2, 0, 3, 1])  # cluster id = permutation[floor]
+        assignment = ClusterAssignment(labels=permutation[truth], num_clusters=4)
+        anchor = dataset.pick_labeled_sample(floor=0).record_id
+        result = ClusterIndexer().index(dataset, assignment, anchor, labeled_floor=0)
+        assert np.array_equal(result.floor_labels, truth)
+
+    def test_index_top_floor_anchor(self):
+        dataset = chain_dataset(num_floors=4, per_floor=6)
+        assignment = perfect_assignment(dataset)
+        anchor = dataset.pick_labeled_sample(floor=3).record_id
+        result = ClusterIndexer().index(dataset, assignment, anchor, labeled_floor=3)
+        assert np.array_equal(result.floor_labels, np.array(dataset.ground_truth))
+
+    def test_middle_floor_rejected(self):
+        dataset = chain_dataset(num_floors=4, per_floor=6)
+        assignment = perfect_assignment(dataset)
+        anchor = dataset.pick_labeled_sample(floor=1).record_id
+        with pytest.raises(ValueError):
+            ClusterIndexer().index(dataset, assignment, anchor, labeled_floor=1)
+
+    def test_jaccard_variant_and_two_opt(self):
+        dataset = chain_dataset(num_floors=4, per_floor=6)
+        assignment = perfect_assignment(dataset)
+        anchor = dataset.pick_labeled_sample(floor=0).record_id
+        result = ClusterIndexer(similarity="jaccard", tsp_method="two_opt").index(
+            dataset, assignment, anchor, labeled_floor=0
+        )
+        assert np.array_equal(result.floor_labels, np.array(dataset.ground_truth))
+
+    def test_unknown_similarity(self):
+        with pytest.raises(ValueError):
+            ClusterIndexer(similarity="cosine")
+
+
+class TestArbitraryFloorIndexer:
+    def _embeddings_for(self, dataset):
+        """Embeddings where each floor's samples sit near a distinct point on a line."""
+        truth = np.array(dataset.ground_truth)
+        rng = np.random.default_rng(0)
+        base = np.zeros((len(truth), 3))
+        base[:, 0] = truth * 2.0
+        return base + 0.05 * rng.standard_normal(base.shape)
+
+    def test_arbitrary_floor_recovers_labels(self):
+        dataset = chain_dataset(num_floors=5, per_floor=8)
+        assignment = perfect_assignment(dataset)
+        embeddings = self._embeddings_for(dataset)
+        anchor = dataset.pick_labeled_sample(floor=1).record_id
+        result = ArbitraryFloorIndexer().index(
+            dataset, assignment, anchor, labeled_floor=1, embeddings=embeddings
+        )
+        assert np.array_equal(result.floor_labels, np.array(dataset.ground_truth))
+        assert result.chosen_candidate in result.candidate_clusters
+
+    def test_middle_floor_raises_ambiguity(self):
+        dataset = chain_dataset(num_floors=5, per_floor=8)
+        assignment = perfect_assignment(dataset)
+        embeddings = self._embeddings_for(dataset)
+        anchor = dataset.pick_labeled_sample(floor=2).record_id
+        with pytest.raises(MiddleFloorAmbiguityError):
+            ArbitraryFloorIndexer().index(
+                dataset, assignment, anchor, labeled_floor=2, embeddings=embeddings
+            )
+
+    def test_floor_out_of_range(self):
+        dataset = chain_dataset(num_floors=4, per_floor=6)
+        assignment = perfect_assignment(dataset)
+        embeddings = self._embeddings_for(dataset)
+        with pytest.raises(ValueError):
+            ArbitraryFloorIndexer().index(
+                dataset, assignment, dataset[0].record_id, labeled_floor=9, embeddings=embeddings
+            )
+
+    def test_embedding_shape_check(self):
+        dataset = chain_dataset(num_floors=4, per_floor=6)
+        assignment = perfect_assignment(dataset)
+        with pytest.raises(ValueError):
+            ArbitraryFloorIndexer().index(
+                dataset, assignment, dataset[0].record_id, labeled_floor=1, embeddings=np.zeros((3, 2))
+            )
+
+    def test_mean_distance_to_cluster(self):
+        point = np.zeros(2)
+        cluster = np.array([[3.0, 4.0], [0.0, 0.0]])
+        assert mean_distance_to_cluster(point, cluster) == pytest.approx(2.5)
+        with pytest.raises(ValueError):
+            mean_distance_to_cluster(point, np.zeros((0, 2)))

@@ -1,0 +1,165 @@
+"""Tests for ARI, NMI, the Jaro edit distance and accuracy metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics.accuracy import confusion_matrix, floor_accuracy
+from repro.metrics.ari import adjusted_rand_index, rand_index
+from repro.metrics.edit_distance import (
+    indexing_edit_distance,
+    jaro_similarity,
+    jaro_winkler_similarity,
+)
+from repro.metrics.nmi import entropy, mutual_information, normalized_mutual_information
+
+labelings = st.lists(st.integers(min_value=0, max_value=4), min_size=2, max_size=40)
+
+
+class TestARI:
+    def test_identical_partitions(self):
+        labels = [0, 0, 1, 1, 2, 2]
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+        assert rand_index(labels, labels) == pytest.approx(1.0)
+
+    def test_permuted_labels_are_equivalent(self):
+        a = [0, 0, 1, 1, 2, 2]
+        b = [2, 2, 0, 0, 1, 1]
+        assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        # One misplaced point out of six; value verified by brute-force pair counting.
+        a = [0, 0, 0, 1, 1, 1]
+        b = [0, 0, 1, 1, 1, 1]
+        assert adjusted_rand_index(a, b) == pytest.approx(0.3243243, rel=1e-4)
+
+    def test_independent_partitions_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 4, size=2000)
+        b = rng.integers(0, 4, size=2000)
+        assert abs(adjusted_rand_index(a, b)) < 0.05
+
+    def test_single_cluster_degenerate(self):
+        assert adjusted_rand_index([0, 0, 0], [0, 0, 0]) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            adjusted_rand_index([0, 1], [0, 1, 2])
+        with pytest.raises(ValueError):
+            adjusted_rand_index([], [])
+
+    @settings(max_examples=30, deadline=None)
+    @given(labels=labelings)
+    def test_property_self_similarity_is_one(self, labels):
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=labelings, b=labelings)
+    def test_property_symmetry(self, a, b):
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        assert adjusted_rand_index(a, b) == pytest.approx(adjusted_rand_index(b, a))
+
+
+class TestNMI:
+    def test_entropy_uniform(self):
+        assert entropy([0, 1, 2, 3]) == pytest.approx(np.log(4))
+        assert entropy([0, 0, 0]) == pytest.approx(0.0)
+
+    def test_identical_partitions(self):
+        labels = [0, 0, 1, 1, 2, 2]
+        assert normalized_mutual_information(labels, labels) == pytest.approx(1.0)
+
+    def test_permutation_invariant(self):
+        a = [0, 0, 1, 1]
+        b = [1, 1, 0, 0]
+        assert normalized_mutual_information(a, b) == pytest.approx(1.0)
+
+    def test_independent_partitions(self):
+        a = [0, 0, 1, 1]
+        b = [0, 1, 0, 1]
+        assert normalized_mutual_information(a, b) == pytest.approx(0.0, abs=1e-9)
+
+    def test_mutual_information_non_negative(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 3, 100)
+        b = rng.integers(0, 3, 100)
+        assert mutual_information(a, b) >= 0.0
+
+    def test_constant_partitions(self):
+        assert normalized_mutual_information([0, 0], [1, 1]) == 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=labelings, b=labelings)
+    def test_property_bounded_and_symmetric(self, a, b):
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        value = normalized_mutual_information(a, b)
+        assert -1e-9 <= value <= 1.0 + 1e-9
+        assert value == pytest.approx(normalized_mutual_information(b, a))
+
+
+class TestEditDistance:
+    def test_identical_sequences(self):
+        assert jaro_similarity([1, 2, 3, 4, 5], [1, 2, 3, 4, 5]) == pytest.approx(1.0)
+
+    def test_paper_example_one_transposition(self):
+        # The paper's example: predicted [1, 4, 3, 2, 5] vs truth [1, 2, 3, 4, 5].
+        value = jaro_similarity([1, 4, 3, 2, 5], [1, 2, 3, 4, 5])
+        assert 0.7 < value < 1.0
+
+    def test_disjoint_sequences(self):
+        assert jaro_similarity([1, 2], [3, 4]) == 0.0
+
+    def test_empty_sequences(self):
+        assert jaro_similarity([], []) == 1.0
+        assert jaro_similarity([1], []) == 0.0
+
+    def test_known_string_value(self):
+        # Canonical Jaro example: MARTHA vs MARHTA = 0.944...
+        assert jaro_similarity("MARTHA", "MARHTA") == pytest.approx(0.9444444, rel=1e-4)
+
+    def test_jaro_winkler_prefix_bonus(self):
+        plain = jaro_similarity("MARTHA", "MARHTA")
+        winkler = jaro_winkler_similarity("MARTHA", "MARHTA")
+        assert winkler > plain
+        with pytest.raises(ValueError):
+            jaro_winkler_similarity("ab", "ab", prefix_scale=0.5)
+
+    def test_indexing_edit_distance_wrapper(self):
+        assert indexing_edit_distance([1, 2, 3], [1, 2, 3]) == 1.0
+        assert indexing_edit_distance([3, 2, 1], [1, 2, 3]) < 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(seq=st.lists(st.integers(min_value=1, max_value=10), min_size=1, max_size=10))
+    def test_property_self_similarity(self, seq):
+        assert jaro_similarity(seq, seq) == pytest.approx(1.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        a=st.lists(st.integers(min_value=1, max_value=6), min_size=1, max_size=8),
+        b=st.lists(st.integers(min_value=1, max_value=6), min_size=1, max_size=8),
+    )
+    def test_property_symmetric_and_bounded(self, a, b):
+        value = jaro_similarity(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == pytest.approx(jaro_similarity(b, a))
+
+
+class TestAccuracy:
+    def test_floor_accuracy(self):
+        assert floor_accuracy([0, 1, 2], [0, 1, 1]) == pytest.approx(2 / 3)
+        assert floor_accuracy([0, 1], [0, 1]) == 1.0
+
+    def test_confusion_matrix(self):
+        matrix = confusion_matrix([0, 0, 1], [0, 1, 1], num_classes=2)
+        assert matrix.tolist() == [[1, 1], [0, 1]]
+        assert matrix.sum() == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            floor_accuracy([0, 1], [0])
+        with pytest.raises(ValueError):
+            floor_accuracy([], [])
+        with pytest.raises(ValueError):
+            confusion_matrix([0, -1], [0, 1])

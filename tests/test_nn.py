@@ -1,0 +1,205 @@
+"""Tests for the NumPy neural-network substrate (layers, activations, optimisers)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.activations import ReLU, Sigmoid, Tanh, get_activation, sigmoid
+from repro.nn.init import glorot_uniform, random_node_features
+from repro.nn.layers import Dense, L2Normalize, Sequential
+from repro.nn.optimizers import SGD, Adam, clip_gradients
+
+
+class TestInit:
+    def test_glorot_shape_and_range(self):
+        rng = np.random.default_rng(0)
+        weights = glorot_uniform(10, 20, rng)
+        limit = np.sqrt(6.0 / 30.0)
+        assert weights.shape == (10, 20)
+        assert np.all(np.abs(weights) <= limit)
+
+    def test_glorot_validation(self):
+        with pytest.raises(ValueError):
+            glorot_uniform(0, 5, np.random.default_rng(0))
+
+    def test_random_node_features_normalized(self):
+        features = random_node_features(7, 5, np.random.default_rng(0))
+        assert features.shape == (7, 5)
+        assert np.allclose(np.linalg.norm(features, axis=1), 1.0)
+
+    def test_random_node_features_unnormalized(self):
+        features = random_node_features(7, 5, np.random.default_rng(0), normalize=False)
+        assert not np.allclose(np.linalg.norm(features, axis=1), 1.0)
+
+
+class TestActivations:
+    def test_sigmoid_extremes(self):
+        assert sigmoid(100.0) == pytest.approx(1.0)
+        assert sigmoid(-100.0) == pytest.approx(0.0, abs=1e-12)
+        assert sigmoid(0.0) == pytest.approx(0.5)
+
+    def test_lookup(self):
+        assert isinstance(get_activation("relu"), ReLU)
+        assert isinstance(get_activation("TANH"), Tanh)
+        with pytest.raises(ValueError):
+            get_activation("swishy")
+
+    @pytest.mark.parametrize("name", ["relu", "tanh", "sigmoid", "identity"])
+    def test_derivative_matches_finite_difference(self, name):
+        activation = get_activation(name)
+        x = np.linspace(-2.0, 2.0, 41) + 0.011  # avoid the ReLU kink at exactly 0
+        y = activation.forward(x)
+        analytic = activation.backward(x, y)
+        eps = 1e-6
+        numeric = (activation.forward(x + eps) - activation.forward(x - eps)) / (2 * eps)
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+    def test_sigmoid_activation_class(self):
+        activation = Sigmoid()
+        x = np.array([0.0, 2.0])
+        y = activation.forward(x)
+        assert np.all((0 < y) & (y < 1))
+
+
+class TestDense:
+    def test_forward_shape(self):
+        layer = Dense(4, 3, activation="relu", rng=np.random.default_rng(0))
+        out = layer.forward(np.ones((5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(0)
+        layer = Dense(4, 3, activation="tanh", rng=rng)
+        x = rng.standard_normal((6, 4))
+        target = rng.standard_normal((6, 3))
+
+        def loss():
+            out = layer.forward(x)
+            return 0.5 * np.sum((out - target) ** 2), out - target
+
+        value, grad_out = loss()
+        layer.zero_grad()
+        layer.backward(grad_out)
+        analytic = layer.grads["W"].copy()
+        eps = 1e-6
+        for index in [(0, 0), (1, 2), (3, 1)]:
+            original = layer.params["W"][index]
+            layer.params["W"][index] = original + eps
+            plus, _ = loss()
+            layer.params["W"][index] = original - eps
+            minus, _ = loss()
+            layer.params["W"][index] = original
+            numeric = (plus - minus) / (2 * eps)
+            assert analytic[index] == pytest.approx(numeric, rel=1e-4)
+
+    def test_backward_before_forward(self):
+        layer = Dense(2, 2)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 2)))
+
+    def test_bias_toggle(self):
+        layer = Dense(2, 2, use_bias=False)
+        assert "b" not in layer.params
+
+
+class TestL2Normalize:
+    def test_forward_unit_norm(self):
+        layer = L2Normalize()
+        out = layer.forward(np.array([[3.0, 4.0], [0.0, 2.0]]))
+        assert np.allclose(np.linalg.norm(out, axis=1), 1.0)
+
+    def test_gradient_orthogonal_to_output(self):
+        layer = L2Normalize()
+        x = np.array([[1.0, 2.0, 2.0]])
+        y = layer.forward(x)
+        grad = layer.backward(np.array([[1.0, 0.0, 0.0]]))
+        # the input gradient of a norm-preserving map has no radial component
+        assert float(np.abs((grad * x).sum())) < 1e-9 + abs(float((y * x).sum())) * 1e-6 + 1e-6
+
+
+class TestSequential:
+    def test_autoencoder_learns_identity_direction(self):
+        rng = np.random.default_rng(0)
+        model = Sequential(
+            [Dense(4, 8, activation="tanh", rng=rng), Dense(8, 4, activation="identity", rng=rng)]
+        )
+        x = rng.standard_normal((32, 4))
+        optimizer = Adam(model.parameters(), model.gradients(), lr=0.01)
+        first_loss = None
+        for _ in range(200):
+            out = model.forward(x)
+            loss = float(np.mean((out - x) ** 2))
+            if first_loss is None:
+                first_loss = loss
+            model.zero_grad()
+            model.backward(2.0 * (out - x) / x.shape[0])
+            optimizer.step()
+        assert loss < first_loss * 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+
+class TestOptimizers:
+    def _quadratic_problem(self):
+        params = [{"w": np.array([5.0, -3.0])}]
+        grads = [{"w": np.zeros(2)}]
+        return params, grads
+
+    def test_sgd_converges(self):
+        params, grads = self._quadratic_problem()
+        optimizer = SGD(params, grads, lr=0.1)
+        for _ in range(200):
+            grads[0]["w"][...] = 2.0 * params[0]["w"]
+            optimizer.step()
+        assert np.allclose(params[0]["w"], 0.0, atol=1e-3)
+
+    def test_sgd_momentum_converges(self):
+        params, grads = self._quadratic_problem()
+        optimizer = SGD(params, grads, lr=0.05, momentum=0.9)
+        for _ in range(200):
+            grads[0]["w"][...] = 2.0 * params[0]["w"]
+            optimizer.step()
+        assert np.allclose(params[0]["w"], 0.0, atol=1e-2)
+
+    def test_adam_converges(self):
+        params, grads = self._quadratic_problem()
+        optimizer = Adam(params, grads, lr=0.2)
+        for _ in range(300):
+            grads[0]["w"][...] = 2.0 * params[0]["w"]
+            optimizer.step()
+        assert np.allclose(params[0]["w"], 0.0, atol=1e-2)
+
+    def test_zero_grad(self):
+        params, grads = self._quadratic_problem()
+        grads[0]["w"][...] = 3.0
+        SGD(params, grads, lr=0.1).zero_grad()
+        assert np.all(grads[0]["w"] == 0.0)
+
+    def test_validation(self):
+        params, grads = self._quadratic_problem()
+        with pytest.raises(ValueError):
+            SGD(params, grads, lr=-1.0)
+        with pytest.raises(ValueError):
+            SGD(params, grads, lr=0.1, momentum=1.5)
+        with pytest.raises(ValueError):
+            Adam(params, [], lr=0.1)
+
+    def test_clip_gradients(self):
+        grads = [{"w": np.array([30.0, 40.0])}]
+        norm = clip_gradients(grads, max_norm=5.0)
+        assert norm == pytest.approx(50.0)
+        assert np.linalg.norm(grads[0]["w"]) == pytest.approx(5.0)
+
+    def test_clip_noop_below_threshold(self):
+        grads = [{"w": np.array([0.3, 0.4])}]
+        clip_gradients(grads, max_norm=5.0)
+        assert np.allclose(grads[0]["w"], [0.3, 0.4])
+
+    @settings(max_examples=20, deadline=None)
+    @given(values=st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=6))
+    def test_property_clip_never_exceeds_max(self, values):
+        grads = [{"w": np.array(values, dtype=np.float64)}]
+        clip_gradients(grads, max_norm=1.0)
+        assert np.linalg.norm(grads[0]["w"]) <= 1.0 + 1e-9

@@ -1,0 +1,141 @@
+"""Unit tests for SignalDataset."""
+
+import random
+
+import pytest
+
+from repro.signals.dataset import DatasetError, SignalDataset
+from repro.signals.record import SignalRecord
+from tests.conftest import make_tiny_records
+
+
+class TestConstruction:
+    def test_basic(self, tiny_dataset):
+        assert len(tiny_dataset) == 5
+        assert tiny_dataset.building_id == "tiny"
+        assert tiny_dataset.num_floors == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(DatasetError):
+            SignalDataset([])
+
+    def test_duplicate_ids_rejected(self):
+        record = SignalRecord("r1", {"aa": -50.0})
+        with pytest.raises(DatasetError):
+            SignalDataset([record, record])
+
+    def test_invalid_num_floors(self):
+        with pytest.raises(DatasetError):
+            SignalDataset(make_tiny_records(), num_floors=0)
+
+    def test_num_floors_inferred_from_labels(self):
+        dataset = SignalDataset(make_tiny_records())
+        assert dataset.num_floors == 2
+
+    def test_num_floors_unlabeled_without_declaration(self):
+        records = [SignalRecord("r1", {"aa": -50.0}), SignalRecord("r2", {"bb": -60.0})]
+        dataset = SignalDataset(records)
+        with pytest.raises(DatasetError):
+            _ = dataset.num_floors
+
+
+class TestAccess:
+    def test_get_and_index_of(self, tiny_dataset):
+        assert tiny_dataset.get("r2").record_id == "r2"
+        assert tiny_dataset.index_of("r2") == 2
+        assert "r2" in tiny_dataset
+        assert "missing" not in tiny_dataset
+
+    def test_iteration_order(self, tiny_dataset):
+        assert tiny_dataset.record_ids == ["r0", "r1", "r2", "r3", "r4"]
+
+    def test_macs(self, tiny_dataset):
+        assert tiny_dataset.macs == {"aa", "bb", "cc", "dd"}
+
+    def test_floors_present(self, tiny_dataset):
+        assert tiny_dataset.floors_present == [0, 1]
+
+
+class TestLabels:
+    def test_ground_truth(self, tiny_dataset):
+        assert tiny_dataset.ground_truth == [0, 0, 1, 1, 1]
+
+    def test_ground_truth_requires_labels(self, tiny_dataset):
+        stripped = tiny_dataset.strip_labels()
+        with pytest.raises(DatasetError):
+            _ = stripped.ground_truth
+
+    def test_strip_labels_keeps_anchor(self, tiny_dataset):
+        stripped = tiny_dataset.strip_labels(keep_record_ids=["r2"])
+        assert stripped.get("r2").floor == 1
+        assert stripped.get("r0").floor is None
+        assert stripped.num_floors == 2  # declared floor count preserved
+
+    def test_strip_labels_unknown_id(self, tiny_dataset):
+        with pytest.raises(DatasetError):
+            tiny_dataset.strip_labels(keep_record_ids=["nope"])
+
+    def test_pick_labeled_sample_deterministic(self, tiny_dataset):
+        assert tiny_dataset.pick_labeled_sample(floor=0).record_id == "r0"
+
+    def test_pick_labeled_sample_random(self, tiny_dataset):
+        rng = random.Random(0)
+        picked = tiny_dataset.pick_labeled_sample(floor=1, rng=rng)
+        assert picked.floor == 1
+
+    def test_pick_labeled_sample_missing_floor(self, tiny_dataset):
+        with pytest.raises(DatasetError):
+            tiny_dataset.pick_labeled_sample(floor=7)
+
+
+class TestTransforms:
+    def test_subset(self, tiny_dataset):
+        subset = tiny_dataset.subset(lambda record: record.floor == 1)
+        assert len(subset) == 3
+
+    def test_subset_empty_rejected(self, tiny_dataset):
+        with pytest.raises(DatasetError):
+            tiny_dataset.subset(lambda record: False)
+
+    def test_sample(self, tiny_dataset):
+        sampled = tiny_dataset.sample(3, rng=random.Random(0))
+        assert len(sampled) == 3
+
+    def test_sample_too_many(self, tiny_dataset):
+        with pytest.raises(DatasetError):
+            tiny_dataset.sample(10)
+
+    def test_merge(self, tiny_dataset):
+        other = SignalDataset([SignalRecord("x1", {"aa": -44.0}, floor=0)], num_floors=2)
+        merged = tiny_dataset.merge(other)
+        assert len(merged) == 6
+
+    def test_relabeled(self, tiny_dataset):
+        relabeled = tiny_dataset.relabeled({"r0": 1})
+        assert relabeled.get("r0").floor == 1
+        assert relabeled.get("r1").floor == 0
+
+
+class TestStatistics:
+    def test_mac_frequencies(self, tiny_dataset):
+        freqs = tiny_dataset.mac_frequencies()
+        assert freqs["aa"] == 3
+        assert freqs["dd"] == 2
+
+    def test_mac_floor_coverage(self, tiny_dataset):
+        coverage = tiny_dataset.mac_floor_coverage()
+        assert coverage["aa"] == {0, 1}
+        assert coverage["dd"] == {1}
+
+    def test_by_floor(self, tiny_dataset):
+        groups = tiny_dataset.by_floor()
+        assert len(groups[0]) == 2
+        assert len(groups[1]) == 3
+
+    def test_summary(self, tiny_dataset):
+        summary = tiny_dataset.summary()
+        assert summary.num_records == 5
+        assert summary.num_macs == 4
+        assert summary.num_floors == 2
+        assert summary.labeled_fraction == 1.0
+        assert summary.records_per_floor == {0: 2, 1: 3}

@@ -1,0 +1,126 @@
+"""Tests for dataset I/O (JSON/CSV) and the preprocessing filters."""
+
+import pytest
+
+from repro.signals.dataset import DatasetError, SignalDataset
+from repro.signals.filters import (
+    drop_rare_macs,
+    drop_sparse_floors,
+    drop_weak_readings,
+    filter_fleet_for_evaluation,
+    keep_strongest_readings,
+)
+from repro.signals.io import (
+    dataset_from_json,
+    dataset_to_json,
+    load_dataset_csv,
+    load_dataset_json,
+    save_dataset_csv,
+    save_dataset_json,
+)
+from repro.signals.record import SignalRecord
+
+
+class TestJsonIO:
+    def test_round_trip_in_memory(self, tiny_dataset):
+        restored = dataset_from_json(dataset_to_json(tiny_dataset))
+        assert restored.record_ids == tiny_dataset.record_ids
+        assert restored.num_floors == tiny_dataset.num_floors
+        assert restored.get("r1").readings == tiny_dataset.get("r1").readings
+
+    def test_round_trip_file(self, tiny_dataset, tmp_path):
+        path = tmp_path / "data" / "building.json"
+        save_dataset_json(tiny_dataset, path)
+        restored = load_dataset_json(path)
+        assert restored.record_ids == tiny_dataset.record_ids
+
+    def test_unsupported_version(self, tiny_dataset):
+        payload = dataset_to_json(tiny_dataset)
+        payload["format_version"] = 99
+        with pytest.raises(ValueError):
+            dataset_from_json(payload)
+
+
+class TestCsvIO:
+    def test_round_trip(self, tiny_dataset, tmp_path):
+        path = tmp_path / "building.csv"
+        save_dataset_csv(tiny_dataset, path)
+        restored = load_dataset_csv(path, building_id="tiny", num_floors=2)
+        assert restored.record_ids == tiny_dataset.record_ids
+        for record_id in tiny_dataset.record_ids:
+            assert restored.get(record_id).readings == tiny_dataset.get(record_id).readings
+            assert restored.get(record_id).floor == tiny_dataset.get(record_id).floor
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("record_id,mac\nr1,aa\n")
+        with pytest.raises(ValueError):
+            load_dataset_csv(path)
+
+    def test_positions_preserved(self, tmp_path):
+        dataset = SignalDataset(
+            [SignalRecord("r1", {"aa": -50.0}, floor=0, position=(1.0, 2.0))],
+            num_floors=1,
+        )
+        path = tmp_path / "pos.csv"
+        save_dataset_csv(dataset, path)
+        restored = load_dataset_csv(path, num_floors=1)
+        assert restored.get("r1").position == (1.0, 2.0)
+
+
+class TestFilters:
+    def _dataset(self):
+        records = []
+        for floor, count in [(0, 5), (1, 2)]:
+            for i in range(count):
+                records.append(
+                    SignalRecord(
+                        f"f{floor}-{i}",
+                        {"aa": -50.0, "bb": -105.0, f"rare{floor}{i}": -60.0},
+                        floor=floor,
+                    )
+                )
+        return SignalDataset(records, num_floors=2)
+
+    def test_drop_sparse_floors(self):
+        dataset = self._dataset()
+        filtered = drop_sparse_floors(dataset, min_samples=3)
+        assert filtered.floors_present == [0]
+
+    def test_drop_sparse_floors_noop(self):
+        dataset = self._dataset()
+        assert drop_sparse_floors(dataset, min_samples=1) is dataset
+
+    def test_drop_sparse_floors_validation(self):
+        with pytest.raises(ValueError):
+            drop_sparse_floors(self._dataset(), min_samples=0)
+
+    def test_drop_weak_readings(self):
+        filtered = drop_weak_readings(self._dataset(), threshold_dbm=-100.0)
+        assert all("bb" not in record for record in filtered)
+
+    def test_drop_weak_readings_all_removed(self):
+        dataset = SignalDataset([SignalRecord("r1", {"aa": -110.0})], num_floors=1)
+        with pytest.raises(DatasetError):
+            drop_weak_readings(dataset, threshold_dbm=-100.0)
+
+    def test_drop_rare_macs(self):
+        filtered = drop_rare_macs(self._dataset(), min_appearances=2)
+        assert all(not mac.startswith("rare") for mac in filtered.macs)
+        assert "aa" in filtered.macs
+
+    def test_keep_strongest_readings(self):
+        filtered = keep_strongest_readings(self._dataset(), k=1)
+        assert all(len(record) == 1 for record in filtered)
+        assert all("aa" in record for record in filtered)
+
+    def test_filter_fleet_for_evaluation(self):
+        tall = self._dataset()  # only 2 floors -> dropped
+        kept = filter_fleet_for_evaluation([tall], min_floors=3, min_samples_per_floor=1)
+        assert kept == []
+
+    def test_filter_fleet_keeps_valid_building(self, small_building_dataset):
+        kept = filter_fleet_for_evaluation(
+            [small_building_dataset], min_floors=3, min_samples_per_floor=10
+        )
+        assert len(kept) == 1

@@ -1,0 +1,121 @@
+"""Unit tests for the SignalRecord data model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.signals.record import (
+    InvalidRecordError,
+    MAX_VALID_RSS_DBM,
+    MIN_VALID_RSS_DBM,
+    SignalRecord,
+)
+
+
+class TestConstruction:
+    def test_basic_record(self):
+        record = SignalRecord("r1", {"aa:bb": -50.0, "cc:dd": -70.0}, floor=2)
+        assert record.record_id == "r1"
+        assert record.floor == 2
+        assert len(record) == 2
+        assert record.is_labeled
+
+    def test_unlabeled_record(self):
+        record = SignalRecord("r1", {"aa": -50.0})
+        assert record.floor is None
+        assert not record.is_labeled
+
+    def test_empty_readings_rejected(self):
+        with pytest.raises(InvalidRecordError):
+            SignalRecord("r1", {})
+
+    def test_empty_record_id_rejected(self):
+        with pytest.raises(InvalidRecordError):
+            SignalRecord("", {"aa": -50.0})
+
+    def test_rss_out_of_range_rejected(self):
+        with pytest.raises(InvalidRecordError):
+            SignalRecord("r1", {"aa": 10.0})
+        with pytest.raises(InvalidRecordError):
+            SignalRecord("r1", {"aa": -150.0})
+
+    def test_negative_floor_rejected(self):
+        with pytest.raises(InvalidRecordError):
+            SignalRecord("r1", {"aa": -50.0}, floor=-1)
+
+    def test_empty_mac_rejected(self):
+        with pytest.raises(InvalidRecordError):
+            SignalRecord("r1", {"": -50.0})
+
+    def test_rss_coerced_to_float(self):
+        record = SignalRecord("r1", {"aa": -50})
+        assert isinstance(record.rss("aa"), float)
+
+
+class TestAccessors:
+    def test_contains_and_iter(self):
+        record = SignalRecord("r1", {"aa": -50.0, "bb": -60.0})
+        assert "aa" in record
+        assert "zz" not in record
+        assert set(record) == {"aa", "bb"}
+
+    def test_macs_property(self):
+        record = SignalRecord("r1", {"aa": -50.0, "bb": -60.0})
+        assert record.macs == frozenset({"aa", "bb"})
+
+    def test_rss_lookup(self):
+        record = SignalRecord("r1", {"aa": -50.0})
+        assert record.rss("aa") == -50.0
+        with pytest.raises(KeyError):
+            record.rss("bb")
+
+    def test_strongest(self):
+        record = SignalRecord("r1", {"aa": -50.0, "bb": -40.0, "cc": -70.0})
+        assert record.strongest(1) == (("bb", -40.0),)
+        assert [mac for mac, _ in record.strongest(3)] == ["bb", "aa", "cc"]
+
+    def test_strongest_k_validation(self):
+        record = SignalRecord("r1", {"aa": -50.0})
+        with pytest.raises(ValueError):
+            record.strongest(0)
+
+    def test_with_floor_and_without_floor(self):
+        record = SignalRecord("r1", {"aa": -50.0}, floor=3)
+        assert record.without_floor().floor is None
+        assert record.with_floor(1).floor == 1
+        # original is unchanged (immutability)
+        assert record.floor == 3
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        record = SignalRecord(
+            "r1",
+            {"aa": -50.0, "bb": -61.5},
+            floor=2,
+            position=(1.5, 2.5),
+            device_id="dev1",
+            timestamp=12.0,
+        )
+        restored = SignalRecord.from_dict(record.to_dict())
+        assert restored == record
+
+    def test_round_trip_minimal(self):
+        record = SignalRecord("r1", {"aa": -50.0})
+        restored = SignalRecord.from_dict(record.to_dict())
+        assert restored == record
+        assert "floor" not in record.to_dict()
+
+
+@given(
+    rss=st.dictionaries(
+        st.text(min_size=1, max_size=17),
+        st.floats(min_value=MIN_VALID_RSS_DBM, max_value=MAX_VALID_RSS_DBM),
+        min_size=1,
+        max_size=20,
+    ),
+    floor=st.one_of(st.none(), st.integers(min_value=0, max_value=50)),
+)
+def test_property_round_trip(rss, floor):
+    """Any valid record survives a to_dict/from_dict round trip."""
+    record = SignalRecord("rec", rss, floor=floor)
+    assert SignalRecord.from_dict(record.to_dict()) == record

@@ -1,0 +1,216 @@
+"""Tests for the RF propagation simulator and dataset/fleet generators."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.simulate.access_point import AccessPoint, generate_mac_address, place_access_points
+from repro.simulate.building import Atrium, Building, BuildingGeometry
+from repro.simulate.collector import CollectionConfig, CrowdsourcedCollector
+from repro.simulate.fleet import (
+    MICROSOFT_FLOOR_DISTRIBUTION,
+    FleetConfig,
+    floor_counts_for_fleet,
+    generate_mall_fleet,
+    generate_microsoft_like_fleet,
+)
+from repro.simulate.generators import (
+    BuildingConfig,
+    generate_building,
+    generate_building_dataset,
+    mall_building_config,
+    office_building_config,
+)
+from repro.simulate.pathloss import FloorAttenuationPathLoss, LogDistancePathLoss
+
+
+class TestPathLoss:
+    def test_monotone_in_distance(self):
+        model = LogDistancePathLoss(shadowing_sigma_db=0.0)
+        assert model.received_power_dbm(15.0, 5.0, 0) > model.received_power_dbm(15.0, 50.0, 0)
+
+    def test_reference_distance_clamp(self):
+        model = LogDistancePathLoss(shadowing_sigma_db=0.0)
+        assert model.path_loss_db(0.1) == model.path_loss_db(1.0)
+
+    def test_floor_attenuation_monotone_in_floors(self):
+        model = FloorAttenuationPathLoss(base=LogDistancePathLoss(shadowing_sigma_db=0.0))
+        rss = [model.received_power_dbm(15.0, 10.0, floors) for floors in range(4)]
+        assert all(earlier > later for earlier, later in zip(rss, rss[1:]))
+
+    def test_floor_loss_cumulative(self):
+        model = FloorAttenuationPathLoss(floor_attenuation_db=(20.0, 10.0))
+        assert model.floor_loss_db(0) == 0.0
+        assert model.floor_loss_db(1) == 20.0
+        assert model.floor_loss_db(2) == 30.0
+        assert model.floor_loss_db(4) == 50.0  # last increment reused
+
+    def test_shadowing_is_random_but_seeded(self):
+        model = LogDistancePathLoss(shadowing_sigma_db=5.0)
+        a = model.received_power_dbm(15.0, 10.0, 0, rng=np.random.default_rng(1))
+        b = model.received_power_dbm(15.0, 10.0, 0, rng=np.random.default_rng(1))
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogDistancePathLoss(exponent=0.0)
+        with pytest.raises(ValueError):
+            FloorAttenuationPathLoss(floor_attenuation_db=())
+
+
+class TestAccessPoints:
+    def test_mac_address_format(self):
+        mac = generate_mac_address(random.Random(0))
+        octets = mac.split(":")
+        assert len(octets) == 6
+        assert all(len(octet) == 2 for octet in octets)
+        first = int(octets[0], 16)
+        assert first & 0x01 == 0  # unicast
+        assert first & 0x02 == 0x02  # locally administered
+
+    def test_place_access_points_unique_macs(self):
+        existing = set()
+        aps = place_access_points(20, 50.0, 30.0, floor=0, rng=random.Random(0), existing_macs=existing)
+        assert len({ap.mac for ap in aps}) == 20
+        assert len(existing) == 20
+
+    def test_ap_validation(self):
+        with pytest.raises(ValueError):
+            AccessPoint("aa", (0.0, 0.0), floor=-1)
+        with pytest.raises(ValueError):
+            AccessPoint("aa", (0.0, 0.0), floor=0, tx_power_dbm=99.0)
+
+    def test_distance_includes_floor_height(self):
+        ap = AccessPoint("aa", (0.0, 0.0), floor=2)
+        assert ap.distance_to((0.0, 0.0), floor=0, floor_height_m=4.0) == pytest.approx(8.0)
+
+
+class TestBuilding:
+    def _building(self, num_floors=3):
+        aps = [
+            AccessPoint(f"ap{floor}", (10.0, 10.0), floor=floor, tx_power_dbm=15.0)
+            for floor in range(num_floors)
+        ]
+        return Building(BuildingGeometry(num_floors=num_floors, width_m=40.0, depth_m=30.0), aps)
+
+    def test_scan_prefers_same_floor(self):
+        building = self._building()
+        readings = building.scan((10.0, 10.0), floor=1)
+        assert readings["ap1"] > readings.get("ap0", -200.0)
+
+    def test_scan_max_aps(self):
+        building = self._building()
+        readings = building.scan((10.0, 10.0), floor=1, max_aps=1)
+        assert len(readings) == 1
+
+    def test_scan_floor_out_of_range(self):
+        with pytest.raises(ValueError):
+            self._building().scan((0.0, 0.0), floor=5)
+
+    def test_ap_floor_validation(self):
+        with pytest.raises(ValueError):
+            Building(
+                BuildingGeometry(num_floors=1),
+                [AccessPoint("aa", (0.0, 0.0), floor=3)],
+            )
+
+    def test_atrium_increases_spillover(self):
+        geometry = BuildingGeometry(
+            num_floors=4, width_m=40.0, depth_m=30.0, atrium=Atrium(center=(10.0, 10.0), radius_m=8.0)
+        )
+        ap_in = AccessPoint("in", (10.0, 10.0), floor=3, tx_power_dbm=15.0)
+        ap_out = AccessPoint("out", (35.0, 25.0), floor=3, tx_power_dbm=15.0)
+        building = Building(geometry, [ap_in, ap_out])
+        rss_in = building.received_power_dbm(ap_in, (10.0, 10.0), floor=0)
+        rss_out = building.received_power_dbm(ap_out, (35.0, 25.0), floor=0)
+        assert rss_in > rss_out  # the atrium path skips three slabs
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            BuildingGeometry(num_floors=0)
+        with pytest.raises(ValueError):
+            Atrium(center=(0.0, 0.0), radius_m=0.0)
+
+
+class TestCollector:
+    def test_collect_labels_and_counts(self, small_building_dataset):
+        summary = small_building_dataset.summary()
+        assert summary.labeled_fraction == 1.0
+        assert summary.num_floors == 3
+        assert all(count == 25 for count in summary.records_per_floor.values())
+
+    def test_collect_is_reproducible(self):
+        config = BuildingConfig(
+            num_floors=2,
+            aps_per_floor=5,
+            collection=CollectionConfig(samples_per_floor=10, scans_per_contributor=5),
+        )
+        a = generate_building_dataset(config, seed=5)
+        b = generate_building_dataset(config, seed=5)
+        assert a.record_ids == b.record_ids
+        assert a[0].readings == b[0].readings
+
+    def test_different_seeds_differ(self):
+        config = BuildingConfig(
+            num_floors=2,
+            aps_per_floor=5,
+            collection=CollectionConfig(samples_per_floor=10, scans_per_contributor=5),
+        )
+        a = generate_building_dataset(config, seed=5)
+        b = generate_building_dataset(config, seed=6)
+        assert a[0].readings != b[0].readings
+
+    def test_collection_config_validation(self):
+        with pytest.raises(ValueError):
+            CollectionConfig(samples_per_floor=0)
+        with pytest.raises(ValueError):
+            CollectionConfig(detection_miss_rate=1.5)
+        with pytest.raises(ValueError):
+            CollectionConfig(max_aps_per_scan=0)
+
+    def test_collector_records_within_footprint(self, small_building_dataset):
+        for record in small_building_dataset:
+            x, y = record.position
+            assert 0.0 <= x <= 60.0
+            assert 0.0 <= y <= 40.0
+
+
+class TestFleet:
+    def test_floor_counts_distribution(self):
+        counts = floor_counts_for_fleet(100)
+        assert len(counts) == 100
+        assert set(counts) <= set(MICROSOFT_FLOOR_DISTRIBUTION)
+        # three-floor buildings are the most common bucket
+        assert counts.count(3) >= counts.count(10)
+
+    def test_floor_counts_small_fleet(self):
+        assert len(floor_counts_for_fleet(1)) == 1
+        with pytest.raises(ValueError):
+            floor_counts_for_fleet(0)
+
+    def test_microsoft_like_fleet(self):
+        fleet = generate_microsoft_like_fleet(FleetConfig(num_buildings=3, samples_per_floor=10))
+        assert len(fleet) == 3
+        assert all(dataset.num_floors >= 3 for dataset in fleet)
+
+    def test_mall_fleet_floor_counts(self):
+        fleet = generate_mall_fleet(samples_per_floor=10)
+        assert [dataset.num_floors for dataset in fleet] == [5, 5, 7]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FleetConfig(num_buildings=0)
+
+    def test_building_config_helpers(self):
+        office = office_building_config(4, samples_per_floor=20)
+        mall = mall_building_config(5, samples_per_floor=20)
+        assert office.with_atrium is False
+        assert mall.with_atrium is True
+        assert office.num_floors == 4
+        assert mall.collection.samples_per_floor == 20
+
+    def test_generate_building_has_all_floors_covered(self):
+        building = generate_building(BuildingConfig(num_floors=3, aps_per_floor=4), seed=0)
+        for floor in range(3):
+            assert len(building.access_points_on_floor(floor)) == 4
