@@ -1,0 +1,77 @@
+"""S1 — serving micro-benchmark: online labeling throughput vs full refit.
+
+The serving layer's pitch is that labeling a newly crowdsourced signal must
+not cost a pipeline refit.  This benchmark quantifies that: it fits one
+building, then labels the held-out records (a) online through the frozen
+encoder and (b) by merging them into the dataset and refitting, and asserts
+the online path is at least 10x faster per labeled record.  The measured
+numbers are written to ``BENCH_serving.json`` at the repository root.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from common import fast_config
+from repro.core import FisOne
+from repro.serving import OnlineFloorLabeler
+from repro.signals.dataset import SignalDataset
+from repro.simulate import generate_single_building
+
+BENCH_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+#: Required advantage of online labeling over refit, in records/second.
+MIN_SPEEDUP = 10.0
+
+
+def test_serving_online_vs_refit_throughput(benchmark):
+    labeled = generate_single_building(num_floors=3, samples_per_floor=45, seed=5)
+    train, held_labeled = labeled.holdout_split(train_per_floor=30)
+    held = [record.without_floor() for record in held_labeled]
+    truth = np.array([record.floor for record in held_labeled])
+
+    anchor = train.pick_labeled_sample(floor=0)
+    observed = train.strip_labels(keep_record_ids=[anchor.record_id])
+    fitted = FisOne(fast_config()).fit(observed, anchor.record_id)
+    labeler = OnlineFloorLabeler(fitted)
+
+    # (a) online: the frozen-encoder path, measured by pytest-benchmark.
+    labels = benchmark.pedantic(labeler.label, args=(held,), rounds=5, warmup_rounds=1)
+    online_seconds = benchmark.stats.stats.min
+    online_accuracy = float(np.mean([label.floor for label in labels] == truth))
+
+    # (b) refit: merge the new records into the crowd data and rerun the
+    # whole pipeline — the only way the seed could label them.
+    merged = observed.merge(SignalDataset(held, num_floors=labeled.num_floors))
+    start = time.perf_counter()
+    refit = FisOne(fast_config()).fit_predict(merged, anchor.record_id)
+    refit_seconds = time.perf_counter() - start
+    held_positions = [merged.index_of(record.record_id) for record in held]
+    refit_accuracy = float(np.mean(refit.floor_labels[held_positions] == truth))
+
+    online_rps = len(held) / online_seconds
+    refit_rps = len(held) / refit_seconds
+    speedup = refit_seconds / online_seconds
+    payload = {
+        "num_held_out_records": len(held),
+        "online_records_per_second": online_rps,
+        "refit_records_per_second": refit_rps,
+        "speedup": speedup,
+        "online_accuracy": online_accuracy,
+        "refit_accuracy": refit_accuracy,
+    }
+    BENCH_OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print("\nServing throughput — online labeling vs full refit "
+          f"({len(held)} held-out records):")
+    print(f"  online : {online_rps:12.0f} records/s   accuracy {online_accuracy:.3f}")
+    print(f"  refit  : {refit_rps:12.1f} records/s   accuracy {refit_accuracy:.3f}")
+    print(f"  speedup: {speedup:10.0f}x   (written to {BENCH_OUTPUT.name})")
+
+    assert speedup >= MIN_SPEEDUP
+    # The tight accuracy tracking bound (within 5 points of refit) is asserted
+    # on the fixture building in tests/test_serving.py; here we only sanity
+    # check that online labeling is in the same quality regime.
+    assert online_accuracy >= refit_accuracy - 0.10

@@ -1,5 +1,47 @@
-"""Setuptools shim for environments without PEP 660 editable-install support."""
+"""Setuptools packaging for the FIS-ONE reproduction.
 
-from setuptools import setup
+The version is read (not imported) from ``src/repro/__init__.py`` so that
+``python setup.py --version`` works without numpy installed.
+"""
 
-setup()
+import re
+from pathlib import Path
+
+from setuptools import find_packages, setup
+
+ROOT = Path(__file__).resolve().parent
+
+
+def read_version() -> str:
+    text = (ROOT / "src" / "repro" / "__init__.py").read_text(encoding="utf-8")
+    match = re.search(r'^__version__ = "([^"]+)"$', text, re.MULTILINE)
+    if match is None:
+        raise RuntimeError("cannot find __version__ in src/repro/__init__.py")
+    return match.group(1)
+
+
+setup(
+    name="repro-fis-one",
+    version=read_version(),
+    description=(
+        "Reproduction of FIS-ONE (ICDCS 2023): floor identification of "
+        "crowdsourced RF signals with one labeled sample, plus a serving "
+        "layer for online inference over building fleets"
+    ),
+    long_description=(ROOT / "PAPER.md").read_text(encoding="utf-8")
+    if (ROOT / "PAPER.md").is_file()
+    else "",
+    long_description_content_type="text/markdown",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21"],
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.9",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Scientific/Engineering",
+    ],
+)

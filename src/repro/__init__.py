@@ -15,20 +15,25 @@ package layout follows the system's stages:
 * :mod:`repro.indexing` — spillover similarity, TSP solvers, cluster indexing.
 * :mod:`repro.metrics` — ARI, NMI, Jaro edit distance, accuracy.
 * :mod:`repro.baselines` — SDCN, DAEGC, METIS-like, MDS.
-* :mod:`repro.core` — the end-to-end :class:`~repro.core.pipeline.FisOne`.
+* :mod:`repro.core` — the end-to-end :class:`~repro.core.pipeline.FisOne`
+  and the reusable :class:`~repro.core.pipeline.FittedFisOne` it produces.
 * :mod:`repro.experiments` — the harness regenerating the paper's tables and
   figures.
+* :mod:`repro.serving` — the production layer: versioned model artifacts,
+  online (no-retrain) floor labeling of new records, a lazily-fitting
+  LRU building registry, and a batching multi-building fleet server.
 """
 
-from repro.core import FisOne, FisOneConfig, FisOneResult
+from repro.core import FisOne, FisOneConfig, FisOneResult, FittedFisOne
 from repro.signals import SignalDataset, SignalRecord
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "FisOne",
     "FisOneConfig",
     "FisOneResult",
+    "FittedFisOne",
     "SignalDataset",
     "SignalRecord",
     "__version__",

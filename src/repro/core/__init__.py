@@ -1,6 +1,6 @@
 """The FIS-ONE pipeline: graph construction → RF-GNN → clustering → indexing."""
 
 from repro.core.config import FisOneConfig
-from repro.core.pipeline import FisOne, FisOneResult
+from repro.core.pipeline import FisOne, FisOneResult, FittedFisOne, cluster_centroids
 
-__all__ = ["FisOneConfig", "FisOne", "FisOneResult"]
+__all__ = ["FisOneConfig", "FisOne", "FisOneResult", "FittedFisOne", "cluster_centroids"]

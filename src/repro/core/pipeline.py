@@ -1,21 +1,28 @@
 """The end-to-end FIS-ONE system (paper Figure 2).
 
-``FisOne.fit_predict(dataset, labeled_record_id, labeled_floor)`` runs:
+``FisOne.fit(dataset, labeled_record_id, labeled_floor)`` runs:
 
 1. bipartite graph construction from the crowdsourced signals,
 2. unsupervised RF-GNN training and signal-sample embedding,
 3. hierarchical clustering into one cluster per floor,
-4. spillover-based cluster indexing anchored at the single labeled sample.
+4. spillover-based cluster indexing anchored at the single labeled sample,
 
-The result carries the predicted floor of every record along with all the
-intermediate artefacts (embeddings, clustering, cluster order) so that the
-evaluation harness and the ablation benchmarks can inspect each stage.
+and returns a :class:`FittedFisOne`: the per-record predictions *plus* a
+frozen, graph-free encoder and per-cluster centroids, so new records can be
+floor-labeled online (nearest centroid in embedding space) without
+retraining — the substrate of :mod:`repro.serving`.
+``fit_predict`` remains the thin wrapper returning just the
+:class:`FisOneResult`, which carries the predicted floor of every record
+along with all the intermediate artefacts (embeddings, clustering, cluster
+order) so that the evaluation harness and the ablation benchmarks can
+inspect each stage.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from functools import cached_property
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -23,11 +30,18 @@ from repro.clustering.assignments import ClusterAssignment
 from repro.clustering.hierarchical import HierarchicalClustering
 from repro.clustering.kmeans import KMeans
 from repro.core.config import FisOneConfig
+from repro.gnn.frozen import FrozenEncoder
 from repro.gnn.trainer import RFGNNTrainer, TrainingHistory
 from repro.graph.bipartite import BipartiteGraph
 from repro.indexing.arbitrary import ArbitraryFloorIndexer
 from repro.indexing.indexer import ClusterIndexer, IndexingResult
 from repro.signals.dataset import SignalDataset
+from repro.signals.record import SignalRecord
+
+#: Softmax temperature over centroid cosine similarities when scoring online
+#: floor assignments; similarities live in [-1, 1], so a small temperature
+#: spreads the resulting confidence usefully over (1/num_floors, 1).
+CONFIDENCE_TEMPERATURE = 0.1
 
 
 @dataclass(frozen=True)
@@ -66,6 +80,133 @@ class FisOneResult:
         }
 
 
+@dataclass(frozen=True)
+class FittedFisOne:
+    """A fitted FIS-ONE model for one building.
+
+    Produced by :meth:`FisOne.fit`.  Carries the training-time result plus
+    everything needed to label *new* records online — the frozen encoder and
+    the cluster centroids — without the training graph or a refit.  It is the
+    unit the serving layer persists (:mod:`repro.serving.artifacts`) and
+    multiplexes (:mod:`repro.serving.registry`).
+
+    Attributes
+    ----------
+    config:
+        The pipeline configuration used for fitting.
+    building_id:
+        Identifier of the fitted building (may be ``None``).
+    num_floors:
+        Number of floors the model was fitted with.
+    record_ids:
+        Training record ids, aligned with ``result.floor_labels``.
+    result:
+        The full training-time :class:`FisOneResult`.
+    encoder:
+        Frozen, graph-free RF-GNN encoder for out-of-dataset records.
+    centroids:
+        ``(num_clusters, embedding_dim)`` L2-normalised cluster centroids in
+        cluster-label order (an empty cluster leaves a zero row).
+    """
+
+    config: FisOneConfig
+    building_id: Optional[str]
+    num_floors: int
+    record_ids: Tuple[str, ...]
+    result: FisOneResult
+    encoder: FrozenEncoder
+    centroids: np.ndarray
+
+    @property
+    def floor_labels(self) -> np.ndarray:
+        """Predicted floor of every training record, in record order."""
+        return self.result.floor_labels
+
+    @property
+    def cluster_to_floor(self) -> Dict[int, int]:
+        """Mapping cluster label -> floor number from the indexing stage."""
+        return self.result.indexing.cluster_to_floor
+
+    # Immutable-after-fit derivations, cached on first use so the serving hot
+    # path does not redo O(num_records) work per request batch.
+
+    @cached_property
+    def _cluster_sizes(self) -> np.ndarray:
+        return np.bincount(
+            self.result.assignment.labels,
+            minlength=self.result.assignment.num_clusters,
+        )
+
+    @cached_property
+    def _index_by_record_id(self) -> Dict[str, int]:
+        return {record_id: i for i, record_id in enumerate(self.record_ids)}
+
+    # -- online inference ------------------------------------------------------
+
+    def online_floors(
+        self, records: Sequence[SignalRecord]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Label out-of-dataset records by nearest cluster centroid.
+
+        Returns ``(floors, confidences, known_mac_fractions)``, all of length
+        ``len(records)``.  The confidence is the softmax (temperature
+        :data:`CONFIDENCE_TEMPERATURE`) of the centroid cosine similarities,
+        zeroed for records sharing no MAC with the training vocabulary —
+        those fall back to the floor of the largest cluster.
+        """
+        embeddings, known_fraction = self.encoder.embed_records(records)
+        if embeddings.shape[0] == 0:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+                known_fraction,
+            )
+        sizes = self._cluster_sizes
+        similarities = embeddings @ self.centroids.T
+        # An empty cluster has no centroid to be near; bar it from winning
+        # (its zero row would otherwise beat all-negative similarities).
+        similarities[:, sizes == 0] = -np.inf
+        scaled = similarities / CONFIDENCE_TEMPERATURE
+        scaled -= scaled.max(axis=1, keepdims=True)
+        probabilities = np.exp(scaled)
+        probabilities /= probabilities.sum(axis=1, keepdims=True)
+        clusters = np.argmax(similarities, axis=1)
+        confidences = probabilities[np.arange(len(records)), clusters]
+
+        blind = known_fraction == 0.0
+        if np.any(blind):
+            clusters[blind] = int(np.argmax(sizes))
+            confidences[blind] = 0.0
+        mapping = self.cluster_to_floor
+        floors = np.array([mapping[int(cluster)] for cluster in clusters], dtype=np.int64)
+        return floors, confidences.astype(np.float64), known_fraction
+
+    def predict(self, dataset: SignalDataset) -> np.ndarray:
+        """Predicted floor of every record of ``dataset``, in dataset order.
+
+        Records that were part of the training dataset get their stored
+        (transductive) prediction — so ``predict`` on the training dataset
+        reproduces ``result.floor_labels`` exactly, including after an
+        artifact save/load round trip.  Unseen records are labeled online
+        through the frozen encoder.
+        """
+        index_by_id = self._index_by_record_id
+        labels = np.empty(len(dataset), dtype=np.int64)
+        new_records: List[SignalRecord] = []
+        new_positions: List[int] = []
+        for position, record in enumerate(dataset):
+            stored = index_by_id.get(record.record_id)
+            if stored is None:
+                new_records.append(record)
+                new_positions.append(position)
+            else:
+                labels[position] = self.result.floor_labels[stored]
+        if new_records:
+            floors, _, _ = self.online_floors(new_records)
+            labels[new_positions] = floors
+        return labels
+
+
 class FisOne:
     """Floor identification with one labeled sample.
 
@@ -100,6 +241,11 @@ class FisOne:
 
         Returns ``(sample_embeddings, training_history)``.
         """
+        trainer = self._train_encoder(graph)
+        return self._inference_embeddings(trainer), trainer.history
+
+    def _train_encoder(self, graph: BipartiteGraph) -> RFGNNTrainer:
+        """Train the RF-GNN on the building's graph and return the trainer."""
         config = self.config
         trainer = RFGNNTrainer(
             graph,
@@ -113,14 +259,18 @@ class FisOne:
             seed=config.seed,
         )
         trainer.fit()
+        return trainer
+
+    def _inference_embeddings(self, trainer: RFGNNTrainer) -> np.ndarray:
+        """Averaged, L2-normalised sample embeddings from a trained encoder."""
+        config = self.config
         passes = [
             trainer.sample_embeddings(sample_sizes=config.inference_sample_sizes)
             for _ in range(config.inference_passes)
         ]
         embeddings = np.mean(passes, axis=0)
         norms = np.linalg.norm(embeddings, axis=1, keepdims=True)
-        embeddings = embeddings / np.maximum(norms, 1e-12)
-        return embeddings, trainer.history
+        return embeddings / np.maximum(norms, 1e-12)
 
     def cluster(self, embeddings: np.ndarray, num_floors: int) -> ClusterAssignment:
         """Stage 3: group the sample embeddings into one cluster per floor."""
@@ -156,14 +306,14 @@ class FisOne:
 
     # -- end-to-end -------------------------------------------------------------------
 
-    def fit_predict(
+    def fit(
         self,
         dataset: SignalDataset,
         labeled_record_id: str,
         labeled_floor: int = 0,
         num_floors: Optional[int] = None,
-    ) -> FisOneResult:
-        """Run the full pipeline on one building's crowdsourced signals.
+    ) -> FittedFisOne:
+        """Run the full pipeline and return a reusable fitted model.
 
         Parameters
         ----------
@@ -179,6 +329,47 @@ class FisOne:
         num_floors:
             Number of floors; defaults to ``dataset.num_floors``.
         """
+        result, trainer, num_floors = self._run_pipeline(
+            dataset, labeled_record_id, labeled_floor, num_floors
+        )
+        encoder = trainer.frozen_encoder(
+            sample_sizes=self.config.inference_sample_sizes,
+            passes=self.config.inference_passes,
+        )
+        return FittedFisOne(
+            config=self.config,
+            building_id=dataset.building_id,
+            num_floors=num_floors,
+            record_ids=tuple(dataset.record_ids),
+            result=result,
+            encoder=encoder,
+            centroids=cluster_centroids(result.embeddings, result.assignment),
+        )
+
+    def fit_predict(
+        self,
+        dataset: SignalDataset,
+        labeled_record_id: str,
+        labeled_floor: int = 0,
+        num_floors: Optional[int] = None,
+    ) -> FisOneResult:
+        """Run the full pipeline and return just the training-time result.
+
+        Thin wrapper over the same pipeline run as :meth:`fit` (same
+        parameters), skipping only the serving-encoder snapshot — the
+        evaluation harness calls this per building and should not pay for
+        an encoder it discards.
+        """
+        return self._run_pipeline(dataset, labeled_record_id, labeled_floor, num_floors)[0]
+
+    def _run_pipeline(
+        self,
+        dataset: SignalDataset,
+        labeled_record_id: str,
+        labeled_floor: int,
+        num_floors: Optional[int],
+    ) -> Tuple[FisOneResult, RFGNNTrainer, int]:
+        """Validate inputs and run stages 1-4; shared by fit and fit_predict."""
         if labeled_record_id not in dataset:
             raise KeyError(f"labeled record {labeled_record_id!r} is not in the dataset")
         num_floors = num_floors or dataset.num_floors
@@ -190,15 +381,37 @@ class FisOne:
             )
 
         graph = self.build_graph(dataset)
-        embeddings, history = self.embed(graph)
+        trainer = self._train_encoder(graph)
+        embeddings = self._inference_embeddings(trainer)
         assignment = self.cluster(embeddings, num_floors)
         indexing = self.index_clusters(
             dataset, assignment, labeled_record_id, labeled_floor, embeddings
         )
-        return FisOneResult(
+        result = FisOneResult(
             floor_labels=indexing.floor_labels,
             assignment=assignment,
             indexing=indexing,
             embeddings=embeddings,
-            training_history=history,
+            training_history=trainer.history,
         )
+        return result, trainer, num_floors
+
+
+def cluster_centroids(
+    embeddings: np.ndarray, assignment: ClusterAssignment
+) -> np.ndarray:
+    """L2-normalised centroid of every cluster, in cluster-label order.
+
+    An empty cluster leaves a zero row; nearest-centroid assignment
+    (:meth:`FittedFisOne.online_floors`) masks such rows out explicitly,
+    since a zero row would beat real centroids whenever every cosine
+    similarity is negative.
+    """
+    centroids = np.zeros((assignment.num_clusters, embeddings.shape[1]), dtype=np.float64)
+    for cluster in range(assignment.num_clusters):
+        members = assignment.members(cluster)
+        if members.size == 0:
+            continue
+        centroid = embeddings[members].mean(axis=0)
+        centroids[cluster] = centroid / max(float(np.linalg.norm(centroid)), 1e-12)
+    return centroids

@@ -19,6 +19,7 @@ from repro.gnn.aggregators import MeanAggregator, WeightedAggregator, get_aggreg
 from repro.gnn.model import RFGNN, RFGNNConfig
 from repro.gnn.loss import negative_sampling_loss
 from repro.gnn.trainer import RFGNNTrainer, TrainingHistory
+from repro.gnn.frozen import FrozenEncoder
 
 __all__ = [
     "NeighborSampler",
@@ -31,4 +32,5 @@ __all__ = [
     "negative_sampling_loss",
     "RFGNNTrainer",
     "TrainingHistory",
+    "FrozenEncoder",
 ]

@@ -263,6 +263,7 @@ class RFGNN:
         nodes: Optional[Sequence[int]] = None,
         batch_size: int = 512,
         sample_sizes: Optional[Sequence[int]] = None,
+        num_hops: Optional[int] = None,
     ) -> np.ndarray:
         """Embed nodes without keeping backward state (inference).
 
@@ -277,22 +278,40 @@ class RFGNN:
             time.  Larger sizes approximate full-neighbourhood aggregation
             and remove most of the sampling variance; defaults to the
             training-time sizes.
+        num_hops:
+            Optional truncated hop count ``h <= K``: returns the intermediate
+            representations ``r^h`` (computed with ``W_0 .. W_{h-1}`` only)
+            instead of the final ``r^K``.  This is what the serving layer
+            snapshots for MAC nodes so that new signal samples can be embedded
+            without the training graph.  When combined with ``sample_sizes``,
+            the sizes must have ``h`` entries; the default uses the *last*
+            ``h`` training-time sizes, matching the depths these nodes occupy
+            inside a full K-hop pass.
         """
         if nodes is None:
             nodes = np.arange(self.graph.num_nodes, dtype=np.int64)
         else:
             nodes = np.asarray(nodes, dtype=np.int64)
         config = self.config
+        effective_hops = config.num_hops if num_hops is None else int(num_hops)
+        if not (1 <= effective_hops <= config.num_hops):
+            raise ValueError(
+                f"num_hops must lie in [1, {config.num_hops}], got {effective_hops}"
+            )
         if sample_sizes is not None:
-            if len(sample_sizes) != config.num_hops:
+            if len(sample_sizes) != effective_hops:
                 raise ValueError(
-                    f"sample_sizes must have {config.num_hops} entries, got {len(sample_sizes)}"
+                    f"sample_sizes must have {effective_hops} entries, got {len(sample_sizes)}"
                 )
+            effective_sizes = tuple(sample_sizes)
+        else:
+            effective_sizes = tuple(config.neighbor_sample_sizes[-effective_hops:])
+        if effective_hops != config.num_hops or sample_sizes is not None:
             inference_config = RFGNNConfig(
                 embedding_dim=config.embedding_dim,
                 input_dim=config.input_dim,
-                num_hops=config.num_hops,
-                neighbor_sample_sizes=tuple(sample_sizes),
+                num_hops=effective_hops,
+                neighbor_sample_sizes=effective_sizes,
                 attention=config.attention,
                 activation=config.activation,
                 train_node_features=config.train_node_features,

@@ -117,6 +117,7 @@ class RFGNNTrainer:
             self.model.parameters(), self.model.gradients(), lr=learning_rate
         )
         self.history = TrainingHistory()
+        self._frozen_encoders: dict = {}
 
     # -- single training step -----------------------------------------------------
 
@@ -172,6 +173,7 @@ class RFGNNTrainer:
             losses.append(self._train_batch(batch_pairs, batch_negatives))
         epoch_loss = float(np.mean(losses))
         self.history.epoch_losses.append(epoch_loss)
+        self._frozen_encoders.clear()  # weights moved; cached snapshots are stale
         return epoch_loss
 
     def fit(self) -> np.ndarray:
@@ -180,13 +182,40 @@ class RFGNNTrainer:
             self.train_epoch()
         return self.model.embed_nodes()
 
-    def sample_embeddings(self, sample_sizes=None) -> np.ndarray:
-        """Embeddings of the signal-sample nodes only, in dataset record order.
+    def sample_embeddings(self, sample_sizes=None, records=None) -> np.ndarray:
+        """Embeddings of signal samples, in dataset record order.
 
         Parameters
         ----------
         sample_sizes:
             Optional per-hop neighbourhood sizes for inference; see
             :meth:`RFGNN.embed_nodes`.
+        records:
+            Optional sequence of *out-of-dataset*
+            :class:`~repro.signals.record.SignalRecord`\\ s.  When given, the
+            records are embedded through the frozen encoder via their
+            observed-MAC neighbourhoods (see
+            :class:`~repro.gnn.frozen.FrozenEncoder`) instead of the graph's
+            sample nodes — the online-inference path of the serving layer.
         """
+        if records is not None:
+            return self.frozen_encoder(sample_sizes=sample_sizes).embed_records(records)[0]
         return self.model.embed_record_nodes(sample_sizes=sample_sizes)
+
+    def frozen_encoder(self, sample_sizes=None, passes: int = 1):
+        """A graph-free :class:`~repro.gnn.frozen.FrozenEncoder` snapshot.
+
+        Snapshotting sweeps the whole graph once per hop, so the result is
+        cached per ``(sample_sizes, passes)`` and invalidated whenever a
+        further training epoch updates the weights.
+        """
+        from repro.gnn.frozen import FrozenEncoder
+
+        key = (None if sample_sizes is None else tuple(sample_sizes), passes)
+        cached = self._frozen_encoders.get(key)
+        if cached is None:
+            cached = FrozenEncoder.from_model(
+                self.model, sample_sizes=sample_sizes, passes=passes
+            )
+            self._frozen_encoders[key] = cached
+        return cached

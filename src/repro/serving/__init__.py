@@ -1,0 +1,55 @@
+"""Serving layer: model persistence, online inference, and fleet serving.
+
+Everything the seed's batch pipeline lacked for production traffic:
+
+* :mod:`~repro.serving.artifacts` — versioned save/load of a fitted
+  pipeline (GNN weights, MAC vocabulary, embeddings, centroids, the
+  cluster → floor index) to a directory of ``arrays.npz`` + JSON manifest.
+* :mod:`~repro.serving.online` — :class:`OnlineFloorLabeler`: label *new*
+  crowdsourced records through the frozen encoder by nearest cluster
+  centroid, with confidence scores and no retraining.
+* :mod:`~repro.serving.registry` — :class:`BuildingRegistry`: one model per
+  building, lazily fit or loaded, LRU-cached, write-through persisted.
+* :mod:`~repro.serving.server` — :class:`FleetServer`: a stdlib-only
+  request loop that coalesces concurrent label requests per building and
+  reports throughput.
+* :mod:`~repro.serving.results` — the typed request/response dataclasses
+  shared by all of the above.
+
+Typical flow::
+
+    fitted = FisOne(config).fit(observed, anchor_id, labeled_floor=0)
+    save_artifacts(fitted, "models/building-a")
+    ...
+    registry = BuildingRegistry(store_dir="models")
+    with FleetServer(registry) as server:
+        response = server.submit("building-a", new_records).result()
+"""
+
+from repro.serving.artifacts import (
+    ARTIFACT_FORMAT_VERSION,
+    ArtifactError,
+    has_artifacts,
+    load_artifacts,
+    save_artifacts,
+)
+from repro.serving.online import OnlineFloorLabeler
+from repro.serving.registry import BuildingRegistry, RegistryStats
+from repro.serving.results import LabelRequest, LabelResponse, OnlineLabel, ServerStats
+from repro.serving.server import FleetServer
+
+__all__ = [
+    "ARTIFACT_FORMAT_VERSION",
+    "ArtifactError",
+    "has_artifacts",
+    "load_artifacts",
+    "save_artifacts",
+    "OnlineFloorLabeler",
+    "BuildingRegistry",
+    "RegistryStats",
+    "LabelRequest",
+    "LabelResponse",
+    "OnlineLabel",
+    "ServerStats",
+    "FleetServer",
+]

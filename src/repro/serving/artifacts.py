@@ -1,0 +1,326 @@
+"""Versioned persistence of fitted FIS-ONE models.
+
+A fitted model is saved as a *directory* holding two files, mirroring the
+format-version discipline of :mod:`repro.signals.io`:
+
+* ``manifest.json`` — format version, building metadata, the MAC vocabulary,
+  record ids, the cluster → floor index, the loss trajectory, and the full
+  pipeline configuration (so a loaded model knows exactly how it was made);
+* ``arrays.npz`` — every NumPy artefact: the trained ``W_k`` matrices, the
+  per-hop frozen MAC representations, the normalised sample embeddings, the
+  cluster centroids, cluster labels, floor labels, and the cluster
+  similarity matrix.
+
+``load_artifacts(save_artifacts(fitted))`` reconstructs a
+:class:`~repro.core.pipeline.FittedFisOne` whose ``predict`` reproduces the
+original floor labels exactly and whose online labeling is bit-identical to
+the in-memory model's.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+import uuid
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.clustering.assignments import ClusterAssignment
+from repro.core.config import FisOneConfig
+from repro.core.pipeline import FisOneResult, FittedFisOne
+from repro.gnn.frozen import FrozenEncoder
+from repro.gnn.model import RFGNNConfig
+from repro.gnn.trainer import TrainingHistory
+from repro.graph.walks import WalkConfig
+from repro.indexing.indexer import IndexingResult
+
+PathLike = Union[str, Path]
+
+#: Format version written into every manifest so future readers can detect
+#: and reject incompatible artifact directories.
+ARTIFACT_FORMAT_VERSION = 1
+
+#: File names inside an artifact directory.
+MANIFEST_FILENAME = "manifest.json"
+ARRAYS_FILENAME = "arrays.npz"
+
+#: Temp files older than this are leftovers of a crashed writer and are
+#: swept on the next save (live writers finish in well under this).
+STALE_TMP_MAX_AGE_S = 600.0
+
+_REQUIRED_MANIFEST_KEYS = (
+    "format_version",
+    "save_token",
+    "num_floors",
+    "record_ids",
+    "mac_vocabulary",
+    "activation",
+    "rss_offset_db",
+    "attention",
+    "num_hops",
+    "cluster_order",
+    "cluster_to_floor",
+    "epoch_losses",
+    "config",
+)
+
+
+class ArtifactError(ValueError):
+    """Raised when an artifact directory is missing, incomplete, or incompatible."""
+
+
+def config_to_dict(config: FisOneConfig) -> Dict:
+    """Serialise a pipeline configuration to a JSON-compatible dictionary."""
+    return dataclasses.asdict(config)
+
+
+def config_from_dict(payload: Dict) -> FisOneConfig:
+    """Reconstruct a :class:`FisOneConfig` from :func:`config_to_dict` output."""
+    gnn_payload = dict(payload["gnn"])
+    gnn_payload["neighbor_sample_sizes"] = tuple(gnn_payload["neighbor_sample_sizes"])
+    walks_payload = dict(payload["walks"])
+    rest = {
+        key: value for key, value in payload.items() if key not in ("gnn", "walks")
+    }
+    rest["inference_sample_sizes"] = tuple(rest["inference_sample_sizes"])
+    return FisOneConfig(
+        gnn=RFGNNConfig(**gnn_payload), walks=WalkConfig(**walks_payload), **rest
+    )
+
+
+def save_artifacts(fitted: FittedFisOne, directory: PathLike) -> Path:
+    """Write a fitted model to ``directory`` and return that path.
+
+    The directory is created if needed.  Both files are written to
+    temporary names and swapped in with ``os.replace`` (arrays first,
+    manifest last), so a reader never sees a torn or half-written file.
+    A reader racing an *overwrite* of an existing artifact could still
+    pair the old manifest with new arrays for the instant between the two
+    renames; a per-save token stamped into both files lets
+    :func:`load_artifacts` detect and reject that mismatched pairing.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    _sweep_stale_tmp_files(directory)
+    encoder = fitted.encoder
+    result = fitted.result
+    save_token = uuid.uuid4().hex
+
+    arrays: Dict[str, np.ndarray] = {
+        "save_token": np.array(save_token),
+        "embeddings": result.embeddings,
+        "centroids": fitted.centroids,
+        "floor_labels": result.floor_labels,
+        "cluster_labels": result.assignment.labels,
+        "similarity": result.indexing.similarity,
+    }
+    for hop, weight in enumerate(encoder.weights):
+        arrays[f"weight_{hop}"] = weight
+    for hop, hidden in enumerate(encoder.mac_hidden):
+        arrays[f"mac_hidden_{hop}"] = hidden
+    # Temp names carry the save token so two processes overwriting the same
+    # building never collide on a shared temp inode.
+    arrays_tmp = directory / f"{ARRAYS_FILENAME}.{save_token}.tmp"
+    try:
+        np.savez_compressed(arrays_tmp, **arrays)
+        # savez appends .npz when the name lacks it; ".tmp" lacks it.
+        os.replace(str(arrays_tmp) + ".npz", directory / ARRAYS_FILENAME)
+    except BaseException:
+        Path(str(arrays_tmp) + ".npz").unlink(missing_ok=True)
+        raise
+
+    manifest = {
+        "format_version": ARTIFACT_FORMAT_VERSION,
+        "save_token": save_token,
+        "building_id": fitted.building_id,
+        "num_floors": fitted.num_floors,
+        "record_ids": list(fitted.record_ids),
+        "mac_vocabulary": list(encoder.mac_vocabulary),
+        "activation": encoder.activation,
+        "rss_offset_db": encoder.rss_offset_db,
+        "attention": encoder.attention,
+        "num_hops": encoder.num_hops,
+        "cluster_order": [int(c) for c in result.indexing.cluster_order],
+        "cluster_to_floor": {
+            str(cluster): int(floor)
+            for cluster, floor in result.indexing.cluster_to_floor.items()
+        },
+        "epoch_losses": [float(loss) for loss in result.training_history.epoch_losses],
+        "config": config_to_dict(fitted.config),
+    }
+    manifest_tmp = directory / f"{MANIFEST_FILENAME}.{save_token}.tmp"
+    try:
+        with manifest_tmp.open("w", encoding="utf-8") as handle:
+            json.dump(manifest, handle)
+        os.replace(manifest_tmp, directory / MANIFEST_FILENAME)
+    except BaseException:
+        manifest_tmp.unlink(missing_ok=True)
+        raise
+    return directory
+
+
+def _sweep_stale_tmp_files(directory: Path) -> None:
+    """Best-effort removal of temp files left behind by a crashed writer."""
+    now = time.time()
+    for leftover in directory.glob("*.tmp*"):
+        try:
+            if now - leftover.stat().st_mtime > STALE_TMP_MAX_AGE_S:
+                leftover.unlink()
+        except OSError:  # racing writer or already gone — leave it be
+            pass
+
+
+def has_artifacts(directory: PathLike) -> bool:
+    """Whether ``directory`` looks like a saved artifact (manifest + arrays)."""
+    directory = Path(directory)
+    return (directory / MANIFEST_FILENAME).is_file() and (
+        directory / ARRAYS_FILENAME
+    ).is_file()
+
+
+def load_artifacts(directory: PathLike) -> FittedFisOne:
+    """Load a fitted model saved by :func:`save_artifacts`.
+
+    Raises
+    ------
+    ArtifactError
+        If the directory is not an artifact, the format version is
+        unsupported, or required entries are missing.
+    """
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_FILENAME
+    arrays_path = directory / ARRAYS_FILENAME
+    if not manifest_path.is_file():
+        raise ArtifactError(f"no {MANIFEST_FILENAME} in {directory}")
+    if not arrays_path.is_file():
+        raise ArtifactError(f"no {ARRAYS_FILENAME} in {directory}")
+    try:
+        with manifest_path.open("r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, ValueError) as error:
+        raise ArtifactError(f"unreadable manifest in {directory}: {error}") from None
+
+    missing = [key for key in _REQUIRED_MANIFEST_KEYS if key not in manifest]
+    if missing:
+        raise ArtifactError(f"manifest in {directory} is missing keys {missing}")
+    version = manifest["format_version"]
+    if version != ARTIFACT_FORMAT_VERSION:
+        raise ArtifactError(
+            f"unsupported artifact format version {version}; "
+            f"expected {ARTIFACT_FORMAT_VERSION}"
+        )
+
+    try:
+        with np.load(arrays_path) as stored:
+            arrays = {name: stored[name] for name in stored.files}
+    except Exception as error:  # np.load raises BadZipFile/OSError/ValueError
+        raise ArtifactError(f"unreadable arrays in {directory}: {error}") from None
+    num_hops = int(manifest["num_hops"])
+    try:
+        weights = [arrays[f"weight_{hop}"] for hop in range(num_hops)]
+        mac_hidden = [arrays[f"mac_hidden_{hop}"] for hop in range(num_hops)]
+        embeddings = arrays["embeddings"]
+        centroids = arrays["centroids"]
+        floor_labels = arrays["floor_labels"]
+        cluster_labels = arrays["cluster_labels"]
+        similarity = arrays["similarity"]
+    except KeyError as error:
+        raise ArtifactError(f"arrays in {directory} are missing {error}") from None
+
+    arrays_token = arrays.get("save_token")
+    if arrays_token is None or str(arrays_token.item()) != manifest["save_token"]:
+        raise ArtifactError(
+            f"artifact in {directory} is inconsistent: manifest and arrays come "
+            "from different saves — either a concurrent overwrite was caught "
+            "mid-swap (transient; retry the load) or a previous writer crashed "
+            "between the two file swaps (permanent; re-save the model or delete "
+            "the directory)"
+        )
+
+    record_ids = list(manifest["record_ids"])
+    cluster_order = [int(c) for c in manifest["cluster_order"]]
+    # Cross-check manifest against arrays: a torn overwrite or a partially
+    # copied directory must fail here, not as an IndexError at predict time.
+    num_records = len(record_ids)
+    for name, array in (
+        ("floor_labels", floor_labels),
+        ("cluster_labels", cluster_labels),
+        ("embeddings", embeddings),
+    ):
+        if array.shape[0] != num_records:
+            raise ArtifactError(
+                f"artifact in {directory} is inconsistent: manifest lists "
+                f"{num_records} records but {name} has {array.shape[0]} rows"
+            )
+    num_clusters = len(cluster_order)
+    if centroids.shape[0] != num_clusters or similarity.shape != (
+        num_clusters,
+        num_clusters,
+    ):
+        raise ArtifactError(
+            f"artifact in {directory} is inconsistent: manifest lists "
+            f"{num_clusters} clusters but centroids/similarity are shaped "
+            f"{centroids.shape}/{similarity.shape}"
+        )
+
+    try:
+        encoder = FrozenEncoder(
+            weights=weights,
+            activation=manifest["activation"],
+            mac_vocabulary=list(manifest["mac_vocabulary"]),
+            mac_hidden=mac_hidden,
+            rss_offset_db=float(manifest["rss_offset_db"]),
+            attention=bool(manifest["attention"]),
+        )
+    except ValueError as error:
+        raise ArtifactError(f"artifact in {directory} is inconsistent: {error}") from None
+    if (
+        centroids.shape[1] != encoder.embedding_dim
+        or embeddings.shape[1] != encoder.embedding_dim
+    ):
+        raise ArtifactError(
+            f"artifact in {directory} is inconsistent: encoder produces "
+            f"{encoder.embedding_dim}-dim embeddings but centroids/embeddings "
+            f"are {centroids.shape[1]}/{embeddings.shape[1]}-dim"
+        )
+    # Any validation failure in the reconstructed value objects (out-of-range
+    # cluster labels, malformed config dicts, ...) is an artifact problem and
+    # must surface as ArtifactError so the registry's refit fallback engages.
+    try:
+        indexing = IndexingResult(
+            cluster_order=cluster_order,
+            cluster_to_floor={
+                int(cluster): int(floor)
+                for cluster, floor in manifest["cluster_to_floor"].items()
+            },
+            floor_labels=floor_labels,
+            similarity=similarity,
+        )
+        result = FisOneResult(
+            floor_labels=floor_labels,
+            assignment=ClusterAssignment(
+                labels=cluster_labels, num_clusters=len(cluster_order)
+            ),
+            indexing=indexing,
+            embeddings=embeddings,
+            training_history=TrainingHistory(
+                epoch_losses=[float(loss) for loss in manifest["epoch_losses"]]
+            ),
+        )
+        return FittedFisOne(
+            config=config_from_dict(manifest["config"]),
+            building_id=manifest.get("building_id"),
+            num_floors=int(manifest["num_floors"]),
+            record_ids=tuple(record_ids),
+            result=result,
+            encoder=encoder,
+            centroids=centroids,
+        )
+    except (ValueError, TypeError, KeyError) as error:
+        raise ArtifactError(
+            f"artifact in {directory} is inconsistent: {error!r}"
+        ) from None

@@ -1,0 +1,63 @@
+"""Online floor labeling through a fitted FIS-ONE model — no retraining.
+
+:class:`OnlineFloorLabeler` wraps a
+:class:`~repro.core.pipeline.FittedFisOne` and turns incoming
+:class:`~repro.signals.record.SignalRecord`\\ s into typed
+:class:`~repro.serving.results.OnlineLabel`\\ s: each record is embedded
+through the frozen encoder via its observed-MAC neighbourhood and assigned
+the floor of its nearest cluster centroid, with a softmax confidence score.
+The whole path is deterministic and costs a few matrix products per batch —
+this is what lets one fitted model absorb a stream of crowdsourced signals
+instead of refitting per query.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.pipeline import FittedFisOne
+from repro.serving.results import OnlineLabel
+from repro.signals.record import SignalRecord
+
+
+class OnlineFloorLabeler:
+    """Labels new records of one building with a frozen fitted model.
+
+    Parameters
+    ----------
+    fitted:
+        The fitted model, either fresh from :meth:`~repro.core.pipeline.FisOne.fit`
+        or loaded via :func:`~repro.serving.artifacts.load_artifacts`.
+    """
+
+    def __init__(self, fitted: FittedFisOne) -> None:
+        self.fitted = fitted
+
+    @property
+    def building_id(self) -> Optional[str]:
+        """Building the underlying model was fitted on."""
+        return self.fitted.building_id
+
+    @property
+    def num_floors(self) -> int:
+        """Number of floors of the fitted building."""
+        return self.fitted.num_floors
+
+    def label(self, records: Sequence[SignalRecord]) -> List[OnlineLabel]:
+        """Label a batch of records, preserving input order."""
+        floors, confidences, known_fractions = self.fitted.online_floors(records)
+        return [
+            OnlineLabel(
+                record_id=record.record_id,
+                floor=int(floor),
+                confidence=float(confidence),
+                known_mac_fraction=float(known),
+            )
+            for record, floor, confidence, known in zip(
+                records, floors, confidences, known_fractions
+            )
+        ]
+
+    def label_one(self, record: SignalRecord) -> OnlineLabel:
+        """Label a single record."""
+        return self.label([record])[0]

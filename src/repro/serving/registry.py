@@ -1,0 +1,395 @@
+"""Multi-building model registry with lazy fitting and LRU caching.
+
+The paper's fleet scenario (152 Microsoft buildings plus three malls) means
+one serving process must multiplex many fitted models while only a few are
+hot at any moment.  :class:`BuildingRegistry` owns that multiplexing:
+
+* buildings are *registered* with their crowdsourced dataset and anchor —
+  fitting is deferred until the first request touches the building;
+* fitted models are held in an LRU cache of configurable capacity, so a
+  fleet larger than memory stays servable;
+* with a ``store_dir``, every fit is written through to disk as a versioned
+  artifact (:mod:`repro.serving.artifacts`), and evicted or never-seen
+  buildings are reloaded from there instead of refit;
+* ``label(building_id, records)`` is the one-call batch entry point the
+  fleet server drives.
+
+All public methods are thread-safe; fits/loads of *different* buildings run
+concurrently (per-building locks), while two concurrent requests for the
+same cold building trigger exactly one fit.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.config import FisOneConfig
+from repro.core.pipeline import FisOne, FittedFisOne
+from repro.serving.artifacts import (
+    ArtifactError,
+    has_artifacts,
+    load_artifacts,
+    save_artifacts,
+)
+from repro.serving.online import OnlineFloorLabeler
+from repro.serving.results import OnlineLabel
+from repro.signals.dataset import SignalDataset
+from repro.signals.record import SignalRecord
+
+PathLike = Union[str, Path]
+
+
+def validate_building_id(building_id: str) -> str:
+    """Reject building ids that could escape the store directory.
+
+    Ids become path components under ``store_dir``, and they arrive from
+    untrusted server traffic — so no separators, no ``..``, no empties.
+
+    Raises
+    ------
+    ValueError
+        If the id is empty or contains a path separator or dot-segment.
+    """
+    if not building_id:
+        raise ValueError("building_id must be a non-empty string")
+    if (
+        "/" in building_id
+        or "\\" in building_id
+        or ":" in building_id  # Windows drive-relative paths like "C:evil"
+        or building_id in (".", "..")
+    ):
+        raise ValueError(
+            f"building_id {building_id!r} must not contain path separators, "
+            "colons, or be a dot-segment"
+        )
+    return building_id
+
+
+@dataclass(frozen=True)
+class _TrainingSource:
+    """Everything needed to (re)fit one registered building on demand."""
+
+    dataset: SignalDataset
+    anchor_record_id: str
+    labeled_floor: int
+    config: Optional[FisOneConfig]
+
+
+@dataclass
+class RegistryStats:
+    """Counters describing how the registry served its traffic."""
+
+    hits: int = 0
+    misses: int = 0
+    fits: int = 0
+    loads: int = 0
+    evictions: int = 0
+
+
+class BuildingRegistry:
+    """Lazily fits, caches, and persists one FIS-ONE model per building.
+
+    Parameters
+    ----------
+    store_dir:
+        Optional artifact root; building ``b`` is stored under
+        ``store_dir/b``.  When set, fits are written through and cache
+        misses try disk before refitting.
+    capacity:
+        Maximum number of fitted models kept in memory (LRU eviction).
+    config:
+        Default pipeline configuration for buildings registered without
+        their own.
+    """
+
+    def __init__(
+        self,
+        store_dir: Optional[PathLike] = None,
+        capacity: int = 8,
+        config: Optional[FisOneConfig] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.store_dir = Path(store_dir) if store_dir is not None else None
+        self.capacity = capacity
+        self.config = config
+        self.stats = RegistryStats()
+        self._sources: Dict[str, _TrainingSource] = {}
+        self._cache: "OrderedDict[str, FittedFisOne]" = OrderedDict()
+        # Buildings known to have an artifact on disk — maintained so that
+        # eviction decisions never need filesystem stats under the lock.
+        self._persisted: set = set()
+        # Buildings whose registered training data is newer than any stored
+        # artifact; _materialize refits these instead of loading stale disk.
+        self._dirty: set = set()
+        self._lock = threading.Lock()
+        self._building_locks: Dict[str, threading.Lock] = {}
+
+    # -- registration ----------------------------------------------------------
+
+    def register(
+        self,
+        building_id: str,
+        dataset: SignalDataset,
+        anchor_record_id: Optional[str] = None,
+        labeled_floor: int = 0,
+        config: Optional[FisOneConfig] = None,
+    ) -> None:
+        """Register a building's training data for lazy fitting.
+
+        ``anchor_record_id`` defaults to the first labeled sample on
+        ``labeled_floor`` (the paper's single-label protocol).  Registering
+        a building again supersedes any previous model: the cached fit is
+        dropped and a stored artifact is treated as stale, so the next
+        request refits from the new data (and overwrites the store).
+        """
+        validate_building_id(building_id)
+        if anchor_record_id is None:
+            anchor_record_id = dataset.pick_labeled_sample(floor=labeled_floor).record_id
+        with self._lock:
+            self._sources[building_id] = _TrainingSource(
+                dataset=dataset,
+                anchor_record_id=anchor_record_id,
+                labeled_floor=labeled_floor,
+                config=config,
+            )
+            self._cache.pop(building_id, None)
+            self._dirty.add(building_id)
+
+    def add_fitted(self, building_id: str, fitted: FittedFisOne) -> None:
+        """Insert an already-fitted model (and persist it when storing).
+
+        Takes the building's per-building lock while writing, so it cannot
+        interleave its artifact files with a concurrent lazy fit of the
+        same building (artifact writes are single-writer-per-building).
+        Supersede events race last-writer-wins: a ``register()`` landing
+        *while* this model is being written keeps its dirty mark, so the
+        next request refits from the newly registered data instead of
+        serving the model inserted here.
+        """
+        validate_building_id(building_id)
+        with self._lock:
+            building_lock = self._building_locks.setdefault(
+                building_id, threading.Lock()
+            )
+            source_before = self._sources.get(building_id)
+        with building_lock:
+            if self.store_dir is not None:
+                save_artifacts(fitted, self.store_dir / building_id)
+            with self._lock:
+                if self.store_dir is not None:
+                    self._persisted.add(building_id)
+                if self._sources.get(building_id) is source_before:
+                    self._dirty.discard(building_id)
+                    self._insert(building_id, fitted)
+
+    # -- lookup ----------------------------------------------------------------
+
+    @property
+    def building_ids(self) -> List[str]:
+        """Every building the registry can serve (registered or stored)."""
+        with self._lock:
+            known = set(self._sources) | set(self._cache)
+        if self.store_dir is not None and self.store_dir.is_dir():
+            for child in self.store_dir.iterdir():
+                if has_artifacts(child):
+                    known.add(child.name)
+        return sorted(known)
+
+    @property
+    def cached_building_ids(self) -> List[str]:
+        """Buildings currently hot in the LRU cache, least recent first."""
+        with self._lock:
+            return list(self._cache)
+
+    def __contains__(self, building_id: str) -> bool:
+        try:
+            validate_building_id(building_id)
+        except ValueError:
+            return False
+        with self._lock:
+            if (
+                building_id in self._sources
+                or building_id in self._cache
+                or building_id in self._persisted
+            ):
+                return True
+        return self.store_dir is not None and has_artifacts(
+            self.store_dir / building_id
+        )
+
+    def get(self, building_id: str) -> FittedFisOne:
+        """The fitted model of one building — cached, loaded, or fit now.
+
+        Raises
+        ------
+        KeyError
+            If the building was never registered and has no stored artifact.
+        ValueError
+            If the building id could escape the store directory.
+        """
+        validate_building_id(building_id)
+        with self._lock:
+            cached = self._cache_hit(building_id)
+            if cached is not None:
+                return cached
+            known = building_id in self._sources or building_id in self._persisted
+        # Reject unknown ids before allocating a per-building lock, so
+        # bad-id traffic cannot grow _building_locks without bound.
+        if not known and not (
+            self.store_dir is not None and has_artifacts(self.store_dir / building_id)
+        ):
+            raise KeyError(
+                f"building {building_id!r} is not registered and has no stored artifact"
+            )
+        with self._lock:
+            building_lock = self._building_locks.setdefault(
+                building_id, threading.Lock()
+            )
+        with building_lock:
+            # Another thread may have materialised it while we waited — that
+            # request is served from cache, so it counts as a hit; only the
+            # request that actually materialises records the miss.
+            with self._lock:
+                cached = self._cache_hit(building_id)
+                if cached is not None:
+                    return cached
+                self.stats.misses += 1
+            fitted = self._materialize(building_id)
+            with self._lock:
+                # register() may have superseded the training data between
+                # _materialize's final check and this insert; don't cache a
+                # model the next request is already obliged to refit.
+                if building_id not in self._dirty:
+                    self._insert(building_id, fitted)
+            return fitted
+
+    def label(
+        self, building_id: str, records: Sequence[SignalRecord]
+    ) -> List[OnlineLabel]:
+        """Online-label a batch of records against one building's model."""
+        return OnlineFloorLabeler(self.get(building_id)).label(records)
+
+    # -- internals -------------------------------------------------------------
+
+    def _materialize(self, building_id: str) -> FittedFisOne:
+        """Load the building's model from disk, or fit it from its source.
+
+        Caller must hold the building's per-building lock.  A stored
+        artifact is only used while the building is not marked dirty
+        (re-registration marks it dirty so refreshed training data wins).
+        If ``register()`` supersedes the training data *while* a fit is in
+        flight, the finished fit is discarded and the loop refits from the
+        refreshed source — a concurrent re-registration can therefore never
+        be shadowed by a stale model or artifact.
+        """
+        while True:
+            with self._lock:
+                dirty = building_id in self._dirty
+            if (
+                not dirty
+                and self.store_dir is not None
+                and has_artifacts(self.store_dir / building_id)
+            ):
+                try:
+                    fitted = load_artifacts(self.store_dir / building_id)
+                except ArtifactError:
+                    try:
+                        # A mismatch from racing another process's overwrite
+                        # is transient: one re-read usually lands after its
+                        # final swap and spares a multi-second refit.
+                        fitted = load_artifacts(self.store_dir / building_id)
+                    except ArtifactError:
+                        # Persistently torn or corrupt (e.g. a writer crashed
+                        # mid-swap).  With a registered source the building
+                        # is still servable: mark it dirty so the loop refits
+                        # and overwrites the bad artifact; without one,
+                        # propagate.
+                        with self._lock:
+                            has_source = building_id in self._sources
+                            if has_source:
+                                self._dirty.add(building_id)
+                                self._persisted.discard(building_id)
+                        if not has_source:
+                            raise
+                        continue
+                with self._lock:
+                    if building_id not in self._dirty:
+                        self.stats.loads += 1
+                        self._persisted.add(building_id)
+                        return fitted
+                # register() superseded the artifact while it was loading;
+                # fall through to refit from the refreshed source.
+                continue
+            with self._lock:
+                source = self._sources.get(building_id)
+            if source is None:
+                raise KeyError(
+                    f"building {building_id!r} is not registered and has no stored artifact"
+                )
+            pipeline = FisOne(source.config or self.config)
+            fitted = pipeline.fit(
+                source.dataset,
+                source.anchor_record_id,
+                labeled_floor=source.labeled_floor,
+            )
+            if self.store_dir is not None:
+                save_artifacts(fitted, self.store_dir / building_id)
+            with self._lock:
+                if self._sources.get(building_id) is source:
+                    self.stats.fits += 1
+                    self._dirty.discard(building_id)
+                    if self.store_dir is not None:
+                        self._persisted.add(building_id)
+                    return fitted
+            # The source changed mid-fit; the dirty mark set by register()
+            # is still in place, so the next iteration refits (and, when
+            # storing, overwrites the now-stale artifact just written).
+
+    def _cache_hit(self, building_id: str) -> Optional[FittedFisOne]:
+        """Serve (and LRU-touch) a cached model, counting the hit.
+
+        Caller must hold ``self._lock``.  Returns ``None`` on a cache miss.
+        """
+        cached = self._cache.get(building_id)
+        if cached is not None:
+            self._cache.move_to_end(building_id)
+            self.stats.hits += 1
+        return cached
+
+    def _recoverable(self, building_id: str) -> bool:
+        """Whether a cached model could be materialised again after eviction.
+
+        Caller must hold ``self._lock``.  Pure in-memory check: every path
+        that writes an artifact also records it in ``_persisted``, so
+        eviction never stats the filesystem under the lock.
+        """
+        return building_id in self._sources or building_id in self._persisted
+
+    def _insert(self, building_id: str, fitted: FittedFisOne) -> None:
+        """Insert into the LRU cache, evicting the coldest *recoverable* entry.
+
+        Caller must hold ``self._lock``.  A model added via
+        :meth:`add_fitted` with neither a store nor a registered training
+        source cannot be rebuilt, so it is pinned: the cache holds it above
+        capacity rather than silently losing it.
+        """
+        self._cache[building_id] = fitted
+        self._cache.move_to_end(building_id)
+        while len(self._cache) > self.capacity:
+            victim = next(
+                (
+                    candidate
+                    for candidate in self._cache
+                    if candidate != building_id and self._recoverable(candidate)
+                ),
+                None,
+            )
+            if victim is None:
+                break
+            del self._cache[victim]
+            self.stats.evictions += 1

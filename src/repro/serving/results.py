@@ -1,0 +1,84 @@
+"""Typed request/response payloads of the serving layer.
+
+Plain frozen dataclasses (no behaviour) shared by the online labeler, the
+building registry, and the fleet server, so every layer speaks the same
+vocabulary and callers get structured results instead of bare arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.signals.record import SignalRecord
+
+
+@dataclass(frozen=True)
+class OnlineLabel:
+    """Floor assignment of one online-labeled record.
+
+    Attributes
+    ----------
+    record_id:
+        Id of the labeled record.
+    floor:
+        Predicted floor index (0 = bottom).
+    confidence:
+        Softmax probability of the winning cluster centroid, in
+        ``(1/num_floors, 1]``; ``0.0`` when the record shared no MAC with the
+        building's training vocabulary (its floor is then the largest
+        cluster's — a guess, not an inference).
+    known_mac_fraction:
+        Fraction of the record's readings whose MAC the fitted model knows.
+    """
+
+    record_id: str
+    floor: int
+    confidence: float
+    known_mac_fraction: float
+
+
+@dataclass(frozen=True)
+class LabelRequest:
+    """One client request: label a batch of records of one building."""
+
+    request_id: str
+    building_id: str
+    records: Tuple[SignalRecord, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "records", tuple(self.records))
+        if not self.records:
+            raise ValueError(f"request {self.request_id!r} contains no records")
+
+
+@dataclass(frozen=True)
+class LabelResponse:
+    """The server's answer to one :class:`LabelRequest`.
+
+    ``latency_s`` measures submit-to-completion wall time, including the
+    batching window and any lazy model fit/load the request triggered.
+    """
+
+    request_id: str
+    building_id: str
+    labels: Tuple[OnlineLabel, ...]
+    latency_s: float
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """Aggregate throughput counters of one :class:`FleetServer` run."""
+
+    num_requests: int
+    num_records: int
+    num_batches: int
+    elapsed_s: float
+    records_per_second: float
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average number of requests coalesced per per-building batch."""
+        if self.num_batches == 0:
+            return 0.0
+        return self.num_requests / self.num_batches

@@ -1,0 +1,292 @@
+"""A stdlib-only fleet server: batched, concurrent online floor labeling.
+
+:class:`FleetServer` multiplexes label traffic for a whole fleet of
+buildings over a :class:`~repro.serving.registry.BuildingRegistry`:
+
+* clients ``submit()`` requests and get back a ``Future`` resolving to a
+  typed :class:`~repro.serving.results.LabelResponse`;
+* a dispatcher thread drains the request queue and *coalesces concurrent
+  requests per building* — one model lookup and one vectorised embedding
+  pass serve many requests at once, which is where the throughput comes
+  from;
+* per-building batches execute on a ``ThreadPoolExecutor``, so distinct
+  buildings label in parallel while the registry's per-building locks keep
+  cold fits single-flight;
+* the server counts requests, records, and batches and reports
+  records-per-second via :meth:`stats`.
+
+Only the standard library is used (``queue``, ``threading``,
+``concurrent.futures``) — no web framework; transports can be layered on
+top by feeding ``submit()``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.serving.registry import BuildingRegistry
+from repro.serving.results import LabelRequest, LabelResponse, ServerStats
+from repro.signals.record import SignalRecord
+
+
+@dataclass
+class _Pending:
+    """One in-flight request plus its completion plumbing."""
+
+    request: LabelRequest
+    future: "Future[LabelResponse]"
+    submitted_at: float = field(default_factory=time.perf_counter)
+
+
+class FleetServer:
+    """Batches concurrent label requests per building and executes them.
+
+    Parameters
+    ----------
+    registry:
+        The building registry that owns the fitted models.
+    num_workers:
+        Worker threads executing per-building batches.
+    max_batch_size:
+        Maximum number of requests coalesced into one batch; a building
+        whose backlog reaches this is flushed immediately.
+    batch_window_s:
+        How long the dispatcher waits for more requests before flushing
+        whatever has accumulated.  Small windows favour latency, larger
+        windows favour batching.
+    """
+
+    def __init__(
+        self,
+        registry: BuildingRegistry,
+        num_workers: int = 4,
+        max_batch_size: int = 64,
+        batch_window_s: float = 0.002,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if batch_window_s <= 0:
+            raise ValueError("batch_window_s must be positive")
+        self.registry = registry
+        self.num_workers = num_workers
+        self.max_batch_size = max_batch_size
+        self.batch_window_s = batch_window_s
+        self._queue: "queue.Queue[Optional[_Pending]]" = queue.Queue()
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._dispatcher: Optional[threading.Thread] = None
+        # Serialises start/stop against submit, so a request can never be
+        # enqueued behind the shutdown sentinel and left unresolved.
+        self._lifecycle_lock = threading.Lock()
+        self._request_counter = itertools.count()
+        self._stats_lock = threading.Lock()
+        self._num_requests = 0
+        self._num_records = 0
+        self._num_batches = 0
+        self._started_at: Optional[float] = None
+        self._stopped_elapsed: Optional[float] = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """Whether the dispatcher is accepting and processing requests."""
+        dispatcher = self._dispatcher  # snapshot: stop() may null it mid-check
+        return dispatcher is not None and dispatcher.is_alive()
+
+    def start(self) -> "FleetServer":
+        """Start the dispatcher and worker pool (idempotent)."""
+        with self._lifecycle_lock:
+            if self.running:
+                return self
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.num_workers, thread_name_prefix="fleet-worker"
+            )
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_loop, name="fleet-dispatcher", daemon=True
+            )
+            now = time.perf_counter()
+            if self._stopped_elapsed is not None:
+                # Resume accumulated serving time, excluding the downtime.
+                self._started_at = now - self._stopped_elapsed
+            elif self._started_at is None:
+                self._started_at = now
+            self._stopped_elapsed = None
+            self._dispatcher.start()
+            return self
+
+    def stop(self) -> None:
+        """Drain the queue, finish in-flight batches, and shut down.
+
+        Holds the lifecycle lock for the whole shutdown, so a concurrent
+        ``submit()`` either lands before the sentinel (and is served) or
+        observes the stopped server and raises.
+        """
+        with self._lifecycle_lock:
+            if not self.running:
+                return
+            self._queue.put(None)
+            self._dispatcher.join()
+            self._dispatcher = None
+            self._executor.shutdown(wait=True)
+            self._executor = None
+            if self._started_at is not None:
+                self._stopped_elapsed = time.perf_counter() - self._started_at
+
+    def __enter__(self) -> "FleetServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- request entry points --------------------------------------------------
+
+    def submit(
+        self,
+        building_id: str,
+        records: Sequence[SignalRecord],
+        request_id: Optional[str] = None,
+    ) -> "Future[LabelResponse]":
+        """Enqueue one label request; returns a future of its response."""
+        if request_id is None:
+            request_id = f"req-{next(self._request_counter)}"
+        request = LabelRequest(
+            request_id=request_id, building_id=building_id, records=tuple(records)
+        )
+        pending = _Pending(request=request, future=Future())
+        with self._lifecycle_lock:
+            if not self.running:
+                raise RuntimeError("the server is not running; call start() first")
+            self._queue.put(pending)
+        return pending.future
+
+    def serve(self, requests: Iterable[LabelRequest]) -> List[LabelResponse]:
+        """Submit many requests and block until every response is in.
+
+        Responses are returned in request order.  The server must be
+        running (use the context manager or :meth:`start`).
+        """
+        futures = [
+            self.submit(request.building_id, request.records, request.request_id)
+            for request in requests
+        ]
+        return [future.result() for future in futures]
+
+    def stats(self) -> ServerStats:
+        """Aggregate throughput counters since :meth:`start`."""
+        with self._stats_lock:
+            num_requests = self._num_requests
+            num_records = self._num_records
+            num_batches = self._num_batches
+        # Single snapshot reads (not the lifecycle lock): stats() must never
+        # stall behind a stop() that is draining multi-second batches, and
+        # one read per field is enough to avoid torn None checks.
+        stopped_elapsed = self._stopped_elapsed
+        started_at = self._started_at
+        if stopped_elapsed is not None:
+            elapsed = stopped_elapsed
+        elif started_at is not None:
+            elapsed = time.perf_counter() - started_at
+        else:
+            elapsed = 0.0
+        return ServerStats(
+            num_requests=num_requests,
+            num_records=num_records,
+            num_batches=num_batches,
+            elapsed_s=elapsed,
+            records_per_second=num_records / elapsed if elapsed > 0 else 0.0,
+        )
+
+    # -- dispatcher ------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        """Drain the queue, coalescing requests per building before flushing.
+
+        A backlog is flushed when it reaches ``max_batch_size``, when its
+        oldest request has waited ``batch_window_s`` (checked on every loop
+        iteration, so sustained traffic to *other* buildings cannot starve
+        a small batch), or when the queue goes idle.
+        """
+        backlog: Dict[str, List[_Pending]] = {}
+        stopping = False
+        while not stopping:
+            try:
+                # With nothing pending there is no deadline to honour:
+                # block until traffic (or the stop sentinel) arrives
+                # instead of waking every batch window while idle.
+                item = self._queue.get(
+                    timeout=self.batch_window_s if backlog else None
+                )
+            except queue.Empty:
+                self._flush_all(backlog)
+                continue
+            if item is None:
+                stopping = True
+            else:
+                building_backlog = backlog.setdefault(item.request.building_id, [])
+                building_backlog.append(item)
+                if len(building_backlog) >= self.max_batch_size:
+                    self._flush(item.request.building_id, backlog)
+            deadline = time.perf_counter() - self.batch_window_s
+            for building_id in list(backlog):
+                if backlog[building_id] and backlog[building_id][0].submitted_at <= deadline:
+                    self._flush(building_id, backlog)
+        self._flush_all(backlog)
+
+    def _flush_all(self, backlog: Dict[str, List[_Pending]]) -> None:
+        for building_id in list(backlog):
+            self._flush(building_id, backlog)
+
+    def _flush(self, building_id: str, backlog: Dict[str, List[_Pending]]) -> None:
+        batch = backlog.pop(building_id, None)
+        if batch:
+            self._executor.submit(self._process_batch, building_id, batch)
+
+    def _process_batch(self, building_id: str, batch: List[_Pending]) -> None:
+        """Label one coalesced per-building batch and complete its futures."""
+        all_records: List[SignalRecord] = []
+        for pending in batch:
+            all_records.extend(pending.request.records)
+        try:
+            labels = self.registry.label(building_id, all_records)
+        except Exception as error:  # noqa: BLE001 - failures travel via futures
+            for pending in batch:
+                # A client may have cancelled while queued; completing a
+                # cancelled future raises and would strand the rest of the
+                # batch, so claim each future first.
+                if pending.future.set_running_or_notify_cancel():
+                    pending.future.set_exception(error)
+            self._count_batch(batch, len(all_records))
+            return
+        done_at = time.perf_counter()
+        cursor = 0
+        for pending in batch:
+            count = len(pending.request.records)
+            response = LabelResponse(
+                request_id=pending.request.request_id,
+                building_id=building_id,
+                labels=tuple(labels[cursor : cursor + count]),
+                latency_s=done_at - pending.submitted_at,
+            )
+            cursor += count
+            if pending.future.set_running_or_notify_cancel():
+                pending.future.set_result(response)
+        self._count_batch(batch, len(all_records))
+
+    def _count_batch(self, batch: List[_Pending], num_records: int) -> None:
+        """Record a dispatched batch in the throughput counters.
+
+        Called for failed batches too — stats count traffic the server
+        handled, not only requests that succeeded.
+        """
+        with self._stats_lock:
+            self._num_requests += len(batch)
+            self._num_records += num_records
+            self._num_batches += 1

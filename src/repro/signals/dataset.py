@@ -76,8 +76,18 @@ class SignalDataset:
                 raise DatasetError(f"duplicate record_id {record.record_id!r}")
             seen.add(record.record_id)
         self.building_id = building_id
-        if num_floors is not None and num_floors < 1:
-            raise DatasetError(f"num_floors must be >= 1, got {num_floors}")
+        if num_floors is not None:
+            if num_floors < 1:
+                raise DatasetError(f"num_floors must be >= 1, got {num_floors}")
+            max_floor = max(
+                (record.floor for record in self._records if record.floor is not None),
+                default=None,
+            )
+            if max_floor is not None and num_floors < max_floor + 1:
+                raise DatasetError(
+                    f"declared num_floors={num_floors} cannot cover floor {max_floor} "
+                    f"present in the records; expected num_floors >= {max_floor + 1}"
+                )
         self._declared_num_floors = num_floors
         self._index_by_id: Dict[str, int] = {
             record.record_id: i for i, record in enumerate(self._records)
@@ -256,15 +266,55 @@ class SignalDataset:
             chosen, building_id=self.building_id, num_floors=self._declared_num_floors
         )
 
+    def holdout_split(
+        self, train_per_floor: int
+    ) -> "tuple[SignalDataset, List[SignalRecord]]":
+        """Split into a training dataset and held-out records, per floor.
+
+        The first ``train_per_floor`` labeled records of each floor (in
+        insertion order) form the training dataset; everything else is
+        returned as the held-out list — the shape the serving layer uses to
+        model "survey now, online traffic later".
+
+        Raises
+        ------
+        DatasetError
+            If any record is unlabeled (the split is floor-stratified) or
+            ``train_per_floor`` is not positive.
+        """
+        if train_per_floor < 1:
+            raise DatasetError("train_per_floor must be >= 1")
+        taken: Dict[int, int] = {}
+        train_ids: Set[str] = set()
+        for record in self._records:
+            if record.floor is None:
+                raise DatasetError(
+                    f"record {record.record_id!r} is unlabeled; holdout_split "
+                    "requires floor labels"
+                )
+            if taken.get(record.floor, 0) < train_per_floor:
+                taken[record.floor] = taken.get(record.floor, 0) + 1
+                train_ids.add(record.record_id)
+        train = self.subset(lambda record: record.record_id in train_ids)
+        held = [record for record in self._records if record.record_id not in train_ids]
+        return train, held
+
     def merge(self, other: "SignalDataset") -> "SignalDataset":
-        """Concatenate two datasets of the same building."""
-        num_floors = self._declared_num_floors
-        if num_floors is None:
-            num_floors = other._declared_num_floors
+        """Concatenate two datasets of the same building.
+
+        The taller declared floor count wins, so merging two individually
+        valid datasets stays valid (a 2-floor declaration merged with a
+        9-floor one describes a 9-floor building).
+        """
+        declared = [
+            count
+            for count in (self._declared_num_floors, other._declared_num_floors)
+            if count is not None
+        ]
         return SignalDataset(
             list(self._records) + list(other._records),
             building_id=self.building_id or other.building_id,
-            num_floors=num_floors,
+            num_floors=max(declared) if declared else None,
         )
 
     def relabeled(self, labels: Mapping[str, int]) -> "SignalDataset":

@@ -28,13 +28,23 @@ def dataset_to_json(dataset: SignalDataset) -> Dict:
 
 
 def dataset_from_json(payload: Dict) -> SignalDataset:
-    """Reconstruct a dataset from :func:`dataset_to_json` output."""
+    """Reconstruct a dataset from :func:`dataset_to_json` output.
+
+    Raises
+    ------
+    ValueError
+        If the format version is unsupported, or if a declared ``num_floors``
+        header does not cover every floor label present in the records (a
+        stale header would otherwise silently misdescribe the building).
+    """
     version = payload.get("format_version", JSON_FORMAT_VERSION)
     if version != JSON_FORMAT_VERSION:
         raise ValueError(
             f"unsupported dataset format version {version}; expected {JSON_FORMAT_VERSION}"
         )
     records = [SignalRecord.from_dict(item) for item in payload["records"]]
+    # The SignalDataset constructor validates that a declared num_floors
+    # covers every floor label present (rejecting stale headers).
     return SignalDataset(
         records,
         building_id=payload.get("building_id"),

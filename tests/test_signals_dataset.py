@@ -28,6 +28,11 @@ class TestConstruction:
         with pytest.raises(DatasetError):
             SignalDataset(make_tiny_records(), num_floors=0)
 
+    def test_num_floors_must_cover_labels(self):
+        # tiny records go up to floor 1, so a declared count of 1 is stale.
+        with pytest.raises(DatasetError, match="cannot cover floor 1"):
+            SignalDataset(make_tiny_records(), num_floors=1)
+
     def test_num_floors_inferred_from_labels(self):
         dataset = SignalDataset(make_tiny_records())
         assert dataset.num_floors == 2
@@ -110,10 +115,74 @@ class TestTransforms:
         merged = tiny_dataset.merge(other)
         assert len(merged) == 6
 
+    def test_merge_preserves_order(self, tiny_dataset):
+        other = SignalDataset([SignalRecord("x1", {"aa": -44.0})], num_floors=2)
+        merged = tiny_dataset.merge(other)
+        assert merged.record_ids == tiny_dataset.record_ids + ["x1"]
+
+    def test_merge_duplicate_ids_rejected(self, tiny_dataset):
+        other = SignalDataset([SignalRecord("r0", {"aa": -44.0})], num_floors=2)
+        with pytest.raises(DatasetError):
+            tiny_dataset.merge(other)
+
+    def test_merge_inherits_other_num_floors(self, tiny_dataset):
+        undeclared = SignalDataset(make_tiny_records())  # no declared floor count
+        declared = SignalDataset([SignalRecord("x1", {"aa": -44.0})], num_floors=9)
+        assert undeclared.merge(declared).num_floors == 9
+        # The taller declaration wins in either merge order.
+        assert tiny_dataset.merge(declared).num_floors == 9
+        assert declared.merge(tiny_dataset).num_floors == 9
+
+    def test_merge_of_valid_datasets_stays_valid(self, tiny_dataset):
+        # tiny declares 2 floors; the other declares 6 and labels floor 5 —
+        # both valid alone, and the merge must not trip the coverage check.
+        tall = SignalDataset([SignalRecord("t5", {"aa": -44.0}, floor=5)], num_floors=6)
+        merged = tiny_dataset.merge(tall)
+        assert merged.num_floors == 6
+        assert merged.floors_present == [0, 1, 5]
+
+    def test_merge_building_id_fallback(self, tiny_dataset):
+        anonymous = SignalDataset([SignalRecord("x1", {"aa": -44.0})], num_floors=2)
+        assert tiny_dataset.merge(anonymous).building_id == "tiny"
+        assert anonymous.merge(tiny_dataset).building_id == "tiny"
+
     def test_relabeled(self, tiny_dataset):
         relabeled = tiny_dataset.relabeled({"r0": 1})
         assert relabeled.get("r0").floor == 1
         assert relabeled.get("r1").floor == 0
+
+    def test_relabeled_unknown_ids_ignored(self, tiny_dataset):
+        relabeled = tiny_dataset.relabeled({"ghost": 1})
+        assert relabeled.labels == tiny_dataset.labels
+        assert relabeled.record_ids == tiny_dataset.record_ids
+
+    def test_relabeled_empty_mapping_is_copy(self, tiny_dataset):
+        relabeled = tiny_dataset.relabeled({})
+        assert relabeled is not tiny_dataset
+        assert relabeled.labels == tiny_dataset.labels
+
+    def test_relabeled_keeps_declared_num_floors(self):
+        dataset = SignalDataset(make_tiny_records(), num_floors=6)
+        assert dataset.relabeled({"r0": 5}).num_floors == 6
+
+    def test_relabeled_can_label_unlabeled_records(self, tiny_dataset):
+        stripped = tiny_dataset.strip_labels()
+        relabeled = stripped.relabeled({"r2": 1})
+        assert relabeled.get("r2").floor == 1
+        assert relabeled.get("r0").floor is None
+
+    def test_holdout_split(self, tiny_dataset):
+        train, held = tiny_dataset.holdout_split(train_per_floor=1)
+        assert train.record_ids == ["r0", "r2"]  # first record of each floor
+        assert [record.record_id for record in held] == ["r1", "r3", "r4"]
+
+    def test_holdout_split_requires_labels(self, tiny_dataset):
+        with pytest.raises(DatasetError):
+            tiny_dataset.strip_labels().holdout_split(train_per_floor=1)
+
+    def test_holdout_split_validates_count(self, tiny_dataset):
+        with pytest.raises(DatasetError):
+            tiny_dataset.holdout_split(train_per_floor=0)
 
 
 class TestStatistics:

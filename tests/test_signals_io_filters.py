@@ -40,6 +40,44 @@ class TestJsonIO:
         with pytest.raises(ValueError):
             dataset_from_json(payload)
 
+    def test_unlabeled_records_round_trip(self):
+        dataset = SignalDataset(
+            [SignalRecord("u0", {"aa": -50.0}), SignalRecord("u1", {"bb": -60.0})],
+            building_id="blind",
+            num_floors=4,
+        )
+        restored = dataset_from_json(dataset_to_json(dataset))
+        assert restored.labels == [None, None]
+        assert restored.num_floors == 4
+        assert restored.building_id == "blind"
+
+    def test_stale_num_floors_header_rejected(self, tiny_dataset):
+        payload = dataset_to_json(tiny_dataset)
+        payload["num_floors"] = 1  # records go up to floor 1 -> needs >= 2
+        with pytest.raises(ValueError, match="cannot cover floor 1"):
+            dataset_from_json(payload)
+
+    def test_num_floors_header_may_exceed_labels(self, tiny_dataset):
+        payload = dataset_to_json(tiny_dataset)
+        payload["num_floors"] = 7  # taller building, sparsely surveyed: fine
+        restored = dataset_from_json(payload)
+        assert restored.num_floors == 7
+        assert restored.floors_present == [0, 1]
+
+    def test_non_contiguous_floors_round_trip(self, tmp_path):
+        dataset = SignalDataset(
+            [
+                SignalRecord("r0", {"aa": -40.0}, floor=0),
+                SignalRecord("r3", {"bb": -45.0}, floor=3),
+            ],
+            num_floors=5,
+        )
+        path = tmp_path / "sparse.json"
+        save_dataset_json(dataset, path)
+        restored = load_dataset_json(path)
+        assert restored.floors_present == [0, 3]
+        assert restored.num_floors == 5
+
 
 class TestCsvIO:
     def test_round_trip(self, tiny_dataset, tmp_path):
@@ -57,6 +95,12 @@ class TestCsvIO:
         with pytest.raises(ValueError):
             load_dataset_csv(path)
 
+    def test_stale_num_floors_rejected(self, tiny_dataset, tmp_path):
+        path = tmp_path / "building.csv"
+        save_dataset_csv(tiny_dataset, path)
+        with pytest.raises(ValueError, match="cannot cover floor 1"):
+            load_dataset_csv(path, num_floors=1)
+
     def test_positions_preserved(self, tmp_path):
         dataset = SignalDataset(
             [SignalRecord("r1", {"aa": -50.0}, floor=0, position=(1.0, 2.0))],
@@ -66,6 +110,37 @@ class TestCsvIO:
         save_dataset_csv(dataset, path)
         restored = load_dataset_csv(path, num_floors=1)
         assert restored.get("r1").position == (1.0, 2.0)
+
+    def test_unlabeled_and_positionless_round_trip(self, tmp_path):
+        dataset = SignalDataset(
+            [
+                SignalRecord("u0", {"aa": -50.0, "bb": -72.5}),
+                SignalRecord("u1", {"cc": -61.0}, device_id="dev-7", timestamp=12.5),
+            ],
+            num_floors=3,
+        )
+        path = tmp_path / "unlabeled.csv"
+        save_dataset_csv(dataset, path)
+        restored = load_dataset_csv(path, num_floors=3)
+        assert restored.labels == [None, None]
+        assert restored.get("u0").position is None
+        assert restored.get("u1").device_id == "dev-7"
+        assert restored.get("u1").timestamp == 12.5
+        assert restored.get("u0").readings == dataset.get("u0").readings
+
+    def test_non_contiguous_floors_round_trip(self, tmp_path):
+        dataset = SignalDataset(
+            [
+                SignalRecord("r0", {"aa": -40.0}, floor=1),
+                SignalRecord("r4", {"bb": -45.0}, floor=4),
+            ],
+            num_floors=6,
+        )
+        path = tmp_path / "sparse.csv"
+        save_dataset_csv(dataset, path)
+        restored = load_dataset_csv(path, num_floors=6)
+        assert restored.floors_present == [1, 4]
+        assert restored.num_floors == 6
 
 
 class TestFilters:
