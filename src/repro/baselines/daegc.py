@@ -26,7 +26,7 @@ from repro.baselines.base import BaselineClusterer, sample_similarity_graph
 from repro.baselines.sdcn import student_t_assignment, target_distribution
 from repro.clustering.assignments import ClusterAssignment
 from repro.clustering.kmeans import KMeans
-from repro.graph.bipartite import BipartiteGraph
+from repro.graph.csr import CSRGraph
 from repro.nn.activations import sigmoid
 from repro.nn.layers import Dense
 from repro.nn.optimizers import Adam
@@ -83,7 +83,7 @@ class DAEGCBaseline(BaselineClusterer):
         self, dataset: SignalDataset, num_clusters: int, seed: int = 0
     ) -> ClusterAssignment:
         rng = np.random.default_rng(seed)
-        graph = BipartiteGraph.from_dataset(dataset)
+        graph = CSRGraph.from_dataset(dataset)
         features = graph.sample_feature_matrix(dataset, fill_dbm=-120.0) + 120.0
         features /= np.maximum(features.max(axis=1, keepdims=True), 1e-12)
         adjacency = sample_similarity_graph(dataset, graph, self_loops=False)

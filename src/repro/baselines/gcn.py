@@ -11,7 +11,11 @@ from repro.nn.init import glorot_uniform
 
 
 def normalized_adjacency(adjacency: np.ndarray, add_self_loops: bool = True) -> np.ndarray:
-    """Symmetric GCN normalisation ``D^{-1/2} (A + I) D^{-1/2}``."""
+    """Symmetric GCN normalisation ``D^{-1/2} (A + I) D^{-1/2}``.
+
+    Callers holding a graph pass its dense view explicitly
+    (``graph.adjacency_matrix()``, a vectorised scatter of the CSR arrays).
+    """
     adjacency = np.asarray(adjacency, dtype=np.float64)
     if adjacency.ndim != 2 or adjacency.shape[0] != adjacency.shape[1]:
         raise ValueError("the adjacency matrix must be square")

@@ -16,7 +16,7 @@ import numpy as np
 from repro.baselines.base import BaselineClusterer
 from repro.clustering.assignments import ClusterAssignment
 from repro.clustering.hierarchical import HierarchicalClustering
-from repro.graph.bipartite import BipartiteGraph
+from repro.graph.csr import CSRGraph
 from repro.signals.dataset import SignalDataset
 
 
@@ -70,7 +70,7 @@ class MDSBaseline(BaselineClusterer):
         self, dataset: SignalDataset, num_clusters: int, seed: int = 0
     ) -> ClusterAssignment:
         del seed  # classical MDS and average linkage are deterministic
-        graph = BipartiteGraph.from_dataset(dataset)
+        graph = CSRGraph.from_dataset(dataset)
         features = graph.sample_feature_matrix(dataset, fill_dbm=self.fill_dbm)
         distances = cosine_distance_matrix(features)
         dim = min(self.embedding_dim, max(1, len(dataset) - 1))

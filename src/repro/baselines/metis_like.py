@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.baselines.base import BaselineClusterer
 from repro.clustering.assignments import ClusterAssignment
-from repro.graph.bipartite import BipartiteGraph
+from repro.graph.csr import AnyGraph, CSRGraph
 from repro.signals.dataset import SignalDataset
 
 
@@ -43,7 +43,7 @@ class _WeightedGraph:
         self.adjacency[v][u] = self.adjacency[v].get(u, 0.0) + weight
 
     @classmethod
-    def from_bipartite(cls, graph: BipartiteGraph) -> "_WeightedGraph":
+    def from_bipartite(cls, graph: AnyGraph) -> "_WeightedGraph":
         weighted = cls(graph.num_nodes)
         for node_id in range(graph.num_nodes):
             neighbors, weights = graph.neighbor_arrays(node_id)
@@ -261,7 +261,7 @@ class MetisLikeBaseline(BaselineClusterer):
     def fit_predict(
         self, dataset: SignalDataset, num_clusters: int, seed: int = 0
     ) -> ClusterAssignment:
-        graph = BipartiteGraph.from_dataset(dataset)
+        graph = CSRGraph.from_dataset(dataset)
         weighted = _WeightedGraph.from_bipartite(graph)
         partitioner = MultilevelPartitioner(
             num_parts=num_clusters,

@@ -26,7 +26,7 @@ from repro.baselines.base import BaselineClusterer, sample_similarity_graph
 from repro.baselines.gcn import GCNLayer, normalized_adjacency
 from repro.clustering.assignments import ClusterAssignment
 from repro.clustering.kmeans import KMeans
-from repro.graph.bipartite import BipartiteGraph
+from repro.graph.csr import AnyGraph, CSRGraph
 from repro.nn.layers import Dense
 from repro.nn.optimizers import Adam
 from repro.signals.dataset import SignalDataset
@@ -79,7 +79,7 @@ class SDCNBaseline(BaselineClusterer):
     # -- helpers -----------------------------------------------------------------
 
     @staticmethod
-    def _features(dataset: SignalDataset, graph: BipartiteGraph) -> np.ndarray:
+    def _features(dataset: SignalDataset, graph: AnyGraph) -> np.ndarray:
         """Row-normalised positive RSS features for every sample."""
         features = graph.sample_feature_matrix(dataset, fill_dbm=-120.0) + 120.0
         scale = np.maximum(features.max(axis=1, keepdims=True), 1e-12)
@@ -89,7 +89,7 @@ class SDCNBaseline(BaselineClusterer):
         self, dataset: SignalDataset, num_clusters: int, seed: int = 0
     ) -> ClusterAssignment:
         rng = np.random.default_rng(seed)
-        graph = BipartiteGraph.from_dataset(dataset)
+        graph = CSRGraph.from_dataset(dataset)
         features = self._features(dataset, graph)
         adjacency_hat = normalized_adjacency(
             sample_similarity_graph(dataset, graph, self_loops=False)

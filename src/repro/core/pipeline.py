@@ -33,8 +33,10 @@ from repro.core.config import FisOneConfig
 from repro.gnn.frozen import FrozenEncoder
 from repro.gnn.trainer import RFGNNTrainer, TrainingHistory
 from repro.graph.bipartite import BipartiteGraph
+from repro.graph.csr import AnyGraph, CSRGraph
 from repro.indexing.arbitrary import ArbitraryFloorIndexer
 from repro.indexing.indexer import ClusterIndexer, IndexingResult
+from repro.indexing.similarity import cluster_mac_frequencies
 from repro.signals.dataset import SignalDataset
 from repro.signals.record import SignalRecord
 
@@ -107,6 +109,11 @@ class FittedFisOne:
     centroids:
         ``(num_clusters, embedding_dim)`` L2-normalised cluster centroids in
         cluster-label order (an empty cluster leaves a zero row).
+    graph:
+        The frozen CSR training graph.  Persisted by the serving layer so a
+        loaded model can warm-start ``add_record``-style graph growth (see
+        :meth:`warm_start_graph`) without re-parsing the dataset; ``None``
+        for artifacts saved without it.
     """
 
     config: FisOneConfig
@@ -116,6 +123,7 @@ class FittedFisOne:
     result: FisOneResult
     encoder: FrozenEncoder
     centroids: np.ndarray
+    graph: Optional[CSRGraph] = None
 
     @property
     def floor_labels(self) -> np.ndarray:
@@ -140,6 +148,26 @@ class FittedFisOne:
     @cached_property
     def _index_by_record_id(self) -> Dict[str, int]:
         return {record_id: i for i, record_id in enumerate(self.record_ids)}
+
+    def warm_start_graph(self) -> BipartiteGraph:
+        """A mutable builder over the training graph, ready for ``add_record``.
+
+        This is the dynamic-graph entry point after an artifact load: new
+        crowdsourced records can be merged into the building's graph (for a
+        later refit or incremental analysis) without re-parsing the original
+        dataset.  Each call thaws a fresh, independent builder.
+
+        Raises
+        ------
+        ValueError
+            If the model carries no graph (e.g. a legacy artifact).
+        """
+        if self.graph is None:
+            raise ValueError(
+                "this fitted model carries no training graph; re-save it with a "
+                "current FisOne.fit() to enable warm-started graph growth"
+            )
+        return self.graph.thaw()
 
     # -- online inference ------------------------------------------------------
 
@@ -232,11 +260,17 @@ class FisOne:
 
     # -- pipeline stages -----------------------------------------------------------
 
-    def build_graph(self, dataset: SignalDataset) -> BipartiteGraph:
-        """Stage 1: the weighted bipartite MAC-sample graph."""
-        return BipartiteGraph.from_dataset(dataset)
+    def build_graph(self, dataset: SignalDataset) -> CSRGraph:
+        """Stage 1: the weighted bipartite MAC-sample graph (frozen CSR view).
 
-    def embed(self, graph: BipartiteGraph) -> tuple:
+        Assembled vectorised straight from the dataset — node ids and
+        neighbour order are identical to the mutable
+        :class:`~repro.graph.bipartite.BipartiteGraph` builder's, several
+        times faster at fleet scale.
+        """
+        return CSRGraph.from_dataset(dataset)
+
+    def embed(self, graph: AnyGraph) -> tuple:
         """Stage 2: train RF-GNN without labels and embed the sample nodes.
 
         Returns ``(sample_embeddings, training_history)``.
@@ -244,7 +278,7 @@ class FisOne:
         trainer = self._train_encoder(graph)
         return self._inference_embeddings(trainer), trainer.history
 
-    def _train_encoder(self, graph: BipartiteGraph) -> RFGNNTrainer:
+    def _train_encoder(self, graph: AnyGraph) -> RFGNNTrainer:
         """Train the RF-GNN on the building's graph and return the trainer."""
         config = self.config
         trainer = RFGNNTrainer(
@@ -289,19 +323,37 @@ class FisOne:
         labeled_record_id: str,
         labeled_floor: int,
         embeddings: np.ndarray,
+        graph: Optional[AnyGraph] = None,
     ) -> IndexingResult:
-        """Stage 4: assign floor numbers to clusters via the spillover TSP."""
+        """Stage 4: assign floor numbers to clusters via the spillover TSP.
+
+        When the dataset's bipartite ``graph`` is available the per-cluster
+        MAC profile is counted vectorised from its CSR arrays instead of a
+        per-reading Python pass over the dataset (bit-identical counts).
+        """
         num_floors = assignment.num_clusters
+        profile = (
+            None
+            if graph is None
+            else cluster_mac_frequencies(dataset, assignment, graph=graph)
+        )
         if labeled_floor in (0, num_floors - 1):
             indexer = ClusterIndexer(
                 similarity=self.config.similarity, tsp_method=self.config.tsp_method
             )
-            return indexer.index(dataset, assignment, labeled_record_id, labeled_floor)
+            return indexer.index(
+                dataset, assignment, labeled_record_id, labeled_floor, profile=profile
+            )
         arbitrary = ArbitraryFloorIndexer(
             similarity=self.config.similarity, tsp_method=self.config.tsp_method
         )
         return arbitrary.index(
-            dataset, assignment, labeled_record_id, labeled_floor, embeddings
+            dataset,
+            assignment,
+            labeled_record_id,
+            labeled_floor,
+            embeddings,
+            profile=profile,
         )
 
     # -- end-to-end -------------------------------------------------------------------
@@ -344,6 +396,9 @@ class FisOne:
             result=result,
             encoder=encoder,
             centroids=cluster_centroids(result.embeddings, result.assignment),
+            # Cache-free view: the trainer's graph carries padded alias
+            # tables the serving model never samples from again.
+            graph=trainer.graph.without_caches(),
         )
 
     def fit_predict(
@@ -385,7 +440,12 @@ class FisOne:
         embeddings = self._inference_embeddings(trainer)
         assignment = self.cluster(embeddings, num_floors)
         indexing = self.index_clusters(
-            dataset, assignment, labeled_record_id, labeled_floor, embeddings
+            dataset,
+            assignment,
+            labeled_record_id,
+            labeled_floor,
+            embeddings,
+            graph=trainer.graph,
         )
         result = FisOneResult(
             floor_labels=indexing.floor_labels,

@@ -7,11 +7,15 @@ unsupervised, using random-walk co-occurrence with negative sampling.
 
 Typical usage::
 
-    graph = BipartiteGraph.from_dataset(dataset)
+    graph = CSRGraph.from_dataset(dataset)  # frozen array-native graph core
     config = RFGNNConfig(embedding_dim=32)
     trainer = RFGNNTrainer(graph, config, seed=0)
     embeddings = trainer.fit()              # (num_nodes, dim)
     sample_vectors = embeddings[graph.sample_ids]
+
+A mutable :class:`~repro.graph.bipartite.BipartiteGraph` builder is accepted
+too; the trainer freezes it once and shares the frozen graph (and its alias
+tables) across the walker and the neighbour sampler.
 """
 
 from repro.gnn.samplers import NeighborSampler, SampledNeighborhood

@@ -165,9 +165,9 @@ class FrozenEncoder:
                 f"sample_sizes must have {model.config.num_hops} entries, "
                 f"got {len(sample_sizes)}"
             )
-        graph = model.graph
-        mac_ids = np.asarray(graph.mac_ids, dtype=np.int64)
-        vocabulary = [graph.node(node_id).key for node_id in mac_ids]
+        graph = model.graph.freeze()
+        mac_ids = graph.mac_ids
+        vocabulary = [str(key) for key in graph.keys[mac_ids]]
         hidden: List[np.ndarray] = [model.node_features[mac_ids].copy()]
         for hop in range(1, model.config.num_hops):
             hop_sizes = None if sample_sizes is None else tuple(sample_sizes)[-hop:]

@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.gnn.aggregators import Aggregator, MeanAggregator, WeightedAggregator
 from repro.gnn.samplers import NeighborSampler
-from repro.graph.bipartite import BipartiteGraph
+from repro.graph.csr import AnyGraph
 from repro.nn.activations import Activation, get_activation
 from repro.nn.init import glorot_uniform, random_node_features
 
@@ -107,15 +107,17 @@ class RFGNN:
 
     def __init__(
         self,
-        graph: BipartiteGraph,
+        graph: AnyGraph,
         config: RFGNNConfig = RFGNNConfig(),
         seed: int = 0,
     ) -> None:
-        self.graph = graph
+        # The model only reads the graph, so it operates on the frozen CSR
+        # view; its alias tables are shared with every other consumer.
+        self.graph = graph.freeze()
         self.config = config
         rng = np.random.default_rng(seed)
         self._rng = rng
-        self.sampler = NeighborSampler(graph, weighted=config.attention, seed=seed)
+        self.sampler = NeighborSampler(self.graph, weighted=config.attention, seed=seed)
         self.aggregator: Aggregator = (
             WeightedAggregator() if config.attention else MeanAggregator()
         )

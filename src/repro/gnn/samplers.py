@@ -16,7 +16,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.graph.alias import BatchedAliasSampler
-from repro.graph.bipartite import BipartiteGraph
+from repro.graph.csr import AnyGraph
 
 
 @dataclass(frozen=True)
@@ -54,22 +54,14 @@ class NeighborSampler:
         RNG seed.
     """
 
-    def __init__(self, graph: BipartiteGraph, weighted: bool = True, seed: int = 0) -> None:
+    def __init__(self, graph: AnyGraph, weighted: bool = True, seed: int = 0) -> None:
         self.graph = graph
         self.weighted = weighted
-        neighbors_per_node = []
-        weights_per_node = []
-        for node_id in range(graph.num_nodes):
-            neighbors, weights = graph.neighbor_arrays(node_id)
-            if neighbors.size == 0:
-                raise ValueError(
-                    f"node {node_id} has no neighbours; the bipartite RF graph should "
-                    "never contain isolated nodes"
-                )
-            neighbors_per_node.append(neighbors)
-            weights_per_node.append(weights)
+        # Shared, graph-owned alias tables (the bipartite RF graph never
+        # contains isolated nodes, which table construction enforces); only
+        # the RNG is private to this sampler.
         self._alias = BatchedAliasSampler(
-            neighbors_per_node, weights_per_node, uniform=not weighted, seed=seed
+            tables=graph.freeze().alias_tables(uniform=not weighted), seed=seed
         )
 
     def sample(self, targets: Sequence[int], sample_size: int) -> SampledNeighborhood:

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.gnn.loss import negative_sampling_loss
 from repro.gnn.model import RFGNN, RFGNNConfig
-from repro.graph.bipartite import BipartiteGraph
+from repro.graph.csr import AnyGraph
 from repro.graph.negative_sampling import NegativeSampler
 from repro.graph.walks import RandomWalkGenerator, WalkConfig
 from repro.nn.optimizers import Adam, clip_gradients
@@ -59,7 +59,10 @@ class RFGNNTrainer:
     Parameters
     ----------
     graph:
-        The bipartite RF graph of one building.
+        The bipartite RF graph of one building (mutable builder or frozen
+        CSR view; the trainer freezes it once and every component — model,
+        walker, negative sampler — shares the frozen graph and its cached
+        alias tables).
     config:
         RF-GNN hyper-parameters.  The walk generator inherits the
         ``attention`` flag (weighted vs. uniform walks).
@@ -84,7 +87,7 @@ class RFGNNTrainer:
 
     def __init__(
         self,
-        graph: BipartiteGraph,
+        graph: AnyGraph,
         config: RFGNNConfig = RFGNNConfig(),
         walk_config: Optional[WalkConfig] = None,
         num_epochs: int = 5,
@@ -101,12 +104,15 @@ class RFGNNTrainer:
             raise ValueError("batch_size must be >= 1")
         if negatives_per_pair < 1:
             raise ValueError("negatives_per_pair must be >= 1")
-        self.graph = graph
+        # Freeze once: the model, walker, and negative sampler all read the
+        # same CSR arrays, and the walker and the model's neighbour sampler
+        # share one set of graph-owned alias tables (each with its own RNG).
+        self.graph = graph.freeze()
         self.config = config
-        self.model = RFGNN(graph, config, seed=seed)
+        self.model = RFGNN(self.graph, config, seed=seed)
         self.walk_config = walk_config or WalkConfig(weighted=config.attention)
-        self.walker = RandomWalkGenerator(graph, self.walk_config, seed=seed + 1)
-        self.negative_sampler = NegativeSampler(graph, seed=seed + 2)
+        self.walker = RandomWalkGenerator(self.graph, self.walk_config, seed=seed + 1)
+        self.negative_sampler = NegativeSampler(self.graph, seed=seed + 2)
         self.num_epochs = num_epochs
         self.batch_size = batch_size
         self.negatives_per_pair = negatives_per_pair

@@ -3,16 +3,28 @@
 MAC addresses form one node partition, signal samples the other; an edge
 connects a MAC to every sample that observed it, weighted by
 ``f(RSS) = RSS + c`` with ``c = 120`` dBm so that all weights are positive.
+
+Two representations share one node-id space: :class:`CSRGraph` is the frozen,
+array-native core (``indptr``/``indices``/``weights`` plus node-kind and key
+tables, and the shared alias tables) that every pipeline stage consumes, and
+:class:`BipartiteGraph` is the thin mutable builder that supports
+``add_record`` for the dynamic-graph scenario and freezes into it.
 """
 
+from repro.graph.alias import AliasTables, BatchedAliasSampler, build_alias_table
 from repro.graph.bipartite import BipartiteGraph, GraphNode, NodeKind, rss_edge_weight
+from repro.graph.csr import CSRGraph
 from repro.graph.walks import RandomWalkGenerator, WalkConfig
 from repro.graph.negative_sampling import NegativeSampler
 
 __all__ = [
+    "AliasTables",
+    "BatchedAliasSampler",
     "BipartiteGraph",
+    "CSRGraph",
     "GraphNode",
     "NodeKind",
+    "build_alias_table",
     "rss_edge_weight",
     "RandomWalkGenerator",
     "WalkConfig",

@@ -7,11 +7,18 @@ ablation).  Doing this with one ``numpy.random.choice`` call per node is far
 too slow, so this module pre-computes Vose alias tables for every node and
 packs them into padded 2-D arrays, which makes drawing a ``(batch, size)``
 block of neighbours a handful of vectorised NumPy operations.
+
+The table construction (:class:`AliasTables`) is split from the sampler
+(:class:`BatchedAliasSampler`): tables are immutable and depend only on the
+graph, so the frozen :class:`~repro.graph.csr.CSRGraph` builds them once and
+shares them across every consumer, while each consumer keeps its own RNG
+stream (a walker seeded with ``s+1`` and a neighbour sampler seeded with
+``s`` draw exactly the same sequences whether or not they share tables).
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,14 +39,30 @@ def build_alias_table(probabilities: np.ndarray) -> Tuple[np.ndarray, np.ndarray
     total = probabilities.sum()
     if total <= 0:
         raise ValueError("probabilities must sum to a positive value")
-    scaled = probabilities * (n / total)
-    prob = np.zeros(n, dtype=np.float64)
-    alias = np.zeros(n, dtype=np.int64)
-    small: List[int] = []
-    large: List[int] = []
-    for index, value in enumerate(scaled):
-        (small if value < 1.0 else large).append(index)
-    scaled = scaled.copy()
+    # The stack algorithm runs on Python floats (scalar IEEE-754 ops are
+    # bit-identical to NumPy's elementwise ones) because extracting NumPy
+    # scalars one by one in a loop is several times slower.
+    scaled_array = probabilities * (n / total)
+    prob: List[float] = [1.0] * n
+    alias: List[int] = [0] * n
+    _vose_fill(
+        scaled_array.tolist(),
+        np.flatnonzero(scaled_array < 1.0).tolist(),
+        np.flatnonzero(scaled_array >= 1.0).tolist(),
+        prob,
+        alias,
+    )
+    return np.asarray(prob, dtype=np.float64), np.asarray(alias, dtype=np.int64)
+
+
+def _vose_fill(scaled, small, large, prob, alias) -> None:
+    """The Vose stack recurrence shared by every alias-table constructor.
+
+    ``prob`` must start at all 1.0 and ``alias`` at all 0 (every slot is
+    either a processed "small" slot, which gets its scaled probability and
+    an alias, or keeps the defaults); list rows and NumPy rows both work.
+    ``scaled``/``small``/``large`` are consumed.
+    """
     while small and large:
         s = small.pop()
         l = large.pop()
@@ -47,11 +70,146 @@ def build_alias_table(probabilities: np.ndarray) -> Tuple[np.ndarray, np.ndarray
         alias[s] = l
         scaled[l] = scaled[l] - (1.0 - scaled[s])
         (small if scaled[l] < 1.0 else large).append(l)
-    for index in large:
-        prob[index] = 1.0
-    for index in small:
-        prob[index] = 1.0
-    return prob, alias
+
+
+class AliasTables:
+    """Immutable per-node alias tables packed into padded 2-D arrays.
+
+    Holds everything :class:`BatchedAliasSampler` needs except the RNG:
+    ``degrees`` plus ``(num_nodes, max_degree)`` neighbour / weight / prob /
+    alias matrices.  Build from a CSR graph (:meth:`from_csr`, the shared
+    fast path) or from per-node arrays (:meth:`from_neighbor_lists`, the
+    legacy constructor's path).  Instances are treated as frozen — samplers
+    alias the arrays rather than copying them.
+    """
+
+    __slots__ = ("degrees", "neighbors", "weights", "prob", "alias")
+
+    def __init__(
+        self,
+        degrees: np.ndarray,
+        neighbors: np.ndarray,
+        weights: np.ndarray,
+        prob: np.ndarray,
+        alias: np.ndarray,
+    ) -> None:
+        self.degrees = degrees
+        self.neighbors = neighbors
+        self.weights = weights
+        self.prob = prob
+        self.alias = alias
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes the tables cover."""
+        return int(self.degrees.shape[0])
+
+    @classmethod
+    def from_csr(
+        cls,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray,
+        uniform: bool = False,
+    ) -> "AliasTables":
+        """Build tables straight from CSR arrays (no per-node list conversion)."""
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.float64)
+        degrees = np.diff(indptr)
+        num_nodes = degrees.shape[0]
+        if num_nodes == 0:
+            raise ValueError("the graph must contain at least one node")
+        if np.any(degrees == 0):
+            empty = int(np.argmax(degrees == 0))
+            raise ValueError(f"node {empty} has no neighbours")
+        max_degree = int(degrees.max())
+        padded_neighbors = np.zeros((num_nodes, max_degree), dtype=np.int64)
+        padded_weights = np.zeros((num_nodes, max_degree), dtype=np.float64)
+        rows = np.repeat(np.arange(num_nodes, dtype=np.int64), degrees)
+        cols = np.arange(indices.shape[0], dtype=np.int64) - np.repeat(
+            indptr[:-1], degrees
+        )
+        padded_neighbors[rows, cols] = indices
+        padded_weights[rows, cols] = weights
+        prob = np.ones((num_nodes, max_degree), dtype=np.float64)
+        alias = np.zeros((num_nodes, max_degree), dtype=np.int64)
+        if uniform:
+            # A uniform distribution depends only on the degree, so distinct
+            # degrees (typically few) each build one table, shared bit-exactly
+            # by every node of that degree.
+            by_degree = {}
+            for node in range(num_nodes):
+                degree = int(degrees[node])
+                table = by_degree.get(degree)
+                if table is None:
+                    table = build_alias_table(np.full(degree, 1.0 / degree))
+                    by_degree[degree] = table
+                prob[node, :degree] = table[0]
+                alias[node, :degree] = table[1]
+            return cls(degrees, padded_neighbors, padded_weights, prob, alias)
+        # Weighted tables: per-node scaling without build_alias_table's
+        # validation (CSRGraph rejects non-positive weights at construction,
+        # so every slice here is strictly positive), then the same shared
+        # _vose_fill recurrence — bit-exact with the per-node path, pinned
+        # by tests/test_csr_graph.py (TestSharedAliasTables).
+        bounds = indptr.tolist()
+        degree_list = degrees.tolist()
+        for node in range(num_nodes):
+            degree = degree_list[node]
+            node_weights = weights[bounds[node] : bounds[node + 1]]
+            total = node_weights.sum()
+            if total <= 0:
+                raise ValueError(f"node {node}: weights must sum to a positive value")
+            scaled = (node_weights * (degree / total)).tolist()
+            small = []
+            large = []
+            for index, value in enumerate(scaled):
+                (small if value < 1.0 else large).append(index)
+            _vose_fill(scaled, small, large, prob[node], alias[node])
+        return cls(degrees, padded_neighbors, padded_weights, prob, alias)
+
+    @classmethod
+    def from_neighbor_lists(
+        cls,
+        neighbors_per_node: Sequence[np.ndarray],
+        weights_per_node: Sequence[np.ndarray],
+        uniform: bool = False,
+    ) -> "AliasTables":
+        """Build tables from per-node neighbour/weight arrays."""
+        if len(neighbors_per_node) != len(weights_per_node):
+            raise ValueError("neighbors and weights must have the same number of nodes")
+        num_nodes = len(neighbors_per_node)
+        if num_nodes == 0:
+            raise ValueError("the graph must contain at least one node")
+        degrees = np.array(
+            [len(neighbors) for neighbors in neighbors_per_node], dtype=np.int64
+        )
+        if np.any(degrees == 0):
+            empty = int(np.argmax(degrees == 0))
+            raise ValueError(f"node {empty} has no neighbours")
+        max_degree = int(degrees.max())
+        padded_neighbors = np.zeros((num_nodes, max_degree), dtype=np.int64)
+        padded_weights = np.zeros((num_nodes, max_degree), dtype=np.float64)
+        prob = np.ones((num_nodes, max_degree), dtype=np.float64)
+        alias = np.zeros((num_nodes, max_degree), dtype=np.int64)
+        for node, (neighbors, node_weights) in enumerate(
+            zip(neighbors_per_node, weights_per_node)
+        ):
+            degree = len(neighbors)
+            neighbors = np.asarray(neighbors, dtype=np.int64)
+            node_weights = np.asarray(node_weights, dtype=np.float64)
+            if neighbors.shape != node_weights.shape:
+                raise ValueError(
+                    f"node {node}: neighbours and weights have different lengths"
+                )
+            padded_neighbors[node, :degree] = neighbors
+            padded_weights[node, :degree] = node_weights
+            distribution = np.full(degree, 1.0 / degree) if uniform else node_weights
+            node_prob, node_alias = build_alias_table(distribution)
+            prob[node, :degree] = node_prob
+            alias[node, :degree] = node_alias
+        return cls(degrees, padded_neighbors, padded_weights, prob, alias)
 
 
 class BatchedAliasSampler:
@@ -61,50 +219,44 @@ class BatchedAliasSampler:
     ----------
     neighbors_per_node:
         ``neighbors_per_node[i]`` is the integer array of node ``i``'s
-        neighbours.  Every node must have at least one neighbour.
+        neighbours.  Every node must have at least one neighbour.  Ignored
+        when ``tables`` is given.
     weights_per_node:
         Matching positive sampling weights (ignored when ``uniform``).
     uniform:
         Sample neighbours uniformly instead of weight-proportionally.
     seed:
-        RNG seed.
+        RNG seed.  The RNG is always private to the sampler, so consumers
+        sharing one :class:`AliasTables` keep independent streams.
+    tables:
+        Pre-built (typically graph-shared) :class:`AliasTables` to sample
+        from, skipping construction entirely.
     """
 
     def __init__(
         self,
-        neighbors_per_node: Sequence[np.ndarray],
-        weights_per_node: Sequence[np.ndarray],
+        neighbors_per_node: Optional[Sequence[np.ndarray]] = None,
+        weights_per_node: Optional[Sequence[np.ndarray]] = None,
         uniform: bool = False,
         seed: int = 0,
+        tables: Optional[AliasTables] = None,
     ) -> None:
-        if len(neighbors_per_node) != len(weights_per_node):
-            raise ValueError("neighbors and weights must have the same number of nodes")
-        num_nodes = len(neighbors_per_node)
-        if num_nodes == 0:
-            raise ValueError("the graph must contain at least one node")
-        degrees = np.array([len(neighbors) for neighbors in neighbors_per_node], dtype=np.int64)
-        if np.any(degrees == 0):
-            empty = int(np.argmax(degrees == 0))
-            raise ValueError(f"node {empty} has no neighbours")
-        max_degree = int(degrees.max())
+        if tables is None:
+            if neighbors_per_node is None or weights_per_node is None:
+                raise ValueError(
+                    "either tables or both neighbors_per_node and weights_per_node "
+                    "must be provided"
+                )
+            tables = AliasTables.from_neighbor_lists(
+                neighbors_per_node, weights_per_node, uniform=uniform
+            )
+        self.tables = tables
+        self.degrees = tables.degrees
+        self._neighbors = tables.neighbors
+        self._weights = tables.weights
+        self._prob = tables.prob
+        self._alias = tables.alias
         self._rng = np.random.default_rng(seed)
-        self.degrees = degrees
-        self._neighbors = np.zeros((num_nodes, max_degree), dtype=np.int64)
-        self._weights = np.zeros((num_nodes, max_degree), dtype=np.float64)
-        self._prob = np.ones((num_nodes, max_degree), dtype=np.float64)
-        self._alias = np.zeros((num_nodes, max_degree), dtype=np.int64)
-        for node, (neighbors, weights) in enumerate(zip(neighbors_per_node, weights_per_node)):
-            degree = len(neighbors)
-            neighbors = np.asarray(neighbors, dtype=np.int64)
-            weights = np.asarray(weights, dtype=np.float64)
-            if neighbors.shape != weights.shape:
-                raise ValueError(f"node {node}: neighbours and weights have different lengths")
-            self._neighbors[node, :degree] = neighbors
-            self._weights[node, :degree] = weights
-            distribution = np.full(degree, 1.0 / degree) if uniform else weights
-            prob, alias = build_alias_table(distribution)
-            self._prob[node, :degree] = prob
-            self._alias[node, :degree] = alias
 
     @property
     def num_nodes(self) -> int:

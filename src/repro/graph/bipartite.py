@@ -1,4 +1,4 @@
-"""The weighted bipartite RF-signal graph (paper Section III-A).
+"""The weighted bipartite RF-signal graph (paper Section III-A) — mutable builder.
 
 Nodes are either MAC addresses (partition ``U``) or signal samples
 (partition ``V``).  A MAC node and a sample node are connected when the MAC
@@ -6,13 +6,21 @@ was detected in the sample, with edge weight ``f(RSS) = RSS + c`` where
 ``c = 120`` dBm makes every weight strictly positive.  The graph keeps dense
 integer node ids (0..n-1) so the GNN and clustering layers can index NumPy
 arrays directly.
+
+:class:`BipartiteGraph` is the *mutable builder*: ``add_record`` keeps working
+for the dynamic-graph scenario where new crowdsourced signals stream into an
+existing building.  All heavy consumers — walks, sampling, the GNN, the
+matrix views — operate on the frozen, array-native CSR core obtained with
+:meth:`BipartiteGraph.freeze` (see :mod:`repro.graph.csr`).  Building a graph
+for a whole dataset in one go should use ``CSRGraph.from_dataset`` directly,
+which skips per-reading mutation entirely.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -69,11 +77,14 @@ class GraphNode:
 
 
 class BipartiteGraph:
-    """Weighted bipartite graph over MAC addresses and signal samples.
+    """Mutable builder for the weighted bipartite MAC–sample graph.
 
     Build it from a dataset with :meth:`from_dataset`; sample nodes appear in
     the same order as the dataset's records, which lets callers map sample
-    node ids back to record indices trivially.
+    node ids back to record indices trivially.  Freeze it into the shared
+    array-native view with :meth:`freeze`; the frozen graph (and its cached
+    alias tables and id arrays) is invalidated automatically by any further
+    mutation.
     """
 
     def __init__(self, offset_db: float = RSS_OFFSET_DB) -> None:
@@ -82,6 +93,9 @@ class BipartiteGraph:
         self._id_by_key: Dict[Tuple[NodeKind, str], int] = {}
         self._adjacency: List[List[int]] = []
         self._weights: List[List[float]] = []
+        self._frozen: Optional["CSRGraph"] = None
+        self._mac_ids: Optional[np.ndarray] = None
+        self._sample_ids: Optional[np.ndarray] = None
 
     # -- construction ---------------------------------------------------------
 
@@ -96,6 +110,9 @@ class BipartiteGraph:
         self._id_by_key[lookup] = node_id
         self._adjacency.append([])
         self._weights.append([])
+        self._frozen = None
+        self._mac_ids = None
+        self._sample_ids = None
         return node_id
 
     def add_edge(self, mac_id: int, sample_id: int, rss_dbm: float) -> None:
@@ -109,6 +126,7 @@ class BipartiteGraph:
         self._weights[mac_id].append(weight)
         self._adjacency[sample_id].append(mac_id)
         self._weights[sample_id].append(weight)
+        self._frozen = None
 
     def add_record(self, record: SignalRecord) -> int:
         """Add a signal record: its sample node plus one edge per reading.
@@ -127,15 +145,95 @@ class BipartiteGraph:
     def from_dataset(
         cls, dataset: SignalDataset, offset_db: float = RSS_OFFSET_DB
     ) -> "BipartiteGraph":
-        """Build the bipartite graph of a whole dataset.
+        """Build the bipartite graph of a whole dataset, record by record.
 
         Sample nodes are created in dataset record order, so
-        ``graph.sample_ids[i]`` corresponds to ``dataset[i]``.
+        ``graph.sample_ids[i]`` corresponds to ``dataset[i]``.  This is the
+        incremental-builder path; when no further mutation is needed, prefer
+        ``CSRGraph.from_dataset`` which assembles the same graph vectorised.
         """
         graph = cls(offset_db=offset_db)
         for record in dataset:
             graph.add_record(record)
         return graph
+
+    @classmethod
+    def _from_frozen(cls, frozen: "CSRGraph") -> "BipartiteGraph":
+        """Rehydrate a mutable builder from a frozen CSR graph (see ``thaw``)."""
+        graph = cls(offset_db=frozen.offset_db)
+        kinds = frozen.kinds
+        keys = frozen.keys
+        from repro.graph.csr import MAC_KIND
+
+        graph._nodes = [
+            GraphNode(
+                node_id=node_id,
+                kind=NodeKind.MAC if kinds[node_id] == MAC_KIND else NodeKind.SAMPLE,
+                key=str(keys[node_id]),
+            )
+            for node_id in range(frozen.num_nodes)
+        ]
+        graph._id_by_key = {
+            (node.kind, node.key): node.node_id for node in graph._nodes
+        }
+        indptr = frozen.indptr
+        graph._adjacency = [
+            frozen.indices[indptr[i] : indptr[i + 1]].tolist()
+            for i in range(frozen.num_nodes)
+        ]
+        graph._weights = [
+            frozen.weights[indptr[i] : indptr[i + 1]].tolist()
+            for i in range(frozen.num_nodes)
+        ]
+        graph._frozen = frozen
+        return graph
+
+    # -- freezing --------------------------------------------------------------
+
+    def freeze(self) -> "CSRGraph":
+        """The frozen CSR view of this graph (cached until the next mutation).
+
+        All array consumers — alias tables, matrix views, the GNN — hang off
+        the frozen graph, so repeated freezes of an unchanged builder are
+        free and share one set of caches.
+        """
+        if self._frozen is None:
+            from repro.graph.csr import CSRGraph, _CODE_BY_KIND
+
+            num_nodes = len(self._nodes)
+            degrees = np.fromiter(
+                (len(neighbors) for neighbors in self._adjacency),
+                dtype=np.int64,
+                count=num_nodes,
+            )
+            indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+            np.cumsum(degrees, out=indptr[1:])
+            total = int(indptr[-1])
+            indices = np.empty(total, dtype=np.int64)
+            weights = np.empty(total, dtype=np.float64)
+            for node_id, (neighbors, node_weights) in enumerate(
+                zip(self._adjacency, self._weights)
+            ):
+                start, stop = indptr[node_id], indptr[node_id + 1]
+                indices[start:stop] = neighbors
+                weights[start:stop] = node_weights
+            kinds = np.fromiter(
+                (_CODE_BY_KIND[node.kind] for node in self._nodes),
+                dtype=np.uint8,
+                count=num_nodes,
+            )
+            keys = np.empty(num_nodes, dtype=object)
+            for node_id, node in enumerate(self._nodes):
+                keys[node_id] = node.key
+            self._frozen = CSRGraph(
+                indptr=indptr,
+                indices=indices,
+                weights=weights,
+                kinds=kinds,
+                keys=keys,
+                offset_db=self.offset_db,
+            )
+        return self._frozen
 
     # -- accessors ------------------------------------------------------------
 
@@ -155,14 +253,27 @@ class BipartiteGraph:
         return tuple(self._nodes)
 
     @property
-    def mac_ids(self) -> List[int]:
-        """Dense ids of MAC nodes, in insertion order."""
-        return [node.node_id for node in self._nodes if node.kind is NodeKind.MAC]
+    def mac_ids(self) -> np.ndarray:
+        """Dense ids of MAC nodes, in insertion order (cached int64 array)."""
+        if self._mac_ids is None:
+            self._mac_ids = np.fromiter(
+                (node.node_id for node in self._nodes if node.kind is NodeKind.MAC),
+                dtype=np.int64,
+            )
+        return self._mac_ids
 
     @property
-    def sample_ids(self) -> List[int]:
-        """Dense ids of sample nodes, in insertion order (= dataset record order)."""
-        return [node.node_id for node in self._nodes if node.kind is NodeKind.SAMPLE]
+    def sample_ids(self) -> np.ndarray:
+        """Dense ids of sample nodes, in insertion order (= dataset record order).
+
+        Cached as an int64 array; treat it as read-only.
+        """
+        if self._sample_ids is None:
+            self._sample_ids = np.fromiter(
+                (node.node_id for node in self._nodes if node.kind is NodeKind.SAMPLE),
+                dtype=np.int64,
+            )
+        return self._sample_ids
 
     def node(self, node_id: int) -> GraphNode:
         """The node with the given dense id."""
@@ -227,36 +338,26 @@ class BipartiteGraph:
     def adjacency_matrix(self, normalize: bool = False) -> np.ndarray:
         """Dense (num_nodes x num_nodes) weighted adjacency matrix.
 
+        Delegates to the frozen CSR view, which scatters the arrays in one
+        vectorised step instead of looping over all node pairs.
+
         Parameters
         ----------
         normalize:
             When set, returns the symmetrically normalised adjacency
             ``D^{-1/2} (A + I) D^{-1/2}`` used by GCN-style baselines.
         """
-        matrix = np.zeros((self.num_nodes, self.num_nodes), dtype=np.float64)
-        for node_id, (neighbors, weights) in enumerate(zip(self._adjacency, self._weights)):
-            for neighbor, weight in zip(neighbors, weights):
-                matrix[node_id, neighbor] = weight
-        if not normalize:
-            return matrix
-        with_self_loops = matrix + np.eye(self.num_nodes)
-        degree = with_self_loops.sum(axis=1)
-        inv_sqrt = np.where(degree > 0, 1.0 / np.sqrt(degree), 0.0)
-        return with_self_loops * inv_sqrt[:, None] * inv_sqrt[None, :]
+        return self.freeze().adjacency_matrix(normalize=normalize)
 
-    def sample_feature_matrix(self, dataset: SignalDataset, fill_dbm: float = -120.0) -> np.ndarray:
+    def sample_feature_matrix(
+        self, dataset: Optional[SignalDataset] = None, fill_dbm: float = -120.0
+    ) -> np.ndarray:
         """The dense matrix view of Figure 3: samples x MACs, missing = ``fill_dbm``.
 
         Used by the MDS baseline, which needs a fixed-width vector per sample.
+        Delegates to the frozen CSR view (vectorised scatter).
         """
-        mac_index = {self._nodes[mac_id].key: col for col, mac_id in enumerate(self.mac_ids)}
-        matrix = np.full((len(dataset), len(mac_index)), fill_dbm, dtype=np.float64)
-        for row, record in enumerate(dataset):
-            for mac, rss in record.readings.items():
-                column = mac_index.get(mac)
-                if column is not None:
-                    matrix[row, column] = rss
-        return matrix
+        return self.freeze().sample_feature_matrix(dataset, fill_dbm=fill_dbm)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

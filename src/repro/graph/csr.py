@@ -1,0 +1,452 @@
+"""Frozen, array-native CSR view of the bipartite RF-signal graph.
+
+Every stage of the FIS-ONE pipeline — RSS-weighted random walks, attention-
+biased neighbour sampling, degree^{3/4} negative sampling, GNN aggregation,
+the dense baselines, and the serving layer — reads the same bipartite
+MAC–sample graph.  :class:`CSRGraph` is the shared, immutable core they all
+consume: the adjacency lives in three flat arrays
+
+* ``indptr``  — ``(num_nodes + 1,)`` int64 row pointers,
+* ``indices`` — ``(2 * num_edges,)`` int64 neighbour ids,
+* ``weights`` — ``(2 * num_edges,)`` float64 edge weights ``f(RSS)``,
+
+plus a node-kind table (MAC vs sample partition) and a node-key table (MAC
+address or record id per dense node id).  Node ids are identical to the ones
+the mutable :class:`~repro.graph.bipartite.BipartiteGraph` builder assigns —
+sample node of record ``i`` before that record's first-seen MACs — so the
+two representations are interchangeable and freezing is a pure speedup.
+
+The frozen graph also owns the *shared* alias tables
+(:meth:`CSRGraph.alias_tables`): walk generation, neighbour sampling and the
+no-attention ablation all draw from the same lazily-built, cached
+:class:`~repro.graph.alias.AliasTables`, instead of each consumer re-scanning
+the graph and duplicating the Vose construction.
+
+Build one directly from a dataset with :meth:`CSRGraph.from_dataset`
+(vectorised assembly, no per-reading graph mutation), or freeze a mutable
+builder with :meth:`BipartiteGraph.freeze`.  :meth:`CSRGraph.thaw` goes the
+other way, producing a mutable builder that supports ``add_record`` — the
+warm-start path the serving layer uses after loading persisted CSR arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.graph.alias import AliasTables
+from repro.graph.bipartite import (
+    RSS_OFFSET_DB,
+    GraphNode,
+    NodeKind,
+)
+from repro.signals.dataset import SignalDataset
+
+#: Integer codes of the two partitions inside :attr:`CSRGraph.kinds`.
+MAC_KIND = 0
+SAMPLE_KIND = 1
+
+_KIND_BY_CODE = {MAC_KIND: NodeKind.MAC, SAMPLE_KIND: NodeKind.SAMPLE}
+_CODE_BY_KIND = {NodeKind.MAC: MAC_KIND, NodeKind.SAMPLE: SAMPLE_KIND}
+
+
+class CSRGraph:
+    """Immutable CSR-backed bipartite MAC–sample graph.
+
+    Attributes
+    ----------
+    indptr, indices, weights:
+        The CSR arrays; node ``i``'s neighbours are
+        ``indices[indptr[i]:indptr[i+1]]`` with matching ``weights``.
+        Neighbour order within a node equals the edge insertion order of the
+        mutable builder (reading order for sample nodes, record order for
+        MAC nodes).
+    kinds:
+        ``(num_nodes,)`` uint8 partition codes (:data:`MAC_KIND` /
+        :data:`SAMPLE_KIND`).
+    keys:
+        ``(num_nodes,)`` object array of node keys — the MAC address for MAC
+        nodes, the record id for sample nodes.
+    mac_ids, sample_ids:
+        Cached int64 id arrays of each partition, in insertion (= dense id)
+        order.  These are the graph's own arrays — do not mutate them.
+    offset_db:
+        The edge-weight offset ``c`` of ``f(RSS) = RSS + c``.
+    """
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray,
+        kinds: np.ndarray,
+        keys: Sequence[str],
+        offset_db: float = RSS_OFFSET_DB,
+    ) -> None:
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.weights = np.ascontiguousarray(weights, dtype=np.float64)
+        self.kinds = np.ascontiguousarray(kinds, dtype=np.uint8)
+        self.keys = np.asarray(keys, dtype=object)
+        self.offset_db = float(offset_db)
+
+        num_nodes = self.kinds.shape[0]
+        if self.indptr.shape != (num_nodes + 1,):
+            raise ValueError(
+                f"indptr must have {num_nodes + 1} entries, got {self.indptr.shape}"
+            )
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.shape[0]:
+            raise ValueError("indptr must start at 0 and end at len(indices)")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if self.indices.shape != self.weights.shape:
+            raise ValueError("indices and weights must have the same length")
+        if self.keys.shape != (num_nodes,):
+            raise ValueError(f"keys must have {num_nodes} entries, got {self.keys.shape}")
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= num_nodes
+        ):
+            raise ValueError("indices contain out-of-range node ids")
+        # Every consumer (alias tables in particular) relies on strictly
+        # positive edge weights; validate here so graphs deserialized from
+        # corrupt artifacts fail fast instead of sampling from a poisoned
+        # distribution.
+        if self.weights.size and self.weights.min() <= 0:
+            raise ValueError("edge weights must be strictly positive")
+
+        self._degrees = np.diff(self.indptr)
+        self.mac_ids = np.flatnonzero(self.kinds == MAC_KIND).astype(np.int64)
+        self.sample_ids = np.flatnonzero(self.kinds == SAMPLE_KIND).astype(np.int64)
+        self._id_by_key: Optional[Dict[Tuple[NodeKind, str], int]] = None
+        self._edge_src: Optional[np.ndarray] = None
+        self._alias_tables: Dict[bool, AliasTables] = {}
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_dataset(
+        cls, dataset: SignalDataset, offset_db: float = RSS_OFFSET_DB
+    ) -> "CSRGraph":
+        """Build the frozen graph of a whole dataset with vectorised assembly.
+
+        One pass extracts the flat ``(record, MAC, RSS)`` triples; node-id
+        assignment, both CSR halves, and the partition/key tables are then
+        pure NumPy.  The resulting graph is identical — node ids, neighbour
+        order, and weights — to ``BipartiteGraph.from_dataset(...).freeze()``.
+        """
+        num_records = len(dataset)
+        record_ids = dataset.record_ids
+        counts = np.empty(num_records, dtype=np.int64)
+        # One flat extraction pass: MAC codes in first-seen order (insertion
+        # order of a dict, exactly the order the mutable builder assigns MAC
+        # node ids in) plus the raw RSS vector.  Everything after this pass
+        # is NumPy.
+        code_of: Dict[str, int] = {}
+        codes_list: List[int] = []
+        new_macs_before = np.empty(num_records + 1, dtype=np.int64)
+        rss_list: List[float] = []
+        for position, record in enumerate(dataset):
+            readings = record.readings
+            counts[position] = len(readings)
+            new_macs_before[position] = len(code_of)
+            codes_list.extend(
+                code_of.setdefault(mac, len(code_of)) for mac in readings
+            )
+            rss_list.extend(readings.values())
+        new_macs_before[num_records] = len(code_of)
+        total = len(codes_list)
+        codes = np.asarray(codes_list, dtype=np.int64)
+        rss = np.asarray(rss_list, dtype=np.float64)
+
+        edge_weights = rss + offset_db
+        if edge_weights.size and edge_weights.min() <= 0:
+            worst = int(np.argmin(edge_weights))
+            raise ValueError(
+                f"edge weight f({rss[worst]}) = {edge_weights[worst]} is not "
+                "positive; increase the offset"
+            )
+
+        # Node-id assignment replicating the mutable builder: the sample node
+        # of record i is created before that record's first-seen MACs, so
+        # ``sample_id[i] = i + (#MACs first seen before record i)`` and the
+        # c-th distinct MAC overall (first seen in record ``first_owner[c]``)
+        # gets id ``first_owner[c] + c + 1``.
+        num_macs = len(code_of)
+        unique_macs = np.asarray(list(code_of), dtype=object)
+        mac_codes = np.arange(num_macs, dtype=np.int64)
+        first_owner = np.searchsorted(new_macs_before[1:], mac_codes, side="right")
+        mac_id_of_code = first_owner + mac_codes + 1
+        sample_ids = np.arange(num_records, dtype=np.int64) + new_macs_before[:-1]
+        owners = np.repeat(np.arange(num_records, dtype=np.int64), counts)
+        starts = np.zeros(num_records, dtype=np.int64)
+        np.cumsum(counts[:-1], out=starts[1:])
+
+        num_nodes = num_records + num_macs
+        kinds = np.empty(num_nodes, dtype=np.uint8)
+        keys = np.empty(num_nodes, dtype=object)
+        kinds[sample_ids] = SAMPLE_KIND
+        keys[sample_ids] = record_ids
+        kinds[mac_id_of_code] = MAC_KIND
+        keys[mac_id_of_code] = unique_macs
+
+        # Scatter both directed halves straight into CSR position, keeping
+        # per-node neighbour order equal to flat (= builder insertion) order.
+        # Sample rows hold only sample->mac entries, already grouped by record
+        # in flat order; mac rows hold only mac->sample entries, grouped by a
+        # stable integer sort of the MAC codes.
+        mac_side = mac_id_of_code[codes]
+        sample_side = sample_ids[owners]
+        degrees = np.zeros(num_nodes, dtype=np.int64)
+        degrees[sample_ids] = counts
+        code_counts = np.bincount(codes, minlength=num_macs) if total else np.zeros(
+            num_macs, dtype=np.int64
+        )
+        degrees[mac_id_of_code] = code_counts
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        indices = np.empty(2 * total, dtype=np.int64)
+        weights = np.empty(2 * total, dtype=np.float64)
+        flat_positions = np.arange(total, dtype=np.int64)
+        sample_positions = indptr[sample_side] + (flat_positions - starts[owners])
+        indices[sample_positions] = mac_side
+        weights[sample_positions] = edge_weights
+        by_code = np.argsort(codes, kind="stable")
+        group_starts = np.zeros(num_macs, dtype=np.int64)
+        np.cumsum(code_counts[:-1], out=group_starts[1:])
+        mac_positions = (
+            np.repeat(indptr[mac_id_of_code], code_counts)
+            + flat_positions
+            - np.repeat(group_starts, code_counts)
+        )
+        indices[mac_positions] = sample_side[by_code]
+        weights[mac_positions] = edge_weights[by_code]
+        return cls(
+            indptr=indptr,
+            indices=indices,
+            weights=weights,
+            kinds=kinds,
+            keys=keys,
+            offset_db=offset_db,
+        )
+
+    def freeze(self) -> "CSRGraph":
+        """The frozen view of this graph — already frozen, so ``self``."""
+        return self
+
+    def without_caches(self) -> "CSRGraph":
+        """A fresh view over the same arrays with no derived caches.
+
+        Alias tables and the edge-source expansion can dwarf the CSR arrays
+        themselves (padded to the max degree); long-lived holders such as a
+        fitted serving model keep this cache-free view so training-time
+        caches do not pin memory for samplers that never run again.
+        """
+        return CSRGraph(
+            indptr=self.indptr,
+            indices=self.indices,
+            weights=self.weights,
+            kinds=self.kinds,
+            keys=self.keys,
+            offset_db=self.offset_db,
+        )
+
+    def thaw(self) -> "BipartiteGraph":
+        """A mutable :class:`BipartiteGraph` builder with this graph's state.
+
+        The builder supports ``add_record``/``add_edge``, which is how a
+        served building's graph keeps growing as new signals arrive without
+        re-parsing the original dataset (warm start); call ``freeze()`` on it
+        to get back to the array view.
+        """
+        from repro.graph.bipartite import BipartiteGraph
+
+        return BipartiteGraph._from_frozen(self)
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of nodes in both partitions."""
+        return int(self.kinds.shape[0])
+
+    @property
+    def num_edges(self) -> int:
+        """Number of (MAC, sample) edges."""
+        return int(self.indices.shape[0]) // 2
+
+    def node(self, node_id: int) -> GraphNode:
+        """The node with the given dense id."""
+        return GraphNode(
+            node_id=int(node_id),
+            kind=_KIND_BY_CODE[int(self.kinds[node_id])],
+            key=str(self.keys[node_id]),
+        )
+
+    def node_id(self, kind: NodeKind, key: str) -> int:
+        """Dense id of the node identified by (kind, key).
+
+        Raises
+        ------
+        KeyError
+            If no such node exists.
+        """
+        if self._id_by_key is None:
+            self._id_by_key = {
+                (_KIND_BY_CODE[int(code)], str(node_key)): node_id
+                for node_id, (code, node_key) in enumerate(zip(self.kinds, self.keys))
+            }
+        return self._id_by_key[(kind, key)]
+
+    def sample_node_id(self, record_id: str) -> int:
+        """Dense id of the sample node for a record id."""
+        return self.node_id(NodeKind.SAMPLE, record_id)
+
+    def mac_node_id(self, mac: str) -> int:
+        """Dense id of the MAC node for a MAC address."""
+        return self.node_id(NodeKind.MAC, mac)
+
+    def neighbors(self, node_id: int) -> List[int]:
+        """Neighbor node ids of a node."""
+        return self.indices[self.indptr[node_id] : self.indptr[node_id + 1]].tolist()
+
+    def neighbor_weights(self, node_id: int) -> List[float]:
+        """Edge weights aligned with :meth:`neighbors`."""
+        return self.weights[self.indptr[node_id] : self.indptr[node_id + 1]].tolist()
+
+    def neighbor_arrays(self, node_id: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Neighbors and weights of a node as NumPy arrays (possibly empty)."""
+        start, stop = self.indptr[node_id], self.indptr[node_id + 1]
+        return self.indices[start:stop].copy(), self.weights[start:stop].copy()
+
+    def degree(self, node_id: int) -> int:
+        """Number of incident edges of a node."""
+        return int(self._degrees[node_id])
+
+    def degrees(self) -> np.ndarray:
+        """Vector of degrees for all nodes (indexed by dense id)."""
+        return self._degrees.copy()
+
+    def edge_weight(self, node_a: int, node_b: int) -> Optional[float]:
+        """Weight of the edge between two nodes, or ``None`` when absent."""
+        start, stop = self.indptr[node_a], self.indptr[node_a + 1]
+        hits = np.flatnonzero(self.indices[start:stop] == node_b)
+        if hits.size == 0:
+            return None
+        return float(self.weights[start + hits[0]])
+
+    def edge_sources(self) -> np.ndarray:
+        """Source node id of every CSR entry (cached expansion of ``indptr``).
+
+        The graph's own array — treat it as read-only.
+        """
+        if self._edge_src is None:
+            self._edge_src = np.repeat(
+                np.arange(self.num_nodes, dtype=np.int64), self._degrees
+            )
+        return self._edge_src
+
+    # -- shared alias tables ----------------------------------------------------
+
+    def alias_tables(self, uniform: bool = False) -> AliasTables:
+        """The graph's shared Vose alias tables, built lazily and cached.
+
+        Every consumer that samples neighbours — random walks, GNN neighbour
+        sampling — draws from the same table object, so the O(N + E)
+        construction happens once per graph (per ``uniform`` flavour), not
+        once per consumer.
+        """
+        uniform = bool(uniform)
+        tables = self._alias_tables.get(uniform)
+        if tables is None:
+            tables = AliasTables.from_csr(
+                self.indptr, self.indices, self.weights, uniform=uniform
+            )
+            self._alias_tables[uniform] = tables
+        return tables
+
+    # -- matrix views -----------------------------------------------------------
+
+    def adjacency_matrix(self, normalize: bool = False) -> np.ndarray:
+        """Dense (num_nodes x num_nodes) weighted adjacency matrix.
+
+        A single vectorised scatter from the CSR arrays; with ``normalize``
+        the symmetrically normalised ``D^{-1/2} (A + I) D^{-1/2}`` used by
+        GCN-style baselines is returned.
+        """
+        matrix = np.zeros((self.num_nodes, self.num_nodes), dtype=np.float64)
+        matrix[self.edge_sources(), self.indices] = self.weights
+        if not normalize:
+            return matrix
+        with_self_loops = matrix + np.eye(self.num_nodes)
+        degree = with_self_loops.sum(axis=1)
+        inv_sqrt = np.where(degree > 0, 1.0 / np.sqrt(degree), 0.0)
+        return with_self_loops * inv_sqrt[:, None] * inv_sqrt[None, :]
+
+    def sample_feature_matrix(
+        self, dataset: Optional[SignalDataset] = None, fill_dbm: float = -120.0
+    ) -> np.ndarray:
+        """The dense matrix view of Figure 3: samples x MACs, missing = ``fill_dbm``.
+
+        Rows follow sample-node (= dataset record) order, columns follow MAC
+        first-seen order.  When ``dataset`` is given, entries hold its raw
+        RSS readings bit-exactly (the sample-side CSR edge sequence equals
+        the flat reading order, so the scatter needs no per-reading lookup);
+        without it the RSS is recovered as ``weight - offset``, which can
+        differ from the original reading by float rounding.
+        """
+        if dataset is not None and len(dataset) != self.sample_ids.size:
+            raise ValueError(
+                f"dataset has {len(dataset)} records but the graph has "
+                f"{self.sample_ids.size} sample nodes"
+            )
+        row_of = np.zeros(self.num_nodes, dtype=np.int64)
+        col_of = np.zeros(self.num_nodes, dtype=np.int64)
+        row_of[self.sample_ids] = np.arange(self.sample_ids.size)
+        col_of[self.mac_ids] = np.arange(self.mac_ids.size)
+        src = self.edge_sources()
+        from_sample = self.kinds[src] == SAMPLE_KIND
+        if dataset is not None:
+            values = np.asarray(
+                [rss for record in dataset for rss in record.readings.values()],
+                dtype=np.float64,
+            )
+            reading_counts = np.fromiter(
+                (len(record.readings) for record in dataset),
+                dtype=np.int64,
+                count=len(dataset),
+            )
+            # The scatter is positional, so guard against a dataset that is
+            # not the one this graph was built from: per-record reading
+            # counts must equal sample degrees, and every reading must agree
+            # with its edge weight (up to the offset round trip) — a
+            # reordered or relabeled dataset fails here instead of silently
+            # producing a matrix with RSS values in the wrong MAC columns.
+            if not np.array_equal(self._degrees[self.sample_ids], reading_counts):
+                raise ValueError(
+                    "dataset readings do not match the graph's sample edges"
+                )
+            if not np.allclose(
+                values, self.weights[from_sample] - self.offset_db, atol=1e-6
+            ):
+                raise ValueError(
+                    "dataset readings disagree with the graph's edge weights; "
+                    "was this graph built from a different dataset?"
+                )
+        else:
+            values = self.weights[from_sample] - self.offset_db
+        matrix = np.full(
+            (self.sample_ids.size, self.mac_ids.size), fill_dbm, dtype=np.float64
+        )
+        matrix[row_of[src[from_sample]], col_of[self.indices[from_sample]]] = values
+        return matrix
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CSRGraph(macs={self.mac_ids.size}, samples={self.sample_ids.size}, "
+            f"edges={self.num_edges})"
+        )
+
+
+#: Either graph representation; consumers freeze to the CSR view internally.
+AnyGraph = Union["BipartiteGraph", CSRGraph]

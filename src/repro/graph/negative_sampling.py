@@ -11,7 +11,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.graph.bipartite import BipartiteGraph
+from repro.graph.csr import AnyGraph
 
 #: The exponent applied to node degrees, following word2vec / LINE.
 DEGREE_EXPONENT = 0.75
@@ -22,7 +22,7 @@ class NegativeSampler:
 
     def __init__(
         self,
-        graph: BipartiteGraph,
+        graph: AnyGraph,
         exponent: float = DEGREE_EXPONENT,
         seed: int = 0,
         restrict_to: Optional[np.ndarray] = None,
@@ -31,7 +31,7 @@ class NegativeSampler:
         Parameters
         ----------
         graph:
-            The bipartite RF graph.
+            The bipartite RF graph (mutable builder or frozen CSR view).
         exponent:
             Degree exponent of the sampling distribution.
         seed:

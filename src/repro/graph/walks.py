@@ -20,7 +20,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.graph.alias import BatchedAliasSampler
-from repro.graph.bipartite import BipartiteGraph
+from repro.graph.csr import AnyGraph
 
 
 @dataclass(frozen=True)
@@ -61,25 +61,19 @@ class RandomWalkGenerator:
 
     def __init__(
         self,
-        graph: BipartiteGraph,
+        graph: AnyGraph,
         config: WalkConfig = WalkConfig(),
         seed: int = 0,
     ) -> None:
         self.graph = graph
         self.config = config
         self._rng = np.random.default_rng(seed)
-        neighbors_per_node = []
-        weights_per_node = []
-        for node_id in range(graph.num_nodes):
-            neighbors, weights = graph.neighbor_arrays(node_id)
-            if neighbors.size == 0:
-                raise ValueError(f"node {node_id} has no neighbours; cannot walk from it")
-            neighbors_per_node.append(neighbors)
-            weights_per_node.append(weights)
+        # The alias tables are shared, graph-owned state: freezing an already
+        # frozen graph is a no-op, and repeated consumers (walker + GNN
+        # neighbour sampler) reuse one construction instead of each scanning
+        # all nodes.  The RNG stays private to this walker.
         self._alias = BatchedAliasSampler(
-            neighbors_per_node,
-            weights_per_node,
-            uniform=not config.weighted,
+            tables=graph.freeze().alias_tables(uniform=not config.weighted),
             seed=seed,
         )
 

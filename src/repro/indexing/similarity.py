@@ -64,13 +64,68 @@ class ClusterMacProfile:
 
 
 def cluster_mac_frequencies(
-    dataset: SignalDataset, assignment: ClusterAssignment
+    dataset: SignalDataset,
+    assignment: ClusterAssignment,
+    graph=None,
 ) -> ClusterMacProfile:
-    """Count, per cluster, in how many records each MAC appears."""
+    """Count, per cluster, in how many records each MAC appears.
+
+    When the dataset's bipartite ``graph`` is passed (mutable builder or
+    frozen CSR view), the counts are computed with one vectorised bincount
+    over the CSR arrays instead of a per-reading Python loop; the counts are
+    small integers, so both paths produce bit-identical profiles.
+    """
     if len(dataset) != len(assignment):
         raise ValueError(
             f"dataset has {len(dataset)} records but the assignment covers {len(assignment)}"
         )
+    if graph is not None:
+        frozen = graph.freeze()
+        if frozen.sample_ids.size != len(dataset):
+            raise ValueError(
+                f"graph has {frozen.sample_ids.size} sample nodes but the "
+                f"dataset has {len(dataset)} records"
+            )
+        # The counts come from the graph's edges, so the graph must be the
+        # dataset's own: record ids and per-record reading counts must line
+        # up, otherwise a same-size but different dataset would silently
+        # yield profiles of the wrong graph.
+        sample_keys = frozen.keys[frozen.sample_ids]
+        if [str(key) for key in sample_keys] != dataset.record_ids:
+            raise ValueError(
+                "graph sample nodes do not match the dataset's record ids; "
+                "was this graph built from a different dataset?"
+            )
+        reading_counts = np.fromiter(
+            (len(record.readings) for record in dataset),
+            dtype=np.int64,
+            count=len(dataset),
+        )
+        if not np.array_equal(frozen.degrees()[frozen.sample_ids], reading_counts):
+            raise ValueError(
+                "graph sample degrees do not match the dataset's reading counts; "
+                "was this graph built from a different dataset?"
+            )
+        from repro.graph.csr import SAMPLE_KIND
+
+        mac_keys = frozen.keys[frozen.mac_ids].astype(str)
+        order = np.argsort(mac_keys)  # NumPy and Python sort strings alike
+        macs = mac_keys[order].tolist()
+        column_of_node = np.zeros(frozen.num_nodes, dtype=np.int64)
+        column_of_node[frozen.mac_ids[order]] = np.arange(order.size)
+        cluster_of_node = np.zeros(frozen.num_nodes, dtype=np.int64)
+        cluster_of_node[frozen.sample_ids] = np.asarray(
+            assignment.labels, dtype=np.int64
+        )
+        sources = frozen.edge_sources()
+        from_sample = frozen.kinds[sources] == SAMPLE_KIND
+        rows = cluster_of_node[sources[from_sample]]
+        columns = column_of_node[frozen.indices[from_sample]]
+        frequencies = np.bincount(
+            rows * len(macs) + columns,
+            minlength=assignment.num_clusters * len(macs),
+        ).reshape(assignment.num_clusters, len(macs)).astype(np.float64)
+        return ClusterMacProfile(macs=macs, frequencies=frequencies)
     macs = sorted(dataset.macs)
     mac_index: Dict[str, int] = {mac: index for index, mac in enumerate(macs)}
     frequencies = np.zeros((assignment.num_clusters, len(macs)), dtype=np.float64)

@@ -8,8 +8,11 @@ format-version discipline of :mod:`repro.signals.io`:
   pipeline configuration (so a loaded model knows exactly how it was made);
 * ``arrays.npz`` — every NumPy artefact: the trained ``W_k`` matrices, the
   per-hop frozen MAC representations, the normalised sample embeddings, the
-  cluster centroids, cluster labels, floor labels, and the cluster
-  similarity matrix.
+  cluster centroids, cluster labels, floor labels, the cluster similarity
+  matrix, and the frozen CSR training graph (``indptr``/``indices``/
+  ``weights`` plus node-kind and key tables), so a loaded model can
+  warm-start ``add_record``-style graph growth without re-parsing the
+  dataset.
 
 ``load_artifacts(save_artifacts(fitted))`` reconstructs a
 :class:`~repro.core.pipeline.FittedFisOne` whose ``predict`` reproduces the
@@ -25,7 +28,7 @@ import os
 import time
 import uuid
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, Optional, Union
 
 import numpy as np
 
@@ -35,6 +38,8 @@ from repro.core.pipeline import FisOneResult, FittedFisOne
 from repro.gnn.frozen import FrozenEncoder
 from repro.gnn.model import RFGNNConfig
 from repro.gnn.trainer import TrainingHistory
+from repro.graph.bipartite import RSS_OFFSET_DB
+from repro.graph.csr import CSRGraph
 from repro.graph.walks import WalkConfig
 from repro.indexing.indexer import IndexingResult
 
@@ -92,8 +97,16 @@ def config_from_dict(payload: Dict) -> FisOneConfig:
     )
 
 
-def save_artifacts(fitted: FittedFisOne, directory: PathLike) -> Path:
+def save_artifacts(
+    fitted: FittedFisOne, directory: PathLike, include_graph: bool = True
+) -> Path:
     """Write a fitted model to ``directory`` and return that path.
+
+    ``include_graph`` controls whether the frozen CSR training graph is
+    persisted alongside the serving state; it enables
+    :meth:`~repro.core.pipeline.FittedFisOne.warm_start_graph` after a load
+    but costs O(edges) disk, so fleets that never grow graphs offline can
+    switch it off.
 
     The directory is created if needed.  Both files are written to
     temporary names and swapped in with ``os.replace`` (arrays first,
@@ -122,6 +135,15 @@ def save_artifacts(fitted: FittedFisOne, directory: PathLike) -> Path:
         arrays[f"weight_{hop}"] = weight
     for hop, hidden in enumerate(encoder.mac_hidden):
         arrays[f"mac_hidden_{hop}"] = hidden
+    if include_graph and fitted.graph is not None:
+        graph = fitted.graph
+        arrays["graph_indptr"] = graph.indptr
+        arrays["graph_indices"] = graph.indices
+        arrays["graph_weights"] = graph.weights
+        arrays["graph_kinds"] = graph.kinds
+        # Object arrays do not survive savez without pickling; store the node
+        # keys as a fixed-width unicode array instead.
+        arrays["graph_keys"] = np.asarray([str(key) for key in graph.keys])
     # Temp names carry the save token so two processes overwriting the same
     # building never collide on a shared temp inode.
     arrays_tmp = directory / f"{ARRAYS_FILENAME}.{save_token}.tmp"
@@ -144,6 +166,11 @@ def save_artifacts(fitted: FittedFisOne, directory: PathLike) -> Path:
         "rss_offset_db": encoder.rss_offset_db,
         "attention": encoder.attention,
         "num_hops": encoder.num_hops,
+        "graph_offset_db": (
+            fitted.graph.offset_db
+            if include_graph and fitted.graph is not None
+            else None
+        ),
         "cluster_order": [int(c) for c in result.indexing.cluster_order],
         "cluster_to_floor": {
             str(cluster): int(floor)
@@ -241,6 +268,24 @@ def load_artifacts(directory: PathLike) -> FittedFisOne:
             "the directory)"
         )
 
+    graph: Optional[CSRGraph] = None
+    if "graph_indptr" in arrays:
+        stored_offset = manifest.get("graph_offset_db")
+        try:
+            graph = CSRGraph(
+                indptr=arrays["graph_indptr"],
+                indices=arrays["graph_indices"],
+                weights=arrays["graph_weights"],
+                kinds=arrays["graph_kinds"],
+                keys=arrays["graph_keys"].astype(object),
+                # Explicit None check: an offset of 0.0 is falsy but valid.
+                offset_db=RSS_OFFSET_DB if stored_offset is None else float(stored_offset),
+            )
+        except (KeyError, ValueError) as error:
+            raise ArtifactError(
+                f"artifact in {directory} has a corrupt graph: {error!r}"
+            ) from None
+
     record_ids = list(manifest["record_ids"])
     cluster_order = [int(c) for c in manifest["cluster_order"]]
     # Cross-check manifest against arrays: a torn overwrite or a partially
@@ -256,6 +301,12 @@ def load_artifacts(directory: PathLike) -> FittedFisOne:
                 f"artifact in {directory} is inconsistent: manifest lists "
                 f"{num_records} records but {name} has {array.shape[0]} rows"
             )
+    if graph is not None and graph.sample_ids.size != num_records:
+        raise ArtifactError(
+            f"artifact in {directory} is inconsistent: manifest lists "
+            f"{num_records} records but the graph has {graph.sample_ids.size} "
+            "sample nodes"
+        )
     num_clusters = len(cluster_order)
     if centroids.shape[0] != num_clusters or similarity.shape != (
         num_clusters,
@@ -319,6 +370,7 @@ def load_artifacts(directory: PathLike) -> FittedFisOne:
             result=result,
             encoder=encoder,
             centroids=centroids,
+            graph=graph,
         )
     except (ValueError, TypeError, KeyError) as error:
         raise ArtifactError(

@@ -211,6 +211,60 @@ class TestArtifacts:
         assert loaded.encoder.attention is False
         assert loaded.config.gnn.attention is False
 
+    def test_round_trip_preserves_training_graph(self, fitted_model, tmp_path):
+        _, _, fitted = fitted_model
+        loaded = load_artifacts(save_artifacts(fitted, tmp_path / "building"))
+        assert loaded.graph is not None
+        assert np.array_equal(loaded.graph.indptr, fitted.graph.indptr)
+        assert np.array_equal(loaded.graph.indices, fitted.graph.indices)
+        assert np.array_equal(loaded.graph.weights, fitted.graph.weights)
+        assert np.array_equal(loaded.graph.kinds, fitted.graph.kinds)
+        assert list(loaded.graph.keys) == list(fitted.graph.keys)
+        assert loaded.graph.offset_db == fitted.graph.offset_db
+
+    def test_loaded_graph_warm_starts_record_growth(self, fitted_model, tmp_path):
+        # The serving warm-start path: load a model, thaw its persisted
+        # graph, and grow it with a new crowdsourced record — no dataset
+        # re-parse, no refit.
+        observed, _, fitted = fitted_model
+        loaded = load_artifacts(save_artifacts(fitted, tmp_path / "building"))
+        builder = loaded.warm_start_graph()
+        known_mac = next(iter(observed[0].readings))
+        before_nodes = builder.num_nodes
+        builder.add_record(SignalRecord("online-0", {known_mac: -55.0}))
+        assert builder.num_nodes == before_nodes + 1  # new sample, known MAC
+        regrown = builder.freeze()
+        assert regrown.sample_node_id("online-0") == before_nodes
+        assert regrown.num_edges == loaded.graph.num_edges + 1
+
+    def test_save_without_graph_opt_out(self, fitted_model, tmp_path):
+        # Fleets that never grow graphs offline can skip the O(edges) cost.
+        _, _, fitted = fitted_model
+        loaded = load_artifacts(
+            save_artifacts(fitted, tmp_path / "slim", include_graph=False)
+        )
+        assert loaded.graph is None
+        with pytest.raises(ValueError, match="no training graph"):
+            loaded.warm_start_graph()
+
+    def test_legacy_artifact_without_graph_still_loads(self, fitted_model, tmp_path):
+        # Artifacts saved before the CSR graph was persisted lack the graph_*
+        # arrays; they must load fine, with warm start explicitly refused.
+        _, _, fitted = fitted_model
+        path = save_artifacts(fitted, tmp_path / "building")
+        arrays_path = path / "arrays.npz"
+        with np.load(arrays_path) as stored:
+            arrays = {
+                name: stored[name]
+                for name in stored.files
+                if not name.startswith("graph_")
+            }
+        np.savez_compressed(arrays_path, **arrays)
+        loaded = load_artifacts(path)
+        assert loaded.graph is None
+        with pytest.raises(ValueError, match="no training graph"):
+            loaded.warm_start_graph()
+
     def test_unsupported_version_rejected(self, fitted_model, tmp_path):
         _, _, fitted = fitted_model
         path = save_artifacts(fitted, tmp_path / "building")
