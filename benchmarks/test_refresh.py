@@ -1,0 +1,154 @@
+"""S2 — refresh micro-benchmark: incremental warm-start refresh vs full refit.
+
+The refresh subsystem's pitch: when a deployed building drifts (AP churn,
+RSS shift), absorbing the new crowdsourced wave must not cost a full
+from-scratch refit.  This benchmark generates an AP-churn / RSS-drift
+scenario (:func:`repro.simulate.generate_drift_scenario`), fits a model on
+the pre-drift survey, then measures
+
+(a) ``FittedFisOne.refresh(new_records)`` — graph growth + warm-start
+    fine-tune + seeded re-clustering + label-stable floor matching, and
+(b) a full ``FisOne.fit`` refit on the merged dataset — the only remedy the
+    seed had,
+
+and asserts refresh is at least 3x faster, its accuracy on the post-drift
+records is within 2 points of the refit's, and at least 95% of pre-drift
+records keep their previous floor label.  The measured numbers are written
+to ``BENCH_refresh.json`` at the repository root.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from common import fast_config
+from repro.core import FisOne, FisOneConfig
+from repro.gnn.model import RFGNNConfig
+from repro.signals.dataset import SignalDataset
+from repro.simulate import BuildingConfig, DriftScenarioConfig, generate_drift_scenario
+from repro.simulate.collector import CollectionConfig
+
+BENCH_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_refresh.json"
+
+#: Required wall-time advantage of refresh over a full refit.
+MIN_SPEEDUP = 3.0
+
+#: Refresh accuracy on the post-drift wave may trail the full refit by at
+#: most this much (in practice the warm start *beats* the refit, which must
+#: re-derive the floor anchoring from the single label over the mixed data).
+MAX_ACCURACY_GAP = 0.02
+
+#: Minimum fraction of pre-drift records keeping their floor label.
+MIN_LABEL_STABILITY = 0.95
+
+
+def refresh_config() -> FisOneConfig:
+    """A paper-schedule configuration (5 epochs) sized for the benchmark."""
+    return FisOneConfig(
+        gnn=RFGNNConfig(embedding_dim=16, neighbor_sample_sizes=(10, 5)),
+        num_epochs=5,
+        max_pairs_per_epoch=30_000,
+        inference_passes=2,
+        inference_sample_sizes=(30, 15),
+        seed=0,
+    )
+
+
+def drift_scenario():
+    """A 3-floor building: 60 samples/floor survey, then 25% AP churn +
+    2 dB RSS shift and a 25 samples/floor post-drift wave."""
+    return generate_drift_scenario(
+        DriftScenarioConfig(
+            building=BuildingConfig(
+                num_floors=3,
+                aps_per_floor=12,
+                width_m=80.0,
+                depth_m=50.0,
+                collection=CollectionConfig(
+                    samples_per_floor=60,
+                    scans_per_contributor=10,
+                    sensitivity_dbm=-90.0,
+                ),
+                building_id="drift-bench",
+            ),
+            churn_fraction=0.25,
+            rss_shift_db=2.0,
+            post_samples_per_floor=25,
+        ),
+        seed=1,
+    )
+
+
+def test_refresh_vs_full_refit(benchmark):
+    scenario = drift_scenario()
+    initial, post = scenario.initial, scenario.drifted
+    anchor = initial.pick_labeled_sample(floor=0)
+    observed = initial.strip_labels(keep_record_ids=[anchor.record_id])
+    config = refresh_config()
+
+    fitted = FisOne(config).fit(observed, anchor.record_id)
+    pre_truth = np.array(initial.ground_truth)
+    fit_accuracy = float(np.mean(fitted.floor_labels == pre_truth))
+    # The comparison below is only meaningful on top of a sane base fit.
+    assert fit_accuracy >= 0.9
+
+    new_records = [record.without_floor() for record in post]
+    post_truth = np.array(post.ground_truth)
+    frozen_floors, _, frozen_known = fitted.online_floors(new_records)
+    frozen_accuracy = float(np.mean(frozen_floors == post_truth))
+
+    # (a) incremental refresh, measured by pytest-benchmark.
+    result = benchmark.pedantic(
+        fitted.refresh, args=(new_records,), rounds=3, warmup_rounds=0
+    )
+    refresh_seconds = benchmark.stats.stats.min
+    num_previous = len(fitted.record_ids)
+    refresh_accuracy = float(
+        np.mean(result.fitted.result.floor_labels[num_previous:] == post_truth)
+    )
+    label_stability = result.report.label_stability
+
+    # (b) full refit on the merged dataset — the seed's only remedy.
+    merged = observed.merge(
+        SignalDataset(new_records, num_floors=initial.num_floors)
+    )
+    start = time.perf_counter()
+    refit = FisOne(config).fit_predict(merged, anchor.record_id)
+    refit_seconds = time.perf_counter() - start
+    positions = [merged.index_of(record.record_id) for record in new_records]
+    refit_accuracy = float(np.mean(refit.floor_labels[positions] == post_truth))
+
+    speedup = refit_seconds / refresh_seconds
+    payload = {
+        "num_pre_drift_records": len(initial),
+        "num_post_drift_records": len(post),
+        "num_replaced_macs": len(scenario.replaced_macs),
+        "num_introduced_macs": len(scenario.introduced_macs),
+        "fit_accuracy_pre_drift": fit_accuracy,
+        "frozen_online_accuracy_post_drift": frozen_accuracy,
+        "frozen_mean_known_mac_fraction": float(frozen_known.mean()),
+        "refresh_seconds": refresh_seconds,
+        "refit_seconds": refit_seconds,
+        "speedup": speedup,
+        "refresh_accuracy_post_drift": refresh_accuracy,
+        "refit_accuracy_post_drift": refit_accuracy,
+        "label_stability": label_stability,
+        "fine_tune_epochs": result.report.fine_tune_epochs,
+        "floor_mapping_source": result.report.floor_mapping_source,
+    }
+    BENCH_OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print("\nIncremental refresh vs full refit "
+          f"({len(post)} post-drift records, "
+          f"{len(scenario.replaced_macs)} churned APs, +2 dB RSS shift):")
+    print(f"  refresh: {refresh_seconds:8.2f} s   accuracy {refresh_accuracy:.3f}   "
+          f"stability {label_stability:.3f}")
+    print(f"  refit  : {refit_seconds:8.2f} s   accuracy {refit_accuracy:.3f}")
+    print(f"  frozen (no refresh) accuracy: {frozen_accuracy:.3f}")
+    print(f"  speedup: {speedup:6.2f}x   (written to {BENCH_OUTPUT.name})")
+
+    assert speedup >= MIN_SPEEDUP
+    assert refresh_accuracy >= refit_accuracy - MAX_ACCURACY_GAP
+    assert label_stability >= MIN_LABEL_STABILITY

@@ -66,8 +66,14 @@ class KMeans:
             np.minimum(closest_sq, new_sq, out=closest_sq)
         return centroids
 
-    def _run_once(self, points: np.ndarray) -> tuple:
-        centroids = self._init_centroids(points)
+    def _run_once(
+        self, points: np.ndarray, initial_centroids: Optional[np.ndarray] = None
+    ) -> tuple:
+        centroids = (
+            self._init_centroids(points)
+            if initial_centroids is None
+            else np.array(initial_centroids, dtype=np.float64)
+        )
         labels = np.zeros(points.shape[0], dtype=np.int64)
         for _ in range(self.max_iterations):
             distances = (
@@ -98,8 +104,24 @@ class KMeans:
         inertia = float(np.take_along_axis(distances, labels[:, None], axis=1).sum())
         return labels, centroids, inertia
 
-    def fit_predict(self, points: np.ndarray) -> np.ndarray:
-        """Cluster the rows of ``points`` and return integer labels in [0, k)."""
+    def fit_predict(
+        self, points: np.ndarray, initial_centroids: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Cluster the rows of ``points`` and return integer labels in [0, k).
+
+        Parameters
+        ----------
+        points:
+            ``(n_samples, n_features)`` data matrix.
+        initial_centroids:
+            Optional ``(num_clusters, n_features)`` warm-start centroids.
+            When given, Lloyd's algorithm runs exactly once from these seeds
+            (no k-means++ and no random restarts), which keeps cluster
+            *identities* stable across a refit — cluster ``i`` of the new
+            solution descends from centroid ``i`` of the old one.  This is
+            what lets the incremental-refresh path keep previously assigned
+            labels stable instead of re-deriving them from scratch.
+        """
         points = np.asarray(points, dtype=np.float64)
         if points.ndim != 2:
             raise ValueError("points must be a 2-D array (n_samples, n_features)")
@@ -107,11 +129,21 @@ class KMeans:
             raise ValueError(
                 f"cannot form {self.num_clusters} clusters from {points.shape[0]} points"
             )
-        best = None
-        for _ in range(self.num_restarts):
-            labels, centroids, inertia = self._run_once(points)
-            if best is None or inertia < best[2]:
-                best = (labels, centroids, inertia)
+        if initial_centroids is not None:
+            initial_centroids = np.asarray(initial_centroids, dtype=np.float64)
+            if initial_centroids.shape != (self.num_clusters, points.shape[1]):
+                raise ValueError(
+                    f"initial_centroids must have shape "
+                    f"({self.num_clusters}, {points.shape[1]}), "
+                    f"got {initial_centroids.shape}"
+                )
+            best = self._run_once(points, initial_centroids=initial_centroids)
+        else:
+            best = None
+            for _ in range(self.num_restarts):
+                labels, centroids, inertia = self._run_once(points)
+                if best is None or inertia < best[2]:
+                    best = (labels, centroids, inertia)
         assert best is not None
         self.labels_, self.centroids_, self.inertia_ = best
         return self.labels_.copy()

@@ -2,5 +2,23 @@
 
 from repro.core.config import FisOneConfig
 from repro.core.pipeline import FisOne, FisOneResult, FittedFisOne, cluster_centroids
+from repro.core.refresh import (
+    RefreshReport,
+    RefreshResult,
+    RefreshUnavailableError,
+    default_fine_tune_epochs,
+    refresh_fitted,
+)
 
-__all__ = ["FisOneConfig", "FisOne", "FisOneResult", "FittedFisOne", "cluster_centroids"]
+__all__ = [
+    "FisOneConfig",
+    "FisOne",
+    "FisOneResult",
+    "FittedFisOne",
+    "cluster_centroids",
+    "RefreshReport",
+    "RefreshResult",
+    "RefreshUnavailableError",
+    "default_fine_tune_epochs",
+    "refresh_fitted",
+]

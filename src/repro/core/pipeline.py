@@ -114,6 +114,14 @@ class FittedFisOne:
         loaded model can warm-start ``add_record``-style graph growth (see
         :meth:`warm_start_graph`) without re-parsing the dataset; ``None``
         for artifacts saved without it.
+    model_version:
+        Monotonic model generation: 0 for a fresh fit, bumped by every
+        :meth:`refresh`.  Persisted in the artifact manifest so a store
+        records which generation it holds.
+    lineage:
+        Human-readable provenance trail, one entry per refresh that produced
+        this model (empty for a fresh fit).  Persisted alongside
+        ``model_version``.
     """
 
     config: FisOneConfig
@@ -124,6 +132,8 @@ class FittedFisOne:
     encoder: FrozenEncoder
     centroids: np.ndarray
     graph: Optional[CSRGraph] = None
+    model_version: int = 0
+    lineage: Tuple[str, ...] = ()
 
     @property
     def floor_labels(self) -> np.ndarray:
@@ -149,6 +159,10 @@ class FittedFisOne:
     def _index_by_record_id(self) -> Dict[str, int]:
         return {record_id: i for i, record_id in enumerate(self.record_ids)}
 
+    def knows_record(self, record_id: str) -> bool:
+        """Whether ``record_id`` was part of this model's training records."""
+        return record_id in self._index_by_record_id
+
     def warm_start_graph(self) -> BipartiteGraph:
         """A mutable builder over the training graph, ready for ``add_record``.
 
@@ -160,14 +174,40 @@ class FittedFisOne:
         Raises
         ------
         ValueError
-            If the model carries no graph (e.g. a legacy artifact).
+            If the model carries no graph (e.g. a legacy artifact) — the
+            concrete type is
+            :class:`~repro.core.refresh.RefreshUnavailableError`, so fleet
+            sweeps can skip unrefreshable models specifically.
         """
         if self.graph is None:
-            raise ValueError(
+            from repro.core.refresh import RefreshUnavailableError
+
+            raise RefreshUnavailableError(
                 "this fitted model carries no training graph; re-save it with a "
                 "current FisOne.fit() to enable warm-started graph growth"
             )
         return self.graph.thaw()
+
+    def refresh(
+        self,
+        new_records: Sequence[SignalRecord],
+        fine_tune_epochs: Optional[int] = None,
+    ) -> "RefreshResult":  # noqa: F821 - forward ref into repro.core.refresh
+        """Incrementally absorb new crowdsourced records without a full refit.
+
+        Grows the persisted training graph with ``new_records``, fine-tunes
+        the RF-GNN for a short budget warm-started from this model's encoder
+        weights, re-clusters with centroids seeded from this fit, and
+        re-anchors floor numbers so previously-seen records keep their
+        labels.  Returns a :class:`~repro.core.refresh.RefreshResult` whose
+        ``fitted`` is the next-generation model (``model_version`` bumped,
+        lineage recorded) and whose ``report`` quantifies the refresh.
+
+        See :func:`repro.core.refresh.refresh_fitted` for the mechanics.
+        """
+        from repro.core.refresh import refresh_fitted
+
+        return refresh_fitted(self, new_records, fine_tune_epochs=fine_tune_epochs)
 
     # -- online inference ------------------------------------------------------
 
@@ -180,15 +220,16 @@ class FittedFisOne:
         ``len(records)``.  The confidence is the softmax (temperature
         :data:`CONFIDENCE_TEMPERATURE`) of the centroid cosine similarities,
         zeroed for records sharing no MAC with the training vocabulary —
-        those fall back to the floor of the largest cluster.
+        those fall back to the floor of the largest cluster.  An empty batch
+        returns three empty arrays.
         """
-        embeddings, known_fraction = self.encoder.embed_records(records)
-        if embeddings.shape[0] == 0:
+        if len(records) == 0:
             return (
                 np.empty(0, dtype=np.int64),
                 np.empty(0, dtype=np.float64),
-                known_fraction,
+                np.empty(0, dtype=np.float64),
             )
+        embeddings, known_fraction = self.encoder.embed_records(records)
         sizes = self._cluster_sizes
         similarities = embeddings @ self.centroids.T
         # An empty cluster has no centroid to be near; bar it from winning

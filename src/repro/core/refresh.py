@@ -1,0 +1,355 @@
+"""Incremental refresh: warm-start retraining of a fitted FIS-ONE model.
+
+FIS-ONE's premise is a *stream* of crowdsourced signals, but a fitted model
+is a snapshot: as new records arrive — new phones, replaced access points,
+drifting RSS — online accuracy decays and the seed's only remedy was a full
+from-scratch refit.  This module closes the loop with
+:func:`refresh_fitted` (surfaced as
+:meth:`~repro.core.pipeline.FittedFisOne.refresh`):
+
+1. **Grow the graph.**  The persisted CSR graph is thawed and the new
+   records merged via the ``add_record`` path — no dataset re-parse.  Node
+   ids of existing nodes are stable, so learned state can be carried over.
+2. **Warm-start the encoder.**  A fine-tune :class:`RFGNNTrainer` is
+   seeded with the previous ``W_k`` matrices and, for every surviving MAC
+   node, its learned initial representation ``r^0`` (both live in the
+   frozen encoder); only new nodes start from random unit vectors.  A short
+   epoch budget then suffices where a cold fit needs the full schedule.
+3. **Re-cluster with seeded centroids.**  K-means runs once from the
+   previous fit's cluster centroids, so cluster *identities* persist:
+   cluster ``i`` of the refreshed model descends from cluster ``i`` of its
+   parent.  This deliberately applies to every configuration, including
+   models fitted with ``clustering="hierarchical"`` — hierarchical
+   clustering has no notion of warm-started identities, and centroid
+   seeding is exactly what makes label stability possible; only the
+   *refresh* generations use it, a full refit still honours the config.
+4. **Re-anchor floors by matching, not a fresh TSP solve.**  Each cluster
+   is mapped to the floor its previously-seen members voted for; only when
+   that vote is degenerate (not a bijection) does the spillover TSP run
+   again, anchored at the cluster holding the old bottom floor's records.
+
+The result is a new :class:`~repro.core.pipeline.FittedFisOne` with
+``model_version`` bumped and a lineage entry recording what changed, plus a
+:class:`RefreshReport` quantifying stability — the payload the serving
+layer's refresh policy (:mod:`repro.serving.drift`) persists and acts on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.clustering.assignments import ClusterAssignment
+from repro.clustering.kmeans import KMeans
+from repro.gnn.model import RFGNNInitParams
+from repro.gnn.trainer import RFGNNTrainer
+from repro.indexing.indexer import ClusterIndexer, IndexingResult
+from repro.indexing.similarity import cluster_mac_profile_from_graph
+from repro.nn.init import random_node_features
+from repro.signals.record import SignalRecord
+
+#: Offset separating the fine-tune RNG streams from the original fit's, so a
+#: refresh never replays the exact walk/negative-sampling randomness of the
+#: fit it descends from (successive refreshes shift further via the version).
+REFRESH_SEED_OFFSET = 1009
+
+
+class RefreshUnavailableError(ValueError):
+    """This model cannot be incrementally refreshed (only refit from scratch).
+
+    Raised when the warm-start preconditions are missing — no persisted
+    training graph (artifact saved with ``include_graph=False``) or an
+    encoder dimensionally incompatible with its own configuration.  A
+    ``ValueError`` subclass so pre-existing callers matching ``ValueError``
+    keep working; fleet sweeps catch exactly this type to skip
+    unrefreshable buildings without masking real failures.
+    """
+
+
+@dataclass(frozen=True)
+class RefreshReport:
+    """What one incremental refresh did, in numbers.
+
+    Attributes
+    ----------
+    num_previous_records:
+        Training records of the parent model.
+    num_new_records:
+        Genuinely new records merged into the graph (duplicates of records
+        the model already trained on are skipped, see ``num_skipped``).
+    num_skipped:
+        Incoming records dropped because their id was already a training
+        record (or repeated within the batch).
+    num_new_macs:
+        MAC addresses the grown graph knows that the parent did not.
+    fine_tune_epochs:
+        Warm-start training epochs actually run.
+    label_stability:
+        Fraction of the parent's records whose floor label survived the
+        refresh unchanged (1.0 when nothing moved).
+    floor_mapping_source:
+        ``"matched"`` when the cluster → floor map came from the
+        label-stable vote, ``"tsp"`` when the vote was degenerate and the
+        spillover TSP re-anchored the ordering.
+    """
+
+    num_previous_records: int
+    num_new_records: int
+    num_skipped: int
+    num_new_macs: int
+    fine_tune_epochs: int
+    label_stability: float
+    floor_mapping_source: str
+
+
+@dataclass(frozen=True)
+class RefreshResult:
+    """A refreshed model plus the report describing the refresh."""
+
+    fitted: "FittedFisOne"  # noqa: F821 - circular-import-free forward ref
+    report: RefreshReport
+
+
+def default_fine_tune_epochs(num_epochs: int) -> int:
+    """The short warm-start budget: a third of the full schedule, at least 1."""
+    return max(1, num_epochs // 3)
+
+
+def refresh_fitted(
+    fitted: "FittedFisOne",  # noqa: F821
+    new_records: Sequence[SignalRecord],
+    fine_tune_epochs: Optional[int] = None,
+) -> RefreshResult:
+    """Incrementally retrain ``fitted`` on its graph grown by ``new_records``.
+
+    Re-clustering always uses k-means seeded from the parent's centroids,
+    even for models configured with hierarchical clustering — seeded
+    centroids are what carry cluster identities (and therefore stable
+    labels) across generations, and hierarchical clustering offers no
+    equivalent.  A full refit still honours ``config.clustering``.
+
+    Parameters
+    ----------
+    fitted:
+        The parent model.  Must carry its training graph (models loaded from
+        ``include_graph=False`` artifacts cannot refresh — refit instead).
+    new_records:
+        Newly crowdsourced signals; floor labels, if any, are ignored.
+        Records whose id the model already trained on are skipped.
+    fine_tune_epochs:
+        Warm-start training epochs; defaults to
+        :func:`default_fine_tune_epochs` of the config's schedule.
+
+    Raises
+    ------
+    RefreshUnavailableError
+        If the model carries no training graph, or its encoder is
+        dimensionally incompatible with its own configuration (a corrupt or
+        hand-assembled model).
+    """
+    from repro.core.pipeline import FisOne, FisOneResult, FittedFisOne, cluster_centroids
+
+    config = fitted.config
+    encoder = fitted.encoder
+    if encoder.input_dim != config.gnn.resolved_input_dim:
+        raise RefreshUnavailableError(
+            f"encoder input dimension {encoder.input_dim} does not match the "
+            f"configuration's {config.gnn.resolved_input_dim}; cannot warm-start"
+        )
+    epochs = (
+        default_fine_tune_epochs(config.num_epochs)
+        if fine_tune_epochs is None
+        else int(fine_tune_epochs)
+    )
+    if epochs < 1:
+        raise ValueError("fine_tune_epochs must be >= 1")
+
+    # 1. Grow the persisted graph (raises ValueError when there is none).
+    builder = fitted.warm_start_graph()
+    known_ids = set(fitted.record_ids)
+    fresh_records: List[SignalRecord] = []
+    skipped = 0
+    for record in new_records:
+        if record.record_id in known_ids:
+            skipped += 1
+            continue
+        known_ids.add(record.record_id)
+        fresh_records.append(record)
+        builder.add_record(record)
+    grown = builder.freeze()
+    record_ids: Tuple[str, ...] = fitted.record_ids + tuple(
+        record.record_id for record in fresh_records
+    )
+    previous_macs = len(encoder.mac_vocabulary)
+    num_new_macs = int(grown.mac_ids.size) - previous_macs
+
+    # 2. Warm-start node features: learned r^0 for surviving MACs, random
+    # unit vectors for sample nodes and never-seen MACs.  The seed shifts
+    # with the model version so chained refreshes stay deterministic yet
+    # distinct.  The vocabulary lookup is one vectorised searchsorted over
+    # the grown graph's MAC keys, not a per-node Python scan.
+    seed = config.seed + REFRESH_SEED_OFFSET + fitted.model_version
+    rng = np.random.default_rng(seed)
+    features = random_node_features(
+        grown.num_nodes, config.gnn.resolved_input_dim, rng
+    )
+    vocabulary = np.asarray(encoder.mac_vocabulary, dtype=str)
+    vocabulary_order = np.argsort(vocabulary)
+    sorted_vocabulary = vocabulary[vocabulary_order]
+    mac_node_ids = grown.mac_ids
+    grown_mac_keys = grown.keys[mac_node_ids].astype(str)
+    positions = np.clip(
+        np.searchsorted(sorted_vocabulary, grown_mac_keys),
+        0,
+        vocabulary.size - 1,
+    )
+    surviving = sorted_vocabulary[positions] == grown_mac_keys
+    features[mac_node_ids[surviving]] = encoder.mac_hidden[0][
+        vocabulary_order[positions[surviving]]
+    ]
+
+    trainer = RFGNNTrainer(
+        grown,
+        config.gnn,
+        walk_config=config.walks,
+        num_epochs=epochs,
+        batch_size=config.batch_size,
+        learning_rate=config.learning_rate,
+        negatives_per_pair=config.negatives_per_pair,
+        max_pairs_per_epoch=config.max_pairs_per_epoch,
+        seed=seed,
+        init_params=RFGNNInitParams(
+            weights=encoder.weights, node_features=features
+        ),
+    )
+    trainer.fit()
+    pipeline = FisOne(config)
+    embeddings = pipeline._inference_embeddings(trainer)
+
+    # 3. Seeded re-clustering: one Lloyd run from the parent's centroids
+    # keeps cluster identities aligned across generations (always seeded
+    # k-means, whatever config.clustering says — see the module docstring).
+    num_floors = fitted.num_floors
+    labels = KMeans(num_floors, seed=seed).fit_predict(
+        embeddings, initial_centroids=fitted.centroids
+    )
+    assignment = ClusterAssignment(labels=labels, num_clusters=num_floors)
+
+    # 4. Re-anchor floors.  The similarity matrix is always computed (it is
+    # part of the persisted result); the TSP only runs when the label-stable
+    # vote cannot produce a bijection.
+    profile = cluster_mac_profile_from_graph(grown, assignment)
+    indexer = ClusterIndexer(
+        similarity=config.similarity, tsp_method=config.tsp_method
+    )
+    similarity = indexer.similarity_matrix(profile)
+
+    num_previous = len(fitted.record_ids)
+    old_floors = fitted.result.floor_labels
+    votes = np.zeros((num_floors, num_floors), dtype=np.int64)
+    np.add.at(votes, (labels[:num_previous], old_floors), 1)
+    cluster_to_floor = _majority_floor_mapping(votes)
+    if cluster_to_floor is not None:
+        mapping_source = "matched"
+    else:
+        mapping_source = "tsp"
+        cluster_to_floor = _tsp_floor_mapping(similarity, votes, indexer)
+    cluster_order = [0] * num_floors
+    for cluster, floor in cluster_to_floor.items():
+        cluster_order[floor] = cluster
+    floor_labels = np.array(
+        [cluster_to_floor[int(label)] for label in labels], dtype=np.int64
+    )
+    label_stability = (
+        float(np.mean(floor_labels[:num_previous] == old_floors))
+        if num_previous
+        else 1.0
+    )
+
+    indexing = IndexingResult(
+        cluster_order=cluster_order,
+        cluster_to_floor=cluster_to_floor,
+        floor_labels=floor_labels,
+        similarity=similarity,
+    )
+    result = FisOneResult(
+        floor_labels=floor_labels,
+        assignment=assignment,
+        indexing=indexing,
+        embeddings=embeddings,
+        training_history=trainer.history,
+    )
+    report = RefreshReport(
+        num_previous_records=num_previous,
+        num_new_records=len(fresh_records),
+        num_skipped=skipped,
+        num_new_macs=num_new_macs,
+        fine_tune_epochs=epochs,
+        label_stability=label_stability,
+        floor_mapping_source=mapping_source,
+    )
+    lineage_entry = (
+        f"v{fitted.model_version}->v{fitted.model_version + 1}: "
+        f"+{len(fresh_records)} records, +{num_new_macs} macs, "
+        f"{epochs} fine-tune epochs, stability {label_stability:.3f} "
+        f"({mapping_source})"
+    )
+    refreshed = FittedFisOne(
+        config=config,
+        building_id=fitted.building_id,
+        num_floors=num_floors,
+        record_ids=record_ids,
+        result=result,
+        encoder=trainer.frozen_encoder(
+            sample_sizes=config.inference_sample_sizes,
+            passes=config.inference_passes,
+        ),
+        centroids=cluster_centroids(embeddings, assignment),
+        graph=trainer.graph.without_caches(),
+        model_version=fitted.model_version + 1,
+        lineage=fitted.lineage + (lineage_entry,),
+    )
+    return RefreshResult(fitted=refreshed, report=report)
+
+
+def _majority_floor_mapping(votes: np.ndarray) -> Optional[Dict[int, int]]:
+    """Cluster → floor by each cluster's old-record majority, if bijective.
+
+    ``votes[c, f]`` counts parent records of floor ``f`` now in cluster
+    ``c``.  Returns ``None`` when the per-cluster majorities do not form a
+    bijection over floors (two clusters claiming one floor, or a cluster
+    with no previously-seen members) — the signal that the old mapping no
+    longer fits and the TSP must re-anchor.
+    """
+    num = votes.shape[0]
+    mapping: Dict[int, int] = {}
+    claimed: set = set()
+    for cluster in range(num):
+        if votes[cluster].sum() == 0:
+            return None
+        floor = int(np.argmax(votes[cluster]))
+        if floor in claimed:
+            return None
+        claimed.add(floor)
+        mapping[cluster] = floor
+    return mapping
+
+
+def _tsp_floor_mapping(
+    similarity: np.ndarray,
+    votes: np.ndarray,
+    indexer: ClusterIndexer,
+) -> Dict[int, int]:
+    """Fresh spillover-TSP floor ordering, anchored at the old bottom floor.
+
+    The start city is the cluster holding the plurality of the parent's
+    bottom-floor records (falling back to cluster 0 when no parent record
+    landed anywhere — an all-new graph, which cannot happen through
+    :func:`refresh_fitted` but keeps this helper total).
+    """
+    bottom_votes = votes[:, 0]
+    start = int(np.argmax(bottom_votes)) if votes.sum() else 0
+    order = indexer.order_clusters(similarity, start)
+    return {int(cluster): int(floor) for floor, cluster in enumerate(order)}

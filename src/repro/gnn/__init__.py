@@ -20,7 +20,7 @@ tables) across the walker and the neighbour sampler.
 
 from repro.gnn.samplers import NeighborSampler, SampledNeighborhood
 from repro.gnn.aggregators import MeanAggregator, WeightedAggregator, get_aggregator
-from repro.gnn.model import RFGNN, RFGNNConfig
+from repro.gnn.model import RFGNN, RFGNNConfig, RFGNNInitParams
 from repro.gnn.loss import negative_sampling_loss
 from repro.gnn.trainer import RFGNNTrainer, TrainingHistory
 from repro.gnn.frozen import FrozenEncoder
@@ -33,6 +33,7 @@ __all__ = [
     "get_aggregator",
     "RFGNN",
     "RFGNNConfig",
+    "RFGNNInitParams",
     "negative_sampling_loss",
     "RFGNNTrainer",
     "TrainingHistory",

@@ -89,6 +89,33 @@ class RFGNNConfig:
         return self.input_dim if self.input_dim is not None else self.embedding_dim
 
 
+@dataclass(frozen=True)
+class RFGNNInitParams:
+    """Warm-start values for the trainable parameters of an :class:`RFGNN`.
+
+    Passing an instance to the model (or through
+    :class:`~repro.gnn.trainer.RFGNNTrainer`) replaces the cold random
+    initialisation with previously learned values — the substrate of
+    incremental refresh: a model fitted on a building yesterday seeds today's
+    fine-tune on the grown graph, so a short training budget suffices.
+
+    Attributes
+    ----------
+    weights:
+        Optional ``W_k`` matrices, one per hop, each shaped exactly like the
+        matrix it replaces (warm-startable across graph growth because the
+        ``W_k`` are graph-size independent).
+    node_features:
+        Optional full ``(num_nodes, input_dim)`` matrix of initial node
+        representations ``r^0``.  Callers growing a graph assemble this by
+        copying learned rows for surviving nodes and drawing random unit
+        vectors for new ones (see :mod:`repro.core.refresh`).
+    """
+
+    weights: Optional[Sequence[np.ndarray]] = None
+    node_features: Optional[np.ndarray] = None
+
+
 @dataclass
 class _ForwardCache:
     """Intermediates of one minibatch forward pass, consumed by backward()."""
@@ -110,6 +137,7 @@ class RFGNN:
         graph: AnyGraph,
         config: RFGNNConfig = RFGNNConfig(),
         seed: int = 0,
+        init_params: Optional[RFGNNInitParams] = None,
     ) -> None:
         # The model only reads the graph, so it operates on the frozen CSR
         # view; its alias tables are shared with every other consumer.
@@ -132,8 +160,44 @@ class RFGNN:
         self.weights: List[np.ndarray] = [
             glorot_uniform(2 * dims[k], dims[k + 1], rng) for k in range(config.num_hops)
         ]
+        if init_params is not None:
+            self._apply_init_params(init_params)
         self.weight_grads: List[np.ndarray] = [np.zeros_like(w) for w in self.weights]
         self._cache: Optional[_ForwardCache] = None
+
+    def _apply_init_params(self, init_params: RFGNNInitParams) -> None:
+        """Replace the random initialisation with warm-start values.
+
+        Raises
+        ------
+        ValueError
+            If any provided matrix does not match the shape the model's
+            configuration and graph dictate — a mismatch means the warm
+            start comes from an incompatible model and must fail loudly.
+        """
+        if init_params.weights is not None:
+            if len(init_params.weights) != len(self.weights):
+                raise ValueError(
+                    f"init_params.weights has {len(init_params.weights)} matrices "
+                    f"but the model has {len(self.weights)} hops"
+                )
+            for hop, warm in enumerate(init_params.weights):
+                warm = np.asarray(warm, dtype=np.float64)
+                if warm.shape != self.weights[hop].shape:
+                    raise ValueError(
+                        f"init_params.weights[{hop}] has shape {warm.shape}, "
+                        f"expected {self.weights[hop].shape}"
+                    )
+                self.weights[hop] = warm.copy()
+        if init_params.node_features is not None:
+            warm_features = np.asarray(init_params.node_features, dtype=np.float64)
+            if warm_features.shape != self.node_features.shape:
+                raise ValueError(
+                    f"init_params.node_features has shape {warm_features.shape}, "
+                    f"expected {self.node_features.shape}"
+                )
+            self.node_features = warm_features.copy()
+            self.feature_grads = np.zeros_like(self.node_features)
 
     # -- parameter plumbing ----------------------------------------------------
 

@@ -21,7 +21,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.gnn.loss import negative_sampling_loss
-from repro.gnn.model import RFGNN, RFGNNConfig
+from repro.gnn.model import RFGNN, RFGNNConfig, RFGNNInitParams
 from repro.graph.csr import AnyGraph
 from repro.graph.negative_sampling import NegativeSampler
 from repro.graph.walks import RandomWalkGenerator, WalkConfig
@@ -83,6 +83,11 @@ class RFGNNTrainer:
         Global gradient-norm clip.
     seed:
         RNG seed controlling walks, negative sampling, and initialisation.
+    init_params:
+        Optional :class:`~repro.gnn.model.RFGNNInitParams` warm-starting the
+        ``W_k`` matrices and/or node features from a previous fit instead of
+        the cold random initialisation — the incremental-refresh path trains
+        a few fine-tune epochs from here rather than from scratch.
     """
 
     def __init__(
@@ -97,6 +102,7 @@ class RFGNNTrainer:
         max_pairs_per_epoch: Optional[int] = 60_000,
         grad_clip_norm: float = 5.0,
         seed: int = 0,
+        init_params: Optional[RFGNNInitParams] = None,
     ) -> None:
         if num_epochs < 1:
             raise ValueError("num_epochs must be >= 1")
@@ -109,7 +115,7 @@ class RFGNNTrainer:
         # share one set of graph-owned alias tables (each with its own RNG).
         self.graph = graph.freeze()
         self.config = config
-        self.model = RFGNN(self.graph, config, seed=seed)
+        self.model = RFGNN(self.graph, config, seed=seed, init_params=init_params)
         self.walk_config = walk_config or WalkConfig(weighted=config.attention)
         self.walker = RandomWalkGenerator(self.graph, self.walk_config, seed=seed + 1)
         self.negative_sampler = NegativeSampler(self.graph, seed=seed + 2)

@@ -11,6 +11,7 @@ the single labeled sample's cluster as the start city.
 from repro.indexing.similarity import (
     ClusterMacProfile,
     cluster_mac_frequencies,
+    cluster_mac_profile_from_graph,
     jaccard_similarity_matrix,
     adapted_jaccard_similarity_matrix,
     jaccard_coefficient,
@@ -29,6 +30,7 @@ from repro.indexing.arbitrary import ArbitraryFloorIndexer, MiddleFloorAmbiguity
 __all__ = [
     "ClusterMacProfile",
     "cluster_mac_frequencies",
+    "cluster_mac_profile_from_graph",
     "jaccard_similarity_matrix",
     "adapted_jaccard_similarity_matrix",
     "jaccard_coefficient",

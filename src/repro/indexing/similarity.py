@@ -106,32 +106,51 @@ def cluster_mac_frequencies(
                 "graph sample degrees do not match the dataset's reading counts; "
                 "was this graph built from a different dataset?"
             )
-        from repro.graph.csr import SAMPLE_KIND
-
-        mac_keys = frozen.keys[frozen.mac_ids].astype(str)
-        order = np.argsort(mac_keys)  # NumPy and Python sort strings alike
-        macs = mac_keys[order].tolist()
-        column_of_node = np.zeros(frozen.num_nodes, dtype=np.int64)
-        column_of_node[frozen.mac_ids[order]] = np.arange(order.size)
-        cluster_of_node = np.zeros(frozen.num_nodes, dtype=np.int64)
-        cluster_of_node[frozen.sample_ids] = np.asarray(
-            assignment.labels, dtype=np.int64
-        )
-        sources = frozen.edge_sources()
-        from_sample = frozen.kinds[sources] == SAMPLE_KIND
-        rows = cluster_of_node[sources[from_sample]]
-        columns = column_of_node[frozen.indices[from_sample]]
-        frequencies = np.bincount(
-            rows * len(macs) + columns,
-            minlength=assignment.num_clusters * len(macs),
-        ).reshape(assignment.num_clusters, len(macs)).astype(np.float64)
-        return ClusterMacProfile(macs=macs, frequencies=frequencies)
+        return cluster_mac_profile_from_graph(frozen, assignment)
     macs = sorted(dataset.macs)
     mac_index: Dict[str, int] = {mac: index for index, mac in enumerate(macs)}
     frequencies = np.zeros((assignment.num_clusters, len(macs)), dtype=np.float64)
     for record, cluster in zip(dataset, assignment.labels):
         for mac in record.readings:
             frequencies[int(cluster), mac_index[mac]] += 1.0
+    return ClusterMacProfile(macs=macs, frequencies=frequencies)
+
+
+def cluster_mac_profile_from_graph(graph, assignment: ClusterAssignment) -> ClusterMacProfile:
+    """Per-cluster MAC frequencies straight from a bipartite graph's edges.
+
+    Unlike :func:`cluster_mac_frequencies` this does not need the dataset at
+    all — the graph carries every (record, MAC) incidence.  This is the path
+    the incremental-refresh machinery uses: a persisted model retains its CSR
+    graph but not the original :class:`~repro.signals.dataset.SignalDataset`,
+    and the grown graph is the only authority on the merged record set.
+    Counts are bit-identical to the dataset-based computation.
+    """
+    frozen = graph.freeze()
+    if frozen.sample_ids.size != len(assignment):
+        raise ValueError(
+            f"graph has {frozen.sample_ids.size} sample nodes but the "
+            f"assignment covers {len(assignment)} records"
+        )
+    from repro.graph.csr import SAMPLE_KIND
+
+    mac_keys = frozen.keys[frozen.mac_ids].astype(str)
+    order = np.argsort(mac_keys)  # NumPy and Python sort strings alike
+    macs = mac_keys[order].tolist()
+    column_of_node = np.zeros(frozen.num_nodes, dtype=np.int64)
+    column_of_node[frozen.mac_ids[order]] = np.arange(order.size)
+    cluster_of_node = np.zeros(frozen.num_nodes, dtype=np.int64)
+    cluster_of_node[frozen.sample_ids] = np.asarray(
+        assignment.labels, dtype=np.int64
+    )
+    sources = frozen.edge_sources()
+    from_sample = frozen.kinds[sources] == SAMPLE_KIND
+    rows = cluster_of_node[sources[from_sample]]
+    columns = column_of_node[frozen.indices[from_sample]]
+    frequencies = np.bincount(
+        rows * len(macs) + columns,
+        minlength=assignment.num_clusters * len(macs),
+    ).reshape(assignment.num_clusters, len(macs)).astype(np.float64)
     return ClusterMacProfile(macs=macs, frequencies=frequencies)
 
 

@@ -8,11 +8,18 @@ Everything the seed's batch pipeline lacked for production traffic:
 * :mod:`~repro.serving.online` — :class:`OnlineFloorLabeler`: label *new*
   crowdsourced records through the frozen encoder by nearest cluster
   centroid, with confidence scores and no retraining.
+* :mod:`~repro.serving.drift` — :class:`DriftMonitor` and
+  :class:`RefreshPolicy`: rolling unknown-MAC/confidence statistics over a
+  building's label traffic, judged against staleness thresholds to decide
+  when an incremental refresh is due.
 * :mod:`~repro.serving.registry` — :class:`BuildingRegistry`: one model per
-  building, lazily fit or loaded, LRU-cached, write-through persisted.
+  building, lazily fit or loaded, LRU-cached, write-through persisted, and
+  incrementally refreshed (``refresh_if_drifted``) with a bumped model
+  version + lineage in the stored manifest.
 * :mod:`~repro.serving.server` — :class:`FleetServer`: a stdlib-only
-  request loop that coalesces concurrent label requests per building and
-  reports throughput.
+  request loop that coalesces concurrent label requests per building,
+  reports throughput, and sweeps the fleet for drifted buildings
+  (``refresh_drifted``).
 * :mod:`~repro.serving.results` — the typed request/response dataclasses
   shared by all of the above.
 
@@ -24,6 +31,8 @@ Typical flow::
     registry = BuildingRegistry(store_dir="models")
     with FleetServer(registry) as server:
         response = server.submit("building-a", new_records).result()
+        ...
+        reports = server.refresh_drifted()   # fit → serve → drift → refresh
 """
 
 from repro.serving.artifacts import (
@@ -32,6 +41,12 @@ from repro.serving.artifacts import (
     has_artifacts,
     load_artifacts,
     save_artifacts,
+)
+from repro.serving.drift import (
+    DriftMonitor,
+    DriftSnapshot,
+    DriftThresholds,
+    RefreshPolicy,
 )
 from repro.serving.online import OnlineFloorLabeler
 from repro.serving.registry import BuildingRegistry, RegistryStats
@@ -44,6 +59,10 @@ __all__ = [
     "has_artifacts",
     "load_artifacts",
     "save_artifacts",
+    "DriftMonitor",
+    "DriftSnapshot",
+    "DriftThresholds",
+    "RefreshPolicy",
     "OnlineFloorLabeler",
     "BuildingRegistry",
     "RegistryStats",

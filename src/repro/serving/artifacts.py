@@ -159,6 +159,11 @@ def save_artifacts(
         "format_version": ARTIFACT_FORMAT_VERSION,
         "save_token": save_token,
         "building_id": fitted.building_id,
+        # Model generation and provenance: bumped/extended by every
+        # incremental refresh (repro.core.refresh), so a store records which
+        # generation it holds and how it got there.
+        "model_version": int(fitted.model_version),
+        "lineage": list(fitted.lineage),
         "num_floors": fitted.num_floors,
         "record_ids": list(fitted.record_ids),
         "mac_vocabulary": list(encoder.mac_vocabulary),
@@ -371,6 +376,9 @@ def load_artifacts(directory: PathLike) -> FittedFisOne:
             encoder=encoder,
             centroids=centroids,
             graph=graph,
+            # Absent in pre-refresh artifacts: default to generation 0.
+            model_version=int(manifest.get("model_version", 0)),
+            lineage=tuple(str(entry) for entry in manifest.get("lineage", [])),
         )
     except (ValueError, TypeError, KeyError) as error:
         raise ArtifactError(

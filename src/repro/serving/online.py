@@ -9,6 +9,14 @@ the floor of its nearest cluster centroid, with a softmax confidence score.
 The whole path is deterministic and costs a few matrix products per batch —
 this is what lets one fitted model absorb a stream of crowdsourced signals
 instead of refitting per query.
+
+Degenerate inputs are handled explicitly rather than by accident: an empty
+batch yields an empty result, and a record sharing no MAC with the training
+vocabulary gets the largest cluster's floor at confidence 0.0 — a guess the
+caller can recognise, never a crash.  An attached
+:class:`~repro.serving.drift.DriftMonitor` sees every produced label, which
+is how the serving layer notices those guesses piling up (drift) and
+triggers an incremental refresh.
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.core.pipeline import FittedFisOne
+from repro.serving.drift import DriftMonitor
 from repro.serving.results import OnlineLabel
 from repro.signals.record import SignalRecord
 
@@ -28,10 +37,17 @@ class OnlineFloorLabeler:
     fitted:
         The fitted model, either fresh from :meth:`~repro.core.pipeline.FisOne.fit`
         or loaded via :func:`~repro.serving.artifacts.load_artifacts`.
+    monitor:
+        Optional :class:`~repro.serving.drift.DriftMonitor` that observes
+        every label this labeler produces (rolling unknown-MAC and
+        confidence statistics for the refresh policy).
     """
 
-    def __init__(self, fitted: FittedFisOne) -> None:
+    def __init__(
+        self, fitted: FittedFisOne, monitor: Optional[DriftMonitor] = None
+    ) -> None:
         self.fitted = fitted
+        self.monitor = monitor
 
     @property
     def building_id(self) -> Optional[str]:
@@ -44,9 +60,16 @@ class OnlineFloorLabeler:
         return self.fitted.num_floors
 
     def label(self, records: Sequence[SignalRecord]) -> List[OnlineLabel]:
-        """Label a batch of records, preserving input order."""
+        """Label a batch of records, preserving input order.
+
+        An empty batch returns an empty list; records whose MACs are all
+        unknown to the model are labeled with the largest cluster's floor
+        at confidence 0.0 (``known_mac_fraction`` 0.0).
+        """
+        if not records:
+            return []
         floors, confidences, known_fractions = self.fitted.online_floors(records)
-        return [
+        labels = [
             OnlineLabel(
                 record_id=record.record_id,
                 floor=int(floor),
@@ -57,6 +80,9 @@ class OnlineFloorLabeler:
                 records, floors, confidences, known_fractions
             )
         ]
+        if self.monitor is not None:
+            self.monitor.observe(labels)
+        return labels
 
     def label_one(self, record: SignalRecord) -> OnlineLabel:
         """Label a single record."""

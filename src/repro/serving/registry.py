@@ -12,7 +12,12 @@ hot at any moment.  :class:`BuildingRegistry` owns that multiplexing:
   artifact (:mod:`repro.serving.artifacts`), and evicted or never-seen
   buildings are reloaded from there instead of refit;
 * ``label(building_id, records)`` is the one-call batch entry point the
-  fleet server drives.
+  fleet server drives;
+* every building's label traffic feeds a per-building
+  :class:`~repro.serving.drift.DriftMonitor` and a bounded buffer of recent
+  records, and ``refresh_if_drifted()`` turns both into an incremental
+  warm-start refresh (:meth:`~repro.core.pipeline.FittedFisOne.refresh`)
+  written through to the store with a bumped model version and lineage.
 
 All public methods are thread-safe; fits/loads of *different* buildings run
 concurrently (per-building locks), while two concurrent requests for the
@@ -29,12 +34,14 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.config import FisOneConfig
 from repro.core.pipeline import FisOne, FittedFisOne
+from repro.core.refresh import RefreshReport
 from repro.serving.artifacts import (
     ArtifactError,
     has_artifacts,
     load_artifacts,
     save_artifacts,
 )
+from repro.serving.drift import DriftMonitor, DriftSnapshot, RefreshPolicy
 from repro.serving.online import OnlineFloorLabeler
 from repro.serving.results import OnlineLabel
 from repro.signals.dataset import SignalDataset
@@ -88,6 +95,7 @@ class RegistryStats:
     fits: int = 0
     loads: int = 0
     evictions: int = 0
+    refreshes: int = 0
 
 
 class BuildingRegistry:
@@ -104,6 +112,9 @@ class BuildingRegistry:
     config:
         Default pipeline configuration for buildings registered without
         their own.
+    refresh_policy:
+        When and how drifted buildings are incrementally refreshed; see
+        :class:`~repro.serving.drift.RefreshPolicy` for the defaults.
     """
 
     def __init__(
@@ -111,15 +122,22 @@ class BuildingRegistry:
         store_dir: Optional[PathLike] = None,
         capacity: int = 8,
         config: Optional[FisOneConfig] = None,
+        refresh_policy: Optional[RefreshPolicy] = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.store_dir = Path(store_dir) if store_dir is not None else None
         self.capacity = capacity
         self.config = config
+        self.refresh_policy = refresh_policy or RefreshPolicy()
         self.stats = RegistryStats()
         self._sources: Dict[str, _TrainingSource] = {}
         self._cache: "OrderedDict[str, FittedFisOne]" = OrderedDict()
+        # Per-building drift state: a rolling monitor over every label the
+        # building produced, and a bounded FIFO of the distinct records seen
+        # (the raw material an incremental refresh retrains on).
+        self._monitors: Dict[str, DriftMonitor] = {}
+        self._recent: Dict[str, "OrderedDict[str, SignalRecord]"] = {}
         # Buildings known to have an artifact on disk — maintained so that
         # eviction decisions never need filesystem stats under the lock.
         self._persisted: set = set()
@@ -271,8 +289,146 @@ class BuildingRegistry:
     def label(
         self, building_id: str, records: Sequence[SignalRecord]
     ) -> List[OnlineLabel]:
-        """Online-label a batch of records against one building's model."""
-        return OnlineFloorLabeler(self.get(building_id)).label(records)
+        """Online-label a batch of records against one building's model.
+
+        Every produced label feeds the building's drift monitor, and every
+        record the model has not trained on joins the building's bounded
+        recent-record buffer — the material :meth:`refresh_if_drifted`
+        retrains on.
+        """
+        fitted = self.get(building_id)
+        labels = OnlineFloorLabeler(
+            fitted, monitor=self._monitor(building_id)
+        ).label(records)
+        self._buffer_records(building_id, fitted, records)
+        return labels
+
+    # -- drift & refresh -------------------------------------------------------
+
+    def drift_snapshot(self, building_id: str) -> DriftSnapshot:
+        """The building's current drift statistics, judged by the policy."""
+        validate_building_id(building_id)
+        return self._monitor(building_id).snapshot(self.refresh_policy.thresholds)
+
+    def buffered_record_count(self, building_id: str) -> int:
+        """Distinct recent records buffered as refresh material."""
+        validate_building_id(building_id)
+        with self._lock:
+            return len(self._recent.get(building_id, ()))
+
+    def refresh(
+        self,
+        building_id: str,
+        records: Optional[Sequence[SignalRecord]] = None,
+        fine_tune_epochs: Optional[int] = None,
+    ) -> RefreshReport:
+        """Incrementally refresh one building's model and write it through.
+
+        ``records`` defaults to the building's buffered recent traffic.  The
+        refreshed model (bumped ``model_version``, extended lineage) replaces
+        the cached model and, with a store, overwrites the artifact; the
+        drift monitor and record buffer are reset so the new generation is
+        judged on its own traffic.
+
+        Raises
+        ------
+        KeyError
+            If the building is unknown.
+        ValueError
+            If the model carries no training graph (saved with
+            ``include_graph=False``) and therefore cannot warm-start.
+        """
+        validate_building_id(building_id)
+        # Warm up (and existence-check) outside the building lock — get()
+        # takes that lock on a cold miss and raises KeyError for unknown
+        # ids before any per-building state is allocated.  The
+        # authoritative parent is then resolved *inside* the lock, so two
+        # concurrent refreshes serialize and the second one refreshes the
+        # first's result instead of the same stale parent.
+        self.get(building_id)
+        if fine_tune_epochs is None:
+            fine_tune_epochs = self.refresh_policy.fine_tune_epochs
+        with self._lock:
+            building_lock = self._building_locks.setdefault(
+                building_id, threading.Lock()
+            )
+        with building_lock:
+            with self._lock:
+                source_before = self._sources.get(building_id)
+                fitted = self._cache.get(building_id)
+                if records is None:
+                    records = list(self._recent.get(building_id, {}).values())
+            if fitted is None:
+                # Evicted (or superseded) between the warm-up get() and
+                # taking the lock: re-materialize from store/source rather
+                # than refreshing a stale pre-lock snapshot — the store may
+                # already hold a concurrent refresh's result.
+                fitted = self._materialize(building_id)
+            result = fitted.refresh(records, fine_tune_epochs=fine_tune_epochs)
+            if self.store_dir is not None:
+                save_artifacts(result.fitted, self.store_dir / building_id)
+            with self._lock:
+                self.stats.refreshes += 1
+                if self.store_dir is not None:
+                    self._persisted.add(building_id)
+                # A register() landing mid-refresh supersedes this model the
+                # same way it supersedes add_fitted: keep its dirty mark and
+                # let the next request refit from the new training data.
+                if self._sources.get(building_id) is source_before:
+                    self._dirty.discard(building_id)
+                    self._insert(building_id, result.fitted)
+                # Evict only the records this refresh consumed; material
+                # buffered by concurrent traffic (or deliberately withheld
+                # by a caller passing an explicit wave) stays available for
+                # the next refresh.
+                buffer = self._recent.get(building_id)
+                if buffer is not None:
+                    for record in records:
+                        buffer.pop(record.record_id, None)
+            self._monitor(building_id).reset()
+        return result.report
+
+    def refresh_if_drifted(self, building_id: str) -> Optional[RefreshReport]:
+        """Refresh one building if its monitor signals drift.
+
+        Returns the :class:`~repro.core.refresh.RefreshReport` when a
+        refresh ran, ``None`` when the building is not drifted or has fewer
+        than ``refresh_policy.min_new_records`` buffered records.
+        """
+        validate_building_id(building_id)
+        policy = self.refresh_policy
+        if not self._monitor(building_id).is_drifted(policy.thresholds):
+            return None
+        if self.buffered_record_count(building_id) < policy.min_new_records:
+            return None
+        return self.refresh(building_id)
+
+    def _monitor(self, building_id: str) -> DriftMonitor:
+        """Get-or-create the building's drift monitor."""
+        with self._lock:
+            monitor = self._monitors.get(building_id)
+            if monitor is None:
+                monitor = DriftMonitor(window=self.refresh_policy.monitor_window)
+                self._monitors[building_id] = monitor
+            return monitor
+
+    def _buffer_records(
+        self,
+        building_id: str,
+        fitted: FittedFisOne,
+        records: Sequence[SignalRecord],
+    ) -> None:
+        """FIFO-buffer distinct records the model has not trained on."""
+        capacity = self.refresh_policy.buffer_size
+        with self._lock:
+            buffer = self._recent.setdefault(building_id, OrderedDict())
+            for record in records:
+                if fitted.knows_record(record.record_id):
+                    continue
+                buffer[record.record_id] = record
+                buffer.move_to_end(record.record_id)
+                while len(buffer) > capacity:
+                    buffer.popitem(last=False)
 
     # -- internals -------------------------------------------------------------
 

@@ -13,7 +13,10 @@ buildings over a :class:`~repro.serving.registry.BuildingRegistry`:
   buildings label in parallel while the registry's per-building locks keep
   cold fits single-flight;
 * the server counts requests, records, and batches and reports
-  records-per-second via :meth:`stats`.
+  records-per-second via :meth:`stats`;
+* :meth:`refresh_drifted` sweeps the fleet for buildings whose drift
+  monitors signal staleness and refreshes them in parallel (incremental
+  warm-start retraining via the registry's refresh policy).
 
 Only the standard library is used (``queue``, ``threading``,
 ``concurrent.futures``) — no web framework; transports can be layered on
@@ -30,6 +33,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.core.refresh import RefreshReport, RefreshUnavailableError
 from repro.serving.registry import BuildingRegistry
 from repro.serving.results import LabelRequest, LabelResponse, ServerStats
 from repro.signals.record import SignalRecord
@@ -178,6 +182,57 @@ class FleetServer:
             for request in requests
         ]
         return [future.result() for future in futures]
+
+    def refresh_drifted(
+        self,
+        building_ids: Optional[Sequence[str]] = None,
+        max_workers: int = 4,
+    ) -> Dict[str, RefreshReport]:
+        """Incrementally refresh every drifted building, in parallel.
+
+        Walks ``building_ids`` (default: every building the registry can
+        serve), asks the registry to
+        :meth:`~repro.serving.registry.BuildingRegistry.refresh_if_drifted`
+        each one, and returns a mapping of building id to
+        :class:`~repro.core.refresh.RefreshReport` for the buildings that
+        actually refreshed.  Buildings that are not drifted, lack enough
+        buffered records, or cannot warm-start (no persisted graph) are
+        skipped.  Runs on its own short-lived worker pool, so it works
+        whether or not the label dispatcher is running; label traffic keeps
+        flowing during a refresh — each building only swaps its model under
+        its own registry lock.
+        """
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if building_ids is None:
+            building_ids = self.registry.building_ids
+        reports: Dict[str, RefreshReport] = {}
+        if not building_ids:
+            return reports
+
+        def try_refresh(building_id: str) -> Optional[RefreshReport]:
+            try:
+                return self.registry.refresh_if_drifted(building_id)
+            except RefreshUnavailableError:
+                # Model cannot warm-start (e.g. artifact saved without its
+                # graph); leave it serving as-is rather than failing the
+                # whole fleet sweep.  Any other failure propagates — a
+                # broken refresh pipeline must be visible, not skipped.
+                return None
+
+        with ThreadPoolExecutor(
+            max_workers=min(max_workers, len(building_ids)),
+            thread_name_prefix="fleet-refresh",
+        ) as pool:
+            futures = {
+                building_id: pool.submit(try_refresh, building_id)
+                for building_id in building_ids
+            }
+            for building_id, future in futures.items():
+                report = future.result()
+                if report is not None:
+                    reports[building_id] = report
+        return reports
 
     def stats(self) -> ServerStats:
         """Aggregate throughput counters since :meth:`start`."""

@@ -16,6 +16,9 @@ Main entry points
 * :func:`~repro.simulate.fleet.generate_mall_fleet` — the three shopping
   malls (two 5-floor, one 7-floor) with an atrium producing long-range
   spillover.
+* :func:`~repro.simulate.drift.generate_drift_scenario` — a pre-drift
+  survey plus a post-drift wave after AP churn / RSS drift, the workload of
+  the incremental-refresh subsystem.
 """
 
 from repro.simulate.pathloss import (
@@ -42,6 +45,12 @@ from repro.simulate.fleet import (
     generate_mall_fleet,
     generate_single_building,
 )
+from repro.simulate.drift import (
+    DriftScenario,
+    DriftScenarioConfig,
+    drift_building,
+    generate_drift_scenario,
+)
 
 __all__ = [
     "PathLossModel",
@@ -66,4 +75,8 @@ __all__ = [
     "generate_microsoft_like_fleet",
     "generate_mall_fleet",
     "generate_single_building",
+    "DriftScenario",
+    "DriftScenarioConfig",
+    "drift_building",
+    "generate_drift_scenario",
 ]

@@ -1,0 +1,197 @@
+"""AP-churn / RSS-drift scenarios: the environment a refresh must survive.
+
+Real deployments age in two characteristic ways the paper's static datasets
+never show:
+
+* **AP churn** — access points get replaced; the new hardware radiates from
+  the same spot but under a fresh MAC (BSSID), so a fitted model's
+  vocabulary goes stale one AP at a time.
+* **RSS drift** — transmit-power changes, firmware updates, and moved
+  furniture shift the received signal strengths without touching the MAC
+  vocabulary.
+
+:func:`generate_drift_scenario` composes both on top of the existing
+building simulator: it collects a pre-drift survey, mutates the building
+(replacing a fraction of AP MACs and shifting every AP's transmit power),
+and collects a second, post-drift wave of ground-truth-labeled records.
+The result is exactly the workload of the refresh subsystem
+(:mod:`repro.core.refresh`, :mod:`repro.serving.drift`): fit on the initial
+survey, serve the drifted wave, watch the drift monitor fire, refresh, and
+compare against a full refit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import FrozenSet, List
+
+from repro.signals.dataset import SignalDataset
+from repro.signals.record import SignalRecord
+from repro.simulate.access_point import generate_mac_address
+from repro.simulate.building import Building
+from repro.simulate.collector import CrowdsourcedCollector
+from repro.simulate.generators import BuildingConfig, generate_building
+
+#: Record-id prefix marking post-drift records, so the two collection waves
+#: of one building can never collide on record ids when merged.
+POST_DRIFT_RECORD_PREFIX = "post-"
+
+#: The plausible transmit-power range enforced by AccessPoint, used to clamp
+#: shifted powers so a drift scenario can never produce an invalid AP.
+_TX_POWER_RANGE_DBM = (-10.0, 36.0)
+
+
+@dataclass(frozen=True)
+class DriftScenarioConfig:
+    """Parameters of one AP-churn / RSS-drift scenario.
+
+    Attributes
+    ----------
+    building:
+        The underlying synthetic building and its pre-drift collection
+        parameters.
+    churn_fraction:
+        Fraction of access points replaced with new hardware (same
+        position and floor, fresh MAC) before the post-drift wave.
+    rss_shift_db:
+        Constant transmit-power shift (dB) applied to *every* surviving and
+        replaced AP — global RSS drift on top of the churn.
+    post_samples_per_floor:
+        Records collected per floor in the post-drift wave.
+    """
+
+    building: BuildingConfig = field(
+        default_factory=lambda: BuildingConfig(num_floors=3)
+    )
+    churn_fraction: float = 0.25
+    rss_shift_db: float = 0.0
+    post_samples_per_floor: int = 20
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.churn_fraction <= 1.0):
+            raise ValueError("churn_fraction must lie in [0, 1]")
+        if self.post_samples_per_floor < 1:
+            raise ValueError("post_samples_per_floor must be >= 1")
+
+
+@dataclass(frozen=True)
+class DriftScenario:
+    """One generated drift scenario.
+
+    Attributes
+    ----------
+    initial:
+        The fully labeled pre-drift survey (fit material; evaluation strips
+        the labels as usual).
+    drifted:
+        The fully labeled post-drift wave; record ids carry the
+        :data:`POST_DRIFT_RECORD_PREFIX` so they never collide with the
+        initial survey's.
+    replaced_macs:
+        MACs of the churned (retired) access points.
+    introduced_macs:
+        MACs of the replacement hardware — unknown to any model fitted on
+        ``initial``.
+    """
+
+    initial: SignalDataset
+    drifted: SignalDataset
+    replaced_macs: FrozenSet[str]
+    introduced_macs: FrozenSet[str]
+
+    @property
+    def drifted_records(self) -> List[SignalRecord]:
+        """The post-drift records as a plain list (labeled)."""
+        return list(self.drifted)
+
+
+def drift_building(
+    building: Building,
+    churn_fraction: float,
+    rss_shift_db: float,
+    rng: random.Random,
+) -> "tuple[Building, FrozenSet[str], FrozenSet[str]]":
+    """Apply AP churn and a global RSS shift to a building.
+
+    Returns ``(drifted_building, replaced_macs, introduced_macs)``.  The
+    drifted building shares geometry and propagation models with the
+    original; churned APs keep their position, floor, and atrium flag but
+    radiate under a fresh MAC, and every AP's transmit power is shifted by
+    ``rss_shift_db`` (clamped to the plausible range).
+    """
+    aps = list(building.access_points)
+    num_churned = round(len(aps) * churn_fraction)
+    churned_indices = set(rng.sample(range(len(aps)), num_churned))
+    macs_in_use = set(building.macs)
+    replaced: List[str] = []
+    introduced: List[str] = []
+    low, high = _TX_POWER_RANGE_DBM
+    drifted_aps = []
+    for index, ap in enumerate(aps):
+        tx_power = min(max(ap.tx_power_dbm + rss_shift_db, low), high)
+        if index in churned_indices:
+            new_mac = generate_mac_address(rng)
+            while new_mac in macs_in_use:
+                new_mac = generate_mac_address(rng)
+            macs_in_use.add(new_mac)
+            replaced.append(ap.mac)
+            introduced.append(new_mac)
+            drifted_aps.append(replace(ap, mac=new_mac, tx_power_dbm=tx_power))
+        else:
+            drifted_aps.append(replace(ap, tx_power_dbm=tx_power))
+    drifted = Building(
+        geometry=building.geometry,
+        access_points=drifted_aps,
+        path_loss=building.path_loss,
+        atrium_path_loss=building.atrium_path_loss,
+        building_id=building.building_id,
+    )
+    return drifted, frozenset(replaced), frozenset(introduced)
+
+
+def generate_drift_scenario(
+    config: DriftScenarioConfig, seed: int = 0
+) -> DriftScenario:
+    """Generate a pre-drift survey plus a post-drift collection wave.
+
+    Both waves are fully ground-truth labeled (the evaluation needs truth);
+    the pipeline under test strips labels as usual.  Deterministic in
+    ``(config, seed)``.
+    """
+    building = generate_building(config.building, seed=seed)
+    collection = config.building.collection
+    initial = CrowdsourcedCollector(building, collection).collect(seed=seed)
+
+    rng = random.Random(seed + 7919)
+    drifted_building, replaced, introduced = drift_building(
+        building, config.churn_fraction, config.rss_shift_db, rng
+    )
+    post_collection = replace(
+        collection, samples_per_floor=config.post_samples_per_floor
+    )
+    post_raw = CrowdsourcedCollector(drifted_building, post_collection).collect(
+        seed=seed + 104_729
+    )
+    post_records = [
+        SignalRecord(
+            record_id=f"{POST_DRIFT_RECORD_PREFIX}{record.record_id}",
+            readings=dict(record.readings),
+            floor=record.floor,
+            position=record.position,
+            device_id=record.device_id,
+            timestamp=record.timestamp,
+        )
+        for record in post_raw
+    ]
+    drifted = SignalDataset(
+        post_records,
+        building_id=initial.building_id,
+        num_floors=initial.num_floors,
+    )
+    return DriftScenario(
+        initial=initial,
+        drifted=drifted,
+        replaced_macs=replaced,
+        introduced_macs=introduced,
+    )

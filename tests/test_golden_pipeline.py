@@ -20,6 +20,7 @@ import pytest
 from repro.core import FisOne
 from repro.core.config import FisOneConfig
 from repro.gnn.model import RFGNNConfig
+from repro.signals.record import SignalRecord
 from repro.simulate import generate_single_building
 
 #: Building generation seed (3 floors x 25 samples).
@@ -43,6 +44,15 @@ GOLDEN_NUMPY_VERSION = "2.4"
 #: First four coordinates of the first embedding row (quick human-readable
 #: check when the hash mismatches).
 GOLDEN_FIRST_ROW_PREFIX = [0.21406357, 0.26516586, 0.23651805, -0.31041388]
+
+#: (source floor, position in the observed dataset) of the records cloned as
+#: deterministic growth material for the refresh golden below.
+GOLDEN_REFRESH_SOURCES = [(0, 3), (0, 7), (1, 28), (1, 33), (2, 55), (2, 61)]
+
+#: Expected floor label of each cloned record after a fixed-seed
+#: ``refresh(fine_tune_epochs=1)`` — each clone must land on its source's
+#: floor, and every pre-refresh record must keep its label exactly.
+GOLDEN_REFRESH_NEW_LABELS = [0, 0, 1, 1, 2, 2]
 
 
 def golden_config() -> FisOneConfig:
@@ -68,6 +78,22 @@ def golden_result():
     )
 
 
+@pytest.fixture(scope="module")
+def golden_refresh():
+    """A fixed-seed fit grown by six cloned records and refreshed once."""
+    labeled = generate_single_building(
+        num_floors=3, samples_per_floor=25, seed=BUILDING_SEED
+    )
+    anchor = labeled.pick_labeled_sample(floor=0)
+    observed = labeled.strip_labels(keep_record_ids=[anchor.record_id])
+    fitted = FisOne(golden_config()).fit(observed, anchor.record_id, labeled_floor=0)
+    new_records = [
+        SignalRecord(f"golden-new-{index}", dict(observed[position].readings))
+        for index, (_, position) in enumerate(GOLDEN_REFRESH_SOURCES)
+    ]
+    return fitted, fitted.refresh(new_records, fine_tune_epochs=1)
+
+
 class TestGoldenPipeline:
     def test_floor_labels_unchanged(self, golden_result):
         assert golden_result.floor_labels.tolist() == GOLDEN_FLOOR_LABELS
@@ -91,6 +117,47 @@ class TestGoldenPipeline:
             )
         digest = hashlib.sha256(np.ascontiguousarray(embeddings).tobytes()).hexdigest()
         assert digest == GOLDEN_EMBEDDINGS_SHA256
+
+
+class TestGoldenRefresh:
+    """Seed-stability of the incremental-refresh path.
+
+    The warm-start fine-tune, the seeded re-clustering, and the
+    label-stable floor matching are all driven by the same pinned RNG
+    streams, so the refresh of a fixed-seed fit over fixed growth material
+    must reproduce these outputs exactly.
+    """
+
+    def test_fit_matches_fit_predict_goldens(self, golden_refresh):
+        # fit() shares the pipeline run with fit_predict(), so the fitted
+        # model must carry the very same golden labels.
+        fitted, _ = golden_refresh
+        assert fitted.floor_labels.tolist() == GOLDEN_FLOOR_LABELS
+
+    def test_old_record_labels_survive_refresh_identically(self, golden_refresh):
+        fitted, result = golden_refresh
+        num_old = len(fitted.record_ids)
+        refreshed_old = result.fitted.result.floor_labels[:num_old]
+        assert refreshed_old.tolist() == GOLDEN_FLOOR_LABELS
+        assert np.array_equal(refreshed_old, fitted.floor_labels)
+        assert result.report.label_stability == 1.0
+
+    def test_new_record_labels_unchanged(self, golden_refresh):
+        _, result = golden_refresh
+        num_new = len(GOLDEN_REFRESH_SOURCES)
+        new_labels = result.fitted.result.floor_labels[-num_new:]
+        assert new_labels.tolist() == GOLDEN_REFRESH_NEW_LABELS
+        # ... and each clone landed on its source record's floor.
+        assert [floor for floor, _ in GOLDEN_REFRESH_SOURCES] == (
+            GOLDEN_REFRESH_NEW_LABELS
+        )
+
+    def test_refresh_metadata_pinned(self, golden_refresh):
+        _, result = golden_refresh
+        assert result.fitted.model_version == 1
+        assert result.report.floor_mapping_source == "matched"
+        assert result.report.num_new_records == len(GOLDEN_REFRESH_SOURCES)
+        assert result.report.num_new_macs == 0
 
 
 if __name__ == "__main__":  # pragma: no cover - golden regeneration helper

@@ -1,0 +1,744 @@
+"""Tests for the incremental-refresh subsystem.
+
+Covers the full stack the refresh path threads through: warm-start
+initialisation on the GNN model/trainer, seeded k-means, the
+``FittedFisOne.refresh`` machinery (graph growth, label-stable floor
+matching, version/lineage bookkeeping), the drift monitor and refresh
+policy of the serving layer, the fleet-wide refresh sweep, and the
+AP-churn / RSS-drift scenario generator feeding all of it.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.clustering.assignments import ClusterAssignment
+from repro.clustering.kmeans import KMeans
+from repro.core import FisOne, FisOneConfig
+from repro.core.refresh import default_fine_tune_epochs
+from repro.gnn.model import RFGNN, RFGNNConfig, RFGNNInitParams
+from repro.gnn.trainer import RFGNNTrainer
+from repro.graph.csr import CSRGraph
+from repro.indexing.similarity import (
+    cluster_mac_frequencies,
+    cluster_mac_profile_from_graph,
+)
+from repro.serving import (
+    BuildingRegistry,
+    DriftMonitor,
+    DriftThresholds,
+    FleetServer,
+    OnlineFloorLabeler,
+    RefreshPolicy,
+    load_artifacts,
+    save_artifacts,
+)
+from repro.serving.artifacts import MANIFEST_FILENAME
+from repro.serving.results import OnlineLabel
+from repro.signals.record import SignalRecord
+from repro.simulate import (
+    BuildingConfig,
+    DriftScenarioConfig,
+    generate_drift_scenario,
+)
+from repro.simulate.collector import CollectionConfig
+from repro.simulate.drift import POST_DRIFT_RECORD_PREFIX
+
+#: Small-but-meaningful configuration shared by the refresh fixtures.
+REFRESH_CONFIG = FisOneConfig(
+    gnn=RFGNNConfig(embedding_dim=16, neighbor_sample_sizes=(10, 5)),
+    num_epochs=3,
+    max_pairs_per_epoch=15_000,
+    inference_passes=2,
+    inference_sample_sizes=(30, 15),
+    seed=0,
+)
+
+
+@pytest.fixture(scope="module")
+def drift_world():
+    """A drift scenario plus a model fitted on its pre-drift survey."""
+    scenario = generate_drift_scenario(
+        DriftScenarioConfig(
+            building=BuildingConfig(
+                num_floors=3,
+                aps_per_floor=10,
+                width_m=70.0,
+                depth_m=45.0,
+                collection=CollectionConfig(
+                    samples_per_floor=30,
+                    scans_per_contributor=10,
+                    sensitivity_dbm=-90.0,
+                ),
+                building_id="drift-test",
+            ),
+            churn_fraction=0.3,
+            rss_shift_db=2.0,
+            post_samples_per_floor=15,
+        ),
+        seed=1,
+    )
+    initial = scenario.initial
+    anchor = initial.pick_labeled_sample(floor=0)
+    observed = initial.strip_labels(keep_record_ids=[anchor.record_id])
+    fitted = FisOne(REFRESH_CONFIG).fit(observed, anchor.record_id)
+    return scenario, observed, fitted
+
+
+@pytest.fixture(scope="module")
+def refreshed(drift_world):
+    """The fitted model refreshed with the unlabeled post-drift wave."""
+    scenario, _, fitted = drift_world
+    new_records = [record.without_floor() for record in scenario.drifted]
+    return fitted.refresh(new_records)
+
+
+class TestWarmStartInit:
+    def _graph(self, dataset) -> CSRGraph:
+        return CSRGraph.from_dataset(dataset)
+
+    def test_init_params_replace_random_init(self, tiny_dataset):
+        graph = self._graph(tiny_dataset)
+        config = RFGNNConfig(embedding_dim=8, neighbor_sample_sizes=(4, 2))
+        warm_weights = [
+            np.full((16, 8), 0.5),
+            np.full((16, 8), -0.25),
+        ]
+        warm_features = np.ones((graph.num_nodes, 8))
+        model = RFGNN(
+            graph,
+            config,
+            seed=0,
+            init_params=RFGNNInitParams(
+                weights=warm_weights, node_features=warm_features
+            ),
+        )
+        for hop in range(2):
+            assert np.array_equal(model.weights[hop], warm_weights[hop])
+        assert np.array_equal(model.node_features, warm_features)
+
+    def test_init_params_are_copied_not_aliased(self, tiny_dataset):
+        graph = self._graph(tiny_dataset)
+        config = RFGNNConfig(embedding_dim=8, neighbor_sample_sizes=(4, 2))
+        warm = [np.zeros((16, 8)), np.zeros((16, 8))]
+        model = RFGNN(
+            graph, config, seed=0, init_params=RFGNNInitParams(weights=warm)
+        )
+        warm[0][0, 0] = 99.0
+        assert model.weights[0][0, 0] == 0.0
+
+    def test_mismatched_weight_shapes_rejected(self, tiny_dataset):
+        graph = self._graph(tiny_dataset)
+        config = RFGNNConfig(embedding_dim=8, neighbor_sample_sizes=(4, 2))
+        with pytest.raises(ValueError, match="shape"):
+            RFGNN(
+                graph,
+                config,
+                init_params=RFGNNInitParams(weights=[np.zeros((3, 3))] * 2),
+            )
+        with pytest.raises(ValueError, match="matrices"):
+            RFGNN(
+                graph,
+                config,
+                init_params=RFGNNInitParams(weights=[np.zeros((16, 8))]),
+            )
+        with pytest.raises(ValueError, match="node_features"):
+            RFGNN(
+                graph,
+                config,
+                init_params=RFGNNInitParams(node_features=np.zeros((2, 8))),
+            )
+
+    def test_trainer_passes_init_params_through(self, tiny_dataset):
+        graph = self._graph(tiny_dataset)
+        config = RFGNNConfig(embedding_dim=8, neighbor_sample_sizes=(4, 2))
+        warm_weights = [np.full((16, 8), 0.1), np.full((16, 8), 0.2)]
+        trainer = RFGNNTrainer(
+            graph,
+            config,
+            num_epochs=1,
+            init_params=RFGNNInitParams(weights=warm_weights),
+        )
+        assert np.array_equal(trainer.model.weights[0], warm_weights[0])
+
+
+class TestSeededKMeans:
+    def test_seeded_run_is_deterministic_and_label_aligned(self):
+        rng = np.random.default_rng(0)
+        blob_a = rng.normal(0.0, 0.1, size=(30, 4)) + np.array([1.0, 0, 0, 0])
+        blob_b = rng.normal(0.0, 0.1, size=(30, 4)) + np.array([0, 1.0, 0, 0])
+        points = np.vstack([blob_a, blob_b])
+        # Seed centroid 0 on blob B and centroid 1 on blob A: the seeded run
+        # must keep those identities instead of renumbering by chance.
+        seeds = np.array([[0.0, 1.0, 0.0, 0.0], [1.0, 0.0, 0.0, 0.0]])
+        labels = KMeans(2, seed=3).fit_predict(points, initial_centroids=seeds)
+        assert np.all(labels[:30] == 1)
+        assert np.all(labels[30:] == 0)
+        again = KMeans(2, seed=99).fit_predict(points, initial_centroids=seeds)
+        assert np.array_equal(labels, again)
+
+    def test_seed_shape_validated(self):
+        points = np.random.default_rng(0).normal(size=(10, 3))
+        with pytest.raises(ValueError, match="initial_centroids"):
+            KMeans(2).fit_predict(points, initial_centroids=np.zeros((2, 5)))
+        with pytest.raises(ValueError, match="initial_centroids"):
+            KMeans(2).fit_predict(points, initial_centroids=np.zeros((3, 3)))
+
+
+class TestGraphOnlyMacProfile:
+    def test_matches_dataset_based_profile(self, small_building_dataset):
+        graph = CSRGraph.from_dataset(small_building_dataset)
+        labels = np.array(
+            [record.floor for record in small_building_dataset], dtype=np.int64
+        )
+        assignment = ClusterAssignment(labels=labels, num_clusters=3)
+        from_dataset = cluster_mac_frequencies(small_building_dataset, assignment)
+        from_graph = cluster_mac_profile_from_graph(graph, assignment)
+        assert from_dataset.macs == from_graph.macs
+        assert np.array_equal(from_dataset.frequencies, from_graph.frequencies)
+
+    def test_size_mismatch_rejected(self, small_building_dataset):
+        graph = CSRGraph.from_dataset(small_building_dataset)
+        assignment = ClusterAssignment(labels=np.zeros(3, dtype=np.int64), num_clusters=2)
+        with pytest.raises(ValueError, match="sample nodes"):
+            cluster_mac_profile_from_graph(graph, assignment)
+
+
+class TestRefreshFitted:
+    def test_refresh_grows_and_bumps_version(self, drift_world, refreshed):
+        scenario, _, fitted = drift_world
+        result = refreshed
+        assert result.fitted.model_version == fitted.model_version + 1
+        assert len(result.fitted.lineage) == 1
+        assert result.report.num_new_records == len(scenario.drifted)
+        assert result.report.num_skipped == 0
+        assert result.report.num_new_macs == len(scenario.introduced_macs)
+        assert result.fitted.record_ids[: len(fitted.record_ids)] == fitted.record_ids
+        assert len(result.fitted.record_ids) == len(fitted.record_ids) + len(
+            scenario.drifted
+        )
+
+    def test_refresh_keeps_old_labels_stable(self, drift_world, refreshed):
+        _, _, fitted = drift_world
+        num_old = len(fitted.record_ids)
+        stable = np.mean(
+            refreshed.fitted.result.floor_labels[:num_old] == fitted.floor_labels
+        )
+        assert stable >= 0.95
+        assert refreshed.report.label_stability == pytest.approx(float(stable))
+
+    def test_refreshed_model_learned_the_new_macs(self, drift_world, refreshed):
+        scenario, _, fitted = drift_world
+        for mac in scenario.introduced_macs:
+            assert not fitted.encoder.knows_mac(mac)
+            assert refreshed.fitted.encoder.knows_mac(mac)
+
+    def test_refreshed_accuracy_on_drifted_wave(self, drift_world, refreshed):
+        scenario, _, fitted = drift_world
+        truth = np.array(scenario.drifted.ground_truth)
+        num_old = len(fitted.record_ids)
+        accuracy = np.mean(
+            refreshed.fitted.result.floor_labels[num_old:] == truth
+        )
+        assert accuracy >= 0.8
+
+    def test_duplicate_records_skipped(self, drift_world):
+        scenario, observed, fitted = drift_world
+        duplicates = [observed[0], observed[1], observed[1]]
+        fresh = [record.without_floor() for record in list(scenario.drifted)[:3]]
+        result = fitted.refresh(duplicates + fresh + fresh[:1])
+        assert result.report.num_new_records == 3
+        assert result.report.num_skipped == 4
+
+    def test_refresh_without_graph_rejected(self, drift_world):
+        import dataclasses
+
+        from repro.core import RefreshUnavailableError
+
+        _, _, fitted = drift_world
+        slim = dataclasses.replace(fitted, graph=None)
+        # The concrete type lets fleet sweeps skip unrefreshable models; it
+        # stays a ValueError for pre-existing callers.
+        with pytest.raises(RefreshUnavailableError, match="no training graph"):
+            slim.refresh([])
+
+    def test_fine_tune_epoch_budget(self, drift_world, refreshed):
+        _, _, fitted = drift_world
+        expected = default_fine_tune_epochs(fitted.config.num_epochs)
+        assert refreshed.report.fine_tune_epochs == expected
+        assert refreshed.fitted.result.training_history.num_epochs == expected
+
+    def test_refresh_after_artifact_round_trip(self, drift_world, tmp_path):
+        # The deployment path: persist, reload, then refresh the loaded
+        # model — the persisted graph makes it possible without the dataset.
+        scenario, _, fitted = drift_world
+        loaded = load_artifacts(save_artifacts(fitted, tmp_path / "b"))
+        fresh = [record.without_floor() for record in list(scenario.drifted)[:10]]
+        result = loaded.refresh(fresh)
+        assert result.fitted.model_version == 1
+        assert result.report.num_new_records == 10
+        floors, _, known = result.fitted.online_floors(fresh)
+        assert np.all((0 <= floors) & (floors < 3))
+
+    def test_refreshed_artifact_round_trips_with_lineage(
+        self, refreshed, tmp_path
+    ):
+        path = save_artifacts(refreshed.fitted, tmp_path / "refreshed")
+        manifest = json.loads((path / MANIFEST_FILENAME).read_text())
+        assert manifest["model_version"] == 1
+        assert len(manifest["lineage"]) == 1
+        loaded = load_artifacts(path)
+        assert loaded.model_version == 1
+        assert loaded.lineage == refreshed.fitted.lineage
+        assert np.array_equal(
+            loaded.result.floor_labels, refreshed.fitted.result.floor_labels
+        )
+
+    def test_chained_refreshes_accumulate_lineage(self, drift_world, refreshed):
+        scenario, _, _ = drift_world
+        wave = [
+            SignalRecord(f"wave2-{i}", dict(record.readings))
+            for i, record in enumerate(list(scenario.drifted)[:5])
+        ]
+        second = refreshed.fitted.refresh(wave, fine_tune_epochs=1)
+        assert second.fitted.model_version == 2
+        assert len(second.fitted.lineage) == 2
+        assert second.fitted.lineage[0] == refreshed.fitted.lineage[0]
+
+
+class TestDriftMonitor:
+    @staticmethod
+    def label(confidence: float, known: float, index: int = 0) -> OnlineLabel:
+        return OnlineLabel(
+            record_id=f"r{index}",
+            floor=0,
+            confidence=confidence,
+            known_mac_fraction=known,
+        )
+
+    def test_empty_monitor_is_not_drifted(self):
+        monitor = DriftMonitor(window=8)
+        snapshot = monitor.snapshot(DriftThresholds(min_records=1))
+        assert snapshot.num_records == 0
+        assert not snapshot.drifted
+        assert snapshot.reasons == ()
+
+    def test_rolling_window_evicts_old_labels(self):
+        monitor = DriftMonitor(window=4)
+        monitor.observe([self.label(0.1, 0.0, i) for i in range(4)])
+        monitor.observe([self.label(0.9, 1.0, i + 4) for i in range(4)])
+        snapshot = monitor.snapshot()
+        assert snapshot.num_records == 4
+        assert snapshot.mean_known_mac_fraction == 1.0
+        assert snapshot.blind_fraction == 0.0
+        assert monitor.num_observed == 8
+
+    def test_unknown_mac_breach_reported(self):
+        monitor = DriftMonitor(window=16)
+        monitor.observe([self.label(0.9, 0.5, i) for i in range(10)])
+        thresholds = DriftThresholds(
+            min_records=5, max_unknown_mac_fraction=0.3, min_mean_confidence=0.0
+        )
+        snapshot = monitor.snapshot(thresholds)
+        assert snapshot.drifted
+        assert any("unknown-MAC" in reason for reason in snapshot.reasons)
+
+    def test_low_confidence_breach_reported(self):
+        monitor = DriftMonitor(window=16)
+        monitor.observe([self.label(0.2, 1.0, i) for i in range(10)])
+        thresholds = DriftThresholds(min_records=5, min_mean_confidence=0.5)
+        assert monitor.is_drifted(thresholds)
+
+    def test_blind_fraction_breach_reported(self):
+        monitor = DriftMonitor(window=16)
+        labels = [self.label(0.9, 1.0, i) for i in range(8)]
+        labels += [self.label(0.0, 0.0, 8 + i) for i in range(2)]
+        monitor.observe(labels)
+        thresholds = DriftThresholds(
+            min_records=5,
+            max_unknown_mac_fraction=1.0,
+            max_blind_fraction=0.1,
+            min_mean_confidence=0.0,
+        )
+        snapshot = monitor.snapshot(thresholds)
+        assert snapshot.drifted
+        assert any("blind" in reason for reason in snapshot.reasons)
+
+    def test_small_windows_never_drift(self):
+        monitor = DriftMonitor(window=16)
+        monitor.observe([self.label(0.0, 0.0, i) for i in range(3)])
+        assert not monitor.is_drifted(DriftThresholds(min_records=50))
+
+    def test_reset_clears_window(self):
+        monitor = DriftMonitor(window=8)
+        monitor.observe([self.label(0.1, 0.1, i) for i in range(5)])
+        monitor.reset()
+        assert len(monitor) == 0
+        assert not monitor.is_drifted(DriftThresholds(min_records=1))
+
+    def test_histogram_counts_all_records(self):
+        monitor = DriftMonitor(window=16)
+        monitor.observe(
+            [self.label(c, 1.0, i) for i, c in enumerate([0.05, 0.55, 0.95, 1.0])]
+        )
+        snapshot = monitor.snapshot()
+        assert sum(snapshot.confidence_histogram) == 4
+        assert snapshot.confidence_histogram[0] == 1
+        assert snapshot.confidence_histogram[5] == 1
+        assert snapshot.confidence_histogram[9] == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriftMonitor(window=0)
+        with pytest.raises(ValueError):
+            DriftThresholds(min_records=0)
+        with pytest.raises(ValueError):
+            DriftThresholds(max_blind_fraction=1.5)
+        with pytest.raises(ValueError):
+            RefreshPolicy(min_new_records=0)
+        with pytest.raises(ValueError):
+            RefreshPolicy(fine_tune_epochs=0)
+
+
+@pytest.fixture(scope="module")
+def served_drift(drift_world, tmp_path_factory):
+    """A registry serving the drift building, with drifted traffic labeled."""
+    scenario, observed, fitted = drift_world
+    store = tmp_path_factory.mktemp("refresh-store")
+    policy = RefreshPolicy(
+        thresholds=DriftThresholds(
+            min_records=20, max_unknown_mac_fraction=0.15, min_mean_confidence=0.0
+        ),
+        min_new_records=20,
+        fine_tune_epochs=1,
+    )
+    registry = BuildingRegistry(
+        store_dir=store, capacity=4, config=REFRESH_CONFIG, refresh_policy=policy
+    )
+    registry.add_fitted("drifty", fitted)
+    new_records = [record.without_floor() for record in scenario.drifted]
+    registry.label("drifty", new_records)
+    return scenario, registry, store
+
+
+class TestRegistryRefresh:
+    def test_label_traffic_feeds_monitor_and_buffer(self, served_drift):
+        scenario, registry, _ = served_drift
+        snapshot = registry.drift_snapshot("drifty")
+        assert snapshot.num_records == len(scenario.drifted)
+        assert snapshot.mean_known_mac_fraction < 1.0
+        assert registry.buffered_record_count("drifty") == len(scenario.drifted)
+
+    def test_refresh_if_drifted_runs_and_writes_through(self, served_drift):
+        scenario, registry, store = served_drift
+        assert registry.drift_snapshot("drifty").drifted
+        report = registry.refresh_if_drifted("drifty")
+        assert report is not None
+        assert report.num_new_records == len(scenario.drifted)
+        assert registry.stats.refreshes == 1
+        # The refreshed generation replaced the cached model...
+        refreshed = registry.get("drifty")
+        assert refreshed.model_version == 1
+        # ... was written through with the bumped manifest ...
+        manifest = json.loads((store / "drifty" / MANIFEST_FILENAME).read_text())
+        assert manifest["model_version"] == 1
+        assert manifest["lineage"]
+        # ... and monitor + buffer restarted for the new generation.
+        assert registry.drift_snapshot("drifty").num_records == 0
+        assert registry.buffered_record_count("drifty") == 0
+        # A second sweep finds nothing to do.
+        assert registry.refresh_if_drifted("drifty") is None
+
+    def test_training_records_are_not_buffered(self, drift_world):
+        _, observed, fitted = drift_world
+        registry = BuildingRegistry(capacity=2, config=REFRESH_CONFIG)
+        registry.add_fitted("b", fitted)
+        registry.label("b", list(observed)[:5])
+        assert registry.buffered_record_count("b") == 0
+
+    def test_not_drifted_building_is_left_alone(self, drift_world):
+        _, observed, fitted = drift_world
+        registry = BuildingRegistry(capacity=2, config=REFRESH_CONFIG)
+        registry.add_fitted("b", fitted)
+        registry.label("b", [list(observed)[0].without_floor()])
+        assert registry.refresh_if_drifted("b") is None
+        assert registry.stats.refreshes == 0
+
+    def test_buffer_is_bounded(self, drift_world):
+        scenario, _, fitted = drift_world
+        policy = RefreshPolicy(buffer_size=8)
+        registry = BuildingRegistry(
+            capacity=2, config=REFRESH_CONFIG, refresh_policy=policy
+        )
+        registry.add_fitted("b", fitted)
+        registry.label(
+            "b", [record.without_floor() for record in scenario.drifted]
+        )
+        assert registry.buffered_record_count("b") == 8
+
+    def test_explicit_refresh_with_given_records(self, drift_world):
+        scenario, _, fitted = drift_world
+        registry = BuildingRegistry(capacity=2, config=REFRESH_CONFIG)
+        registry.add_fitted("b", fitted)
+        wave = [record.without_floor() for record in list(scenario.drifted)[:10]]
+        report = registry.refresh("b", records=wave, fine_tune_epochs=1)
+        assert report.num_new_records == 10
+        assert registry.get("b").model_version == 1
+
+    def test_explicit_refresh_leaves_unconsumed_buffer_alone(self, drift_world):
+        # A refresh over an explicit wave must not discard buffered records
+        # it never trained on — they are the next refresh's material.
+        scenario, _, fitted = drift_world
+        registry = BuildingRegistry(capacity=2, config=REFRESH_CONFIG)
+        registry.add_fitted("b", fitted)
+        buffered = [record.without_floor() for record in list(scenario.drifted)[:12]]
+        registry.label("b", buffered)
+        assert registry.buffered_record_count("b") == 12
+        explicit = buffered[:4]
+        registry.refresh("b", records=explicit, fine_tune_epochs=1)
+        assert registry.buffered_record_count("b") == 8
+
+    def test_refresh_rematerializes_when_evicted_before_lock(
+        self, drift_world, tmp_path
+    ):
+        # If the model is evicted between refresh()'s warm-up get() and the
+        # building lock, the refresh must re-materialize (here: reload the
+        # stored artifact) instead of refreshing a stale snapshot.
+        scenario, _, fitted = drift_world
+
+        class EvictingRegistry(BuildingRegistry):
+            def get(self, building_id):
+                warmed = super().get(building_id)
+                with self._lock:  # simulate an LRU eviction racing the lock
+                    self._cache.pop(building_id, None)
+                return warmed
+
+        registry = EvictingRegistry(
+            store_dir=tmp_path / "store", capacity=1, config=REFRESH_CONFIG
+        )
+        registry.add_fitted("a", fitted)
+        wave = [record.without_floor() for record in list(scenario.drifted)[:5]]
+        loads_before = registry.stats.loads
+        report = registry.refresh("a", records=wave, fine_tune_epochs=1)
+        assert report.num_new_records == 5
+        assert registry.stats.loads == loads_before + 1
+        assert registry.get("a").model_version == 1
+
+    def test_concurrent_refreshes_chain_instead_of_racing(self, drift_world):
+        # Two overlapping refreshes must serialize on the building lock and
+        # chain v0 -> v1 -> v2; neither may refresh the same stale parent
+        # (the lost-update race).
+        import threading
+
+        scenario, _, fitted = drift_world
+        registry = BuildingRegistry(capacity=2, config=REFRESH_CONFIG)
+        registry.add_fitted("b", fitted)
+        waves = [
+            [
+                SignalRecord(f"wave{w}-{i}", dict(record.readings))
+                for i, record in enumerate(list(scenario.drifted)[:6])
+            ]
+            for w in range(2)
+        ]
+        errors = []
+
+        def run(wave):
+            try:
+                registry.refresh("b", records=wave, fine_tune_epochs=1)
+            except Exception as error:  # pragma: no cover - diagnostic path
+                errors.append(error)
+
+        threads = [threading.Thread(target=run, args=(wave,)) for wave in waves]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        final = registry.get("b")
+        assert final.model_version == 2
+        assert len(final.lineage) == 2
+        assert registry.stats.refreshes == 2
+        # Both waves' records made it into the final generation.
+        for wave in waves:
+            for record in wave:
+                assert final.knows_record(record.record_id)
+
+
+class TestFleetRefresh:
+    def test_refresh_drifted_sweeps_only_drifted_buildings(
+        self, drift_world, tmp_path
+    ):
+        scenario, observed, fitted = drift_world
+        policy = RefreshPolicy(
+            thresholds=DriftThresholds(
+                min_records=20,
+                max_unknown_mac_fraction=0.15,
+                min_mean_confidence=0.0,
+            ),
+            min_new_records=20,
+            fine_tune_epochs=1,
+        )
+        registry = BuildingRegistry(
+            store_dir=tmp_path / "store",
+            capacity=4,
+            config=REFRESH_CONFIG,
+            refresh_policy=policy,
+        )
+        registry.add_fitted("drifty", fitted)
+        quiet = FisOne(REFRESH_CONFIG).fit(
+            observed, observed.labeled_records[0].record_id
+        )
+        registry.add_fitted("quiet", quiet)
+
+        registry.label(
+            "drifty", [record.without_floor() for record in scenario.drifted]
+        )
+        registry.label("quiet", [list(observed)[0].without_floor()])
+
+        server = FleetServer(registry)
+        reports = server.refresh_drifted()
+        assert set(reports) == {"drifty"}
+        assert registry.get("drifty").model_version == 1
+        assert registry.get("quiet").model_version == 0
+        # Second sweep is a no-op: the refreshed monitor starts clean.
+        assert server.refresh_drifted() == {}
+
+    def test_sweep_skips_models_that_cannot_warm_start(self, drift_world):
+        # A drifted building whose model carries no graph is skipped (it can
+        # only be refit), not crashed on — but only that specific failure is
+        # swallowed.
+        import dataclasses
+
+        scenario, _, fitted = drift_world
+        slim = dataclasses.replace(fitted, graph=None)
+        policy = RefreshPolicy(
+            thresholds=DriftThresholds(
+                min_records=10,
+                max_unknown_mac_fraction=0.15,
+                min_mean_confidence=0.0,
+            ),
+            min_new_records=10,
+        )
+        registry = BuildingRegistry(
+            capacity=2, config=REFRESH_CONFIG, refresh_policy=policy
+        )
+        registry.add_fitted("slim", slim)
+        registry.label(
+            "slim", [record.without_floor() for record in scenario.drifted]
+        )
+        assert registry.drift_snapshot("slim").drifted
+        assert FleetServer(registry).refresh_drifted() == {}
+        assert registry.get("slim").model_version == 0
+
+
+class TestDriftScenario:
+    def test_scenario_shape_and_determinism(self):
+        config = DriftScenarioConfig(
+            building=BuildingConfig(
+                num_floors=3,
+                aps_per_floor=6,
+                collection=CollectionConfig(
+                    samples_per_floor=10, scans_per_contributor=5
+                ),
+            ),
+            churn_fraction=0.5,
+            rss_shift_db=3.0,
+            post_samples_per_floor=5,
+        )
+        one = generate_drift_scenario(config, seed=4)
+        two = generate_drift_scenario(config, seed=4)
+        assert len(one.initial) == 30
+        assert len(one.drifted) == 15
+        assert one.replaced_macs == two.replaced_macs
+        assert one.introduced_macs == two.introduced_macs
+        assert [r.record_id for r in one.drifted] == [
+            r.record_id for r in two.drifted
+        ]
+        assert len(one.replaced_macs) == round(18 * 0.5)
+        assert len(one.introduced_macs) == len(one.replaced_macs)
+
+    def test_churned_macs_partition_correctly(self):
+        config = DriftScenarioConfig(
+            building=BuildingConfig(
+                num_floors=2,
+                aps_per_floor=8,
+                collection=CollectionConfig(
+                    samples_per_floor=10, scans_per_contributor=5
+                ),
+            ),
+            churn_fraction=0.25,
+        )
+        scenario = generate_drift_scenario(config, seed=9)
+        initial_macs = scenario.initial.macs
+        drifted_macs = scenario.drifted.macs
+        # Replaced hardware is gone from the post wave, its successors were
+        # never in the initial survey.
+        assert not (scenario.replaced_macs & drifted_macs)
+        assert not (scenario.introduced_macs & initial_macs)
+        assert not (scenario.replaced_macs & scenario.introduced_macs)
+
+    def test_post_records_carry_prefix_and_merge_cleanly(self):
+        config = DriftScenarioConfig(
+            building=BuildingConfig(
+                num_floors=2,
+                aps_per_floor=6,
+                collection=CollectionConfig(
+                    samples_per_floor=8, scans_per_contributor=4
+                ),
+            ),
+        )
+        scenario = generate_drift_scenario(config, seed=2)
+        assert all(
+            record.record_id.startswith(POST_DRIFT_RECORD_PREFIX)
+            for record in scenario.drifted
+        )
+        merged = scenario.initial.merge(scenario.drifted)
+        assert len(merged) == len(scenario.initial) + len(scenario.drifted)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DriftScenarioConfig(churn_fraction=1.5)
+        with pytest.raises(ValueError):
+            DriftScenarioConfig(post_samples_per_floor=0)
+
+
+class TestOnlineEdgeCases:
+    """Regression tests: degenerate batches must degrade, not crash."""
+
+    def test_empty_batch_returns_empty(self, drift_world):
+        _, _, fitted = drift_world
+        floors, confidences, known = fitted.online_floors([])
+        assert floors.shape == (0,)
+        assert confidences.shape == (0,)
+        assert known.shape == (0,)
+        assert OnlineFloorLabeler(fitted).label([]) == []
+
+    def test_all_unknown_batch_gets_zero_confidence_guesses(self, drift_world):
+        _, _, fitted = drift_world
+        records = [
+            SignalRecord(f"alien-{i}", {f"ff:ff:ff:00:00:{i:02x}": -60.0})
+            for i in range(4)
+        ]
+        labels = OnlineFloorLabeler(fitted).label(records)
+        assert len(labels) == 4
+        for label in labels:
+            assert 0 <= label.floor < fitted.num_floors
+            assert label.confidence == 0.0
+            assert label.known_mac_fraction == 0.0
+        # All guesses point at the same (largest) cluster's floor.
+        assert len({label.floor for label in labels}) == 1
+
+    def test_empty_batch_with_monitor_observes_nothing(self, drift_world):
+        _, _, fitted = drift_world
+        monitor = DriftMonitor(window=8)
+        assert OnlineFloorLabeler(fitted, monitor=monitor).label([]) == []
+        assert len(monitor) == 0
+
+    def test_registry_label_empty_batch(self, drift_world):
+        _, _, fitted = drift_world
+        registry = BuildingRegistry(capacity=2, config=REFRESH_CONFIG)
+        registry.add_fitted("b", fitted)
+        assert registry.label("b", []) == []

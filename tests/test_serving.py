@@ -321,6 +321,83 @@ class TestArtifacts:
         payload = config_to_dict(SERVING_CONFIG)
         assert config_from_dict(json.loads(json.dumps(payload))) == SERVING_CONFIG
 
+    @staticmethod
+    def _manifest_modulo_token(path):
+        manifest = json.loads((path / MANIFEST_FILENAME).read_text())
+        manifest.pop("save_token")
+        return manifest
+
+    @staticmethod
+    def _arrays_modulo_token(path):
+        with np.load(path / "arrays.npz") as stored:
+            return {
+                name: stored[name]
+                for name in stored.files
+                if name != "save_token"
+            }
+
+    @pytest.mark.parametrize("include_graph", [True, False])
+    def test_save_load_save_is_idempotent(
+        self, fitted_model, tmp_path, include_graph
+    ):
+        # save -> load -> save must reproduce the manifest verbatim (modulo
+        # the per-save token) and every array bit for bit: nothing may be
+        # lost or perturbed by a round trip through disk.
+        _, _, fitted = fitted_model
+        first = save_artifacts(
+            fitted, tmp_path / "first", include_graph=include_graph
+        )
+        loaded = load_artifacts(first)
+        second = save_artifacts(
+            loaded, tmp_path / "second", include_graph=include_graph
+        )
+        assert self._manifest_modulo_token(first) == self._manifest_modulo_token(
+            second
+        )
+        arrays_first = self._arrays_modulo_token(first)
+        arrays_second = self._arrays_modulo_token(second)
+        assert set(arrays_first) == set(arrays_second)
+        if include_graph:
+            assert "graph_indptr" in arrays_first
+        else:
+            assert not any(name.startswith("graph_") for name in arrays_first)
+        for name, array in arrays_first.items():
+            other = arrays_second[name]
+            assert array.dtype == other.dtype, name
+            assert array.shape == other.shape, name
+            assert array.tobytes() == other.tobytes(), name
+
+    def test_truncated_arrays_raise_artifact_error(self, fitted_model, tmp_path):
+        # A partially copied arrays.npz must fail as a clear ArtifactError,
+        # not a BadZipFile/OSError stack from numpy internals.
+        _, _, fitted = fitted_model
+        path = save_artifacts(fitted, tmp_path / "building")
+        arrays_path = path / "arrays.npz"
+        payload = arrays_path.read_bytes()
+        arrays_path.write_bytes(payload[: len(payload) // 2])
+        with pytest.raises(ArtifactError, match="unreadable arrays"):
+            load_artifacts(path)
+
+    def test_corrupted_manifest_raises_artifact_error(
+        self, fitted_model, tmp_path
+    ):
+        _, _, fitted = fitted_model
+        path = save_artifacts(fitted, tmp_path / "building")
+        (path / MANIFEST_FILENAME).write_text("{not valid json", encoding="utf-8")
+        with pytest.raises(ArtifactError, match="unreadable manifest"):
+            load_artifacts(path)
+
+    def test_truncated_manifest_raises_artifact_error(
+        self, fitted_model, tmp_path
+    ):
+        _, _, fitted = fitted_model
+        path = save_artifacts(fitted, tmp_path / "building")
+        manifest_path = path / MANIFEST_FILENAME
+        text = manifest_path.read_text()
+        manifest_path.write_text(text[: len(text) // 2])
+        with pytest.raises(ArtifactError, match="unreadable manifest"):
+            load_artifacts(path)
+
 
 class TestBuildingRegistry:
     def test_lazy_fit_and_cache_hits(self):

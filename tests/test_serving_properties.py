@@ -1,0 +1,150 @@
+"""Property-based tests (hypothesis) for the online serving path.
+
+The online path is deterministic — a frozen encoder, a centroid matmul, a
+softmax — so strong exact properties must hold for *any* record batch, not
+just the handful of examples the unit tests pin:
+
+* ``label_one(r)`` equals ``label([r])[0]`` exactly;
+* labeling is batch-order equivariant: permuting the batch permutes the
+  labels and changes nothing else;
+* every confidence lies in ``[0, 1]``, and a record with no known MAC gets
+  exactly 0.0;
+* ``known_mac_fraction`` equals a hand-computed count of vocabulary hits.
+
+Records are generated from a mixed MAC pool (training vocabulary plus
+never-seen MACs) with arbitrary valid RSS values, under hypothesis'
+default profile.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FisOne, FisOneConfig
+from repro.gnn.model import RFGNNConfig
+from repro.serving import OnlineFloorLabeler
+from repro.signals.record import SignalRecord
+from repro.simulate.collector import CollectionConfig
+from repro.simulate.generators import BuildingConfig, generate_building_dataset
+
+#: Fast configuration for the single fitted model the whole module shares.
+PROPERTY_CONFIG = FisOneConfig(
+    gnn=RFGNNConfig(embedding_dim=8, neighbor_sample_sizes=(8, 4)),
+    num_epochs=2,
+    max_pairs_per_epoch=6_000,
+    inference_passes=1,
+    inference_sample_sizes=(12, 6),
+    seed=0,
+)
+
+#: MACs guaranteed never to collide with the simulator's vocabulary (the
+#: simulator always sets the locally-administered bit pattern ``x2`` etc.;
+#: these use an impossible first octet text form).
+UNKNOWN_MACS = [f"zz:zz:zz:00:00:{i:02x}" for i in range(8)]
+
+
+@pytest.fixture(scope="module")
+def labeler() -> OnlineFloorLabeler:
+    dataset = generate_building_dataset(
+        BuildingConfig(
+            num_floors=3,
+            aps_per_floor=8,
+            width_m=60.0,
+            depth_m=40.0,
+            collection=CollectionConfig(
+                samples_per_floor=15,
+                scans_per_contributor=8,
+                sensitivity_dbm=-90.0,
+            ),
+            building_id="property",
+        ),
+        seed=13,
+    )
+    anchor = dataset.pick_labeled_sample(floor=0)
+    observed = dataset.strip_labels(keep_record_ids=[anchor.record_id])
+    fitted = FisOne(PROPERTY_CONFIG).fit(observed, anchor.record_id)
+    return OnlineFloorLabeler(fitted)
+
+
+def _mac_pool(labeler: OnlineFloorLabeler) -> list:
+    return list(labeler.fitted.encoder.mac_vocabulary[:16]) + UNKNOWN_MACS
+
+
+@st.composite
+def readings_strategy(draw, macs):
+    """A non-empty readings dict over the mixed known/unknown MAC pool."""
+    chosen = draw(
+        st.lists(st.sampled_from(macs), min_size=1, max_size=6, unique=True)
+    )
+    return {
+        mac: draw(
+            st.floats(min_value=-119.9, max_value=-1.0, allow_nan=False)
+        )
+        for mac in chosen
+    }
+
+
+@st.composite
+def batch_strategy(draw, macs, max_size=8):
+    """A batch of records with unique ids over the mixed MAC pool."""
+    all_readings = draw(
+        st.lists(readings_strategy(macs), min_size=1, max_size=max_size)
+    )
+    return [
+        SignalRecord(f"prop-{index}", readings)
+        for index, readings in enumerate(all_readings)
+    ]
+
+
+@settings(deadline=None)
+@given(data=st.data())
+def test_label_one_equals_singleton_batch(labeler, data):
+    readings = data.draw(readings_strategy(_mac_pool(labeler)))
+    record = SignalRecord("single", readings)
+    assert labeler.label_one(record) == labeler.label([record])[0]
+
+
+@settings(deadline=None)
+@given(data=st.data())
+def test_batch_order_equivariance(labeler, data):
+    records = data.draw(batch_strategy(_mac_pool(labeler)))
+    permutation = data.draw(st.permutations(range(len(records))))
+    straight = labeler.label(records)
+    permuted = labeler.label([records[i] for i in permutation])
+    assert permuted == [straight[i] for i in permutation]
+
+
+@settings(deadline=None)
+@given(data=st.data())
+def test_confidences_and_floors_in_range(labeler, data):
+    records = data.draw(batch_strategy(_mac_pool(labeler)))
+    labels = labeler.label(records)
+    assert len(labels) == len(records)
+    for label in labels:
+        assert 0.0 <= label.confidence <= 1.0
+        assert 0 <= label.floor < labeler.num_floors
+        if label.known_mac_fraction == 0.0:
+            assert label.confidence == 0.0
+
+
+@settings(deadline=None)
+@given(data=st.data())
+def test_known_mac_fraction_is_exact(labeler, data):
+    records = data.draw(batch_strategy(_mac_pool(labeler)))
+    vocabulary = set(labeler.fitted.encoder.mac_vocabulary)
+    labels = labeler.label(records)
+    for record, label in zip(records, labels):
+        expected = sum(
+            1 for mac in record.readings if mac in vocabulary
+        ) / len(record.readings)
+        assert label.known_mac_fraction == pytest.approx(expected)
+        assert label.record_id == record.record_id
+
+
+@settings(deadline=None)
+@given(data=st.data())
+def test_labeling_is_deterministic(labeler, data):
+    records = data.draw(batch_strategy(_mac_pool(labeler), max_size=4))
+    assert labeler.label(records) == labeler.label(records)
