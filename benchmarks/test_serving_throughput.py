@@ -1,11 +1,14 @@
-"""S1 — serving micro-benchmark: online labeling throughput vs full refit.
+"""S1 — serving micro-benchmarks: online labeling vs refit, and batch sizing.
 
 The serving layer's pitch is that labeling a newly crowdsourced signal must
-not cost a pipeline refit.  This benchmark quantifies that: it fits one
+not cost a pipeline refit.  The first benchmark quantifies that: it fits one
 building, then labels the held-out records (a) online through the frozen
 encoder and (b) by merging them into the dataset and refitting, and asserts
-the online path is at least 10x faster per labeled record.  The measured
-numbers are written to ``BENCH_serving.json`` at the repository root.
+the online path is at least 10x faster per labeled record.  The second
+drives the FleetServer with columnar :class:`RecordBatch` traffic at a
+sweep of request batch sizes, showing how much coalesced, array-native
+requests buy over single-record submits.  All measured numbers are merged
+into ``BENCH_serving.json`` at the repository root.
 """
 
 import json
@@ -16,14 +19,31 @@ import numpy as np
 
 from common import fast_config
 from repro.core import FisOne
-from repro.serving import OnlineFloorLabeler
+from repro.serving import BuildingRegistry, FleetServer, OnlineFloorLabeler
+from repro.signals.batch import MacVocab, RecordBatch
 from repro.signals.dataset import SignalDataset
+from repro.signals.record import SignalRecord
 from repro.simulate import generate_single_building
 
 BENCH_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
 
 #: Required advantage of online labeling over refit, in records/second.
 MIN_SPEEDUP = 10.0
+
+#: Request batch sizes driven through the FleetServer sweep.
+SWEEP_BATCH_SIZES = [1, 8, 64, 256]
+
+#: Records of synthetic traffic per sweep point.
+SWEEP_RECORDS = 1536
+
+
+def _merge_bench(updates: dict) -> None:
+    """Merge ``updates`` into BENCH_serving.json, preserving other keys."""
+    payload = {}
+    if BENCH_OUTPUT.is_file():
+        payload = json.loads(BENCH_OUTPUT.read_text())
+    payload.update(updates)
+    BENCH_OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 def test_serving_online_vs_refit_throughput(benchmark):
@@ -54,15 +74,16 @@ def test_serving_online_vs_refit_throughput(benchmark):
     online_rps = len(held) / online_seconds
     refit_rps = len(held) / refit_seconds
     speedup = refit_seconds / online_seconds
-    payload = {
-        "num_held_out_records": len(held),
-        "online_records_per_second": online_rps,
-        "refit_records_per_second": refit_rps,
-        "speedup": speedup,
-        "online_accuracy": online_accuracy,
-        "refit_accuracy": refit_accuracy,
-    }
-    BENCH_OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    _merge_bench(
+        {
+            "num_held_out_records": len(held),
+            "online_records_per_second": online_rps,
+            "refit_records_per_second": refit_rps,
+            "speedup": speedup,
+            "online_accuracy": online_accuracy,
+            "refit_accuracy": refit_accuracy,
+        }
+    )
 
     print("\nServing throughput — online labeling vs full refit "
           f"({len(held)} held-out records):")
@@ -75,3 +96,59 @@ def test_serving_online_vs_refit_throughput(benchmark):
     # on the fixture building in tests/test_serving.py; here we only sanity
     # check that online labeling is in the same quality regime.
     assert online_accuracy >= refit_accuracy - 0.10
+
+
+def test_fleet_server_batch_size_sweep():
+    """Server throughput vs request batch size, with columnar batch traffic.
+
+    One fitted building, ``SWEEP_RECORDS`` records of synthetic traffic,
+    submitted as :class:`RecordBatch` requests of each sweep size.  The
+    per-size records/second go into ``BENCH_serving.json`` under
+    ``batch_size_sweep``; coalesced batches must beat single-record
+    submits.
+    """
+    labeled = generate_single_building(num_floors=3, samples_per_floor=45, seed=5)
+    train, held_labeled = labeled.holdout_split(train_per_floor=30)
+    anchor = train.pick_labeled_sample(floor=0)
+    observed = train.strip_labels(keep_record_ids=[anchor.record_id])
+    fitted = FisOne(fast_config()).fit(observed, anchor.record_id)
+    registry = BuildingRegistry(config=fast_config())
+    registry.add_fitted("building-0", fitted)
+
+    base = [record.without_floor() for record in held_labeled]
+    records = [
+        SignalRecord(f"{record.record_id}-s{i}", dict(record.readings))
+        for i in range(-(-SWEEP_RECORDS // len(base)))
+        for record in base
+    ][:SWEEP_RECORDS]
+    vocab = MacVocab()
+    # Intern the whole vocabulary up front so every sweep point sees the
+    # same steady-state (shared, fully-populated) MacVocab.
+    RecordBatch.from_records(records, vocab=vocab)
+
+    sweep = {}
+    for batch_size in SWEEP_BATCH_SIZES:
+        chunks = [
+            RecordBatch.from_records(records[start : start + batch_size], vocab=vocab)
+            for start in range(0, len(records), batch_size)
+        ]
+        with FleetServer(
+            registry, num_workers=4, max_batch_size=64, batch_window_s=0.002
+        ) as server:
+            start_time = time.perf_counter()
+            futures = [server.submit("building-0", chunk) for chunk in chunks]
+            for future in futures:
+                future.result()
+            elapsed = time.perf_counter() - start_time
+        sweep[str(batch_size)] = len(records) / elapsed
+
+    _merge_bench({"batch_size_sweep_records": len(records), "batch_size_sweep": sweep})
+
+    print(f"\nFleet server batch-size sweep ({len(records)} records):")
+    for batch_size in SWEEP_BATCH_SIZES:
+        print(f"  batch={batch_size:4d}: {sweep[str(batch_size)]:12.0f} records/s")
+
+    largest = str(SWEEP_BATCH_SIZES[-1])
+    assert sweep[largest] > sweep["1"], (
+        "coalesced columnar batches should outperform single-record submits"
+    )

@@ -9,7 +9,9 @@ buildings:
    persists every fit as a versioned artifact directory,
 3. throw the artifacts' in-memory models away and open a *fresh* registry
    on the same store — models now load from disk, no refit,
-4. drive concurrent label requests through the batching FleetServer and
+4. drive concurrent label requests through the batching FleetServer —
+   submitted as columnar :class:`~repro.signals.batch.RecordBatch` payloads
+   (one shared MacVocab per building), the array-native fast path — and
    compare online predictions with the withheld ground truth.
 
 Run it with::
@@ -24,6 +26,7 @@ import tempfile
 from repro.core import FisOneConfig
 from repro.gnn.model import RFGNNConfig
 from repro.serving import BuildingRegistry, FleetServer, LabelRequest
+from repro.signals import MacVocab, RecordBatch
 from repro.simulate import generate_single_building
 
 #: A reduced configuration so the example fits three buildings in seconds.
@@ -67,16 +70,24 @@ def main() -> None:
         #    artifact directory, nothing refits.
         serving_registry = BuildingRegistry(store_dir=store, capacity=2, config=CONFIG)
 
-        # 4. Serve the held-back signals concurrently, 5 records per request.
+        # 4. Serve the held-back signals concurrently, 5 records per request,
+        #    as columnar RecordBatch payloads.  One MacVocab per building
+        #    keeps MAC ids stable across its requests, so the server can
+        #    coalesce concurrent batches by pure array concatenation and the
+        #    frozen encoder translates them with one np.take per batch.
         requests = []
         for building_id, (_, stream) in fleet.items():
+            vocab = MacVocab()
             for start in range(0, len(stream), 5):
                 chunk = stream[start : start + 5]
                 requests.append(
                     LabelRequest(
                         request_id=f"{building_id}/req-{start // 5}",
                         building_id=building_id,
-                        records=tuple(record.without_floor() for record in chunk),
+                        records=RecordBatch.from_records(
+                            [record.without_floor() for record in chunk],
+                            vocab=vocab,
+                        ),
                     )
                 )
         with FleetServer(serving_registry, num_workers=4, batch_window_s=0.005) as server:

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -37,6 +37,7 @@ from repro.graph.csr import AnyGraph, CSRGraph
 from repro.indexing.arbitrary import ArbitraryFloorIndexer
 from repro.indexing.indexer import ClusterIndexer, IndexingResult
 from repro.indexing.similarity import cluster_mac_frequencies
+from repro.signals.batch import RecordBatch
 from repro.signals.dataset import SignalDataset
 from repro.signals.record import SignalRecord
 
@@ -159,6 +160,15 @@ class FittedFisOne:
     def _index_by_record_id(self) -> Dict[str, int]:
         return {record_id: i for i, record_id in enumerate(self.record_ids)}
 
+    @cached_property
+    def _floor_of_cluster(self) -> np.ndarray:
+        """``cluster_to_floor`` as a dense int64 lookup array."""
+        mapping = self.cluster_to_floor
+        floors = np.zeros(self.result.assignment.num_clusters, dtype=np.int64)
+        for cluster, floor in mapping.items():
+            floors[int(cluster)] = int(floor)
+        return floors
+
     def knows_record(self, record_id: str) -> bool:
         """Whether ``record_id`` was part of this model's training records."""
         return record_id in self._index_by_record_id
@@ -190,7 +200,7 @@ class FittedFisOne:
 
     def refresh(
         self,
-        new_records: Sequence[SignalRecord],
+        new_records: Union[Sequence[SignalRecord], RecordBatch],
         fine_tune_epochs: Optional[int] = None,
     ) -> "RefreshResult":  # noqa: F821 - forward ref into repro.core.refresh
         """Incrementally absorb new crowdsourced records without a full refit.
@@ -230,6 +240,32 @@ class FittedFisOne:
                 np.empty(0, dtype=np.float64),
             )
         embeddings, known_fraction = self.encoder.embed_records(records)
+        return self._floors_from_embeddings(embeddings, known_fraction)
+
+    def online_floors_batch(
+        self, batch: RecordBatch
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batch fast path of :meth:`online_floors` over a columnar batch.
+
+        Embeds through :meth:`~repro.gnn.frozen.FrozenEncoder.embed_batch`
+        (one vocabulary-table ``np.take`` per batch instead of per-reading
+        dict probes); the centroid scoring is shared with the record path,
+        so labels and confidences are bit-identical on the same inputs.
+        """
+        if len(batch) == 0:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+                np.empty(0, dtype=np.float64),
+            )
+        embeddings, known_fraction = self.encoder.embed_batch(batch)
+        return self._floors_from_embeddings(embeddings, known_fraction)
+
+    def _floors_from_embeddings(
+        self, embeddings: np.ndarray, known_fraction: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Nearest-centroid floors + softmax confidences for embedded rows."""
+        num_records = embeddings.shape[0]
         sizes = self._cluster_sizes
         similarities = embeddings @ self.centroids.T
         # An empty cluster has no centroid to be near; bar it from winning
@@ -240,14 +276,13 @@ class FittedFisOne:
         probabilities = np.exp(scaled)
         probabilities /= probabilities.sum(axis=1, keepdims=True)
         clusters = np.argmax(similarities, axis=1)
-        confidences = probabilities[np.arange(len(records)), clusters]
+        confidences = probabilities[np.arange(num_records), clusters]
 
         blind = known_fraction == 0.0
         if np.any(blind):
             clusters[blind] = int(np.argmax(sizes))
             confidences[blind] = 0.0
-        mapping = self.cluster_to_floor
-        floors = np.array([mapping[int(cluster)] for cluster in clusters], dtype=np.int64)
+        floors = self._floor_of_cluster[clusters]
         return floors, confidences.astype(np.float64), known_fraction
 
     def predict(self, dataset: SignalDataset) -> np.ndarray:

@@ -37,7 +37,7 @@ layer's refresh policy (:mod:`repro.serving.drift`) persists and acts on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -48,6 +48,7 @@ from repro.gnn.trainer import RFGNNTrainer
 from repro.indexing.indexer import ClusterIndexer, IndexingResult
 from repro.indexing.similarity import cluster_mac_profile_from_graph
 from repro.nn.init import random_node_features
+from repro.signals.batch import RecordBatch
 from repro.signals.record import SignalRecord
 
 #: Offset separating the fine-tune RNG streams from the original fit's, so a
@@ -119,7 +120,7 @@ def default_fine_tune_epochs(num_epochs: int) -> int:
 
 def refresh_fitted(
     fitted: "FittedFisOne",  # noqa: F821
-    new_records: Sequence[SignalRecord],
+    new_records: Union[Sequence[SignalRecord], RecordBatch],
     fine_tune_epochs: Optional[int] = None,
 ) -> RefreshResult:
     """Incrementally retrain ``fitted`` on its graph grown by ``new_records``.
@@ -167,21 +168,36 @@ def refresh_fitted(
         raise ValueError("fine_tune_epochs must be >= 1")
 
     # 1. Grow the persisted graph (raises ValueError when there is none).
+    # Batched traffic grows it straight from the batch's columns
+    # (``add_batch``); per-record input uses the classic ``add_record`` path.
     builder = fitted.warm_start_graph()
     known_ids = set(fitted.record_ids)
-    fresh_records: List[SignalRecord] = []
     skipped = 0
-    for record in new_records:
-        if record.record_id in known_ids:
-            skipped += 1
-            continue
-        known_ids.add(record.record_id)
-        fresh_records.append(record)
-        builder.add_record(record)
+    if isinstance(new_records, RecordBatch):
+        keep: List[int] = []
+        for index, record_id in enumerate(new_records.record_ids):
+            record_id = str(record_id)
+            if record_id in known_ids:
+                skipped += 1
+                continue
+            known_ids.add(record_id)
+            keep.append(index)
+        fresh_batch = new_records.take(keep)
+        builder.add_batch(fresh_batch)
+        fresh_ids = tuple(str(record_id) for record_id in fresh_batch.record_ids)
+    else:
+        fresh_records: List[SignalRecord] = []
+        for record in new_records:
+            if record.record_id in known_ids:
+                skipped += 1
+                continue
+            known_ids.add(record.record_id)
+            fresh_records.append(record)
+            builder.add_record(record)
+        fresh_ids = tuple(record.record_id for record in fresh_records)
     grown = builder.freeze()
-    record_ids: Tuple[str, ...] = fitted.record_ids + tuple(
-        record.record_id for record in fresh_records
-    )
+    num_fresh = len(fresh_ids)
+    record_ids: Tuple[str, ...] = fitted.record_ids + fresh_ids
     previous_macs = len(encoder.mac_vocabulary)
     num_new_macs = int(grown.mac_ids.size) - previous_macs
 
@@ -283,7 +299,7 @@ def refresh_fitted(
     )
     report = RefreshReport(
         num_previous_records=num_previous,
-        num_new_records=len(fresh_records),
+        num_new_records=num_fresh,
         num_skipped=skipped,
         num_new_macs=num_new_macs,
         fine_tune_epochs=epochs,
@@ -292,7 +308,7 @@ def refresh_fitted(
     )
     lineage_entry = (
         f"v{fitted.model_version}->v{fitted.model_version + 1}: "
-        f"+{len(fresh_records)} records, +{num_new_macs} macs, "
+        f"+{num_fresh} records, +{num_new_macs} macs, "
         f"{epochs} fine-tune epochs, stability {label_stability:.3f} "
         f"({mapping_source})"
     )

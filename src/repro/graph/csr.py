@@ -41,6 +41,7 @@ from repro.graph.bipartite import (
     GraphNode,
     NodeKind,
 )
+from repro.signals.batch import RecordBatch
 from repro.signals.dataset import SignalDataset
 
 #: Integer codes of the two partitions inside :attr:`CSRGraph.kinds`.
@@ -141,7 +142,7 @@ class CSRGraph:
         # One flat extraction pass: MAC codes in first-seen order (insertion
         # order of a dict, exactly the order the mutable builder assigns MAC
         # node ids in) plus the raw RSS vector.  Everything after this pass
-        # is NumPy.
+        # is NumPy (shared with the columnar ``from_batch`` constructor).
         code_of: Dict[str, int] = {}
         codes_list: List[int] = []
         new_macs_before = np.empty(num_records + 1, dtype=np.int64)
@@ -155,10 +156,75 @@ class CSRGraph:
             )
             rss_list.extend(readings.values())
         new_macs_before[num_records] = len(code_of)
-        total = len(codes_list)
-        codes = np.asarray(codes_list, dtype=np.int64)
-        rss = np.asarray(rss_list, dtype=np.float64)
+        return cls._assemble(
+            record_ids=record_ids,
+            counts=counts,
+            codes=np.asarray(codes_list, dtype=np.int64),
+            rss=np.asarray(rss_list, dtype=np.float64),
+            new_macs_before=new_macs_before,
+            unique_macs=np.asarray(list(code_of), dtype=object),
+            offset_db=offset_db,
+        )
 
+    @classmethod
+    def from_batch(
+        cls, batch: "RecordBatch", offset_db: float = RSS_OFFSET_DB
+    ) -> "CSRGraph":
+        """Build the frozen graph straight from a columnar record batch.
+
+        The batch's interned MAC ids are remapped to *first-seen-in-batch*
+        codes with pure NumPy (no per-reading dict), so the resulting graph
+        is identical — node ids, neighbour order, weights — to
+        ``CSRGraph.from_dataset`` over the same records.
+
+        Raises
+        ------
+        ValueError
+            If the batch is empty (a graph needs at least one sample node).
+        """
+        num_records = len(batch)
+        if num_records == 0:
+            raise ValueError("cannot build a graph from an empty batch")
+        mac_ids = batch.mac_ids
+        # Vocab ids -> dense codes in first-appearance order, replicating the
+        # insertion order the record-by-record builder would produce.
+        unique_ids, first_flat = np.unique(mac_ids, return_index=True)
+        first_seen_order = np.argsort(first_flat, kind="stable")
+        code_lookup = np.empty(int(unique_ids[-1]) + 1, dtype=np.int64)
+        code_lookup[unique_ids[first_seen_order]] = np.arange(
+            unique_ids.size, dtype=np.int64
+        )
+        # Distinct MACs first seen strictly before each record's flat start.
+        new_macs_before = np.searchsorted(np.sort(first_flat), batch.indptr)
+        return cls._assemble(
+            record_ids=batch.record_ids,
+            counts=np.asarray(batch.reading_counts, dtype=np.int64),
+            codes=code_lookup[mac_ids],
+            rss=np.asarray(batch.rss, dtype=np.float64),
+            new_macs_before=np.asarray(new_macs_before, dtype=np.int64),
+            unique_macs=batch.vocab.macs_at(unique_ids[first_seen_order]),
+            offset_db=offset_db,
+        )
+
+    @classmethod
+    def _assemble(
+        cls,
+        record_ids: Sequence[str],
+        counts: np.ndarray,
+        codes: np.ndarray,
+        rss: np.ndarray,
+        new_macs_before: np.ndarray,
+        unique_macs: np.ndarray,
+        offset_db: float,
+    ) -> "CSRGraph":
+        """Shared vectorised CSR assembly over flat (record, MAC-code, RSS) triples.
+
+        ``codes`` hold dense MAC codes in first-seen order, ``counts`` the
+        readings per record, ``new_macs_before[i]`` the number of distinct
+        MACs first seen before record ``i`` (with the grand total appended).
+        """
+        num_records = counts.shape[0]
+        total = codes.shape[0]
         edge_weights = rss + offset_db
         if edge_weights.size and edge_weights.min() <= 0:
             worst = int(np.argmin(edge_weights))
@@ -172,8 +238,7 @@ class CSRGraph:
         # ``sample_id[i] = i + (#MACs first seen before record i)`` and the
         # c-th distinct MAC overall (first seen in record ``first_owner[c]``)
         # gets id ``first_owner[c] + c + 1``.
-        num_macs = len(code_of)
-        unique_macs = np.asarray(list(code_of), dtype=object)
+        num_macs = unique_macs.shape[0]
         mac_codes = np.arange(num_macs, dtype=np.int64)
         first_owner = np.searchsorted(new_macs_before[1:], mac_codes, side="right")
         mac_id_of_code = first_owner + mac_codes + 1

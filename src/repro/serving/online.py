@@ -21,11 +21,12 @@ triggers an incremental refresh.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from repro.core.pipeline import FittedFisOne
 from repro.serving.drift import DriftMonitor
 from repro.serving.results import OnlineLabel
+from repro.signals.batch import RecordBatch
 from repro.signals.record import SignalRecord
 
 
@@ -59,25 +60,47 @@ class OnlineFloorLabeler:
         """Number of floors of the fitted building."""
         return self.fitted.num_floors
 
-    def label(self, records: Sequence[SignalRecord]) -> List[OnlineLabel]:
+    def label(
+        self, records: Union[Sequence[SignalRecord], RecordBatch]
+    ) -> List[OnlineLabel]:
         """Label a batch of records, preserving input order.
 
+        Accepts either a sequence of records or a columnar
+        :class:`~repro.signals.batch.RecordBatch`; the batch form takes the
+        vectorised embedding fast path and produces bit-identical labels.
         An empty batch returns an empty list; records whose MACs are all
         unknown to the model are labeled with the largest cluster's floor
         at confidence 0.0 (``known_mac_fraction`` 0.0).
         """
+        if isinstance(records, RecordBatch):
+            return self.label_batch(records)
         if not records:
             return []
         floors, confidences, known_fractions = self.fitted.online_floors(records)
+        record_ids = [record.record_id for record in records]
+        return self._emit(record_ids, floors, confidences, known_fractions)
+
+    def label_batch(self, batch: RecordBatch) -> List[OnlineLabel]:
+        """Label a columnar batch through the array-native fast path."""
+        if len(batch) == 0:
+            return []
+        floors, confidences, known_fractions = self.fitted.online_floors_batch(batch)
+        return self._emit(batch.record_ids, floors, confidences, known_fractions)
+
+    def _emit(self, record_ids, floors, confidences, known_fractions) -> List[OnlineLabel]:
+        """Wrap aligned result arrays into labels and feed the drift monitor.
+
+        ``tolist()`` converts whole columns to native ints/floats in one C
+        pass — per-element ``int()``/``float()`` calls would dominate large
+        batches.
+        """
         labels = [
-            OnlineLabel(
-                record_id=record.record_id,
-                floor=int(floor),
-                confidence=float(confidence),
-                known_mac_fraction=float(known),
-            )
-            for record, floor, confidence, known in zip(
-                records, floors, confidences, known_fractions
+            OnlineLabel(str(record_id), floor, confidence, known)
+            for record_id, floor, confidence, known in zip(
+                record_ids,
+                floors.tolist(),
+                confidences.tolist(),
+                known_fractions.tolist(),
             )
         ]
         if self.monitor is not None:

@@ -44,6 +44,7 @@ from repro.serving.artifacts import (
 from repro.serving.drift import DriftMonitor, DriftSnapshot, RefreshPolicy
 from repro.serving.online import OnlineFloorLabeler
 from repro.serving.results import OnlineLabel
+from repro.signals.batch import RecordBatch
 from repro.signals.dataset import SignalDataset
 from repro.signals.record import SignalRecord
 
@@ -287,20 +288,41 @@ class BuildingRegistry:
             return fitted
 
     def label(
-        self, building_id: str, records: Sequence[SignalRecord]
+        self, building_id: str, records: Union[Sequence[SignalRecord], RecordBatch]
     ) -> List[OnlineLabel]:
         """Online-label a batch of records against one building's model.
 
-        Every produced label feeds the building's drift monitor, and every
-        record the model has not trained on joins the building's bounded
-        recent-record buffer — the material :meth:`refresh_if_drifted`
-        retrains on.
+        Accepts a sequence of records or a columnar
+        :class:`~repro.signals.batch.RecordBatch` (the fast path the fleet
+        server drives).  Every produced label feeds the building's drift
+        monitor, and every record the model has not trained on joins the
+        building's bounded recent-record buffer — the material
+        :meth:`refresh_if_drifted` retrains on.
         """
         fitted = self.get(building_id)
         labels = OnlineFloorLabeler(
             fitted, monitor=self._monitor(building_id)
         ).label(records)
-        self._buffer_records(building_id, fitted, records)
+        if isinstance(records, RecordBatch):
+            # Materialise only the records that can actually end up in the
+            # bounded refresh buffer: unknown to the model, and within the
+            # last ``buffer_size`` of the batch (earlier ones would be
+            # FIFO-evicted by the later inserts anyway) — the labeled hot
+            # path itself never leaves columnar form.
+            unknown = [
+                index
+                for index, record_id in enumerate(records.record_ids)
+                if not fitted.knows_record(str(record_id))
+            ]
+            tail = unknown[-self.refresh_policy.buffer_size :]
+            self._buffer_records(
+                building_id,
+                fitted,
+                [records.record(index) for index in tail],
+                known_checked=True,
+            )
+        else:
+            self._buffer_records(building_id, fitted, records)
         return labels
 
     # -- drift & refresh -------------------------------------------------------
@@ -319,7 +341,7 @@ class BuildingRegistry:
     def refresh(
         self,
         building_id: str,
-        records: Optional[Sequence[SignalRecord]] = None,
+        records: Optional[Union[Sequence[SignalRecord], RecordBatch]] = None,
         fine_tune_epochs: Optional[int] = None,
     ) -> RefreshReport:
         """Incrementally refresh one building's model and write it through.
@@ -383,8 +405,13 @@ class BuildingRegistry:
                 # the next refresh.
                 buffer = self._recent.get(building_id)
                 if buffer is not None:
-                    for record in records:
-                        buffer.pop(record.record_id, None)
+                    consumed = (
+                        records.record_ids
+                        if isinstance(records, RecordBatch)
+                        else (record.record_id for record in records)
+                    )
+                    for record_id in consumed:
+                        buffer.pop(str(record_id), None)
             self._monitor(building_id).reset()
         return result.report
 
@@ -417,13 +444,18 @@ class BuildingRegistry:
         building_id: str,
         fitted: FittedFisOne,
         records: Sequence[SignalRecord],
+        known_checked: bool = False,
     ) -> None:
-        """FIFO-buffer distinct records the model has not trained on."""
+        """FIFO-buffer distinct records the model has not trained on.
+
+        ``known_checked`` skips the per-record ``knows_record`` filter when
+        the caller already applied it (the columnar path).
+        """
         capacity = self.refresh_policy.buffer_size
         with self._lock:
             buffer = self._recent.setdefault(building_id, OrderedDict())
             for record in records:
-                if fitted.knows_record(record.record_id):
+                if not known_checked and fitted.knows_record(record.record_id):
                     continue
                 buffer[record.record_id] = record
                 buffer.move_to_end(record.record_id)

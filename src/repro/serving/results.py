@@ -8,8 +8,9 @@ vocabulary and callers get structured results instead of bare arrays.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Tuple, Union
 
+from repro.signals.batch import RecordBatch
 from repro.signals.record import SignalRecord
 
 
@@ -40,16 +41,27 @@ class OnlineLabel:
 
 @dataclass(frozen=True)
 class LabelRequest:
-    """One client request: label a batch of records of one building."""
+    """One client request: label a batch of records of one building.
+
+    ``records`` is either a tuple of :class:`SignalRecord` or a columnar
+    :class:`~repro.signals.batch.RecordBatch` — the latter is the
+    array-native fast path (and what high-volume clients should send).
+    """
 
     request_id: str
     building_id: str
-    records: Tuple[SignalRecord, ...]
+    records: Union[Tuple[SignalRecord, ...], RecordBatch]
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "records", tuple(self.records))
-        if not self.records:
+        if not isinstance(self.records, RecordBatch):
+            object.__setattr__(self, "records", tuple(self.records))
+        if len(self.records) == 0:
             raise ValueError(f"request {self.request_id!r} contains no records")
+
+    @property
+    def num_records(self) -> int:
+        """Number of records in this request, whatever their representation."""
+        return len(self.records)
 
 
 @dataclass(frozen=True)

@@ -31,12 +31,19 @@ import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.refresh import RefreshReport, RefreshUnavailableError
 from repro.serving.registry import BuildingRegistry
 from repro.serving.results import LabelRequest, LabelResponse, ServerStats
+from repro.signals.batch import RecordBatch
 from repro.signals.record import SignalRecord
+
+#: Serving windows shorter than this report a throughput of 0.0 — a
+#: perf-counter delta that small (e.g. ``stats()`` immediately after
+#: ``start()``, or a start/stop pair on a coarse clock) carries no signal,
+#: and dividing by it would report inf-like garbage records/s.
+MIN_STATS_WINDOW_S = 1e-6
 
 
 @dataclass
@@ -155,14 +162,21 @@ class FleetServer:
     def submit(
         self,
         building_id: str,
-        records: Sequence[SignalRecord],
+        records: Union[Sequence[SignalRecord], RecordBatch],
         request_id: Optional[str] = None,
     ) -> "Future[LabelResponse]":
-        """Enqueue one label request; returns a future of its response."""
+        """Enqueue one label request; returns a future of its response.
+
+        ``records`` may be a sequence of records or a columnar
+        :class:`~repro.signals.batch.RecordBatch`; batches sharing one
+        vocabulary are coalesced array-native (no per-record conversion).
+        """
         if request_id is None:
             request_id = f"req-{next(self._request_counter)}"
         request = LabelRequest(
-            request_id=request_id, building_id=building_id, records=tuple(records)
+            request_id=request_id,
+            building_id=building_id,
+            records=records if isinstance(records, RecordBatch) else tuple(records),
         )
         pending = _Pending(request=request, future=Future())
         with self._lifecycle_lock:
@@ -256,7 +270,11 @@ class FleetServer:
             num_records=num_records,
             num_batches=num_batches,
             elapsed_s=elapsed,
-            records_per_second=num_records / elapsed if elapsed > 0 else 0.0,
+            # Guarded against zero and near-zero windows: stats() right
+            # after start() must report 0.0 records/s, never inf or NaN.
+            records_per_second=(
+                num_records / elapsed if elapsed > MIN_STATS_WINDOW_S else 0.0
+            ),
         )
 
     # -- dispatcher ------------------------------------------------------------
@@ -306,9 +324,8 @@ class FleetServer:
 
     def _process_batch(self, building_id: str, batch: List[_Pending]) -> None:
         """Label one coalesced per-building batch and complete its futures."""
-        all_records: List[SignalRecord] = []
-        for pending in batch:
-            all_records.extend(pending.request.records)
+        all_records = self._coalesce([pending.request.records for pending in batch])
+        num_records = len(all_records)
         try:
             labels = self.registry.label(building_id, all_records)
         except Exception as error:  # noqa: BLE001 - failures travel via futures
@@ -318,12 +335,12 @@ class FleetServer:
                 # batch, so claim each future first.
                 if pending.future.set_running_or_notify_cancel():
                     pending.future.set_exception(error)
-            self._count_batch(batch, len(all_records))
+            self._count_batch(batch, num_records)
             return
         done_at = time.perf_counter()
         cursor = 0
         for pending in batch:
-            count = len(pending.request.records)
+            count = pending.request.num_records
             response = LabelResponse(
                 request_id=pending.request.request_id,
                 building_id=building_id,
@@ -333,7 +350,31 @@ class FleetServer:
             cursor += count
             if pending.future.set_running_or_notify_cancel():
                 pending.future.set_result(response)
-        self._count_batch(batch, len(all_records))
+        self._count_batch(batch, num_records)
+
+    @staticmethod
+    def _coalesce(
+        payloads: List[Union[Tuple[SignalRecord, ...], RecordBatch]]
+    ) -> Union[List[SignalRecord], RecordBatch]:
+        """Merge per-request payloads into one registry call's worth of records.
+
+        When every payload is a :class:`RecordBatch` interned against the
+        same vocabulary, the merge is a pure array concatenation and the
+        whole coalesced batch stays columnar end-to-end.  Any mix of shapes
+        (or of vocabularies) falls back to a flat record list — correctness
+        over speed for heterogeneous clients.
+        """
+        if all(isinstance(payload, RecordBatch) for payload in payloads):
+            vocab = payloads[0].vocab
+            if all(payload.vocab is vocab for payload in payloads):
+                return RecordBatch.concat(payloads)
+        flattened: List[SignalRecord] = []
+        for payload in payloads:
+            if isinstance(payload, RecordBatch):
+                flattened.extend(payload.to_records())
+            else:
+                flattened.extend(payload)
+        return flattened
 
     def _count_batch(self, batch: List[_Pending], num_records: int) -> None:
         """Record a dispatched batch in the throughput counters.

@@ -6,6 +6,11 @@ This package provides the data structures FIS-ONE consumes:
   fingerprint: a mapping from observed MAC addresses to received signal
   strength (RSS, in dBm), plus optional metadata (floor label, position,
   device, timestamp).
+* :class:`~repro.signals.batch.RecordBatch` — the columnar (SoA) twin of a
+  sequence of records: CSR-style ``indptr``/``mac_ids``/``rss`` arrays with
+  MAC addresses interned against a shared
+  :class:`~repro.signals.batch.MacVocab`; the array-native currency of the
+  ingestion and serving hot paths.
 * :class:`~repro.signals.dataset.SignalDataset` — an ordered collection of
   records belonging to one building, with per-floor grouping, summary
   statistics and subset/merge operations.
@@ -16,13 +21,16 @@ This package provides the data structures FIS-ONE consumes:
 """
 
 from repro.signals.record import SignalRecord
+from repro.signals.batch import MacVocab, RecordBatch
 from repro.signals.dataset import SignalDataset, DatasetSummary
 from repro.signals.io import (
+    batch_from_json,
     dataset_to_json,
     dataset_from_json,
     save_dataset_json,
     load_dataset_json,
     save_dataset_csv,
+    load_batch_csv,
     load_dataset_csv,
 )
 from repro.signals.filters import (
@@ -35,8 +43,12 @@ from repro.signals.filters import (
 
 __all__ = [
     "SignalRecord",
+    "MacVocab",
+    "RecordBatch",
     "SignalDataset",
     "DatasetSummary",
+    "batch_from_json",
+    "load_batch_csv",
     "dataset_to_json",
     "dataset_from_json",
     "save_dataset_json",

@@ -1,0 +1,592 @@
+"""Columnar (SoA) representation of a batch of crowdsourced signal records.
+
+A :class:`~repro.signals.record.SignalRecord` is convenient but expensive at
+fleet scale: every record is a Python object holding a ``Dict[str, float]``
+of readings, so ingestion, online embedding, drift buffering, and graph
+growth all pay per-reading dict overhead.  :class:`RecordBatch` is the
+array-native alternative, mirroring the CSR layout of
+:class:`~repro.graph.csr.CSRGraph`:
+
+* ``indptr``  — ``(num_records + 1,)`` int64; record ``i``'s readings live
+  at flat positions ``indptr[i]:indptr[i+1]``, in the record's reading
+  (insertion) order,
+* ``mac_ids`` — ``(num_readings,)`` int64 MAC ids interned against a shared
+  :class:`MacVocab`,
+* ``rss``     — ``(num_readings,)`` float64 RSS values in dBm,
+
+plus parallel per-record columns (``record_ids``, ``floors`` with ``-1`` for
+unlabeled, ``positions`` with NaN rows for missing, ``device_ids``,
+``timestamps`` with NaN for missing).  A batch is frozen: its numeric arrays
+are marked read-only at construction.
+
+The vocabulary is *shared and append-only*: interning the same MAC twice —
+in any batch, in any record order — always yields the same id, so a frozen
+encoder can translate a batch's ids to its own rows with a single
+``np.take`` instead of one dict probe per reading
+(:meth:`repro.gnn.frozen.FrozenEncoder.embed_batch`).
+
+Round trips are lossless: ``RecordBatch.from_records(rs).to_records() == rs``
+for any valid records (NaN position/timestamp entries encode "absent", so a
+record cannot carry a literal-NaN position or timestamp through a batch —
+those are physically meaningless anyway).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.signals.record import (
+    MAX_VALID_RSS_DBM,
+    MIN_VALID_RSS_DBM,
+    InvalidRecordError,
+    SignalRecord,
+)
+
+#: Sentinel in the ``floors`` column for records without a floor label.
+NO_FLOOR = -1
+
+
+class MacVocab:
+    """Append-only, thread-safe interning table: MAC address -> dense int id.
+
+    Ids are assigned in first-intern order and never change or disappear, so
+    every consumer holding a translation array indexed by vocab id (e.g. a
+    frozen encoder's vocab-to-row table) only ever needs to *extend* it.
+    One vocabulary is typically shared by every batch of a deployment.
+    """
+
+    __slots__ = ("_id_by_mac", "_macs", "_lock")
+
+    def __init__(self, macs: Iterable[str] = ()) -> None:
+        self._id_by_mac: Dict[str, int] = {}
+        self._macs: List[str] = []
+        self._lock = threading.Lock()
+        if macs:
+            self.intern_many(macs)
+
+    def __len__(self) -> int:
+        return len(self._macs)
+
+    def __contains__(self, mac: str) -> bool:
+        return mac in self._id_by_mac
+
+    def id_of(self, mac: str) -> int:
+        """Id of an already-interned MAC (raises ``KeyError`` when absent)."""
+        return self._id_by_mac[mac]
+
+    def mac_of(self, mac_id: int) -> str:
+        """MAC address string of one id."""
+        return self._macs[mac_id]
+
+    @property
+    def macs(self) -> List[str]:
+        """All interned MACs in id order (a copy; ids are list positions)."""
+        return list(self._macs)
+
+    def macs_at(self, mac_ids: np.ndarray) -> np.ndarray:
+        """Object array of MAC strings for an id array (vectorised lookup)."""
+        table = np.asarray(self._macs, dtype=object)
+        return table[np.asarray(mac_ids, dtype=np.int64)]
+
+    def intern(self, mac: str) -> int:
+        """Intern one MAC (idempotent) and return its id."""
+        if not mac:
+            raise InvalidRecordError("MAC addresses must be non-empty strings")
+        with self._lock:
+            existing = self._id_by_mac.get(mac)
+            if existing is not None:
+                return existing
+            mac_id = len(self._macs)
+            self._id_by_mac[mac] = mac_id
+            self._macs.append(mac)
+            return mac_id
+
+    def intern_many(self, macs: Iterable[str]) -> np.ndarray:
+        """Intern a sequence of MACs under one lock; returns their int64 ids."""
+        id_by_mac = self._id_by_mac
+        mac_list = self._macs
+        out: List[int] = []
+        with self._lock:
+            for mac in macs:
+                mac_id = id_by_mac.get(mac)
+                if mac_id is None:
+                    if not mac:
+                        raise InvalidRecordError(
+                            "MAC addresses must be non-empty strings"
+                        )
+                    mac_id = len(mac_list)
+                    id_by_mac[mac] = mac_id
+                    mac_list.append(mac)
+                out.append(mac_id)
+        return np.asarray(out, dtype=np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MacVocab({len(self._macs)} macs)"
+
+
+def _frozen_array(values, dtype) -> np.ndarray:
+    array = np.ascontiguousarray(values, dtype=dtype)
+    array.flags.writeable = False
+    return array
+
+
+class RecordBatch:
+    """A frozen, columnar batch of signal records (see module docstring).
+
+    Build one with :meth:`from_records`, :meth:`from_json_payload`, or
+    :meth:`from_csv_rows`; all three validate the same invariants the
+    :class:`~repro.signals.record.SignalRecord` constructor enforces, but
+    vectorised over the whole batch.
+    """
+
+    __slots__ = (
+        "indptr",
+        "mac_ids",
+        "rss",
+        "record_ids",
+        "floors",
+        "positions",
+        "device_ids",
+        "timestamps",
+        "vocab",
+        "_counts",
+    )
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        mac_ids: np.ndarray,
+        rss: np.ndarray,
+        record_ids: Sequence[str],
+        vocab: MacVocab,
+        floors: Optional[np.ndarray] = None,
+        positions: Optional[np.ndarray] = None,
+        device_ids: Optional[Sequence[Optional[str]]] = None,
+        timestamps: Optional[np.ndarray] = None,
+    ) -> None:
+        self.indptr = _frozen_array(indptr, np.int64)
+        self.mac_ids = _frozen_array(mac_ids, np.int64)
+        self.rss = _frozen_array(rss, np.float64)
+        self.record_ids = np.asarray(record_ids, dtype=object)
+        self.vocab = vocab
+        num_records = self.record_ids.shape[0]
+        self.floors = _frozen_array(
+            np.full(num_records, NO_FLOOR) if floors is None else floors, np.int64
+        )
+        self.positions = _frozen_array(
+            np.full((num_records, 2), np.nan) if positions is None else positions,
+            np.float64,
+        )
+        if device_ids is None:
+            self.device_ids = np.full(num_records, None, dtype=object)
+        else:
+            self.device_ids = np.asarray(device_ids, dtype=object)
+        self.timestamps = _frozen_array(
+            np.full(num_records, np.nan) if timestamps is None else timestamps,
+            np.float64,
+        )
+
+        if self.indptr.shape != (num_records + 1,):
+            raise InvalidRecordError(
+                f"indptr must have {num_records + 1} entries, got {self.indptr.shape}"
+            )
+        if self.indptr[0] != 0 or self.indptr[-1] != self.mac_ids.shape[0]:
+            raise InvalidRecordError("indptr must start at 0 and end at len(mac_ids)")
+        counts = np.diff(self.indptr)
+        if counts.size and counts.min() < 1:
+            empty = int(np.argmin(counts))
+            raise InvalidRecordError(
+                f"record {self.record_ids[empty]!r}: a signal record must "
+                "contain at least one reading"
+            )
+        if self.mac_ids.shape != self.rss.shape:
+            raise InvalidRecordError("mac_ids and rss must have the same length")
+        if self.mac_ids.size and (
+            self.mac_ids.min() < 0 or self.mac_ids.max() >= len(vocab)
+        ):
+            raise InvalidRecordError("mac_ids contain ids outside the vocabulary")
+        # Negated containment (not a direct < / > test) so NaN fails too,
+        # matching the SignalRecord constructor's `not (lo <= x <= hi)`.
+        out_of_range = ~(
+            (self.rss >= MIN_VALID_RSS_DBM) & (self.rss <= MAX_VALID_RSS_DBM)
+        )
+        if np.any(out_of_range):
+            worst = int(np.argmax(out_of_range))
+            owner = int(np.searchsorted(self.indptr, worst, side="right") - 1)
+            raise InvalidRecordError(
+                f"record {self.record_ids[owner]!r}: RSS {float(self.rss[worst])} dBm "
+                f"is outside [{MIN_VALID_RSS_DBM}, {MAX_VALID_RSS_DBM}]"
+            )
+        if self.floors.shape != (num_records,):
+            raise InvalidRecordError("floors column must have one entry per record")
+        if self.floors.size and self.floors.min() < NO_FLOOR:
+            raise InvalidRecordError(f"floor indices must be >= 0 (or {NO_FLOOR} for unlabeled)")
+        if self.positions.shape != (num_records, 2):
+            raise InvalidRecordError("positions column must have shape (num_records, 2)")
+        if self.timestamps.shape != (num_records,):
+            raise InvalidRecordError("timestamps column must have one entry per record")
+        if self.device_ids.shape != (num_records,):
+            raise InvalidRecordError("device_ids column must have one entry per record")
+        for record_id in self.record_ids:
+            if not record_id:
+                raise InvalidRecordError("record_id must be a non-empty string")
+        self._counts = counts
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_records(
+        cls, records: Sequence[SignalRecord], vocab: Optional[MacVocab] = None
+    ) -> "RecordBatch":
+        """Columnarise already-validated records in one pass.
+
+        ``vocab`` defaults to a fresh vocabulary; pass a shared one so MAC
+        ids stay stable across batches (and so encoder translation tables
+        can be reused).
+        """
+        vocab = vocab if vocab is not None else MacVocab()
+        num_records = len(records)
+        indptr = np.zeros(num_records + 1, dtype=np.int64)
+        macs: List[str] = []
+        rss: List[float] = []
+        record_ids = np.empty(num_records, dtype=object)
+        floors = np.full(num_records, NO_FLOOR, dtype=np.int64)
+        positions = np.full((num_records, 2), np.nan, dtype=np.float64)
+        device_ids = np.full(num_records, None, dtype=object)
+        timestamps = np.full(num_records, np.nan, dtype=np.float64)
+        for index, record in enumerate(records):
+            readings = record.readings
+            indptr[index + 1] = indptr[index] + len(readings)
+            macs.extend(readings.keys())
+            rss.extend(readings.values())
+            record_ids[index] = record.record_id
+            if record.floor is not None:
+                floors[index] = record.floor
+            if record.position is not None:
+                positions[index] = record.position
+            device_ids[index] = record.device_id
+            if record.timestamp is not None:
+                timestamps[index] = record.timestamp
+        return cls(
+            indptr=indptr,
+            mac_ids=vocab.intern_many(macs),
+            rss=np.asarray(rss, dtype=np.float64),
+            record_ids=record_ids,
+            vocab=vocab,
+            floors=floors,
+            positions=positions,
+            device_ids=device_ids,
+            timestamps=timestamps,
+        )
+
+    @classmethod
+    def from_json_payload(
+        cls, payload: Sequence[Mapping], vocab: Optional[MacVocab] = None
+    ) -> "RecordBatch":
+        """Build a batch from a list of ``SignalRecord.to_dict()`` dictionaries.
+
+        This is the ingestion path of :func:`repro.signals.io.dataset_from_json`
+        — records go straight from parsed JSON into columns, with the same
+        validation the record constructor applies.
+        """
+        vocab = vocab if vocab is not None else MacVocab()
+        num_records = len(payload)
+        indptr = np.zeros(num_records + 1, dtype=np.int64)
+        macs: List[str] = []
+        rss: List[float] = []
+        record_ids = np.empty(num_records, dtype=object)
+        floors = np.full(num_records, NO_FLOOR, dtype=np.int64)
+        positions = np.full((num_records, 2), np.nan, dtype=np.float64)
+        device_ids = np.full(num_records, None, dtype=object)
+        timestamps = np.full(num_records, np.nan, dtype=np.float64)
+        for index, item in enumerate(payload):
+            readings = item["readings"]
+            indptr[index + 1] = indptr[index] + len(readings)
+            macs.extend(str(mac) for mac in readings.keys())
+            rss.extend(float(value) for value in readings.values())
+            record_ids[index] = str(item["record_id"])
+            floor = item.get("floor")
+            if floor is not None:
+                floor = int(floor)
+                if floor < 0:
+                    # Reject before -1 could alias the NO_FLOOR sentinel —
+                    # same contract as the SignalRecord constructor.
+                    raise InvalidRecordError(
+                        f"record {record_ids[index]!r}: floor index must be "
+                        f">= 0, got {floor}"
+                    )
+                floors[index] = floor
+            position = item.get("position")
+            if position is not None:
+                positions[index] = (float(position[0]), float(position[1]))
+            device_id = item.get("device_id")
+            if device_id is not None:
+                device_ids[index] = str(device_id)
+            timestamp = item.get("timestamp")
+            if timestamp is not None:
+                timestamps[index] = float(timestamp)
+        return cls(
+            indptr=indptr,
+            mac_ids=vocab.intern_many(macs),
+            rss=np.asarray(rss, dtype=np.float64),
+            record_ids=record_ids,
+            vocab=vocab,
+            floors=floors,
+            positions=positions,
+            device_ids=device_ids,
+            timestamps=timestamps,
+        )
+
+    @classmethod
+    def from_csv_rows(
+        cls, rows: Iterable[Mapping[str, str]], vocab: Optional[MacVocab] = None
+    ) -> "RecordBatch":
+        """Build a batch from long-format CSV rows (one row per reading).
+
+        Rows follow :data:`repro.signals.io.CSV_COLUMNS`; readings of one
+        record need not be contiguous (grouping preserves first-appearance
+        record order), and a repeated (record, MAC) row overwrites the
+        earlier reading — both matching the historical CSV loader.
+        """
+        order: List[str] = []
+        grouped: Dict[str, Dict] = {}
+        for row in rows:
+            record_id = row["record_id"]
+            info = grouped.get(record_id)
+            if info is None:
+                order.append(record_id)
+                floor = row.get("floor", "")
+                floor = int(floor) if floor != "" else None
+                if floor is not None and floor < 0:
+                    # Reject before -1 could alias the NO_FLOOR sentinel —
+                    # same contract as the SignalRecord constructor.
+                    raise InvalidRecordError(
+                        f"record {record_id!r}: floor index must be >= 0, "
+                        f"got {floor}"
+                    )
+                x, y = row.get("x", ""), row.get("y", "")
+                timestamp = row.get("timestamp", "")
+                grouped[record_id] = info = {
+                    "readings": {},
+                    "floor": floor,
+                    "position": (float(x), float(y)) if x != "" and y != "" else None,
+                    "device_id": row.get("device_id") or None,
+                    "timestamp": float(timestamp) if timestamp != "" else None,
+                }
+            info["readings"][row["mac"]] = float(row["rss"])
+        vocab = vocab if vocab is not None else MacVocab()
+        num_records = len(order)
+        indptr = np.zeros(num_records + 1, dtype=np.int64)
+        macs: List[str] = []
+        rss: List[float] = []
+        record_ids = np.asarray(order, dtype=object)
+        floors = np.full(num_records, NO_FLOOR, dtype=np.int64)
+        positions = np.full((num_records, 2), np.nan, dtype=np.float64)
+        device_ids = np.full(num_records, None, dtype=object)
+        timestamps = np.full(num_records, np.nan, dtype=np.float64)
+        for index, record_id in enumerate(order):
+            info = grouped[record_id]
+            readings = info["readings"]
+            indptr[index + 1] = indptr[index] + len(readings)
+            macs.extend(readings.keys())
+            rss.extend(readings.values())
+            if info["floor"] is not None:
+                floors[index] = info["floor"]
+            if info["position"] is not None:
+                positions[index] = info["position"]
+            device_ids[index] = info["device_id"]
+            if info["timestamp"] is not None:
+                timestamps[index] = info["timestamp"]
+        return cls(
+            indptr=indptr,
+            mac_ids=vocab.intern_many(macs),
+            rss=np.asarray(rss, dtype=np.float64),
+            record_ids=record_ids,
+            vocab=vocab,
+            floors=floors,
+            positions=positions,
+            device_ids=device_ids,
+            timestamps=timestamps,
+        )
+
+    @classmethod
+    def _trusted(
+        cls,
+        indptr: np.ndarray,
+        mac_ids: np.ndarray,
+        rss: np.ndarray,
+        record_ids: np.ndarray,
+        vocab: MacVocab,
+        floors: np.ndarray,
+        positions: np.ndarray,
+        device_ids: np.ndarray,
+        timestamps: np.ndarray,
+    ) -> "RecordBatch":
+        """Assemble a batch from columns of already-validated batches.
+
+        Used by :meth:`concat` and :meth:`take`, whose inputs are slices or
+        concatenations of validated columns — re-running the constructor's
+        O(readings + records) validation there would put interpreter work
+        back on the serving hot path for no safety gain.
+        """
+        batch = object.__new__(cls)
+        batch.indptr = _frozen_array(indptr, np.int64)
+        batch.mac_ids = _frozen_array(mac_ids, np.int64)
+        batch.rss = _frozen_array(rss, np.float64)
+        batch.record_ids = np.asarray(record_ids, dtype=object)
+        batch.vocab = vocab
+        batch.floors = _frozen_array(floors, np.int64)
+        batch.positions = _frozen_array(positions, np.float64)
+        batch.device_ids = np.asarray(device_ids, dtype=object)
+        batch.timestamps = _frozen_array(timestamps, np.float64)
+        batch._counts = np.diff(batch.indptr)
+        return batch
+
+    @classmethod
+    def concat(cls, batches: Sequence["RecordBatch"]) -> "RecordBatch":
+        """Concatenate batches sharing one vocabulary into a single batch.
+
+        Raises
+        ------
+        ValueError
+            If ``batches`` is empty or the batches intern against different
+            :class:`MacVocab` objects (their MAC ids would not be comparable).
+        """
+        if not batches:
+            raise ValueError("cannot concatenate zero batches")
+        vocab = batches[0].vocab
+        for batch in batches[1:]:
+            if batch.vocab is not vocab:
+                raise ValueError(
+                    "cannot concatenate batches interned against different vocabularies"
+                )
+        if len(batches) == 1:
+            return batches[0]
+        counts = np.concatenate([batch.reading_counts for batch in batches])
+        indptr = np.zeros(counts.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls._trusted(
+            indptr=indptr,
+            mac_ids=np.concatenate([batch.mac_ids for batch in batches]),
+            rss=np.concatenate([batch.rss for batch in batches]),
+            record_ids=np.concatenate([batch.record_ids for batch in batches]),
+            vocab=vocab,
+            floors=np.concatenate([batch.floors for batch in batches]),
+            positions=np.concatenate([batch.positions for batch in batches]),
+            device_ids=np.concatenate([batch.device_ids for batch in batches]),
+            timestamps=np.concatenate([batch.timestamps for batch in batches]),
+        )
+
+    # -- container protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.record_ids.shape[0])
+
+    @property
+    def num_readings(self) -> int:
+        """Total number of (record, MAC) readings across the batch."""
+        return int(self.mac_ids.shape[0])
+
+    @property
+    def reading_counts(self) -> np.ndarray:
+        """Readings per record (int64, the graph-degree view of the batch)."""
+        return self._counts
+
+    def __iter__(self) -> Iterator[SignalRecord]:
+        for index in range(len(self)):
+            yield self.record(index)
+
+    def __getitem__(
+        self, index: Union[int, slice]
+    ) -> Union[SignalRecord, "RecordBatch"]:
+        if isinstance(index, slice):
+            return self.take(np.arange(len(self))[index])
+        return self.record(int(index))
+
+    # -- record views ----------------------------------------------------------
+
+    def _normalize_index(self, index: int) -> int:
+        """Resolve a (possibly negative) record index, sequence-style.
+
+        ``indptr[index]:indptr[index + 1]`` silently spans the wrong record
+        for raw negative indices, so every record view normalizes first.
+        """
+        index = int(index)
+        num_records = len(self)
+        if index < 0:
+            index += num_records
+        if not (0 <= index < num_records):
+            raise IndexError(f"record index {index} out of range [0, {num_records})")
+        return index
+
+    def floor_of(self, index: int) -> Optional[int]:
+        """Floor label of record ``index``, or ``None`` when unlabeled."""
+        floor = int(self.floors[self._normalize_index(index)])
+        return None if floor == NO_FLOOR else floor
+
+    def readings_of(self, index: int) -> Dict[str, float]:
+        """Reading dict of record ``index`` (MAC -> RSS, in reading order)."""
+        index = self._normalize_index(index)
+        start, stop = int(self.indptr[index]), int(self.indptr[index + 1])
+        mac_of = self.vocab.mac_of
+        return {
+            mac_of(int(mac_id)): float(value)
+            for mac_id, value in zip(self.mac_ids[start:stop], self.rss[start:stop])
+        }
+
+    def record(self, index: int) -> SignalRecord:
+        """Materialise record ``index`` back into a :class:`SignalRecord`."""
+        index = self._normalize_index(index)
+        x, y = self.positions[index]
+        timestamp = self.timestamps[index]
+        return SignalRecord(
+            record_id=str(self.record_ids[index]),
+            readings=self.readings_of(index),
+            floor=self.floor_of(index),
+            position=None if np.isnan(x) else (float(x), float(y)),
+            device_id=self.device_ids[index],
+            timestamp=None if np.isnan(timestamp) else float(timestamp),
+        )
+
+    def to_records(self) -> List[SignalRecord]:
+        """Materialise the whole batch (lossless inverse of ``from_records``)."""
+        return [self.record(index) for index in range(len(self))]
+
+    def take(self, indices: Sequence[int]) -> "RecordBatch":
+        """A new batch holding the records at ``indices``, sharing the vocab."""
+        indices = np.asarray(indices, dtype=np.int64)
+        counts = self._counts[indices]
+        indptr = np.zeros(indices.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        flat = np.concatenate(
+            [
+                np.arange(self.indptr[i], self.indptr[i + 1], dtype=np.int64)
+                for i in indices
+            ]
+        ) if indices.size else np.empty(0, dtype=np.int64)
+        return RecordBatch._trusted(
+            indptr=indptr,
+            mac_ids=self.mac_ids[flat],
+            rss=self.rss[flat],
+            record_ids=self.record_ids[indices],
+            vocab=self.vocab,
+            floors=self.floors[indices],
+            positions=self.positions[indices],
+            device_ids=self.device_ids[indices],
+            timestamps=self.timestamps[indices],
+        )
+
+    # -- serialisation ---------------------------------------------------------
+
+    def to_json_payload(self) -> List[Dict]:
+        """The batch as a list of ``SignalRecord.to_dict()`` dictionaries."""
+        return [self.record(index).to_dict() for index in range(len(self))]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RecordBatch(records={len(self)}, readings={self.num_readings}, "
+            f"vocab={len(self.vocab)})"
+        )

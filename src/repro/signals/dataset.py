@@ -329,6 +329,30 @@ class SignalDataset:
             new_records, building_id=self.building_id, num_floors=self._declared_num_floors
         )
 
+    # -- columnar views --------------------------------------------------------
+
+    def to_batch(self, vocab=None) -> "RecordBatch":  # noqa: F821 - forward ref
+        """The columnar :class:`~repro.signals.batch.RecordBatch` view.
+
+        Pass a shared :class:`~repro.signals.batch.MacVocab` so MAC ids stay
+        stable across batches of the same deployment.
+        """
+        from repro.signals.batch import RecordBatch
+
+        return RecordBatch.from_records(self._records, vocab=vocab)
+
+    @classmethod
+    def from_batch(
+        cls,
+        batch: "RecordBatch",  # noqa: F821 - forward ref
+        building_id: Optional[str] = None,
+        num_floors: Optional[int] = None,
+    ) -> "SignalDataset":
+        """Materialise a columnar batch into a dataset (lossless)."""
+        return cls(
+            batch.to_records(), building_id=building_id, num_floors=num_floors
+        )
+
     # -- statistics -----------------------------------------------------------
 
     def mac_frequencies(self) -> Dict[str, int]:

@@ -1,14 +1,24 @@
-"""JSON and CSV persistence for :class:`~repro.signals.dataset.SignalDataset`."""
+"""JSON and CSV persistence for signal datasets and columnar record batches.
+
+All loading funnels through the columnar
+:class:`~repro.signals.batch.RecordBatch` constructors
+(``from_json_payload`` / ``from_csv_rows``): parsed payloads go straight
+into flat arrays with vectorised validation, and the classic
+:class:`~repro.signals.dataset.SignalDataset` loaders are thin wrappers
+that materialise records from the batch.  Callers that stay array-native
+(the serving hot path) use :func:`batch_from_json` / :func:`load_batch_csv`
+and never build per-record objects at all.
+"""
 
 from __future__ import annotations
 
 import csv
 import json
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, Optional, Union
 
+from repro.signals.batch import MacVocab, RecordBatch
 from repro.signals.dataset import SignalDataset
-from repro.signals.record import SignalRecord
 
 PathLike = Union[str, Path]
 
@@ -27,8 +37,33 @@ def dataset_to_json(dataset: SignalDataset) -> Dict:
     }
 
 
+def batch_from_json(
+    payload: Dict, vocab: Optional[MacVocab] = None
+) -> RecordBatch:
+    """Reconstruct a columnar :class:`RecordBatch` from :func:`dataset_to_json`
+    output (or any payload with a ``records`` list of record dictionaries).
+
+    This is the array-native ingestion path: parsed JSON goes straight into
+    flat columns, interned against ``vocab`` (fresh by default).
+
+    Raises
+    ------
+    ValueError
+        If the format version is unsupported or any record is invalid.
+    """
+    version = payload.get("format_version", JSON_FORMAT_VERSION)
+    if version != JSON_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported dataset format version {version}; expected {JSON_FORMAT_VERSION}"
+        )
+    return RecordBatch.from_json_payload(payload["records"], vocab=vocab)
+
+
 def dataset_from_json(payload: Dict) -> SignalDataset:
     """Reconstruct a dataset from :func:`dataset_to_json` output.
+
+    Thin wrapper over :func:`batch_from_json` (ingestion is columnar;
+    records are materialised from the batch).
 
     Raises
     ------
@@ -37,16 +72,10 @@ def dataset_from_json(payload: Dict) -> SignalDataset:
         header does not cover every floor label present in the records (a
         stale header would otherwise silently misdescribe the building).
     """
-    version = payload.get("format_version", JSON_FORMAT_VERSION)
-    if version != JSON_FORMAT_VERSION:
-        raise ValueError(
-            f"unsupported dataset format version {version}; expected {JSON_FORMAT_VERSION}"
-        )
-    records = [SignalRecord.from_dict(item) for item in payload["records"]]
     # The SignalDataset constructor validates that a declared num_floors
     # covers every floor label present (rejecting stale headers).
     return SignalDataset(
-        records,
+        batch_from_json(payload).to_records(),
         building_id=payload.get("building_id"),
         num_floors=payload.get("num_floors"),
     )
@@ -102,47 +131,31 @@ def save_dataset_csv(dataset: SignalDataset, path: PathLike) -> None:
                 )
 
 
-def load_dataset_csv(
-    path: PathLike,
-    building_id: Optional[str] = None,
-    num_floors: Optional[int] = None,
-) -> SignalDataset:
-    """Read a dataset from a long-format CSV written by :func:`save_dataset_csv`."""
-    rows_by_record: Dict[str, Dict] = {}
-    order: List[str] = []
+def load_batch_csv(path: PathLike, vocab: Optional[MacVocab] = None) -> RecordBatch:
+    """Read a columnar :class:`RecordBatch` from a long-format CSV.
+
+    The array-native twin of :func:`load_dataset_csv`: rows stream straight
+    into :meth:`RecordBatch.from_csv_rows`, interned against ``vocab``.
+    """
     with Path(path).open("r", encoding="utf-8", newline="") as handle:
         reader = csv.DictReader(handle)
         missing = set(CSV_COLUMNS) - set(reader.fieldnames or [])
         if missing:
             raise ValueError(f"CSV is missing required columns: {sorted(missing)}")
-        for row in reader:
-            record_id = row["record_id"]
-            if record_id not in rows_by_record:
-                order.append(record_id)
-                floor = row["floor"]
-                position = None
-                if row["x"] != "" and row["y"] != "":
-                    position = (float(row["x"]), float(row["y"]))
-                rows_by_record[record_id] = {
-                    "record_id": record_id,
-                    "readings": {},
-                    "floor": int(floor) if floor != "" else None,
-                    "position": position,
-                    "device_id": row["device_id"] or None,
-                    "timestamp": float(row["timestamp"]) if row["timestamp"] != "" else None,
-                }
-            rows_by_record[record_id]["readings"][row["mac"]] = float(row["rss"])
-    records = []
-    for record_id in order:
-        info = rows_by_record[record_id]
-        records.append(
-            SignalRecord(
-                record_id=info["record_id"],
-                readings=info["readings"],
-                floor=info["floor"],
-                position=info["position"],
-                device_id=info["device_id"],
-                timestamp=info["timestamp"],
-            )
-        )
-    return SignalDataset(records, building_id=building_id, num_floors=num_floors)
+        return RecordBatch.from_csv_rows(reader, vocab=vocab)
+
+
+def load_dataset_csv(
+    path: PathLike,
+    building_id: Optional[str] = None,
+    num_floors: Optional[int] = None,
+) -> SignalDataset:
+    """Read a dataset from a long-format CSV written by :func:`save_dataset_csv`.
+
+    Thin wrapper over :func:`load_batch_csv`.
+    """
+    return SignalDataset(
+        load_batch_csv(path).to_records(),
+        building_id=building_id,
+        num_floors=num_floors,
+    )

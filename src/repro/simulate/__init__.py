@@ -33,6 +33,7 @@ from repro.simulate.generators import (
     BuildingConfig,
     generate_building,
     generate_building_dataset,
+    generate_building_batch,
     office_building_config,
     mall_building_config,
 )
@@ -66,6 +67,7 @@ __all__ = [
     "BuildingConfig",
     "generate_building",
     "generate_building_dataset",
+    "generate_building_batch",
     "office_building_config",
     "mall_building_config",
     "FleetConfig",

@@ -22,6 +22,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.signals.batch import MacVocab, RecordBatch
 from repro.signals.dataset import SignalDataset
 from repro.signals.record import SignalRecord
 from repro.simulate.building import Building
@@ -184,3 +185,18 @@ class CrowdsourcedCollector:
             building_id=self.building.building_id,
             num_floors=self.building.num_floors,
         )
+
+    def collect_batch(
+        self, seed: int = 0, vocab: Optional[MacVocab] = None
+    ) -> RecordBatch:
+        """Collect the same traffic as :meth:`collect`, emitted columnar.
+
+        A convenience wrapper over the per-record collection (the simulator
+        itself builds ``SignalRecord`` objects) that columnarises the result
+        in one pass; ``vocab`` (fresh by default) should be shared when
+        many waves of traffic for one deployment are generated.
+        """
+        all_records: List[SignalRecord] = []
+        for floor in range(self.building.num_floors):
+            all_records.extend(self.collect_floor(floor, seed=seed * 1_000 + floor))
+        return RecordBatch.from_records(all_records, vocab=vocab)

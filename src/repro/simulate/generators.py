@@ -11,6 +11,7 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.signals.batch import MacVocab, RecordBatch
 from repro.signals.dataset import SignalDataset
 from repro.simulate.access_point import place_access_points
 from repro.simulate.building import Atrium, Building, BuildingGeometry
@@ -126,6 +127,21 @@ def generate_building_dataset(config: BuildingConfig, seed: int = 0) -> SignalDa
     building = generate_building(config, seed=seed)
     collector = CrowdsourcedCollector(building, config.collection)
     return collector.collect(seed=seed)
+
+
+def generate_building_batch(
+    config: BuildingConfig, seed: int = 0, vocab: Optional[MacVocab] = None
+) -> RecordBatch:
+    """Generate one building's crowdsourced traffic as a columnar batch.
+
+    The batch form of :func:`generate_building_dataset` (same records, same
+    seed determinism), for workloads that stay array-native end-to-end —
+    e.g. feeding a :class:`~repro.serving.server.FleetServer` with
+    :class:`~repro.signals.batch.RecordBatch` traffic.
+    """
+    building = generate_building(config, seed=seed)
+    collector = CrowdsourcedCollector(building, config.collection)
+    return collector.collect_batch(seed=seed, vocab=vocab)
 
 
 def office_building_config(

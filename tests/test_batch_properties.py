@@ -1,0 +1,205 @@
+"""Property-based tests (hypothesis) for the columnar RecordBatch.
+
+The batch is a pure re-representation of a record sequence, so exact
+properties must hold for *any* valid records — not just the unit-test
+examples:
+
+* ``RecordBatch.from_records(rs).to_records() == rs`` (lossless round trip,
+  including through the JSON-payload constructor);
+* MAC vocabulary ids are stable under record permutation: interning the
+  same records in any order against one shared :class:`MacVocab` yields the
+  same id for every MAC, and each record's readings survive unchanged;
+* the batch embedding fast path is *bit-identical* to the per-record path:
+  ``FrozenEncoder.embed_batch`` equals ``embed_records`` to the last ulp
+  (embeddings and known-MAC fractions), for records mixing known, unknown,
+  and entirely-unknown MAC sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gnn.frozen import FrozenEncoder
+from repro.signals.batch import MacVocab, RecordBatch
+from repro.signals.record import SignalRecord
+
+#: The encoder vocabulary the embedding properties run against.
+VOCAB_MACS = [f"aa:bb:cc:00:00:{i:02x}" for i in range(12)]
+
+#: MACs the encoder has never seen.
+UNKNOWN_MACS = [f"zz:zz:zz:00:00:{i:02x}" for i in range(6)]
+
+MAC_POOL = VOCAB_MACS + UNKNOWN_MACS
+
+
+def _synthetic_encoder(num_hops: int = 2, dim: int = 6) -> FrozenEncoder:
+    """A small deterministic encoder over VOCAB_MACS (no training needed)."""
+    rng = np.random.default_rng(7)
+    weights = [rng.normal(size=(2 * dim, dim)) for _ in range(num_hops)]
+    hidden = []
+    for _ in range(num_hops):
+        matrix = rng.normal(size=(len(VOCAB_MACS), dim))
+        matrix /= np.linalg.norm(matrix, axis=1, keepdims=True)
+        hidden.append(matrix)
+    return FrozenEncoder(
+        weights=weights,
+        activation="tanh",
+        mac_vocabulary=list(VOCAB_MACS),
+        mac_hidden=hidden,
+    )
+
+
+@pytest.fixture(scope="module")
+def encoder() -> FrozenEncoder:
+    return _synthetic_encoder()
+
+
+@st.composite
+def record_strategy(draw, index: int) -> SignalRecord:
+    macs = draw(
+        st.lists(st.sampled_from(MAC_POOL), min_size=1, max_size=8, unique=True)
+    )
+    readings = {
+        mac: draw(
+            st.floats(min_value=-120.0, max_value=0.0, allow_nan=False)
+        )
+        for mac in macs
+    }
+    floor = draw(st.one_of(st.none(), st.integers(min_value=0, max_value=9)))
+    position = draw(
+        st.one_of(
+            st.none(),
+            st.tuples(
+                st.floats(-100.0, 100.0, allow_nan=False, allow_infinity=False),
+                st.floats(-100.0, 100.0, allow_nan=False, allow_infinity=False),
+            ),
+        )
+    )
+    device_id = draw(st.one_of(st.none(), st.text(min_size=1, max_size=6)))
+    timestamp = draw(
+        st.one_of(
+            st.none(),
+            st.floats(0.0, 1e9, allow_nan=False, allow_infinity=False),
+        )
+    )
+    return SignalRecord(
+        record_id=f"rec-{index}",
+        readings=readings,
+        floor=floor,
+        position=position,
+        device_id=device_id,
+        timestamp=timestamp,
+    )
+
+
+@st.composite
+def records_strategy(draw, min_size: int = 1, max_size: int = 12):
+    count = draw(st.integers(min_value=min_size, max_value=max_size))
+    return [draw(record_strategy(index)) for index in range(count)]
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(records=records_strategy())
+    def test_from_records_to_records_is_lossless(self, records):
+        assert RecordBatch.from_records(records).to_records() == records
+
+    @settings(max_examples=40, deadline=None)
+    @given(records=records_strategy())
+    def test_json_payload_round_trip(self, records):
+        batch = RecordBatch.from_records(records)
+        rebuilt = RecordBatch.from_json_payload(batch.to_json_payload())
+        assert rebuilt.to_records() == records
+
+    @settings(max_examples=40, deadline=None)
+    @given(records=records_strategy(min_size=2))
+    def test_take_selects_records(self, records):
+        batch = RecordBatch.from_records(records)
+        indices = list(range(len(records) - 1, -1, -2))
+        taken = batch.take(indices)
+        assert taken.to_records() == [records[i] for i in indices]
+
+
+class TestVocabStability:
+    @settings(max_examples=50, deadline=None)
+    @given(records=records_strategy(min_size=2), data=st.data())
+    def test_vocab_ids_stable_under_permutation(self, records, data):
+        permutation = data.draw(st.permutations(range(len(records))))
+        vocab = MacVocab()
+        first = RecordBatch.from_records(records, vocab=vocab)
+        second = RecordBatch.from_records(
+            [records[i] for i in permutation], vocab=vocab
+        )
+        assert second.vocab is vocab
+        # Every MAC keeps the id its first interning assigned...
+        for mac in {mac for record in records for mac in record.readings}:
+            assert vocab.mac_of(vocab.id_of(mac)) == mac
+        # ...and each record's readings survive the permutation unchanged.
+        by_id = {record.record_id: record for record in records}
+        for index in range(len(second)):
+            record_id = str(second.record_ids[index])
+            assert second.readings_of(index) == dict(by_id[record_id].readings)
+
+    @settings(max_examples=30, deadline=None)
+    @given(records=records_strategy())
+    def test_shared_vocab_reuses_ids_across_batches(self, records):
+        vocab = MacVocab()
+        first = RecordBatch.from_records(records, vocab=vocab)
+        size_after_first = len(vocab)
+        second = RecordBatch.from_records(records, vocab=vocab)
+        assert len(vocab) == size_after_first
+        assert np.array_equal(first.mac_ids, second.mac_ids)
+
+
+class TestEmbeddingBitEquality:
+    @settings(max_examples=50, deadline=None)
+    @given(records=records_strategy())
+    def test_embed_batch_matches_embed_records_bitwise(self, encoder, records):
+        unlabeled = [record.without_floor() for record in records]
+        batch = RecordBatch.from_records(unlabeled)
+        record_embeddings, record_known = encoder.embed_records(unlabeled)
+        batch_embeddings, batch_known = encoder.embed_batch(batch)
+        assert np.array_equal(record_embeddings, batch_embeddings)
+        assert np.array_equal(record_known, batch_known)
+
+    @settings(max_examples=25, deadline=None)
+    @given(records=records_strategy())
+    def test_no_attention_embed_batch_matches_bitwise(self, records):
+        encoder = _synthetic_encoder()
+        encoder.attention = False
+        batch = RecordBatch.from_records(records)
+        record_embeddings, record_known = encoder.embed_records(records)
+        batch_embeddings, batch_known = encoder.embed_batch(batch)
+        assert np.array_equal(record_embeddings, batch_embeddings)
+        assert np.array_equal(record_known, batch_known)
+
+    def test_growing_vocab_extends_translation(self, encoder):
+        vocab = MacVocab()
+        first = RecordBatch.from_records(
+            [SignalRecord("r1", {VOCAB_MACS[0]: -50.0})], vocab=vocab
+        )
+        embeddings_first, _ = encoder.embed_batch(first)
+        # New MACs (known and unknown) intern *after* the translation table
+        # was first built; the cached table must extend, not go stale.
+        second = RecordBatch.from_records(
+            [
+                SignalRecord(
+                    "r2", {VOCAB_MACS[5]: -60.0, UNKNOWN_MACS[0]: -70.0}
+                ),
+                SignalRecord("r3", {VOCAB_MACS[0]: -50.0}),
+            ],
+            vocab=vocab,
+        )
+        batch_embeddings, batch_known = encoder.embed_batch(second)
+        record_embeddings, record_known = encoder.embed_records(
+            second.to_records()
+        )
+        assert np.array_equal(record_embeddings, batch_embeddings)
+        assert np.array_equal(record_known, batch_known)
+        # Same readings => same embedding direction regardless of which
+        # batch carried them (exact cross-batch bitwise equality is not
+        # guaranteed — BLAS kernels vary with matrix shape).
+        np.testing.assert_allclose(embeddings_first[0], batch_embeddings[1])
