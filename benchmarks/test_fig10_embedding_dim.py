@@ -20,7 +20,11 @@ def test_fig10_embedding_dimension_clustering(benchmark):
         f"dim={dim}": {"ARI": summary.mean["ari"], "NMI": summary.mean["nmi"]}
         for dim, summary in summaries.items()
     }
-    print("\n" + format_ratio_table(table, column_order=["ARI", "NMI"], title="Figure 10 — embedding dimension vs clustering"))
+    print("\n" + format_ratio_table(
+        table,
+        column_order=["ARI", "NMI"],
+        title="Figure 10 — embedding dimension vs clustering",
+    ))
 
     # The paper: FIS-ONE is robust across dimensions 8..64 (no collapse at any
     # dimension).  We assert every dimension stays within a band of the best.

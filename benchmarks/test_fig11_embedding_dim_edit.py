@@ -14,7 +14,10 @@ def test_fig11_embedding_dimension_indexing(benchmark):
 
     summaries = benchmark.pedantic(run, rounds=1, iterations=1)
     table = {
-        f"dim={dim}": {"EditDistance": summary.mean["edit_distance"], "Accuracy": summary.mean["accuracy"]}
+        f"dim={dim}": {
+            "EditDistance": summary.mean["edit_distance"],
+            "Accuracy": summary.mean["accuracy"],
+        }
         for dim, summary in summaries.items()
     }
     print(

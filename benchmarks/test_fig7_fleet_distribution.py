@@ -2,7 +2,11 @@
 
 from collections import Counter
 
-from repro.simulate.fleet import MICROSOFT_FLOOR_DISTRIBUTION, MALL_FLOOR_COUNTS, floor_counts_for_fleet
+from repro.simulate.fleet import (
+    MICROSOFT_FLOOR_DISTRIBUTION,
+    MALL_FLOOR_COUNTS,
+    floor_counts_for_fleet,
+)
 
 
 def test_fig7_building_floor_distribution(benchmark):

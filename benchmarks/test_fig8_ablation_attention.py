@@ -12,7 +12,9 @@ def test_fig8_attention_ablation(benchmark):
         return summarize_variant(datasets, "default"), summarize_variant(datasets, "no_attention")
 
     with_attention, without_attention = benchmark.pedantic(run, rounds=1, iterations=1)
-    print("\n" + format_table([with_attention, without_attention], title="Figure 8(a-b) — attention ablation"))
+    print("\n" + format_table(
+        [with_attention, without_attention], title="Figure 8(a-b) — attention ablation"
+    ))
 
     # The paper: removing the attention hurts ARI/NMI/edit distance.  On the
     # scaled-down benchmark fleet (a handful of buildings, tens of samples per

@@ -91,11 +91,11 @@ def _seed_build_alias_table(probabilities: np.ndarray):
     scaled = scaled.copy()
     while small and large:
         s = small.pop()
-        l = large.pop()
+        g = large.pop()
         prob[s] = scaled[s]
-        alias[s] = l
-        scaled[l] = scaled[l] - (1.0 - scaled[s])
-        (small if scaled[l] < 1.0 else large).append(l)
+        alias[s] = g
+        scaled[g] = scaled[g] - (1.0 - scaled[s])
+        (small if scaled[g] < 1.0 else large).append(g)
     for index in large:
         prob[index] = 1.0
     for index in small:

@@ -23,7 +23,6 @@ from pathlib import Path
 
 import numpy as np
 
-from common import fast_config
 from repro.core import FisOne, FisOneConfig
 from repro.gnn.model import RFGNNConfig
 from repro.signals.dataset import SignalDataset

@@ -1,4 +1,4 @@
-"""S1 — serving micro-benchmarks: online labeling vs refit, and batch sizing.
+"""S1 — serving micro-benchmarks: online labeling vs refit, batching, sharding.
 
 The serving layer's pitch is that labeling a newly crowdsourced signal must
 not cost a pipeline refit.  The first benchmark quantifies that: it fits one
@@ -7,7 +7,12 @@ encoder and (b) by merging them into the dataset and refitting, and asserts
 the online path is at least 10x faster per labeled record.  The second
 drives the FleetServer with columnar :class:`RecordBatch` traffic at a
 sweep of request batch sizes, showing how much coalesced, array-native
-requests buy over single-record submits.  All measured numbers are merged
+requests buy over single-record submits.  The third sweeps the
+:class:`ShardedFleetServer` worker count over mixed-building open-loop
+traffic: partitioning the fleet across processes must at least double
+aggregate throughput at 4 workers vs 1 (per-shard hot sets fit the LRU, so
+the thrash of repeated artifact loads disappears; on multi-core hosts the
+processes additionally label in parallel).  All measured numbers are merged
 into ``BENCH_serving.json`` at the repository root.
 """
 
@@ -19,11 +24,24 @@ import numpy as np
 
 from common import fast_config
 from repro.core import FisOne
-from repro.serving import BuildingRegistry, FleetServer, OnlineFloorLabeler
+from repro.gnn.model import RFGNNConfig
+from repro.core.config import FisOneConfig
+from repro.serving import (
+    BuildingRegistry,
+    FleetServer,
+    OnlineFloorLabeler,
+    RefreshPolicy,
+    ShardedFleetServer,
+)
 from repro.signals.batch import MacVocab, RecordBatch
 from repro.signals.dataset import SignalDataset
 from repro.signals.record import SignalRecord
-from repro.simulate import generate_single_building
+from repro.simulate import (
+    LoadProfile,
+    generate_label_traffic,
+    generate_single_building,
+    replay_traffic,
+)
 
 BENCH_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
 
@@ -151,4 +169,147 @@ def test_fleet_server_batch_size_sweep():
     largest = str(SWEEP_BATCH_SIZES[-1])
     assert sweep[largest] > sweep["1"], (
         "coalesced columnar batches should outperform single-record submits"
+    )
+
+
+#: Worker-process counts swept by the sharded-serving benchmark.
+WORKER_SWEEP = [1, 2, 4]
+
+#: Required aggregate-throughput advantage of 4 workers over 1.
+MIN_SHARDED_SPEEDUP = 2.0
+
+#: Fleet building ids, chosen (deterministically, see the ring test in
+#: tests/test_sharded.py) so the consistent-hash ring splits them 2/2/2/2
+#: over 4 shards and 4/4 over 2 — an imbalanced split would make the sweep
+#: measure ring luck instead of sharding.
+SHARDED_FLEET_IDS = [
+    "bench-003",
+    "bench-009",
+    "bench-000",
+    "bench-004",
+    "bench-002",
+    "bench-008",
+    "bench-015",
+    "bench-016",
+]
+
+#: Per-worker LRU capacity during the sweep.  Deliberately smaller than the
+#: fleet: a lone worker must multiplex all 8 buildings through 2 slots
+#: (cache thrash, one mmap artifact load per miss), while 4 workers hold
+#: their 2-building shards fully hot — the memory half of the sharding win,
+#: measurable even on a single-core host.
+SHARDED_SWEEP_CAPACITY = 2
+
+#: Open-loop requests driven through each sweep point.
+SHARDED_SWEEP_REQUESTS = 320
+
+
+def _sharded_config() -> FisOneConfig:
+    """Slightly wider embeddings than :func:`fast_config` so per-building
+    artifacts (and therefore the cost of thrashing them) are realistic."""
+    return FisOneConfig(
+        gnn=RFGNNConfig(embedding_dim=24, neighbor_sample_sizes=(10, 5)),
+        num_epochs=3,
+        max_pairs_per_epoch=15_000,
+        inference_passes=2,
+        inference_sample_sizes=(30, 15),
+    )
+
+
+def test_sharded_worker_count_sweep(tmp_path):
+    """Aggregate throughput of the sharded fleet server at 1/2/4 workers.
+
+    Fits an 8-building fleet once into a shared artifact store, generates
+    one mixed-building open-loop traffic trace (skewed building popularity,
+    mixed request batch sizes), and replays the *same* trace against a
+    ``ShardedFleetServer`` at each worker count.  Labels must agree exactly
+    across worker counts (sharding must not change results), and 4 workers
+    must deliver at least :data:`MIN_SHARDED_SPEEDUP` the aggregate
+    records/second of 1.
+    """
+    config = _sharded_config()
+    store = tmp_path / "fleet-store"
+    fit_registry = BuildingRegistry(
+        store_dir=store, config=config, capacity=len(SHARDED_FLEET_IDS)
+    )
+    streams = {}
+    for index, building_id in enumerate(SHARDED_FLEET_IDS):
+        labeled = generate_single_building(
+            num_floors=4 + (index % 2), samples_per_floor=90, seed=100 + index
+        )
+        train, stream = labeled.holdout_split(train_per_floor=70)
+        anchor = train.pick_labeled_sample(floor=0)
+        observed = train.strip_labels(keep_record_ids=[anchor.record_id])
+        fit_registry.register(building_id, observed, anchor_record_id=anchor.record_id)
+        fit_registry.get(building_id)  # eager fit, written through to the store
+        streams[building_id] = [record.without_floor() for record in stream]
+
+    traffic = generate_label_traffic(
+        streams,
+        num_requests=SHARDED_SWEEP_REQUESTS,
+        profile=LoadProfile(
+            building_skew=0.3,
+            batch_size_mix=((4, 0.35), (16, 0.4), (64, 0.25)),
+        ),
+        seed=7,
+    )
+    num_records = sum(len(request.records) for request in traffic)
+
+    sweep = {}
+    rejections = {}
+    labels_by_workers = {}
+    for workers in WORKER_SWEEP:
+        with ShardedFleetServer(
+            store,
+            num_workers=workers,
+            config=config,
+            # The sweep measures labeling, not refresh material collection:
+            # a small buffer keeps per-request bookkeeping off the hot path.
+            refresh_policy=RefreshPolicy(buffer_size=8),
+            shard_capacity=SHARDED_SWEEP_CAPACITY,
+            max_inflight=8,
+            inner_workers=2,
+        ) as server:
+            start_time = time.perf_counter()
+            futures, num_rejected = replay_traffic(server.submit, traffic)
+            responses = [future.result(timeout=600) for future in futures]
+            elapsed = time.perf_counter() - start_time
+        sweep[str(workers)] = num_records / elapsed
+        rejections[str(workers)] = num_rejected
+        labels_by_workers[workers] = [
+            (label.record_id, label.floor, label.confidence, label.known_mac_fraction)
+            for response in responses
+            for label in response.labels
+        ]
+
+    speedup = sweep[str(WORKER_SWEEP[-1])] / sweep["1"]
+    _merge_bench(
+        {
+            "worker_sweep_records": num_records,
+            "worker_sweep_requests": SHARDED_SWEEP_REQUESTS,
+            "worker_sweep_buildings": len(SHARDED_FLEET_IDS),
+            "worker_sweep": sweep,
+            "worker_sweep_rejections": rejections,
+            "sharded_speedup_4w_vs_1w": speedup,
+        }
+    )
+
+    print(
+        f"\nSharded fleet worker sweep ({num_records} records, "
+        f"{len(SHARDED_FLEET_IDS)} buildings, per-shard LRU capacity "
+        f"{SHARDED_SWEEP_CAPACITY}):"
+    )
+    for workers in WORKER_SWEEP:
+        print(
+            f"  workers={workers}: {sweep[str(workers)]:10.0f} records/s   "
+            f"(backpressure rejections: {rejections[str(workers)]})"
+        )
+    print(f"  4w vs 1w: {speedup:.2f}x   (written to {BENCH_OUTPUT.name})")
+
+    for workers in WORKER_SWEEP[1:]:
+        assert labels_by_workers[workers] == labels_by_workers[1], (
+            f"labels at {workers} workers differ from the single-worker labels"
+        )
+    assert speedup >= MIN_SHARDED_SPEEDUP, (
+        f"4 workers delivered only {speedup:.2f}x the single-worker throughput"
     )

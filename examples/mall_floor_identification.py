@@ -36,7 +36,8 @@ def main() -> None:
     for floors, count in histogram.items():
         print(f"  {floors} floor(s): {count:3d} " + "#" * count)
     print("Mean shared MACs by floor distance:",
-          {distance: round(value, 1) for distance, value in spillover_by_floor_distance(dataset).items()})
+          {distance: round(value, 1)
+           for distance, value in spillover_by_floor_distance(dataset).items()})
 
     # 3. FIS-ONE with a single bottom-floor label.
     fis_config = FisOneConfig(

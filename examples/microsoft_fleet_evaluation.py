@@ -44,7 +44,9 @@ def main(num_buildings: int = 4) -> None:
             f"EditDist {evaluation.edit_distance:.3f}  Accuracy {evaluation.accuracy:.3f}"
         )
 
-    print("\n" + format_table([summarize(evaluations, "FIS-ONE")], title="Fleet aggregate (mean/std)"))
+    print("\n" + format_table(
+        [summarize(evaluations, "FIS-ONE")], title="Fleet aggregate (mean/std)"
+    ))
 
 
 if __name__ == "__main__":

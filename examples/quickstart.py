@@ -42,10 +42,12 @@ def main() -> None:
     truth = dataset.ground_truth
     print("\nResults")
     print(f"  Adjusted Rand Index : {adjusted_rand_index(truth, result.floor_labels):.3f}")
-    print(f"  Normalised MI       : {normalized_mutual_information(truth, result.floor_labels):.3f}")
+    nmi = normalized_mutual_information(truth, result.floor_labels)
+    print(f"  Normalised MI       : {nmi:.3f}")
     print(f"  Floor accuracy      : {floor_accuracy(truth, result.floor_labels):.3f}")
     print(f"  Cluster -> floor map: {result.indexing.cluster_to_floor}")
-    print(f"  RF-GNN loss per epoch: {[round(l, 3) for l in result.training_history.epoch_losses]}")
+    losses = [round(loss, 3) for loss in result.training_history.epoch_losses]
+    print(f"  RF-GNN loss per epoch: {losses}")
 
 
 if __name__ == "__main__":

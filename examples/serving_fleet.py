@@ -17,15 +17,29 @@ buildings:
 Run it with::
 
     python examples/serving_fleet.py
+
+With ``--workers N`` the serving step runs through the multi-process
+:class:`~repro.serving.sharded.ShardedFleetServer` instead: buildings are
+consistent-hash partitioned across N worker processes, each of which
+mmap-loads its share of the store zero-copy (the default, ``--workers 0``,
+serves in-process)::
+
+    python examples/serving_fleet.py --workers 2
 """
 
 from __future__ import annotations
 
+import argparse
 import tempfile
 
 from repro.core import FisOneConfig
 from repro.gnn.model import RFGNNConfig
-from repro.serving import BuildingRegistry, FleetServer, LabelRequest
+from repro.serving import (
+    BuildingRegistry,
+    FleetServer,
+    LabelRequest,
+    ShardedFleetServer,
+)
 from repro.signals import MacVocab, RecordBatch
 from repro.simulate import generate_single_building
 
@@ -40,6 +54,16 @@ CONFIG = FisOneConfig(
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for a ShardedFleetServer (0 = in-process "
+        "FleetServer, the default)",
+    )
+    args = parser.parse_args()
+
     # 1. Three buildings; per building, train on 30 samples/floor and keep
     #    the remaining records as the later "online" traffic.
     fleet = {}
@@ -67,7 +91,8 @@ def main() -> None:
         print(f"registry after fitting: {registry.stats}")
 
         # 3. A fresh registry on the same store: every model loads from its
-        #    artifact directory, nothing refits.
+        #    artifact directory, nothing refits.  (In sharded mode each
+        #    worker process builds its own registry over the store instead.)
         serving_registry = BuildingRegistry(store_dir=store, capacity=2, config=CONFIG)
 
         # 4. Serve the held-back signals concurrently, 5 records per request,
@@ -90,9 +115,28 @@ def main() -> None:
                         ),
                     )
                 )
-        with FleetServer(serving_registry, num_workers=4, batch_window_s=0.005) as server:
-            responses = server.serve(requests)
-            stats = server.stats()
+        if args.workers > 0:
+            print(f"\nserving through {args.workers} sharded worker processes "
+                  "(consistent-hash routing, zero-copy mmap loads)")
+            with ShardedFleetServer(
+                store, num_workers=args.workers, config=CONFIG,
+                shard_capacity=2, batch_window_s=0.005,
+            ) as sharded:
+                for building_id in fleet:
+                    print(f"  {building_id} -> shard {sharded.shard_for(building_id)}")
+                responses = sharded.serve(requests)
+                fleet_stats = sharded.stats()
+            stats = fleet_stats  # FleetWideStats shares the printed fields
+            loads = sum(shard.registry.loads for shard in fleet_stats.shards)
+            refits = sum(shard.registry.fits for shard in fleet_stats.shards)
+        else:
+            with FleetServer(
+                serving_registry, num_workers=4, batch_window_s=0.005
+            ) as server:
+                responses = server.serve(requests)
+                stats = server.stats()
+            loads = serving_registry.stats.loads
+            refits = serving_registry.stats.fits
 
         truth = {
             record.record_id: record.floor
@@ -109,8 +153,7 @@ def main() -> None:
               f"({stats.num_records} records) in {stats.elapsed_s:.2f}s "
               f"-> {stats.records_per_second:.0f} records/s, "
               f"{stats.num_batches} per-building batches")
-        print(f"loads from disk: {serving_registry.stats.loads}, "
-              f"refits: {serving_registry.stats.fits}")
+        print(f"loads from disk: {loads}, refits: {refits}")
         print(f"online floor accuracy vs withheld ground truth: {correct / total:.3f}")
 
 

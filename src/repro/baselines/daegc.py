@@ -140,7 +140,9 @@ class DAEGCBaseline(BaselineClusterer):
         kmeans.fit_predict(embedding)
         centers = kmeans.centroids_.copy()
         center_grads = {"centers": np.zeros_like(centers)}
-        optimizer = Adam(params + [{"centers": centers}], grads + [center_grads], lr=self.learning_rate)
+        optimizer = Adam(
+            params + [{"centers": centers}], grads + [center_grads], lr=self.learning_rate
+        )
 
         # -- phase 2: joint reconstruction + self-training --------------------------
         for _ in range(self.train_epochs):

@@ -18,7 +18,7 @@ The partition of the *sample* nodes is returned as the clustering.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

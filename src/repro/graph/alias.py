@@ -65,11 +65,11 @@ def _vose_fill(scaled, small, large, prob, alias) -> None:
     """
     while small and large:
         s = small.pop()
-        l = large.pop()
+        g = large.pop()
         prob[s] = scaled[s]
-        alias[s] = l
-        scaled[l] = scaled[l] - (1.0 - scaled[s])
-        (small if scaled[l] < 1.0 else large).append(l)
+        alias[s] = g
+        scaled[g] = scaled[g] - (1.0 - scaled[s])
+        (small if scaled[g] < 1.0 else large).append(g)
 
 
 class AliasTables:

@@ -19,7 +19,7 @@ its cluster can no longer serve as the TSP start city.  The paper's extension:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 

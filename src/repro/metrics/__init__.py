@@ -12,7 +12,11 @@ All metrics are "higher is better" and bounded above by 1.
 
 from repro.metrics.ari import adjusted_rand_index, rand_index
 from repro.metrics.nmi import entropy, mutual_information, normalized_mutual_information
-from repro.metrics.edit_distance import jaro_similarity, jaro_winkler_similarity, indexing_edit_distance
+from repro.metrics.edit_distance import (
+    jaro_similarity,
+    jaro_winkler_similarity,
+    indexing_edit_distance,
+)
 from repro.metrics.accuracy import floor_accuracy, confusion_matrix
 
 __all__ = [

@@ -49,7 +49,9 @@ class Dense:
         }
         if use_bias:
             self.params["b"] = np.zeros(out_dim)
-        self.grads: Dict[str, np.ndarray] = {key: np.zeros_like(value) for key, value in self.params.items()}
+        self.grads: Dict[str, np.ndarray] = {
+            key: np.zeros_like(value) for key, value in self.params.items()
+        }
         self._cache_x: Optional[np.ndarray] = None
         self._cache_pre: Optional[np.ndarray] = None
         self._cache_out: Optional[np.ndarray] = None

@@ -20,6 +20,11 @@ Everything the seed's batch pipeline lacked for production traffic:
   request loop that coalesces concurrent label requests per building,
   reports throughput, and sweeps the fleet for drifted buildings
   (``refresh_drifted``).
+* :mod:`~repro.serving.sharded` — :class:`ShardedFleetServer`: the fleet
+  consistent-hash partitioned across worker *processes*, each running a
+  :class:`FleetServer` over zero-copy (mmap) artifact loads, with bounded
+  per-shard queues (:class:`ShardOverloadedError` backpressure) and
+  fleet-wide stats/drift/refresh aggregation.
 * :mod:`~repro.serving.results` — the typed request/response dataclasses
   shared by all of the above.
 
@@ -52,6 +57,13 @@ from repro.serving.online import OnlineFloorLabeler
 from repro.serving.registry import BuildingRegistry, RegistryStats
 from repro.serving.results import LabelRequest, LabelResponse, OnlineLabel, ServerStats
 from repro.serving.server import FleetServer
+from repro.serving.sharded import (
+    ConsistentHashRing,
+    FleetWideStats,
+    ShardedFleetServer,
+    ShardOverloadedError,
+    ShardStats,
+)
 
 __all__ = [
     "ARTIFACT_FORMAT_VERSION",
@@ -71,4 +83,9 @@ __all__ = [
     "OnlineLabel",
     "ServerStats",
     "FleetServer",
+    "ConsistentHashRing",
+    "FleetWideStats",
+    "ShardedFleetServer",
+    "ShardOverloadedError",
+    "ShardStats",
 ]

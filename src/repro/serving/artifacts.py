@@ -27,6 +27,7 @@ import json
 import os
 import time
 import uuid
+import zipfile
 from pathlib import Path
 from typing import Dict, Optional, Union
 
@@ -56,6 +57,11 @@ ARRAYS_FILENAME = "arrays.npz"
 #: Temp files older than this are leftovers of a crashed writer and are
 #: swept on the next save (live writers finish in well under this).
 STALE_TMP_MAX_AGE_S = 600.0
+
+#: Zip members smaller than this are read eagerly even under ``mmap=True`` —
+#: mapping a page per tiny array (the save token, per-hop biases, ...) costs
+#: more than copying it, and 0-d scalars sidestep memmap shape edge cases.
+MMAP_MIN_BYTES = 512
 
 _REQUIRED_MANIFEST_KEYS = (
     "format_version",
@@ -98,7 +104,10 @@ def config_from_dict(payload: Dict) -> FisOneConfig:
 
 
 def save_artifacts(
-    fitted: FittedFisOne, directory: PathLike, include_graph: bool = True
+    fitted: FittedFisOne,
+    directory: PathLike,
+    include_graph: bool = True,
+    compress: bool = False,
 ) -> Path:
     """Write a fitted model to ``directory`` and return that path.
 
@@ -107,6 +116,14 @@ def save_artifacts(
     :meth:`~repro.core.pipeline.FittedFisOne.warm_start_graph` after a load
     but costs O(edges) disk, so fleets that never grow graphs offline can
     switch it off.
+
+    ``compress`` trades disk for load speed: the default stores the arrays
+    *uncompressed* inside ``arrays.npz`` so that
+    ``load_artifacts(..., mmap=True)`` can map them zero-copy straight from
+    the page cache (a worker process then shares physical pages with every
+    sibling mapping the same store).  Compressed artifacts remain loadable
+    in both modes — ``mmap=True`` just falls back to an eager read for
+    deflated members.
 
     The directory is created if needed.  Both files are written to
     temporary names and swapped in with ``os.replace`` (arrays first,
@@ -147,8 +164,9 @@ def save_artifacts(
     # Temp names carry the save token so two processes overwriting the same
     # building never collide on a shared temp inode.
     arrays_tmp = directory / f"{ARRAYS_FILENAME}.{save_token}.tmp"
+    savez = np.savez_compressed if compress else np.savez
     try:
-        np.savez_compressed(arrays_tmp, **arrays)
+        savez(arrays_tmp, **arrays)
         # savez appends .npz when the name lacks it; ".tmp" lacks it.
         os.replace(str(arrays_tmp) + ".npz", directory / ARRAYS_FILENAME)
     except BaseException:
@@ -214,8 +232,91 @@ def has_artifacts(directory: PathLike) -> bool:
     ).is_file()
 
 
-def load_artifacts(directory: PathLike) -> FittedFisOne:
+def _mmap_zip_member(path: Path, info: zipfile.ZipInfo) -> Optional[np.ndarray]:
+    """Memory-map one *stored* (uncompressed) ``.npy`` member of a zip file.
+
+    Returns ``None`` when the member cannot be mapped (unexpected local
+    header, unsupported ``.npy`` version, object dtype) — the caller then
+    falls back to an eager read.  The returned array is a read-only
+    ``np.memmap``: no bytes are copied at load time, and every process
+    mapping the same artifact shares one set of physical pages.
+    """
+    with open(path, "rb") as handle:
+        # The local file header's name/extra lengths can differ from the
+        # central directory's, so the data offset must be computed from the
+        # local header itself.
+        handle.seek(info.header_offset)
+        local_header = handle.read(30)
+        if len(local_header) != 30 or local_header[:4] != b"PK\x03\x04":
+            return None
+        name_length = int.from_bytes(local_header[26:28], "little")
+        extra_length = int.from_bytes(local_header[28:30], "little")
+        handle.seek(info.header_offset + 30 + name_length + extra_length)
+        try:
+            version = np.lib.format.read_magic(handle)
+        except ValueError:
+            return None
+        if version == (1, 0):
+            shape, fortran_order, dtype = np.lib.format.read_array_header_1_0(handle)
+        elif version == (2, 0):
+            shape, fortran_order, dtype = np.lib.format.read_array_header_2_0(handle)
+        else:
+            return None
+        if dtype.hasobject:
+            return None
+        offset = handle.tell()
+    return np.memmap(
+        path,
+        dtype=dtype,
+        mode="r",
+        offset=offset,
+        shape=shape,
+        order="F" if fortran_order else "C",
+    )
+
+
+def _read_arrays(path: Path, mmap: bool) -> Dict[str, np.ndarray]:
+    """All arrays of one ``arrays.npz``, eagerly or memory-mapped.
+
+    Under ``mmap=True``, members that were stored uncompressed (the default
+    of :func:`save_artifacts`) and are at least :data:`MMAP_MIN_BYTES` long
+    come back as read-only ``np.memmap`` views; everything else — tiny
+    arrays, deflated members of compressed artifacts — is read eagerly, so
+    the two modes accept exactly the same files.
+    """
+    if not mmap:
+        with np.load(path) as stored:
+            return {name: stored[name] for name in stored.files}
+    arrays: Dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as archive:
+        for info in archive.infolist():
+            if not info.filename.endswith(".npy"):
+                continue
+            name = info.filename[: -len(".npy")]
+            array: Optional[np.ndarray] = None
+            if (
+                info.compress_type == zipfile.ZIP_STORED
+                and info.file_size >= MMAP_MIN_BYTES
+            ):
+                array = _mmap_zip_member(path, info)
+            if array is None:
+                with archive.open(info.filename) as member:
+                    array = np.lib.format.read_array(member, allow_pickle=False)
+            arrays[name] = array
+    return arrays
+
+
+def load_artifacts(directory: PathLike, mmap: bool = False) -> FittedFisOne:
     """Load a fitted model saved by :func:`save_artifacts`.
+
+    With ``mmap=True`` the NumPy arrays are memory-mapped read-only instead
+    of copied into the heap (zero-copy load): construction touches only the
+    zip directory and array headers, the data pages fault in on first use,
+    and worker processes serving the same store share physical pages.  The
+    reconstructed model is bit-identical to an eager load — every consumer
+    of a fitted model's arrays treats them as immutable (mutating stages
+    such as :meth:`~repro.core.pipeline.FittedFisOne.refresh` copy before
+    writing), which is exactly the contract a read-only mapping enforces.
 
     Raises
     ------
@@ -247,8 +348,7 @@ def load_artifacts(directory: PathLike) -> FittedFisOne:
         )
 
     try:
-        with np.load(arrays_path) as stored:
-            arrays = {name: stored[name] for name in stored.files}
+        arrays = _read_arrays(arrays_path, mmap=mmap)
     except Exception as error:  # np.load raises BadZipFile/OSError/ValueError
         raise ArtifactError(f"unreadable arrays in {directory}: {error}") from None
     num_hops = int(manifest["num_hops"])

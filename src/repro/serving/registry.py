@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -116,6 +116,11 @@ class BuildingRegistry:
     refresh_policy:
         When and how drifted buildings are incrementally refreshed; see
         :class:`~repro.serving.drift.RefreshPolicy` for the defaults.
+    mmap:
+        Load stored artifacts with ``mmap=True`` (zero-copy, read-only
+        memory maps instead of heap copies) — the mode sharded fleet
+        workers run in, so sibling processes serving one store share
+        physical pages.  Fits and refreshes still write ordinary files.
     """
 
     def __init__(
@@ -124,6 +129,7 @@ class BuildingRegistry:
         capacity: int = 8,
         config: Optional[FisOneConfig] = None,
         refresh_policy: Optional[RefreshPolicy] = None,
+        mmap: bool = False,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -131,7 +137,8 @@ class BuildingRegistry:
         self.capacity = capacity
         self.config = config
         self.refresh_policy = refresh_policy or RefreshPolicy()
-        self.stats = RegistryStats()
+        self.mmap = mmap
+        self._stats = RegistryStats()
         self._sources: Dict[str, _TrainingSource] = {}
         self._cache: "OrderedDict[str, FittedFisOne]" = OrderedDict()
         # Per-building drift state: a rolling monitor over every label the
@@ -147,6 +154,19 @@ class BuildingRegistry:
         self._dirty: set = set()
         self._lock = threading.Lock()
         self._building_locks: Dict[str, threading.Lock] = {}
+
+    @property
+    def stats(self) -> RegistryStats:
+        """A *consistent* snapshot of the serving counters.
+
+        Taken under the registry lock, so a reader concurrent with traffic
+        never observes a torn multi-field state (e.g. a miss already counted
+        but its fit not yet) — the snapshot is some state the registry
+        actually passed through.  Returned by value: mutating it does not
+        touch the live counters.
+        """
+        with self._lock:
+            return replace(self._stats)
 
     # -- registration ----------------------------------------------------------
 
@@ -277,7 +297,7 @@ class BuildingRegistry:
                 cached = self._cache_hit(building_id)
                 if cached is not None:
                     return cached
-                self.stats.misses += 1
+                self._stats.misses += 1
             fitted = self._materialize(building_id)
             with self._lock:
                 # register() may have superseded the training data between
@@ -390,7 +410,7 @@ class BuildingRegistry:
             if self.store_dir is not None:
                 save_artifacts(result.fitted, self.store_dir / building_id)
             with self._lock:
-                self.stats.refreshes += 1
+                self._stats.refreshes += 1
                 if self.store_dir is not None:
                     self._persisted.add(building_id)
                 # A register() landing mid-refresh supersedes this model the
@@ -484,13 +504,13 @@ class BuildingRegistry:
                 and has_artifacts(self.store_dir / building_id)
             ):
                 try:
-                    fitted = load_artifacts(self.store_dir / building_id)
+                    fitted = load_artifacts(self.store_dir / building_id, mmap=self.mmap)
                 except ArtifactError:
                     try:
                         # A mismatch from racing another process's overwrite
                         # is transient: one re-read usually lands after its
                         # final swap and spares a multi-second refit.
-                        fitted = load_artifacts(self.store_dir / building_id)
+                        fitted = load_artifacts(self.store_dir / building_id, mmap=self.mmap)
                     except ArtifactError:
                         # Persistently torn or corrupt (e.g. a writer crashed
                         # mid-swap).  With a registered source the building
@@ -507,7 +527,7 @@ class BuildingRegistry:
                         continue
                 with self._lock:
                     if building_id not in self._dirty:
-                        self.stats.loads += 1
+                        self._stats.loads += 1
                         self._persisted.add(building_id)
                         return fitted
                 # register() superseded the artifact while it was loading;
@@ -529,7 +549,7 @@ class BuildingRegistry:
                 save_artifacts(fitted, self.store_dir / building_id)
             with self._lock:
                 if self._sources.get(building_id) is source:
-                    self.stats.fits += 1
+                    self._stats.fits += 1
                     self._dirty.discard(building_id)
                     if self.store_dir is not None:
                         self._persisted.add(building_id)
@@ -546,7 +566,7 @@ class BuildingRegistry:
         cached = self._cache.get(building_id)
         if cached is not None:
             self._cache.move_to_end(building_id)
-            self.stats.hits += 1
+            self._stats.hits += 1
         return cached
 
     def _recoverable(self, building_id: str) -> bool:
@@ -580,4 +600,4 @@ class BuildingRegistry:
             if victim is None:
                 break
             del self._cache[victim]
-            self.stats.evictions += 1
+            self._stats.evictions += 1

@@ -124,12 +124,13 @@ class FleetServer:
                 target=self._dispatch_loop, name="fleet-dispatcher", daemon=True
             )
             now = time.perf_counter()
-            if self._stopped_elapsed is not None:
-                # Resume accumulated serving time, excluding the downtime.
-                self._started_at = now - self._stopped_elapsed
-            elif self._started_at is None:
-                self._started_at = now
-            self._stopped_elapsed = None
+            with self._stats_lock:
+                if self._stopped_elapsed is not None:
+                    # Resume accumulated serving time, excluding the downtime.
+                    self._started_at = now - self._stopped_elapsed
+                elif self._started_at is None:
+                    self._started_at = now
+                self._stopped_elapsed = None
             self._dispatcher.start()
             return self
 
@@ -148,8 +149,9 @@ class FleetServer:
             self._dispatcher = None
             self._executor.shutdown(wait=True)
             self._executor = None
-            if self._started_at is not None:
-                self._stopped_elapsed = time.perf_counter() - self._started_at
+            with self._stats_lock:
+                if self._started_at is not None:
+                    self._stopped_elapsed = time.perf_counter() - self._started_at
 
     def __enter__(self) -> "FleetServer":
         return self.start()
@@ -249,16 +251,21 @@ class FleetServer:
         return reports
 
     def stats(self) -> ServerStats:
-        """Aggregate throughput counters since :meth:`start`."""
+        """Aggregate throughput counters since :meth:`start`.
+
+        All fields come from one critical section of the stats lock (which
+        start/stop also take when moving the serving window), so concurrent
+        submit/refresh/stop traffic can never produce a torn snapshot —
+        counters from one window paired with an elapsed time from another.
+        The *lifecycle* lock is deliberately not taken: stats() must never
+        stall behind a stop() that is draining multi-second batches.
+        """
         with self._stats_lock:
             num_requests = self._num_requests
             num_records = self._num_records
             num_batches = self._num_batches
-        # Single snapshot reads (not the lifecycle lock): stats() must never
-        # stall behind a stop() that is draining multi-second batches, and
-        # one read per field is enough to avoid torn None checks.
-        stopped_elapsed = self._stopped_elapsed
-        started_at = self._started_at
+            stopped_elapsed = self._stopped_elapsed
+            started_at = self._started_at
         if stopped_elapsed is not None:
             elapsed = stopped_elapsed
         elif started_at is not None:
@@ -329,14 +336,18 @@ class FleetServer:
         try:
             labels = self.registry.label(building_id, all_records)
         except Exception as error:  # noqa: BLE001 - failures travel via futures
+            # Count before completing the futures: a client that awaited its
+            # response must find the batch already in stats(), never a
+            # counter that lags its own observed completion.
+            self._count_batch(batch, num_records)
             for pending in batch:
                 # A client may have cancelled while queued; completing a
                 # cancelled future raises and would strand the rest of the
                 # batch, so claim each future first.
                 if pending.future.set_running_or_notify_cancel():
                     pending.future.set_exception(error)
-            self._count_batch(batch, num_records)
             return
+        self._count_batch(batch, num_records)
         done_at = time.perf_counter()
         cursor = 0
         for pending in batch:
@@ -350,7 +361,6 @@ class FleetServer:
             cursor += count
             if pending.future.set_running_or_notify_cancel():
                 pending.future.set_result(response)
-        self._count_batch(batch, num_records)
 
     @staticmethod
     def _coalesce(

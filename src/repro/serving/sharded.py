@@ -1,0 +1,857 @@
+"""Sharded multi-process fleet serving: one store, N worker processes.
+
+:class:`~repro.serving.server.FleetServer` coalesces and labels concurrently,
+but it is one Python process: the interpreter lock caps its Python-side work
+at one core, and its registry's LRU cache must hold the *whole* fleet's hot
+set.  :class:`ShardedFleetServer` scales past both limits by partitioning the
+fleet across worker processes:
+
+* buildings map to shards by **consistent hashing**
+  (:class:`ConsistentHashRing`, blake2b-based and stable across processes
+  and runs; changing the worker count remaps only ``~1/N`` of the fleet);
+* each worker process runs the ordinary in-process
+  :class:`~repro.serving.server.FleetServer` over its own
+  :class:`~repro.serving.registry.BuildingRegistry` on the shared artifact
+  store, loading models **zero-copy** via
+  :func:`~repro.serving.artifacts.load_artifacts` ``mmap=True`` — sibling
+  workers mapping one store share physical pages instead of each copying
+  every array;
+* the dispatcher routes each :class:`LabelRequest` to the owning shard over
+  a lightweight pickle/pipe protocol (columnar payloads travel as compact
+  :class:`_WireBatch` columns and are re-interned against a shard-wide
+  vocabulary on arrival, so worker-side encoder translation caches stay
+  warm);
+* per-shard request queues are **bounded**: once ``max_inflight`` label
+  requests are outstanding on a shard, further submits fail fast with
+  :class:`ShardOverloadedError` carrying a ``retry_after_s`` hint (derived
+  from the shard's recent latency) instead of growing an unbounded backlog;
+* ``stats()``, ``drift_snapshot()`` and ``refresh_drifted()`` aggregate
+  fleet-wide across the shards.
+
+The single-process server remains the engine — this module only adds the
+process fan-out, routing, and aggregation around it.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import itertools
+import multiprocessing
+import os
+import pickle
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from functools import partial
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.config import FisOneConfig
+from repro.core.refresh import RefreshReport
+from repro.serving.artifacts import has_artifacts
+from repro.serving.drift import DriftSnapshot, RefreshPolicy
+from repro.serving.registry import (
+    BuildingRegistry,
+    RegistryStats,
+    validate_building_id,
+)
+from repro.serving.results import LabelRequest, LabelResponse, ServerStats
+from repro.serving.server import MIN_STATS_WINDOW_S, FleetServer
+from repro.signals.batch import MacVocab, RecordBatch
+from repro.signals.record import SignalRecord
+
+PathLike = Union[str, Path]
+
+#: Fallback retry hint before a shard has completed any request.
+DEFAULT_RETRY_AFTER_S = 0.05
+
+#: Virtual nodes per shard on the consistent-hash ring.  More replicas mean
+#: a more even key split at the cost of a larger (still tiny) ring.
+RING_REPLICAS = 64
+
+
+def stable_hash64(key: str) -> int:
+    """A 64-bit hash of ``key`` that is stable across processes and runs.
+
+    Python's builtin ``hash`` is salted per process, so it cannot place
+    buildings consistently between a dispatcher and its workers (or between
+    two runs of a benchmark); blake2b is unsalted, fast, and well mixed.
+    """
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ConsistentHashRing:
+    """Classic consistent hashing: keys map to the next shard point clockwise.
+
+    Each shard owns :data:`RING_REPLICAS` pseudo-random points on a 64-bit
+    ring; a key belongs to the shard owning the first point at or after the
+    key's own hash.  Adding or removing one shard therefore remaps only the
+    arcs adjacent to that shard's points (``~1/num_shards`` of all keys),
+    which is what lets a fleet resize workers without re-homing — and
+    re-warming — every building.
+    """
+
+    def __init__(self, num_shards: int, replicas: int = RING_REPLICAS) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.num_shards = num_shards
+        points = sorted(
+            (stable_hash64(f"shard-{shard}-replica-{replica}"), shard)
+            for shard in range(num_shards)
+            for replica in range(replicas)
+        )
+        self._hashes = [point for point, _ in points]
+        self._owners = [shard for _, shard in points]
+
+    def shard_for(self, key: str) -> int:
+        """The shard owning ``key``."""
+        index = bisect.bisect_right(self._hashes, stable_hash64(key))
+        return self._owners[index % len(self._owners)]
+
+
+class ShardOverloadedError(RuntimeError):
+    """A shard's bounded in-flight window is full; retry after a backoff.
+
+    Rejecting at submit time (rather than queueing without bound) is the
+    backpressure contract: the caller learns *immediately* that the shard is
+    saturated and gets ``retry_after_s`` — an estimate from the shard's
+    recent request latency — to pace its retry.  :meth:`ShardedFleetServer.serve`
+    implements exactly that retry loop for closed-loop callers.
+    """
+
+    def __init__(self, shard: int, max_inflight: int, retry_after_s: float) -> None:
+        super().__init__(
+            f"shard {shard} has {max_inflight} label requests in flight; "
+            f"retry in {retry_after_s:.3f}s"
+        )
+        self.shard = shard
+        self.max_inflight = max_inflight
+        self.retry_after_s = retry_after_s
+
+
+@dataclass(frozen=True)
+class _ShardSpec:
+    """Everything a worker process needs to build its serving stack."""
+
+    store_dir: str
+    capacity: int
+    config: Optional[FisOneConfig]
+    refresh_policy: Optional[RefreshPolicy]
+    mmap: bool
+    inner_workers: int
+    max_batch_size: int
+    batch_window_s: float
+
+
+@dataclass(frozen=True)
+class _WireBatch:
+    """A :class:`RecordBatch` flattened for the pipe, without its vocabulary.
+
+    Pickling a batch directly would ship its whole (fleet-wide, append-only)
+    :class:`MacVocab` with every request *and* hand each worker a fresh
+    vocabulary object per request, thrashing the frozen encoders'
+    per-vocabulary translation caches.  The wire form instead carries only
+    the MAC strings the batch actually uses, as a dense local id space;
+    :meth:`to_batch` re-interns them into one shard-wide vocabulary, so ids
+    stay stable per worker and the encoder cache only ever extends.
+    """
+
+    record_ids: np.ndarray
+    indptr: np.ndarray
+    local_mac_ids: np.ndarray
+    macs: Tuple[str, ...]
+    rss: np.ndarray
+    floors: np.ndarray
+    positions: np.ndarray
+    device_ids: np.ndarray
+    timestamps: np.ndarray
+
+    @classmethod
+    def from_batch(cls, batch: RecordBatch) -> "_WireBatch":
+        unique, local = np.unique(batch.mac_ids, return_inverse=True)
+        # Index the vocabulary per unique id (O(batch)); macs_at would
+        # materialise the whole fleet-wide MAC table per request, making
+        # submit cost grow with cumulative vocabulary size.
+        mac_of = batch.vocab.mac_of
+        return cls(
+            record_ids=batch.record_ids,
+            indptr=batch.indptr,
+            local_mac_ids=local.astype(np.int64),
+            macs=tuple(mac_of(int(mac_id)) for mac_id in unique),
+            rss=batch.rss,
+            floors=batch.floors,
+            positions=batch.positions,
+            device_ids=batch.device_ids,
+            timestamps=batch.timestamps,
+        )
+
+    def to_batch(self, vocab: MacVocab) -> RecordBatch:
+        mac_ids = vocab.intern_many(self.macs)[self.local_mac_ids]
+        # The columns are slices of a batch that was validated at
+        # construction parent-side, so the trusted assembly path applies.
+        return RecordBatch._trusted(
+            indptr=self.indptr,
+            mac_ids=mac_ids,
+            rss=self.rss,
+            record_ids=self.record_ids,
+            vocab=vocab,
+            floors=self.floors,
+            positions=self.positions,
+            device_ids=self.device_ids,
+            timestamps=self.timestamps,
+        )
+
+    def __len__(self) -> int:
+        return int(self.record_ids.shape[0])
+
+
+def _picklable(error: BaseException) -> BaseException:
+    """The error itself when it survives pickling, else a summary of it.
+
+    Exceptions travel the pipe by pickle; one with unpicklable state must
+    not kill the response (and with it every future on the shard).
+    """
+    try:
+        pickle.dumps(error)
+    except Exception:
+        return RuntimeError(f"{type(error).__name__}: {error}")
+    return error
+
+
+def _shard_worker_main(connection, spec: _ShardSpec) -> None:
+    """One shard worker: an in-process FleetServer driven over a pipe.
+
+    Protocol (requests are ``(op, seq, *args)`` tuples, responses
+    ``("ok", seq, payload)`` or ``("err", seq, exception)``):
+
+    * ``("label", seq, building_id, payload)`` — payload is a
+      :class:`_WireBatch` or a tuple of records; answered asynchronously
+      with the label tuple once the inner server's future resolves, so many
+      label commands stay in flight and the inner dispatcher can coalesce.
+    * ``("stats", seq)`` — ``(ServerStats, RegistryStats)`` snapshot pair.
+    * ``("drift", seq, building_id)`` — the building's drift snapshot.
+    * ``("refresh", seq, building_ids)`` — refresh the listed drifted
+      buildings; runs on a side thread so label traffic keeps flowing.
+    * ``("ping", seq)`` — liveness check; answers with the worker pid.
+    * ``("stop", seq)`` — drain in-flight batches, ack, and exit.
+    """
+    registry = BuildingRegistry(
+        store_dir=spec.store_dir,
+        capacity=spec.capacity,
+        config=spec.config,
+        refresh_policy=spec.refresh_policy,
+        mmap=spec.mmap,
+    )
+    vocab = MacVocab()
+    send_lock = threading.Lock()
+
+    def send(message) -> None:
+        try:
+            with send_lock:
+                connection.send(message)
+        except (OSError, ValueError, BrokenPipeError):
+            # The parent is gone; there is nobody left to answer.
+            pass
+
+    def complete(seq: int, future: "Future[LabelResponse]") -> None:
+        error = future.exception()
+        if error is not None:
+            send(("err", seq, _picklable(error)))
+        else:
+            send(("ok", seq, future.result().labels))
+
+    server = FleetServer(
+        registry,
+        num_workers=spec.inner_workers,
+        max_batch_size=spec.max_batch_size,
+        batch_window_s=spec.batch_window_s,
+    ).start()
+    control_pool = ThreadPoolExecutor(max_workers=1, thread_name_prefix="shard-control")
+    stop_seq: Optional[int] = None
+    try:
+        while True:
+            try:
+                message = connection.recv()
+            except (EOFError, OSError):
+                break
+            op, seq = message[0], message[1]
+            if op == "label":
+                building_id, payload = message[2], message[3]
+                try:
+                    records = (
+                        payload.to_batch(vocab)
+                        if isinstance(payload, _WireBatch)
+                        else payload
+                    )
+                    future = server.submit(building_id, records)
+                except Exception as error:  # noqa: BLE001 - travels the pipe
+                    send(("err", seq, _picklable(error)))
+                    continue
+                future.add_done_callback(partial(complete, seq))
+            elif op == "stats":
+                send(("ok", seq, (server.stats(), registry.stats)))
+            elif op == "drift":
+                try:
+                    send(("ok", seq, registry.drift_snapshot(message[2])))
+                except Exception as error:  # noqa: BLE001 - travels the pipe
+                    send(("err", seq, _picklable(error)))
+            elif op == "refresh":
+                building_ids = message[2]
+
+                def run_refresh(seq: int = seq, building_ids=building_ids) -> None:
+                    try:
+                        send(("ok", seq, server.refresh_drifted(building_ids)))
+                    except Exception as error:  # noqa: BLE001 - travels the pipe
+                        send(("err", seq, _picklable(error)))
+
+                control_pool.submit(run_refresh)
+            elif op == "ping":
+                send(("ok", seq, os.getpid()))
+            elif op == "stop":
+                stop_seq = seq
+                break
+            else:
+                send(("err", seq, RuntimeError(f"unknown shard op {op!r}")))
+    finally:
+        control_pool.shutdown(wait=True)
+        server.stop()  # drains; label callbacks have all sent by return
+        if stop_seq is not None:
+            send(("ok", stop_seq, None))
+        connection.close()
+
+
+@dataclass
+class _Pending:
+    """One outstanding command on a shard, parent side."""
+
+    kind: str  # "label" or "control"
+    future: Future
+    building_id: Optional[str] = None
+    request_id: Optional[str] = None
+    submitted_at: float = field(default_factory=time.perf_counter)
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """One worker's serving counters, as reported over the pipe."""
+
+    shard: int
+    server: ServerStats
+    registry: RegistryStats
+
+
+@dataclass(frozen=True)
+class FleetWideStats:
+    """Aggregate of every shard's counters plus dispatcher-side rejections.
+
+    ``elapsed_s`` and ``records_per_second`` are measured over the
+    *dispatcher's* serving window — per-shard windows overlap, so summing
+    their rates would double-count time.
+    """
+
+    shards: Tuple[ShardStats, ...]
+    num_requests: int
+    num_records: int
+    num_batches: int
+    num_rejected: int
+    elapsed_s: float
+    records_per_second: float
+
+
+class _Shard:
+    """Parent-side handle of one worker: pipe, pending map, backpressure."""
+
+    def __init__(self, index: int, process, connection, max_inflight: int) -> None:
+        self.index = index
+        self.process = process
+        self.connection = connection
+        self.max_inflight = max_inflight
+        self.lock = threading.Lock()
+        self.pending: Dict[int, _Pending] = {}
+        self.inflight = 0
+        self.dead = False
+        self.latency_ewma: Optional[float] = None
+        self._seq = itertools.count()
+        self.reader = threading.Thread(
+            target=self._read_loop, name=f"fleet-shard-{index}-reader", daemon=True
+        )
+
+    # -- submission ------------------------------------------------------------
+
+    def retry_after_hint(self) -> float:
+        """How long a rejected caller should back off, from recent latency.
+
+        Caller must hold ``self.lock``.
+        """
+        if self.latency_ewma is None:
+            return DEFAULT_RETRY_AFTER_S
+        return min(1.0, max(0.005, self.latency_ewma))
+
+    def check_accepting(self) -> None:
+        """Raise now if a label submit would be rejected.
+
+        Called *before* the caller pays for payload encoding, so a shard
+        under backpressure sheds load without burning dispatcher CPU on
+        wire batches it will refuse anyway.  Advisory: the authoritative
+        check runs again under the lock in :meth:`submit_label`.
+        """
+        with self.lock:
+            if self.dead:
+                raise RuntimeError(f"fleet shard {self.index} worker has exited")
+            if self.inflight >= self.max_inflight:
+                raise ShardOverloadedError(
+                    self.index, self.max_inflight, self.retry_after_hint()
+                )
+
+    def submit_label(
+        self, building_id: str, payload, request_id: str
+    ) -> "Future[LabelResponse]":
+        with self.lock:
+            if self.dead:
+                raise RuntimeError(f"fleet shard {self.index} worker has exited")
+            if self.inflight >= self.max_inflight:
+                raise ShardOverloadedError(
+                    self.index, self.max_inflight, self.retry_after_hint()
+                )
+            seq = next(self._seq)
+            pending = _Pending(
+                kind="label",
+                future=Future(),
+                building_id=building_id,
+                request_id=request_id,
+            )
+            self.pending[seq] = pending
+            self.inflight += 1
+            try:
+                self.connection.send(("label", seq, building_id, payload))
+            except (OSError, ValueError, BrokenPipeError) as error:
+                self.pending.pop(seq, None)
+                self.inflight -= 1
+                self.dead = True
+                raise RuntimeError(
+                    f"fleet shard {self.index} pipe is broken: {error}"
+                ) from None
+        return pending.future
+
+    def submit_control(self, op: str, *args) -> Future:
+        with self.lock:
+            if self.dead:
+                raise RuntimeError(f"fleet shard {self.index} worker has exited")
+            seq = next(self._seq)
+            pending = _Pending(kind="control", future=Future())
+            self.pending[seq] = pending
+            try:
+                self.connection.send((op, seq) + args)
+            except (OSError, ValueError, BrokenPipeError) as error:
+                self.pending.pop(seq, None)
+                self.dead = True
+                raise RuntimeError(
+                    f"fleet shard {self.index} pipe is broken: {error}"
+                ) from None
+        return pending.future
+
+    # -- responses -------------------------------------------------------------
+
+    def _read_loop(self) -> None:
+        while True:
+            try:
+                message = self.connection.recv()
+            except (EOFError, OSError):
+                break
+            kind, seq, payload = message
+            latency = None
+            with self.lock:
+                entry = self.pending.pop(seq, None)
+                if entry is not None and entry.kind == "label":
+                    self.inflight -= 1
+                    latency = time.perf_counter() - entry.submitted_at
+                    self.latency_ewma = (
+                        latency
+                        if self.latency_ewma is None
+                        else 0.8 * self.latency_ewma + 0.2 * latency
+                    )
+            if entry is None:
+                continue
+            if not entry.future.set_running_or_notify_cancel():
+                continue
+            if kind == "err":
+                entry.future.set_exception(payload)
+            elif entry.kind == "label":
+                entry.future.set_result(
+                    LabelResponse(
+                        request_id=entry.request_id,
+                        building_id=entry.building_id,
+                        labels=tuple(payload),
+                        latency_s=latency,
+                    )
+                )
+            else:
+                entry.future.set_result(payload)
+        self._fail_pending()
+
+    def _fail_pending(self) -> None:
+        with self.lock:
+            self.dead = True
+            entries = list(self.pending.values())
+            self.pending.clear()
+            self.inflight = 0
+        for entry in entries:
+            if entry.future.set_running_or_notify_cancel():
+                entry.future.set_exception(
+                    RuntimeError(
+                        f"fleet shard {self.index} exited with requests in flight"
+                    )
+                )
+
+
+class ShardedFleetServer:
+    """Serve one artifact store from N worker processes (see module docstring).
+
+    The server is *store-backed*: every building must already have a
+    persisted artifact under ``store_dir`` (fit through a write-through
+    :class:`BuildingRegistry`, or :func:`~repro.serving.artifacts.save_artifacts`
+    directly).  Workers lazily mmap-load the buildings routed to them.
+
+    Parameters
+    ----------
+    store_dir:
+        Artifact root shared by every worker.
+    num_workers:
+        Worker processes; the fleet is consistent-hash partitioned over them.
+    config, refresh_policy:
+        Forwarded to each worker's :class:`BuildingRegistry`.
+    shard_capacity:
+        Per-worker LRU capacity — the aggregate in-memory fleet grows as
+        ``num_workers * shard_capacity``, which is the memory half of the
+        sharding win.
+    mmap:
+        Zero-copy artifact loads in the workers (default on).
+    max_inflight:
+        Bounded per-shard label-request window; submits beyond it raise
+        :class:`ShardOverloadedError` (backpressure, never unbounded queues).
+    inner_workers, max_batch_size, batch_window_s:
+        Forwarded to each worker's in-process :class:`FleetServer`.
+    start_method:
+        ``multiprocessing`` start method; default prefers ``fork`` (fast,
+        no re-import) and falls back to ``spawn`` where fork is unavailable.
+    """
+
+    def __init__(
+        self,
+        store_dir: PathLike,
+        num_workers: int = 2,
+        config: Optional[FisOneConfig] = None,
+        refresh_policy: Optional[RefreshPolicy] = None,
+        shard_capacity: int = 8,
+        mmap: bool = True,
+        max_inflight: int = 64,
+        inner_workers: int = 2,
+        max_batch_size: int = 64,
+        batch_window_s: float = 0.002,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if shard_capacity < 1:
+            raise ValueError("shard_capacity must be >= 1")
+        self.store_dir = Path(store_dir)
+        self.num_workers = num_workers
+        self.max_inflight = max_inflight
+        self._spec = _ShardSpec(
+            store_dir=str(self.store_dir),
+            capacity=shard_capacity,
+            config=config,
+            refresh_policy=refresh_policy,
+            mmap=mmap,
+            inner_workers=inner_workers,
+            max_batch_size=max_batch_size,
+            batch_window_s=batch_window_s,
+        )
+        if start_method is None:
+            available = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in available else "spawn"
+        self._context = multiprocessing.get_context(start_method)
+        self._ring = ConsistentHashRing(num_workers)
+        self._shards: List[_Shard] = []
+        self._lifecycle_lock = threading.Lock()
+        self._request_counter = itertools.count()
+        self._stats_lock = threading.Lock()
+        self._num_rejected = 0
+        self._started_at: Optional[float] = None
+        self._stopped_elapsed: Optional[float] = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """Whether worker processes are up and accepting requests."""
+        shards = self._shards
+        return bool(shards) and not all(shard.dead for shard in shards)
+
+    def start(self, ping_timeout_s: float = 120.0) -> "ShardedFleetServer":
+        """Spawn the workers and wait until every one answers a ping.
+
+        All-or-nothing: ``self._shards`` is only assigned after every
+        worker pinged back, and a partial startup failure tears the
+        already-spawned workers down — so a failed ``start()`` can simply
+        be retried instead of leaving the server half-up with leaked
+        processes.
+        """
+        with self._lifecycle_lock:
+            if self._shards:
+                return self
+            processes = []
+            # Fork every worker before starting any parent-side reader
+            # thread: forking a multi-threaded process is where the
+            # fork/threads hazards live.
+            for index in range(self.num_workers):
+                parent_end, child_end = self._context.Pipe(duplex=True)
+                process = self._context.Process(
+                    target=_shard_worker_main,
+                    args=(child_end, self._spec),
+                    name=f"fleet-shard-{index}",
+                    daemon=True,
+                )
+                process.start()
+                child_end.close()
+                processes.append((index, process, parent_end))
+            shards = []
+            try:
+                for index, process, parent_end in processes:
+                    shard = _Shard(index, process, parent_end, self.max_inflight)
+                    shard.reader.start()
+                    shards.append(shard)
+                for shard in shards:
+                    shard.submit_control("ping").result(timeout=ping_timeout_s)
+            except BaseException:
+                # Tear down everything spawned so far — including workers
+                # whose _Shard handle was never constructed.
+                for _, process, parent_end in processes:
+                    parent_end.close()
+                    process.terminate()
+                    process.join(timeout=5.0)
+                for shard in shards:
+                    shard.reader.join(timeout=5.0)
+                raise
+            self._shards = shards
+            now = time.perf_counter()
+            with self._stats_lock:
+                if self._stopped_elapsed is not None:
+                    self._started_at = now - self._stopped_elapsed
+                else:
+                    self._started_at = now
+                self._stopped_elapsed = None
+            return self
+
+    def stop(self, timeout_s: float = 60.0) -> None:
+        """Drain every shard, stop the workers, and join their processes."""
+        with self._lifecycle_lock:
+            if not self._shards:
+                return
+            acks = []
+            for shard in self._shards:
+                try:
+                    acks.append(shard.submit_control("stop"))
+                except RuntimeError:
+                    pass  # already dead; nothing to drain
+            for ack in acks:
+                try:
+                    ack.result(timeout=timeout_s)
+                except Exception:  # noqa: BLE001 - worker died mid-drain
+                    pass
+            for shard in self._shards:
+                shard.process.join(timeout=timeout_s)
+                if shard.process.is_alive():
+                    shard.process.terminate()
+                    shard.process.join(timeout=5.0)
+                shard.connection.close()
+                shard.reader.join(timeout=timeout_s)
+            self._shards = []
+            with self._stats_lock:
+                if self._started_at is not None:
+                    self._stopped_elapsed = time.perf_counter() - self._started_at
+
+    def __enter__(self) -> "ShardedFleetServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- routing ---------------------------------------------------------------
+
+    def shard_for(self, building_id: str) -> int:
+        """The worker index that owns ``building_id``."""
+        return self._ring.shard_for(building_id)
+
+    @property
+    def building_ids(self) -> List[str]:
+        """Every building with a persisted artifact in the store."""
+        if not self.store_dir.is_dir():
+            return []
+        return sorted(
+            child.name for child in self.store_dir.iterdir() if has_artifacts(child)
+        )
+
+    # -- request entry points --------------------------------------------------
+
+    def submit(
+        self,
+        building_id: str,
+        records: Union[Sequence[SignalRecord], RecordBatch],
+        request_id: Optional[str] = None,
+    ) -> "Future[LabelResponse]":
+        """Route one label request to its owning shard.
+
+        Raises
+        ------
+        ShardOverloadedError
+            When the owning shard already has ``max_inflight`` requests
+            outstanding — back off for ``retry_after_s`` and retry.
+        RuntimeError
+            When the server is not running or the owning worker has died.
+        """
+        validate_building_id(building_id)
+        if len(records) == 0:
+            raise ValueError("a label request needs at least one record")
+        shards = self._shards
+        if not shards:
+            raise RuntimeError("the server is not running; call start() first")
+        shard = shards[self._ring.shard_for(building_id)]
+        try:
+            # Pre-check before encoding: a rejected submit must cost the
+            # dispatcher nothing, or retries would amplify the overload.
+            shard.check_accepting()
+            payload = (
+                _WireBatch.from_batch(records)
+                if isinstance(records, RecordBatch)
+                else tuple(records)
+            )
+            if request_id is None:
+                request_id = f"req-{next(self._request_counter)}"
+            return shard.submit_label(building_id, payload, request_id)
+        except ShardOverloadedError:
+            with self._stats_lock:
+                self._num_rejected += 1
+            raise
+
+    def serve(self, requests: Iterable[LabelRequest]) -> List[LabelResponse]:
+        """Submit many requests (honouring backpressure) and await them all.
+
+        A submit rejected by a full shard sleeps out the advertised
+        ``retry_after_s`` and retries — the closed-loop discipline
+        backpressure asks of well-behaved clients.  Responses come back in
+        request order.
+        """
+        futures = []
+        for request in requests:
+            while True:
+                try:
+                    futures.append(
+                        self.submit(
+                            request.building_id, request.records, request.request_id
+                        )
+                    )
+                    break
+                except ShardOverloadedError as error:
+                    time.sleep(error.retry_after_s)
+        return [future.result() for future in futures]
+
+    # -- fleet-wide operations -------------------------------------------------
+
+    def stats(self, timeout_s: float = 30.0) -> FleetWideStats:
+        """Aggregate counters across every live shard.
+
+        Shards that are dead — or die between the stats request and their
+        reply — are skipped, so a single crashed worker cannot take fleet
+        observability down with it.
+        """
+        shard_stats: List[ShardStats] = []
+        futures = []
+        for shard in self._shards:
+            if shard.dead:
+                continue
+            try:
+                futures.append((shard.index, shard.submit_control("stats")))
+            except RuntimeError:
+                continue
+        for index, future in futures:
+            try:
+                server_stats, registry_stats = future.result(timeout=timeout_s)
+            except Exception:  # noqa: BLE001 - shard died mid-request
+                continue
+            shard_stats.append(
+                ShardStats(shard=index, server=server_stats, registry=registry_stats)
+            )
+        with self._stats_lock:
+            num_rejected = self._num_rejected
+            stopped_elapsed = self._stopped_elapsed
+            started_at = self._started_at
+        if stopped_elapsed is not None:
+            elapsed = stopped_elapsed
+        elif started_at is not None:
+            elapsed = time.perf_counter() - started_at
+        else:
+            elapsed = 0.0
+        num_records = sum(stats.server.num_records for stats in shard_stats)
+        return FleetWideStats(
+            shards=tuple(shard_stats),
+            num_requests=sum(stats.server.num_requests for stats in shard_stats),
+            num_records=num_records,
+            num_batches=sum(stats.server.num_batches for stats in shard_stats),
+            num_rejected=num_rejected,
+            elapsed_s=elapsed,
+            records_per_second=(
+                num_records / elapsed if elapsed > MIN_STATS_WINDOW_S else 0.0
+            ),
+        )
+
+    def drift_snapshot(self, building_id: str, timeout_s: float = 30.0) -> DriftSnapshot:
+        """The owning shard's drift statistics for one building."""
+        validate_building_id(building_id)
+        shards = self._shards
+        if not shards:
+            raise RuntimeError("the server is not running; call start() first")
+        shard = shards[self._ring.shard_for(building_id)]
+        return shard.submit_control("drift", building_id).result(timeout=timeout_s)
+
+    def refresh_drifted(
+        self,
+        building_ids: Optional[Sequence[str]] = None,
+        timeout_s: Optional[float] = None,
+    ) -> Dict[str, RefreshReport]:
+        """Refresh drifted buildings fleet-wide, each on its owning shard.
+
+        ``building_ids`` defaults to every building in the store.  Each
+        worker sweeps only the buildings the ring routes to it (a worker's
+        registry can see the whole shared store, so the partition must be
+        explicit), refreshes concurrently with its label traffic, and the
+        per-shard reports are merged into one fleet-wide mapping.
+        """
+        shards = self._shards
+        if not shards:
+            raise RuntimeError("the server is not running; call start() first")
+        if building_ids is None:
+            building_ids = self.building_ids
+        by_shard: Dict[int, List[str]] = {}
+        for building_id in building_ids:
+            validate_building_id(building_id)
+            by_shard.setdefault(self._ring.shard_for(building_id), []).append(
+                building_id
+            )
+        futures = [
+            (index, shards[index].submit_control("refresh", owned))
+            for index, owned in by_shard.items()
+        ]
+        reports: Dict[str, RefreshReport] = {}
+        for _, future in futures:
+            reports.update(future.result(timeout=timeout_s))
+        return reports

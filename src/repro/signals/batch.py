@@ -123,6 +123,16 @@ class MacVocab:
                 out.append(mac_id)
         return np.asarray(out, dtype=np.int64)
 
+    def __getstate__(self) -> List[str]:
+        """Pickle as the MAC list alone — a lock cannot cross a process."""
+        with self._lock:
+            return list(self._macs)
+
+    def __setstate__(self, macs: List[str]) -> None:
+        self._macs = list(macs)
+        self._id_by_mac = {mac: mac_id for mac_id, mac in enumerate(self._macs)}
+        self._lock = threading.Lock()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"MacVocab({len(self._macs)} macs)"
 

@@ -39,12 +39,16 @@ from repro.simulate.generators import (
 )
 from repro.simulate.fleet import (
     FleetConfig,
+    LoadProfile,
     MICROSOFT_FLOOR_DISTRIBUTION,
     MALL_FLOOR_COUNTS,
+    TrafficRequest,
     floor_counts_for_fleet,
+    generate_label_traffic,
     generate_microsoft_like_fleet,
     generate_mall_fleet,
     generate_single_building,
+    replay_traffic,
 )
 from repro.simulate.drift import (
     DriftScenario,
@@ -71,12 +75,16 @@ __all__ = [
     "office_building_config",
     "mall_building_config",
     "FleetConfig",
+    "LoadProfile",
     "MICROSOFT_FLOOR_DISTRIBUTION",
     "MALL_FLOOR_COUNTS",
+    "TrafficRequest",
     "floor_counts_for_fleet",
+    "generate_label_traffic",
     "generate_microsoft_like_fleet",
     "generate_mall_fleet",
     "generate_single_building",
+    "replay_traffic",
     "DriftScenario",
     "DriftScenarioConfig",
     "drift_building",

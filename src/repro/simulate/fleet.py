@@ -13,10 +13,15 @@ do not.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.signals.batch import MacVocab, RecordBatch
 from repro.signals.dataset import SignalDataset
+from repro.signals.record import SignalRecord
 from repro.simulate.generators import (
     BuildingConfig,
     generate_building_dataset,
@@ -124,6 +129,170 @@ def generate_mall_fleet(
         )
         datasets.append(generate_building_dataset(config, seed=base_seed + index))
     return datasets
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """Shape of open-loop label traffic over a fleet of buildings.
+
+    Parameters
+    ----------
+    arrival_rate_hz:
+        Mean request arrival rate; inter-arrival gaps are exponential
+        (Poisson arrivals), the open-loop discipline — requests arrive on
+        their schedule whether or not earlier ones finished.  ``None``
+        schedules every request at offset 0 (saturating load, the
+        throughput-measurement mode).
+    building_skew:
+        Zipf-style popularity exponent over the buildings (in the order the
+        traffic generator receives them): building at rank ``r`` gets weight
+        ``1 / (r + 1) ** building_skew``.  ``0.0`` is uniform; real fleets
+        are closer to ``1.0`` (a few busy malls, a long tail of offices).
+    batch_size_mix:
+        ``(batch_size, weight)`` pairs; each request draws its record count
+        from this mix, mirroring clients that range from single-signal
+        phones to chunky uploader backlogs.
+    """
+
+    arrival_rate_hz: Optional[float] = None
+    building_skew: float = 0.0
+    batch_size_mix: Tuple[Tuple[int, float], ...] = ((1, 0.25), (8, 0.5), (64, 0.25))
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate_hz is not None and self.arrival_rate_hz <= 0:
+            raise ValueError("arrival_rate_hz must be positive (or None)")
+        if self.building_skew < 0:
+            raise ValueError("building_skew must be >= 0")
+        if not self.batch_size_mix:
+            raise ValueError("batch_size_mix must not be empty")
+        for size, weight in self.batch_size_mix:
+            if size < 1:
+                raise ValueError(f"batch sizes must be >= 1, got {size}")
+            if weight <= 0:
+                raise ValueError(f"mix weights must be positive, got {weight}")
+
+
+@dataclass(frozen=True)
+class TrafficRequest:
+    """One scheduled label request of an open-loop traffic trace."""
+
+    offset_s: float
+    building_id: str
+    records: RecordBatch
+
+
+def generate_label_traffic(
+    streams: Mapping[str, Sequence[SignalRecord]],
+    num_requests: int,
+    profile: LoadProfile = LoadProfile(),
+    seed: int = 0,
+    vocab: Optional[MacVocab] = None,
+) -> List[TrafficRequest]:
+    """A deterministic open-loop traffic trace over per-building signal streams.
+
+    Each request picks a building (skewed by ``profile.building_skew``), a
+    batch size (from ``profile.batch_size_mix``), and the next records of
+    that building's stream (cycling when exhausted; record ids get a
+    ``~<lap>`` suffix on later laps so every record id in the trace stays
+    unique).  Records are packed as columnar :class:`RecordBatch` payloads
+    against one shared vocabulary — the fast path servers coalesce.
+
+    The trace is a plain list, so one generation can be replayed against
+    multiple server configurations (the worker-count sweep) and the
+    comparison is apples to apples.
+    """
+    if num_requests < 1:
+        raise ValueError("num_requests must be >= 1")
+    if not streams:
+        raise ValueError("streams must contain at least one building")
+    for building_id, records in streams.items():
+        if len(records) == 0:
+            raise ValueError(f"building {building_id!r} has an empty stream")
+    vocab = vocab if vocab is not None else MacVocab()
+    rng = np.random.default_rng(seed)
+    building_ids = list(streams)
+    building_weights = np.array(
+        [1.0 / (rank + 1) ** profile.building_skew for rank in range(len(building_ids))]
+    )
+    building_weights /= building_weights.sum()
+    sizes = np.array([size for size, _ in profile.batch_size_mix])
+    size_weights = np.array([weight for _, weight in profile.batch_size_mix])
+    size_weights /= size_weights.sum()
+    cursors = {building_id: 0 for building_id in building_ids}
+
+    def next_records(building_id: str, count: int) -> List[SignalRecord]:
+        stream = streams[building_id]
+        taken: List[SignalRecord] = []
+        cursor = cursors[building_id]
+        for _ in range(count):
+            lap, position = divmod(cursor, len(stream))
+            record = stream[position]
+            if lap:
+                # Only the id changes on later laps; floor/position/device/
+                # timestamp metadata must survive the cycle.
+                record = replace(record, record_id=f"{record.record_id}~{lap}")
+            taken.append(record)
+            cursor += 1
+        cursors[building_id] = cursor
+        return taken
+
+    offsets: np.ndarray
+    if profile.arrival_rate_hz is None:
+        offsets = np.zeros(num_requests)
+    else:
+        offsets = np.cumsum(
+            rng.exponential(1.0 / profile.arrival_rate_hz, size=num_requests)
+        )
+    chosen_buildings = rng.choice(len(building_ids), size=num_requests, p=building_weights)
+    chosen_sizes = rng.choice(sizes, size=num_requests, p=size_weights)
+    traffic: List[TrafficRequest] = []
+    for index in range(num_requests):
+        building_id = building_ids[int(chosen_buildings[index])]
+        records = next_records(building_id, int(chosen_sizes[index]))
+        traffic.append(
+            TrafficRequest(
+                offset_s=float(offsets[index]),
+                building_id=building_id,
+                records=RecordBatch.from_records(records, vocab=vocab),
+            )
+        )
+    return traffic
+
+
+def replay_traffic(
+    submit: Callable[[str, RecordBatch], object],
+    traffic: Sequence[TrafficRequest],
+) -> Tuple[List[object], int]:
+    """Replay a traffic trace open-loop against a server's ``submit``.
+
+    Each request is submitted at (or as soon after as possible) its
+    scheduled offset, regardless of whether earlier responses have come
+    back.  A submission rejected with backpressure — any exception carrying
+    a ``retry_after_s`` attribute, e.g.
+    :class:`repro.serving.sharded.ShardOverloadedError` — sleeps out the
+    advertised backoff and retries, counting the rejection.
+
+    Returns ``(results, num_rejections)`` where ``results`` holds whatever
+    ``submit`` returned (futures, for the fleet servers), in trace order.
+    """
+    results: List[object] = []
+    num_rejections = 0
+    clock_zero = time.perf_counter()
+    for request in traffic:
+        delay = request.offset_s - (time.perf_counter() - clock_zero)
+        if delay > 0:
+            time.sleep(delay)
+        while True:
+            try:
+                results.append(submit(request.building_id, request.records))
+                break
+            except Exception as error:  # noqa: BLE001 - backpressure duck-typed
+                retry_after = getattr(error, "retry_after_s", None)
+                if retry_after is None:
+                    raise
+                num_rejections += 1
+                time.sleep(retry_after)
+    return results, num_rejections
 
 
 def generate_single_building(

@@ -70,7 +70,9 @@ class BuildingConfig:
 
     def with_samples_per_floor(self, samples_per_floor: int) -> "BuildingConfig":
         """Return a copy with a different number of samples collected per floor."""
-        return replace(self, collection=replace(self.collection, samples_per_floor=samples_per_floor))
+        return replace(
+            self, collection=replace(self.collection, samples_per_floor=samples_per_floor)
+        )
 
 
 def generate_building(config: BuildingConfig, seed: int = 0) -> Building:

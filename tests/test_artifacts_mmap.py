@@ -1,0 +1,132 @@
+"""Zero-copy (mmap) artifact loads: bit-identity with eager loads, safety."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FisOne
+from repro.core.config import FisOneConfig
+from repro.gnn.model import RFGNNConfig
+from repro.serving import BuildingRegistry, load_artifacts, save_artifacts
+from repro.serving.artifacts import ARRAYS_FILENAME, ArtifactError
+
+FAST_CONFIG = FisOneConfig(
+    gnn=RFGNNConfig(embedding_dim=16, neighbor_sample_sizes=(10, 5)),
+    num_epochs=2,
+    max_pairs_per_epoch=8_000,
+    inference_passes=1,
+    inference_sample_sizes=(20, 10),
+)
+
+
+@pytest.fixture(scope="module")
+def fitted_and_stream():
+    from repro.simulate import generate_single_building
+
+    labeled = generate_single_building(num_floors=3, samples_per_floor=25, seed=9)
+    train, stream = labeled.holdout_split(train_per_floor=18)
+    anchor = train.pick_labeled_sample(floor=0)
+    observed = train.strip_labels(keep_record_ids=[anchor.record_id])
+    fitted = FisOne(FAST_CONFIG).fit(observed, anchor.record_id)
+    return fitted, observed, [record.without_floor() for record in stream]
+
+
+class TestMmapLoadEquivalence:
+    def test_labels_bit_identical_to_eager_load(self, fitted_and_stream, tmp_path):
+        fitted, observed, stream = fitted_and_stream
+        save_artifacts(fitted, tmp_path / "model")
+        eager = load_artifacts(tmp_path / "model")
+        mapped = load_artifacts(tmp_path / "model", mmap=True)
+        for a, b in zip(eager.online_floors(stream), mapped.online_floors(stream)):
+            assert np.array_equal(a, b)
+        assert np.array_equal(eager.predict(observed), mapped.predict(observed))
+
+    def test_arrays_equal_and_read_only(self, fitted_and_stream, tmp_path):
+        fitted, _, _ = fitted_and_stream
+        save_artifacts(fitted, tmp_path / "model")
+        mapped = load_artifacts(tmp_path / "model", mmap=True)
+        assert np.array_equal(mapped.centroids, fitted.centroids)
+        assert np.array_equal(mapped.result.embeddings, fitted.result.embeddings)
+        # The big arrays really are zero-copy maps, and read-only: an
+        # accidental in-place write must fail loudly instead of silently
+        # corrupting the process-shared pages.
+        assert isinstance(mapped.centroids, np.memmap)
+        assert not mapped.centroids.flags.writeable
+        assert not mapped.result.embeddings.flags.writeable
+        with pytest.raises((ValueError, RuntimeError)):
+            mapped.centroids[0, 0] = 1.0
+
+    def test_compressed_artifacts_fall_back_to_eager_read(
+        self, fitted_and_stream, tmp_path
+    ):
+        fitted, _, stream = fitted_and_stream
+        save_artifacts(fitted, tmp_path / "model", compress=True)
+        eager = load_artifacts(tmp_path / "model")
+        mapped = load_artifacts(tmp_path / "model", mmap=True)
+        # Deflated members cannot be mapped; the fallback must still produce
+        # the same model.
+        assert not isinstance(mapped.centroids, np.memmap)
+        for a, b in zip(eager.online_floors(stream), mapped.online_floors(stream)):
+            assert np.array_equal(a, b)
+
+    def test_mmap_loaded_model_round_trips_through_save(
+        self, fitted_and_stream, tmp_path
+    ):
+        fitted, _, stream = fitted_and_stream
+        save_artifacts(fitted, tmp_path / "first")
+        mapped = load_artifacts(tmp_path / "first", mmap=True)
+        save_artifacts(mapped, tmp_path / "second")
+        again = load_artifacts(tmp_path / "second", mmap=True)
+        for a, b in zip(fitted.online_floors(stream), again.online_floors(stream)):
+            assert np.array_equal(a, b)
+
+    def test_mmap_loaded_model_can_refresh(self, fitted_and_stream, tmp_path):
+        from repro.signals.record import SignalRecord
+
+        fitted, _, stream = fitted_and_stream
+        save_artifacts(fitted, tmp_path / "model")
+        mapped = load_artifacts(tmp_path / "model", mmap=True)
+        new_records = [
+            SignalRecord(f"fresh-{i}", dict(record.readings))
+            for i, record in enumerate(stream[:6])
+        ]
+        # The refresh pipeline copies before mutating; a read-only mapped
+        # parent must warm-start a new generation without error.
+        result = mapped.refresh(new_records, fine_tune_epochs=1)
+        assert result.fitted.model_version == mapped.model_version + 1
+
+    def test_registry_mmap_mode_serves_identical_labels(
+        self, fitted_and_stream, tmp_path
+    ):
+        fitted, _, stream = fitted_and_stream
+        store = tmp_path / "store"
+        save_artifacts(fitted, store / "bldg")
+        eager_registry = BuildingRegistry(store_dir=store, config=FAST_CONFIG)
+        mmap_registry = BuildingRegistry(
+            store_dir=store, config=FAST_CONFIG, mmap=True
+        )
+        eager_labels = eager_registry.label("bldg", stream)
+        mmap_labels = mmap_registry.label("bldg", stream)
+        assert eager_labels == mmap_labels
+        assert mmap_registry.stats.loads == 1
+
+
+class TestMmapErrorCases:
+    def test_truncated_npz_raises_artifact_error(self, fitted_and_stream, tmp_path):
+        fitted, _, _ = fitted_and_stream
+        save_artifacts(fitted, tmp_path / "model")
+        arrays_path = tmp_path / "model" / ARRAYS_FILENAME
+        blob = arrays_path.read_bytes()
+        arrays_path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(ArtifactError):
+            load_artifacts(tmp_path / "model", mmap=True)
+        with pytest.raises(ArtifactError):
+            load_artifacts(tmp_path / "model")
+
+    def test_garbage_npz_raises_artifact_error(self, fitted_and_stream, tmp_path):
+        fitted, _, _ = fitted_and_stream
+        save_artifacts(fitted, tmp_path / "model")
+        (tmp_path / "model" / ARRAYS_FILENAME).write_bytes(b"not a zip archive")
+        with pytest.raises(ArtifactError):
+            load_artifacts(tmp_path / "model", mmap=True)

@@ -11,7 +11,11 @@ from repro.clustering.assignments import (
     records_by_cluster,
     relabel_clusters_by_size,
 )
-from repro.clustering.hierarchical import HierarchicalClustering, average_linkage_labels, ward_linkage_labels
+from repro.clustering.hierarchical import (
+    HierarchicalClustering,
+    average_linkage_labels,
+    ward_linkage_labels,
+)
 from repro.clustering.kmeans import KMeans, kmeans_labels
 from repro.metrics.ari import adjusted_rand_index
 
@@ -28,7 +32,9 @@ def make_blobs(centers, points_per_cluster=20, spread=0.3, seed=0):
 
 class TestHierarchical:
     def test_recovers_well_separated_blobs(self):
-        points, truth = make_blobs([np.array([0.0, 0.0]), np.array([10.0, 0.0]), np.array([0.0, 10.0])])
+        points, truth = make_blobs(
+            [np.array([0.0, 0.0]), np.array([10.0, 0.0]), np.array([0.0, 10.0])]
+        )
         for linkage_name in ("average", "ward"):
             labels = HierarchicalClustering(3, linkage=linkage_name).fit_predict(points)
             assert adjusted_rand_index(truth, labels) == 1.0
@@ -99,7 +105,9 @@ class TestHierarchical:
 
 class TestKMeans:
     def test_recovers_blobs(self):
-        points, truth = make_blobs([np.array([0.0, 0.0]), np.array([8.0, 0.0]), np.array([0.0, 8.0])])
+        points, truth = make_blobs(
+            [np.array([0.0, 0.0]), np.array([8.0, 0.0]), np.array([0.0, 8.0])]
+        )
         labels = KMeans(3, seed=0).fit_predict(points)
         assert adjusted_rand_index(truth, labels) == 1.0
 

@@ -12,7 +12,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.graph.alias import AliasTables
-from repro.graph.bipartite import BipartiteGraph, NodeKind
+from repro.graph.bipartite import BipartiteGraph
 from repro.graph.csr import CSRGraph, MAC_KIND, SAMPLE_KIND
 from repro.signals.dataset import SignalDataset
 from repro.signals.record import SignalRecord

@@ -1,6 +1,5 @@
 """Tests for the experiment runner, spillover statistics and reporting helpers."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.mds import MDSBaseline

@@ -152,18 +152,24 @@ class TestLoss:
 
 class TestModel:
     def test_forward_shape_and_norm(self, tiny_graph):
-        model = RFGNN(tiny_graph, RFGNNConfig(embedding_dim=8, neighbor_sample_sizes=(3, 2)), seed=0)
+        model = RFGNN(
+            tiny_graph, RFGNNConfig(embedding_dim=8, neighbor_sample_sizes=(3, 2)), seed=0
+        )
         embeddings = model.forward(np.arange(4))
         assert embeddings.shape == (4, 8)
         assert np.allclose(np.linalg.norm(embeddings, axis=1), 1.0)
 
     def test_embed_nodes_all(self, tiny_graph):
-        model = RFGNN(tiny_graph, RFGNNConfig(embedding_dim=4, neighbor_sample_sizes=(3, 2)), seed=0)
+        model = RFGNN(
+            tiny_graph, RFGNNConfig(embedding_dim=4, neighbor_sample_sizes=(3, 2)), seed=0
+        )
         embeddings = model.embed_nodes()
         assert embeddings.shape == (tiny_graph.num_nodes, 4)
 
     def test_embed_record_nodes_order(self, tiny_graph, tiny_dataset):
-        model = RFGNN(tiny_graph, RFGNNConfig(embedding_dim=4, neighbor_sample_sizes=(3, 2)), seed=0)
+        model = RFGNN(
+            tiny_graph, RFGNNConfig(embedding_dim=4, neighbor_sample_sizes=(3, 2)), seed=0
+        )
         embeddings = model.embed_record_nodes()
         assert embeddings.shape == (len(tiny_dataset), 4)
 
@@ -218,7 +224,9 @@ class TestModel:
                 weight[index] = original - eps
                 minus, _ = loss()
                 weight[index] = original
-                assert analytic[index] == pytest.approx((plus - minus) / (2 * eps), rel=1e-3, abs=1e-7)
+                assert analytic[index] == pytest.approx(
+                    (plus - minus) / (2 * eps), rel=1e-3, abs=1e-7
+                )
         # check one feature entry
         node = int(model._cache is None) * 0  # always node 0
         original = model.node_features[node, 0]

@@ -61,7 +61,9 @@ class TestSimilarity:
         dataset = chain_dataset()
         profile = cluster_mac_frequencies(dataset, perfect_assignment(dataset))
         assert jaccard_coefficient(profile, 0, 1) > jaccard_coefficient(profile, 0, 3)
-        assert adapted_jaccard_coefficient(profile, 0, 1) > adapted_jaccard_coefficient(profile, 0, 3)
+        assert adapted_jaccard_coefficient(profile, 0, 1) > adapted_jaccard_coefficient(
+            profile, 0, 3
+        )
 
     def test_coefficients_bounded_and_symmetric(self):
         dataset = chain_dataset()
@@ -75,7 +77,10 @@ class TestSimilarity:
     def test_similarity_matrices(self):
         dataset = chain_dataset()
         profile = cluster_mac_frequencies(dataset, perfect_assignment(dataset))
-        for matrix in (jaccard_similarity_matrix(profile), adapted_jaccard_similarity_matrix(profile)):
+        for matrix in (
+            jaccard_similarity_matrix(profile),
+            adapted_jaccard_similarity_matrix(profile),
+        ):
             assert matrix.shape == (4, 4)
             assert np.allclose(matrix, matrix.T)
             assert np.allclose(np.diag(matrix), 1.0)
@@ -112,7 +117,9 @@ class TestSimilarity:
     def test_length_mismatch_rejected(self):
         dataset = chain_dataset()
         with pytest.raises(ValueError):
-            cluster_mac_frequencies(dataset, ClusterAssignment(labels=np.zeros(3, dtype=int), num_clusters=1))
+            cluster_mac_frequencies(
+                dataset, ClusterAssignment(labels=np.zeros(3, dtype=int), num_clusters=1)
+            )
 
 
 class TestTSP:
@@ -289,7 +296,11 @@ class TestArbitraryFloorIndexer:
         assignment = perfect_assignment(dataset)
         with pytest.raises(ValueError):
             ArbitraryFloorIndexer().index(
-                dataset, assignment, dataset[0].record_id, labeled_floor=1, embeddings=np.zeros((3, 2))
+                dataset,
+                assignment,
+                dataset[0].record_id,
+                labeled_floor=1,
+                embeddings=np.zeros((3, 2)),
             )
 
     def test_mean_distance_to_cluster(self):

@@ -7,7 +7,7 @@ import pytest
 
 from repro.simulate.access_point import AccessPoint, generate_mac_address, place_access_points
 from repro.simulate.building import Atrium, Building, BuildingGeometry
-from repro.simulate.collector import CollectionConfig, CrowdsourcedCollector
+from repro.simulate.collector import CollectionConfig
 from repro.simulate.fleet import (
     MICROSOFT_FLOOR_DISTRIBUTION,
     FleetConfig,
@@ -71,7 +71,9 @@ class TestAccessPoints:
 
     def test_place_access_points_unique_macs(self):
         existing = set()
-        aps = place_access_points(20, 50.0, 30.0, floor=0, rng=random.Random(0), existing_macs=existing)
+        aps = place_access_points(
+            20, 50.0, 30.0, floor=0, rng=random.Random(0), existing_macs=existing
+        )
         assert len({ap.mac for ap in aps}) == 20
         assert len(existing) == 20
 
@@ -117,7 +119,10 @@ class TestBuilding:
 
     def test_atrium_increases_spillover(self):
         geometry = BuildingGeometry(
-            num_floors=4, width_m=40.0, depth_m=30.0, atrium=Atrium(center=(10.0, 10.0), radius_m=8.0)
+            num_floors=4,
+            width_m=40.0,
+            depth_m=30.0,
+            atrium=Atrium(center=(10.0, 10.0), radius_m=8.0),
         )
         ap_in = AccessPoint("in", (10.0, 10.0), floor=3, tx_power_dbm=15.0)
         ap_out = AccessPoint("out", (35.0, 25.0), floor=3, tx_power_dbm=15.0)
