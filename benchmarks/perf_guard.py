@@ -78,6 +78,20 @@ GUARDED_METRICS: Sequence[GuardedMetric] = (
     GuardedMetric("BENCH_graph.json", "csr_build_speedup", ("build_speedup",)),
     GuardedMetric("BENCH_graph.json", "alias_tables_speedup", ("alias_tables_speedup",)),
     GuardedMetric("BENCH_graph.json", "fit_speedup", ("fit_speedup",)),
+    # Telemetry: full-stack instrumentation must stay near-free (ratio ~1.0).
+    GuardedMetric(
+        "BENCH_serving.json",
+        "telemetry_throughput_ratio",
+        ("telemetry_throughput_ratio",),
+    ),
+    # Capacity planner: the plan must stay feasible with ~2x margin on the
+    # self-derived half-capacity target (both ratios, machine-portable).
+    GuardedMetric(
+        "BENCH_capacity.json", "capacity_plan_feasible", ("capacity_plan_feasible",)
+    ),
+    GuardedMetric(
+        "BENCH_capacity.json", "capacity_rps_margin", ("capacity_rps_margin",)
+    ),
 )
 
 

@@ -1,0 +1,132 @@
+"""Capacity planning: measure the fleet under load, answer "how many workers".
+
+This example closes the observability loop end to end:
+
+1. simulate a small fleet of buildings, fit one FIS-ONE model each, and
+   persist the artifacts to a store,
+2. drive deterministic open-loop traffic grids (arrival rate x building
+   skew) against a :class:`~repro.serving.sharded.ShardedFleetServer` at
+   each candidate worker count, recording every grid point's achieved
+   throughput and latency quantiles,
+3. ask the measured :class:`~repro.telemetry.CapacityPlanner` for the
+   smallest worker count that sustains a target load inside a p99 budget,
+4. round-trip the measured grid through JSON — the same shape the benchmark
+   harness commits as ``BENCH_capacity.json`` — and recompute the plan
+   offline from it.
+
+Run it with::
+
+    python examples/capacity_plan.py
+    python examples/capacity_plan.py --workers 1 2 4 --target-rps 600
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+
+from repro.core import FisOneConfig
+from repro.gnn.model import RFGNNConfig
+from repro.serving import BuildingRegistry
+from repro.simulate import generate_single_building
+from repro.telemetry import CapacityPlanner, sweep_capacity
+
+#: A reduced configuration so the example fits its buildings in seconds.
+CONFIG = FisOneConfig(
+    gnn=RFGNNConfig(embedding_dim=16, neighbor_sample_sizes=(10, 5)),
+    num_epochs=2,
+    max_pairs_per_epoch=10_000,
+    inference_passes=1,
+    inference_sample_sizes=(20, 10),
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=[1, 2],
+        help="candidate worker counts to measure (default: 1 2)",
+    )
+    parser.add_argument(
+        "--target-rps",
+        type=float,
+        default=None,
+        help="records/s the plan must sustain (default: half the best "
+        "measured capacity, so the demo plan is always feasible)",
+    )
+    parser.add_argument(
+        "--p99-budget-ms",
+        type=float,
+        default=250.0,
+        help="latency budget the plan's p99 must stay inside (default 250)",
+    )
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="fisone-capacity-") as store:
+        # 1. Three small buildings, fitted and persisted; the held-back
+        #    records become the replayable online traffic.
+        registry = BuildingRegistry(store_dir=store, config=CONFIG)
+        streams = {}
+        for index in range(3):
+            labeled = generate_single_building(
+                num_floors=3, samples_per_floor=30, seed=60 + index
+            )
+            train, stream = labeled.holdout_split(train_per_floor=22)
+            building_id = f"building-{index}"
+            registry.register(building_id, train)
+            registry.get(building_id)  # fit now, so the sweep measures serving
+            streams[building_id] = [record.without_floor() for record in stream]
+        print(f"fitted and persisted {len(streams)} buildings to {store}")
+
+        # 2. Measure the worker-count x arrival-rate x skew grid.  The same
+        #    deterministic trace replays against every worker count, so the
+        #    comparison isolates the serving topology.
+        print(f"measuring worker counts {args.workers} (one fleet boot each)...")
+        planner = sweep_capacity(
+            store,
+            streams,
+            worker_counts=args.workers,
+            arrival_rates_hz=(40.0, 80.0),
+            building_skews=(0.0, 0.7),
+            num_requests=80,
+            seed=17,
+            server_kwargs={"config": CONFIG},
+        )
+        print(f"{'workers':>8} {'rate Hz':>8} {'skew':>5} "
+              f"{'achieved rps':>13} {'p50 ms':>8} {'p99 ms':>8} {'rej':>4}")
+        for point in planner.points:
+            print(f"{point.num_workers:>8} {point.arrival_rate_hz:>8.0f} "
+                  f"{point.building_skew:>5.1f} {point.achieved_rps:>13.0f} "
+                  f"{point.p50_s * 1e3:>8.2f} {point.p99_s * 1e3:>8.2f} "
+                  f"{point.num_rejections:>4}")
+
+        # 3. Plan against the measurements (never extrapolating past them).
+        budget_s = args.p99_budget_ms / 1e3
+        target = args.target_rps
+        if target is None:
+            best = max(point.achieved_rps for point in planner.points)
+            target = best / 2
+            print(f"\nno --target-rps given; planning for half the best "
+                  f"measured capacity ({target:.0f} records/s)")
+        plan = planner.plan(target_rps=target, p99_budget_s=budget_s)
+        verdict = "feasible" if plan.feasible else "NOT feasible"
+        print(f"plan({target:.0f} rps, p99 <= {args.p99_budget_ms:.0f}ms): "
+              f"{verdict} -> {plan.num_workers} worker(s) at "
+              f"{plan.capacity_rps:.0f} records/s "
+              f"({plan.rps_margin:.2f}x the target)")
+        print(f"  {plan.reason}")
+
+        # 4. The grid serializes to plain JSON and the plan recomputes
+        #    offline from it — what the perf-guard floors in CI.
+        restored = CapacityPlanner.from_json(planner.to_json())
+        offline = restored.plan(target_rps=target, p99_budget_s=budget_s)
+        assert offline == plan
+        print("round-tripped the measured grid through JSON; "
+              "the offline plan matches the live one")
+
+
+if __name__ == "__main__":
+    main()

@@ -25,12 +25,19 @@ mmap-loads its share of the store zero-copy (the default, ``--workers 0``,
 serves in-process)::
 
     python examples/serving_fleet.py --workers 2
+
+With ``--metrics-port P`` a stdlib ``/metrics`` endpoint serves the live
+Prometheus exposition while requests are in flight (fleet-merged across the
+worker processes in sharded mode; ``P=0`` picks a free port)::
+
+    python examples/serving_fleet.py --workers 2 --metrics-port 9100
 """
 
 from __future__ import annotations
 
 import argparse
 import tempfile
+import urllib.request
 
 from repro.core import FisOneConfig
 from repro.gnn.model import RFGNNConfig
@@ -42,6 +49,7 @@ from repro.serving import (
 )
 from repro.signals import MacVocab, RecordBatch
 from repro.simulate import generate_single_building
+from repro.telemetry import MetricsHTTPServer
 
 #: A reduced configuration so the example fits three buildings in seconds.
 CONFIG = FisOneConfig(
@@ -53,6 +61,30 @@ CONFIG = FisOneConfig(
 )
 
 
+def start_metrics_endpoint(port, render):
+    """Serve ``render`` at ``/metrics`` when a port was asked for."""
+    if port is None:
+        return None
+    endpoint = MetricsHTTPServer(render, port=port).start()
+    print(f"\nmetrics endpoint up at {endpoint.url}")
+    return endpoint
+
+
+def scrape_and_stop(endpoint) -> None:
+    """One scrape through the real HTTP path, then release the port."""
+    if endpoint is None:
+        return
+    with urllib.request.urlopen(endpoint.url, timeout=10) as response:
+        text = response.read().decode("utf-8")
+    print("scraped /metrics (excerpt):")
+    for line in text.splitlines():
+        if line.startswith(
+            ("fleet_requests_total", "fleet_records_total", "fleet_inflight_requests")
+        ):
+            print(f"  {line}")
+    endpoint.stop()
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -61,6 +93,14 @@ def main() -> None:
         default=0,
         help="worker processes for a ShardedFleetServer (0 = in-process "
         "FleetServer, the default)",
+    )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="P",
+        help="serve the live Prometheus exposition at "
+        "http://127.0.0.1:P/metrics while requests run (0 picks a free port)",
     )
     args = parser.parse_args()
 
@@ -124,8 +164,12 @@ def main() -> None:
             ) as sharded:
                 for building_id in fleet:
                     print(f"  {building_id} -> shard {sharded.shard_for(building_id)}")
+                endpoint = start_metrics_endpoint(
+                    args.metrics_port, sharded.render_prometheus
+                )
                 responses = sharded.serve(requests)
                 fleet_stats = sharded.stats()
+                scrape_and_stop(endpoint)
             stats = fleet_stats  # FleetWideStats shares the printed fields
             loads = sum(shard.registry.loads for shard in fleet_stats.shards)
             refits = sum(shard.registry.fits for shard in fleet_stats.shards)
@@ -133,8 +177,12 @@ def main() -> None:
             with FleetServer(
                 serving_registry, num_workers=4, batch_window_s=0.005
             ) as server:
+                endpoint = start_metrics_endpoint(
+                    args.metrics_port, server.render_prometheus
+                )
                 responses = server.serve(requests)
                 stats = server.stats()
+                scrape_and_stop(endpoint)
             loads = serving_registry.stats.loads
             refits = serving_registry.stats.fits
 

@@ -28,6 +28,10 @@ Everything the seed's batch pipeline lacked for production traffic:
 * :mod:`~repro.serving.results` — the typed request/response dataclasses
   shared by all of the above.
 
+Every layer threads one :class:`~repro.telemetry.Telemetry` sink (latency
+histograms per building/shard/op, lifecycle events, Prometheus exposition
+via ``render_prometheus()``); see :mod:`repro.telemetry`.
+
 Typical flow::
 
     fitted = FisOne(config).fit(observed, anchor_id, labeled_floor=0)

@@ -21,13 +21,15 @@ triggers an incremental refresh.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+import time
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.core.pipeline import FittedFisOne
 from repro.serving.drift import DriftMonitor
 from repro.serving.results import OnlineLabel
 from repro.signals.batch import RecordBatch
 from repro.signals.record import SignalRecord
+from repro.telemetry import Telemetry
 
 
 class OnlineFloorLabeler:
@@ -42,13 +44,27 @@ class OnlineFloorLabeler:
         Optional :class:`~repro.serving.drift.DriftMonitor` that observes
         every label this labeler produces (rolling unknown-MAC and
         confidence statistics for the refresh policy).
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` sink.  When set, each
+        ``label`` call records its embed-and-assign latency into the
+        ``fisone_label_seconds`` histogram (labeled by ``building`` and
+        ``op``: the columnar ``batch`` path vs the ``records`` path) and
+        counts labeled and blind (zero-known-MAC) records — one histogram
+        observation and two counter bumps per *batch*, nothing per record.
     """
 
     def __init__(
-        self, fitted: FittedFisOne, monitor: Optional[DriftMonitor] = None
+        self,
+        fitted: FittedFisOne,
+        monitor: Optional[DriftMonitor] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.fitted = fitted
         self.monitor = monitor
+        self.telemetry = telemetry
+        # Metric children resolved once on first use (building_id is fixed
+        # per labeler) — the hot path then touches them directly.
+        self._metric_children: Optional[tuple] = None
 
     @property
     def building_id(self) -> Optional[str]:
@@ -76,36 +92,86 @@ class OnlineFloorLabeler:
             return self.label_batch(records)
         if not records:
             return []
+        started = time.perf_counter()
         floors, confidences, known_fractions = self.fitted.online_floors(records)
         record_ids = [record.record_id for record in records]
-        return self._emit(record_ids, floors, confidences, known_fractions)
+        labels, num_blind = self._emit(record_ids, floors, confidences, known_fractions)
+        self._instrument("records", time.perf_counter() - started, len(labels), num_blind)
+        return labels
 
     def label_batch(self, batch: RecordBatch) -> List[OnlineLabel]:
         """Label a columnar batch through the array-native fast path."""
         if len(batch) == 0:
             return []
+        started = time.perf_counter()
         floors, confidences, known_fractions = self.fitted.online_floors_batch(batch)
-        return self._emit(batch.record_ids, floors, confidences, known_fractions)
+        labels, num_blind = self._emit(batch.record_ids, floors, confidences, known_fractions)
+        self._instrument("batch", time.perf_counter() - started, len(labels), num_blind)
+        return labels
 
-    def _emit(self, record_ids, floors, confidences, known_fractions) -> List[OnlineLabel]:
+    def _instrument(
+        self, op: str, seconds: float, num_labels: int, num_blind: int
+    ) -> None:
+        """Record one labeling operation into the telemetry sink, if any."""
+        telemetry = self.telemetry
+        if telemetry is None or not telemetry.enabled:
+            return
+        children = self._metric_children
+        if children is None:
+            building = self.building_id or "unknown"
+            metrics = telemetry.metrics
+            children = (
+                {
+                    kind: metrics.histogram(
+                        "fisone_label_seconds",
+                        "Embed-and-assign latency of one online labeling call",
+                        building=building,
+                        op=kind,
+                    )
+                    for kind in ("batch", "records")
+                },
+                metrics.counter(
+                    "fisone_labeled_records_total",
+                    "Records labeled online",
+                    building=building,
+                ),
+                metrics.counter(
+                    "fisone_blind_records_total",
+                    "Records labeled by guess: no MAC known to the model",
+                    building=building,
+                ),
+            )
+            self._metric_children = children
+        latency_by_op, labeled_total, blind_total = children
+        latency_by_op[op].observe(seconds)
+        labeled_total.inc(num_labels)
+        if num_blind:
+            blind_total.inc(num_blind)
+
+    def _emit(
+        self, record_ids, floors, confidences, known_fractions
+    ) -> Tuple[List[OnlineLabel], int]:
         """Wrap aligned result arrays into labels and feed the drift monitor.
 
         ``tolist()`` converts whole columns to native ints/floats in one C
         pass — per-element ``int()``/``float()`` calls would dominate large
-        batches.
+        batches.  Returns the labels plus the blind-record count (zero
+        known-MAC fraction), counted here on the native list in one C pass
+        rather than per label on the instrumentation path.
         """
+        known_list = known_fractions.tolist()
         labels = [
             OnlineLabel(str(record_id), floor, confidence, known)
             for record_id, floor, confidence, known in zip(
                 record_ids,
                 floors.tolist(),
                 confidences.tolist(),
-                known_fractions.tolist(),
+                known_list,
             )
         ]
         if self.monitor is not None:
             self.monitor.observe(labels)
-        return labels
+        return labels, known_list.count(0.0)
 
     def label_one(self, record: SignalRecord) -> OnlineLabel:
         """Label a single record."""

@@ -27,6 +27,7 @@ same cold building trigger exactly one fit.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from pathlib import Path
@@ -47,6 +48,13 @@ from repro.serving.results import OnlineLabel
 from repro.signals.batch import RecordBatch
 from repro.signals.dataset import SignalDataset
 from repro.signals.record import SignalRecord
+from repro.telemetry import (
+    EVENT_DRIFT_TRIP,
+    EVENT_REFRESH_DONE,
+    EVENT_REFRESH_START,
+    EVENT_ROLLBACK_ELIGIBLE,
+    Telemetry,
+)
 
 PathLike = Union[str, Path]
 
@@ -121,6 +129,14 @@ class BuildingRegistry:
         memory maps instead of heap copies) — the mode sharded fleet
         workers run in, so sibling processes serving one store share
         physical pages.  Fits and refreshes still write ordinary files.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` sink shared with the
+        layers above.  Model lifecycle operations (fit / load / evict /
+        refresh) are counted and timed per building, labeling latency flows
+        through to the per-building :class:`OnlineFloorLabeler` histograms,
+        and drift trips / refreshes are emitted as structured events.
+        Defaults to a fresh enabled sink so a standalone registry is
+        observable out of the box.
     """
 
     def __init__(
@@ -130,6 +146,7 @@ class BuildingRegistry:
         config: Optional[FisOneConfig] = None,
         refresh_policy: Optional[RefreshPolicy] = None,
         mmap: bool = False,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -138,6 +155,7 @@ class BuildingRegistry:
         self.config = config
         self.refresh_policy = refresh_policy or RefreshPolicy()
         self.mmap = mmap
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         self._stats = RegistryStats()
         self._sources: Dict[str, _TrainingSource] = {}
         self._cache: "OrderedDict[str, FittedFisOne]" = OrderedDict()
@@ -146,6 +164,11 @@ class BuildingRegistry:
         # (the raw material an incremental refresh retrains on).
         self._monitors: Dict[str, DriftMonitor] = {}
         self._recent: Dict[str, "OrderedDict[str, SignalRecord]"] = {}
+        # Per-building labeler reused across label() calls — its memoized
+        # metric children keep the hot path to dict reads.  Entries are
+        # dropped whenever the fitted model they wrap is replaced or
+        # evicted, so a labeler never pins an evicted model in memory.
+        self._labelers: Dict[str, OnlineFloorLabeler] = {}
         # Buildings known to have an artifact on disk — maintained so that
         # eviction decisions never need filesystem stats under the lock.
         self._persisted: set = set()
@@ -197,6 +220,7 @@ class BuildingRegistry:
                 config=config,
             )
             self._cache.pop(building_id, None)
+            self._labelers.pop(building_id, None)
             self._dirty.add(building_id)
 
     def add_fitted(self, building_id: str, fitted: FittedFisOne) -> None:
@@ -320,9 +344,13 @@ class BuildingRegistry:
         :meth:`refresh_if_drifted` retrains on.
         """
         fitted = self.get(building_id)
-        labels = OnlineFloorLabeler(
-            fitted, monitor=self._monitor(building_id)
-        ).label(records)
+        labeler = self._labelers.get(building_id)
+        if labeler is None or labeler.fitted is not fitted:
+            labeler = OnlineFloorLabeler(
+                fitted, monitor=self._monitor(building_id), telemetry=self.telemetry
+            )
+            self._labelers[building_id] = labeler
+        labels = labeler.label(records)
         if isinstance(records, RecordBatch):
             # Materialise only the records that can actually end up in the
             # bounded refresh buffer: unknown to the model, and within the
@@ -406,9 +434,17 @@ class BuildingRegistry:
                 # than refreshing a stale pre-lock snapshot — the store may
                 # already hold a concurrent refresh's result.
                 fitted = self._materialize(building_id)
+            self.telemetry.events.emit(
+                EVENT_REFRESH_START,
+                building_id=building_id,
+                from_version=fitted.model_version,
+                num_records=len(records),
+            )
+            started = time.perf_counter()
             result = fitted.refresh(records, fine_tune_epochs=fine_tune_epochs)
             if self.store_dir is not None:
                 save_artifacts(result.fitted, self.store_dir / building_id)
+            refresh_seconds = time.perf_counter() - started
             with self._lock:
                 self._stats.refreshes += 1
                 if self.store_dir is not None:
@@ -433,6 +469,22 @@ class BuildingRegistry:
                     for record_id in consumed:
                         buffer.pop(str(record_id), None)
             self._monitor(building_id).reset()
+            self._observe_model_op("refresh", building_id, refresh_seconds)
+            self.telemetry.events.emit(
+                EVENT_REFRESH_DONE,
+                building_id=building_id,
+                model_version=result.fitted.model_version,
+                duration_s=round(refresh_seconds, 6),
+            )
+            # The superseded generation stays identifiable in the refreshed
+            # model's lineage; an operator can roll back to it by refitting
+            # from that version's training state.
+            self.telemetry.events.emit(
+                EVENT_ROLLBACK_ELIGIBLE,
+                building_id=building_id,
+                from_version=result.fitted.model_version,
+                to_version=fitted.model_version,
+            )
         return result.report
 
     def refresh_if_drifted(self, building_id: str) -> Optional[RefreshReport]:
@@ -444,9 +496,24 @@ class BuildingRegistry:
         """
         validate_building_id(building_id)
         policy = self.refresh_policy
-        if not self._monitor(building_id).is_drifted(policy.thresholds):
+        snapshot = self._monitor(building_id).snapshot(policy.thresholds)
+        if not snapshot.drifted:
             return None
-        if self.buffered_record_count(building_id) < policy.min_new_records:
+        buffered = self.buffered_record_count(building_id)
+        proceeding = buffered >= policy.min_new_records
+        self.telemetry.events.emit(
+            EVENT_DRIFT_TRIP,
+            building_id=building_id,
+            reasons="; ".join(snapshot.reasons),
+            buffered_records=buffered,
+            refreshing=proceeding,
+        )
+        self.telemetry.metrics.counter(
+            "fisone_drift_trips_total",
+            "Drift-policy trips observed by refresh_if_drifted",
+            building=building_id,
+        ).inc()
+        if not proceeding:
             return None
         return self.refresh(building_id)
 
@@ -484,6 +551,29 @@ class BuildingRegistry:
 
     # -- internals -------------------------------------------------------------
 
+    def _observe_model_op(
+        self, op: str, building_id: str, seconds: Optional[float] = None
+    ) -> None:
+        """Count (and optionally time) one model lifecycle operation.
+
+        Metric locks are leaves — this is safe to call while holding the
+        registry lock, and never the reverse.
+        """
+        metrics = self.telemetry.metrics
+        metrics.counter(
+            "fisone_registry_model_ops_total",
+            "Model lifecycle operations by kind (fit/load/evict/refresh)",
+            op=op,
+            building=building_id,
+        ).inc()
+        if seconds is not None:
+            metrics.histogram(
+                "fisone_model_op_seconds",
+                "Duration of model fits, artifact loads, and refreshes",
+                op=op,
+                building=building_id,
+            ).observe(seconds)
+
     def _materialize(self, building_id: str) -> FittedFisOne:
         """Load the building's model from disk, or fit it from its source.
 
@@ -503,6 +593,7 @@ class BuildingRegistry:
                 and self.store_dir is not None
                 and has_artifacts(self.store_dir / building_id)
             ):
+                load_started = time.perf_counter()
                 try:
                     fitted = load_artifacts(self.store_dir / building_id, mmap=self.mmap)
                 except ArtifactError:
@@ -529,6 +620,9 @@ class BuildingRegistry:
                     if building_id not in self._dirty:
                         self._stats.loads += 1
                         self._persisted.add(building_id)
+                        self._observe_model_op(
+                            "load", building_id, time.perf_counter() - load_started
+                        )
                         return fitted
                 # register() superseded the artifact while it was loading;
                 # fall through to refit from the refreshed source.
@@ -540,6 +634,7 @@ class BuildingRegistry:
                     f"building {building_id!r} is not registered and has no stored artifact"
                 )
             pipeline = FisOne(source.config or self.config)
+            fit_started = time.perf_counter()
             fitted = pipeline.fit(
                 source.dataset,
                 source.anchor_record_id,
@@ -553,6 +648,9 @@ class BuildingRegistry:
                     self._dirty.discard(building_id)
                     if self.store_dir is not None:
                         self._persisted.add(building_id)
+                    self._observe_model_op(
+                        "fit", building_id, time.perf_counter() - fit_started
+                    )
                     return fitted
             # The source changed mid-fit; the dirty mark set by register()
             # is still in place, so the next iteration refits (and, when
@@ -586,6 +684,9 @@ class BuildingRegistry:
         source cannot be rebuilt, so it is pinned: the cache holds it above
         capacity rather than silently losing it.
         """
+        stale_labeler = self._labelers.get(building_id)
+        if stale_labeler is not None and stale_labeler.fitted is not fitted:
+            self._labelers.pop(building_id, None)
         self._cache[building_id] = fitted
         self._cache.move_to_end(building_id)
         while len(self._cache) > self.capacity:
@@ -600,4 +701,6 @@ class BuildingRegistry:
             if victim is None:
                 break
             del self._cache[victim]
+            self._labelers.pop(victim, None)
             self._stats.evictions += 1
+            self._observe_model_op("evict", victim)

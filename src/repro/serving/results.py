@@ -80,13 +80,24 @@ class LabelResponse:
 
 @dataclass(frozen=True)
 class ServerStats:
-    """Aggregate throughput counters of one :class:`FleetServer` run."""
+    """Aggregate throughput counters of one :class:`FleetServer` run.
+
+    The latency fields summarise per-request submit-to-completion wall time
+    (the same quantity :class:`LabelResponse.latency_s` reports) over every
+    request the server completed; all three are ``0.0`` before the first
+    completion.  They are the coarse pre-histogram view — full
+    distributions live in the server's telemetry registry
+    (``fleet_request_latency_seconds``).
+    """
 
     num_requests: int
     num_records: int
     num_batches: int
     elapsed_s: float
     records_per_second: float
+    latency_min_s: float = 0.0
+    latency_mean_s: float = 0.0
+    latency_max_s: float = 0.0
 
     @property
     def mean_batch_size(self) -> float:

@@ -38,6 +38,7 @@ from repro.serving.registry import BuildingRegistry
 from repro.serving.results import LabelRequest, LabelResponse, ServerStats
 from repro.signals.batch import RecordBatch
 from repro.signals.record import SignalRecord
+from repro.telemetry import Telemetry
 
 #: Serving windows shorter than this report a throughput of 0.0 — a
 #: perf-counter delta that small (e.g. ``stats()`` immediately after
@@ -71,6 +72,17 @@ class FleetServer:
         How long the dispatcher waits for more requests before flushing
         whatever has accumulated.  Small windows favour latency, larger
         windows favour batching.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` sink.  Defaults to the
+        registry's own sink, so server request/batch metrics and registry
+        model-lifecycle metrics land in one registry and one event stream
+        (and one :meth:`render_prometheus` page).  Per-building request
+        latency (submit-to-completion, the quantity
+        :class:`~repro.serving.results.LabelResponse.latency_s` reports)
+        goes to the ``fleet_request_latency_seconds`` histogram; batch
+        execution time to ``fleet_batch_label_seconds``; queue depth to the
+        ``fleet_inflight_requests`` gauge, sampled at scrape time by
+        :meth:`sync_gauges`.
     """
 
     def __init__(
@@ -79,6 +91,7 @@ class FleetServer:
         num_workers: int = 4,
         max_batch_size: int = 64,
         batch_window_s: float = 0.002,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -90,6 +103,7 @@ class FleetServer:
         self.num_workers = num_workers
         self.max_batch_size = max_batch_size
         self.batch_window_s = batch_window_s
+        self.telemetry = telemetry if telemetry is not None else registry.telemetry
         self._queue: "queue.Queue[Optional[_Pending]]" = queue.Queue()
         self._executor: Optional[ThreadPoolExecutor] = None
         self._dispatcher: Optional[threading.Thread] = None
@@ -101,8 +115,22 @@ class FleetServer:
         self._num_requests = 0
         self._num_records = 0
         self._num_batches = 0
+        self._num_submitted = 0
+        # Submit-to-completion latency extrema/total over completed requests,
+        # all guarded by the stats lock (one torn-free snapshot for stats()).
+        self._num_completed = 0
+        self._latency_min = float("inf")
+        self._latency_sum = 0.0
+        self._latency_max = 0.0
         self._started_at: Optional[float] = None
         self._stopped_elapsed: Optional[float] = None
+        self._inflight = self.telemetry.metrics.gauge(
+            "fleet_inflight_requests",
+            "Requests submitted but not yet completed",
+        )
+        # Per-building metric children, resolved once per building so the
+        # batch hot path is a dict read plus direct observe/inc calls.
+        self._building_metrics: Dict[str, tuple] = {}
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -185,6 +213,11 @@ class FleetServer:
             if not self.running:
                 raise RuntimeError("the server is not running; call start() first")
             self._queue.put(pending)
+            # Plain increment under the (already held) lifecycle lock: the
+            # inflight gauge itself is only written at scrape time
+            # (sync_gauges), keeping every per-request metric lock off the
+            # submit path.
+            self._num_submitted += 1
         return pending.future
 
     def serve(self, requests: Iterable[LabelRequest]) -> List[LabelResponse]:
@@ -264,6 +297,10 @@ class FleetServer:
             num_requests = self._num_requests
             num_records = self._num_records
             num_batches = self._num_batches
+            num_completed = self._num_completed
+            latency_min = self._latency_min
+            latency_sum = self._latency_sum
+            latency_max = self._latency_max
             stopped_elapsed = self._stopped_elapsed
             started_at = self._started_at
         if stopped_elapsed is not None:
@@ -282,7 +319,27 @@ class FleetServer:
             records_per_second=(
                 num_records / elapsed if elapsed > MIN_STATS_WINDOW_S else 0.0
             ),
+            latency_min_s=latency_min if num_completed else 0.0,
+            latency_mean_s=latency_sum / num_completed if num_completed else 0.0,
+            latency_max_s=latency_max,
         )
+
+    def sync_gauges(self) -> None:
+        """Refresh sampled gauges (inflight depth) from the live counters.
+
+        Gauges describing *current* state are set when someone looks — a
+        scrape, a stats() call, a fleet snapshot — never on the per-request
+        path, where a cross-thread metric lock would convoy the submit
+        thread against the workers.
+        """
+        with self._stats_lock:
+            completed = self._num_requests
+        self._inflight.set(max(0, self._num_submitted - completed))
+
+    def render_prometheus(self) -> str:
+        """The server's metrics in Prometheus text exposition format."""
+        self.sync_gauges()
+        return self.telemetry.render_prometheus()
 
     # -- dispatcher ------------------------------------------------------------
 
@@ -333,6 +390,8 @@ class FleetServer:
         """Label one coalesced per-building batch and complete its futures."""
         all_records = self._coalesce([pending.request.records for pending in batch])
         num_records = len(all_records)
+        metrics = self.telemetry.metrics
+        batch_started = time.perf_counter()
         try:
             labels = self.registry.label(building_id, all_records)
         except Exception as error:  # noqa: BLE001 - failures travel via futures
@@ -340,6 +399,11 @@ class FleetServer:
             # response must find the batch already in stats(), never a
             # counter that lags its own observed completion.
             self._count_batch(batch, num_records)
+            metrics.counter(
+                "fleet_request_failures_total",
+                "Requests completed with an exception",
+                building=building_id,
+            ).inc(len(batch))
             for pending in batch:
                 # A client may have cancelled while queued; completing a
                 # cancelled future raises and would strand the rest of the
@@ -347,8 +411,39 @@ class FleetServer:
                 if pending.future.set_running_or_notify_cancel():
                     pending.future.set_exception(error)
             return
-        self._count_batch(batch, num_records)
         done_at = time.perf_counter()
+        latencies = [done_at - pending.submitted_at for pending in batch]
+        self._count_batch(batch, num_records, latencies)
+        children = self._building_metrics.get(building_id)
+        if children is None:
+            children = (
+                metrics.histogram(
+                    "fleet_batch_label_seconds",
+                    "Execution time of one coalesced per-building batch",
+                    building=building_id,
+                ),
+                metrics.histogram(
+                    "fleet_request_latency_seconds",
+                    "Submit-to-completion latency of one label request",
+                    building=building_id,
+                ),
+                metrics.counter(
+                    "fleet_requests_total",
+                    "Label requests completed",
+                    building=building_id,
+                ),
+                metrics.counter(
+                    "fleet_records_total",
+                    "Records labeled through the fleet server",
+                    building=building_id,
+                ),
+            )
+            self._building_metrics[building_id] = children
+        batch_hist, latency_hist, requests_total, records_total = children
+        batch_hist.observe(done_at - batch_started)
+        latency_hist.observe_many(latencies)
+        requests_total.inc(len(batch))
+        records_total.inc(num_records)
         cursor = 0
         for pending in batch:
             count = pending.request.num_records
@@ -386,13 +481,27 @@ class FleetServer:
                 flattened.extend(payload)
         return flattened
 
-    def _count_batch(self, batch: List[_Pending], num_records: int) -> None:
+    def _count_batch(
+        self,
+        batch: List[_Pending],
+        num_records: int,
+        latencies: Optional[List[float]] = None,
+    ) -> None:
         """Record a dispatched batch in the throughput counters.
 
         Called for failed batches too — stats count traffic the server
-        handled, not only requests that succeeded.
+        handled, not only requests that succeeded.  ``latencies`` (one per
+        successfully completed request) extends the min/mean/max latency
+        summary; failed batches pass none, so the summary describes the
+        quantity :class:`~repro.serving.results.LabelResponse.latency_s`
+        reports.
         """
         with self._stats_lock:
             self._num_requests += len(batch)
             self._num_records += num_records
             self._num_batches += 1
+            if latencies:
+                self._num_completed += len(latencies)
+                self._latency_sum += sum(latencies)
+                self._latency_min = min(self._latency_min, min(latencies))
+                self._latency_max = max(self._latency_max, max(latencies))

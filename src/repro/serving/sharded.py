@@ -63,6 +63,15 @@ from repro.serving.results import LabelRequest, LabelResponse, ServerStats
 from repro.serving.server import MIN_STATS_WINDOW_S, FleetServer
 from repro.signals.batch import MacVocab, RecordBatch
 from repro.signals.record import SignalRecord
+from repro.telemetry import (
+    EVENT_SHARD_EXIT,
+    EVENT_SHARD_START,
+    FleetEvent,
+    LatencyHistogram,
+    MetricsSnapshot,
+    Telemetry,
+    merge_events,
+)
 
 PathLike = Union[str, Path]
 
@@ -225,7 +234,7 @@ def _picklable(error: BaseException) -> BaseException:
     return error
 
 
-def _shard_worker_main(connection, spec: _ShardSpec) -> None:
+def _shard_worker_main(connection, spec: _ShardSpec, shard_index: int = 0) -> None:
     """One shard worker: an in-process FleetServer driven over a pipe.
 
     Protocol (requests are ``(op, seq, *args)`` tuples, responses
@@ -239,15 +248,26 @@ def _shard_worker_main(connection, spec: _ShardSpec) -> None:
     * ``("drift", seq, building_id)`` — the building's drift snapshot.
     * ``("refresh", seq, building_ids)`` — refresh the listed drifted
       buildings; runs on a side thread so label traffic keeps flowing.
+    * ``("telemetry", seq)`` — ``(MetricsSnapshot, events, drops)`` triple:
+      the worker's merged metric state (every family carrying this shard's
+      ``shard`` const label), its buffered lifecycle events, and the event
+      ring's drop count.
     * ``("ping", seq)`` — liveness check; answers with the worker pid.
     * ``("stop", seq)`` — drain in-flight batches, ack, and exit.
     """
+    telemetry = Telemetry(shard=shard_index)
+    telemetry.events.emit(EVENT_SHARD_START, pid=os.getpid())
     registry = BuildingRegistry(
         store_dir=spec.store_dir,
         capacity=spec.capacity,
         config=spec.config,
         refresh_policy=spec.refresh_policy,
         mmap=spec.mmap,
+        telemetry=telemetry,
+    )
+    wire_decode_hist = telemetry.metrics.histogram(
+        "fleet_wire_decode_seconds",
+        "Worker-side re-interning of one wire batch into the shard vocabulary",
     )
     vocab = MacVocab()
     send_lock = threading.Lock()
@@ -285,11 +305,12 @@ def _shard_worker_main(connection, spec: _ShardSpec) -> None:
             if op == "label":
                 building_id, payload = message[2], message[3]
                 try:
-                    records = (
-                        payload.to_batch(vocab)
-                        if isinstance(payload, _WireBatch)
-                        else payload
-                    )
+                    if isinstance(payload, _WireBatch):
+                        decode_started = time.perf_counter()
+                        records = payload.to_batch(vocab)
+                        wire_decode_hist.observe(time.perf_counter() - decode_started)
+                    else:
+                        records = payload
                     future = server.submit(building_id, records)
                 except Exception as error:  # noqa: BLE001 - travels the pipe
                     send(("err", seq, _picklable(error)))
@@ -312,6 +333,19 @@ def _shard_worker_main(connection, spec: _ShardSpec) -> None:
                         send(("err", seq, _picklable(error)))
 
                 control_pool.submit(run_refresh)
+            elif op == "telemetry":
+                server.sync_gauges()  # sampled gauges are set when scraped
+                send(
+                    (
+                        "ok",
+                        seq,
+                        (
+                            telemetry.metrics.snapshot(),
+                            telemetry.events.snapshot(),
+                            telemetry.events.drops,
+                        ),
+                    )
+                )
             elif op == "ping":
                 send(("ok", seq, os.getpid()))
             elif op == "stop":
@@ -368,7 +402,14 @@ class FleetWideStats:
 class _Shard:
     """Parent-side handle of one worker: pipe, pending map, backpressure."""
 
-    def __init__(self, index: int, process, connection, max_inflight: int) -> None:
+    def __init__(
+        self,
+        index: int,
+        process,
+        connection,
+        max_inflight: int,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
         self.index = index
         self.process = process
         self.connection = connection
@@ -378,6 +419,21 @@ class _Shard:
         self.inflight = 0
         self.dead = False
         self.latency_ewma: Optional[float] = None
+        # The full submit-to-completion distribution of this shard, parent
+        # side.  Deliberately independent of the telemetry registry: the
+        # backpressure hint below must work even with telemetry disabled.
+        self.latency_hist = LatencyHistogram()
+        self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
+        self._roundtrip_hist = self.telemetry.metrics.histogram(
+            "fleet_shard_roundtrip_seconds",
+            "Parent-observed submit-to-completion time per shard",
+            shard=str(index),
+        )
+        self._inflight_gauge = self.telemetry.metrics.gauge(
+            "fleet_shard_inflight",
+            "Label requests outstanding on one shard's bounded window",
+            shard=str(index),
+        )
         self._seq = itertools.count()
         self.reader = threading.Thread(
             target=self._read_loop, name=f"fleet-shard-{index}-reader", daemon=True
@@ -388,11 +444,16 @@ class _Shard:
     def retry_after_hint(self) -> float:
         """How long a rejected caller should back off, from recent latency.
 
-        Caller must hold ``self.lock``.
+        The EWMA tracks *recent* latency; before it is primed the p95 of
+        everything the shard has ever completed is the next-best estimate,
+        and only a shard that has completed nothing at all falls back to the
+        static default.  Caller must hold ``self.lock``.
         """
-        if self.latency_ewma is None:
-            return DEFAULT_RETRY_AFTER_S
-        return min(1.0, max(0.005, self.latency_ewma))
+        if self.latency_ewma is not None:
+            return min(1.0, max(0.005, self.latency_ewma))
+        if self.latency_hist.count:
+            return min(1.0, max(0.005, self.latency_hist.quantile(0.95)))
+        return DEFAULT_RETRY_AFTER_S
 
     def check_accepting(self) -> None:
         """Raise now if a label submit would be rejected.
@@ -429,11 +490,13 @@ class _Shard:
             )
             self.pending[seq] = pending
             self.inflight += 1
+            self._inflight_gauge.set(self.inflight)
             try:
                 self.connection.send(("label", seq, building_id, payload))
             except (OSError, ValueError, BrokenPipeError) as error:
                 self.pending.pop(seq, None)
                 self.inflight -= 1
+                self._inflight_gauge.set(self.inflight)
                 self.dead = True
                 raise RuntimeError(
                     f"fleet shard {self.index} pipe is broken: {error}"
@@ -471,12 +534,16 @@ class _Shard:
                 entry = self.pending.pop(seq, None)
                 if entry is not None and entry.kind == "label":
                     self.inflight -= 1
+                    self._inflight_gauge.set(self.inflight)
                     latency = time.perf_counter() - entry.submitted_at
                     self.latency_ewma = (
                         latency
                         if self.latency_ewma is None
                         else 0.8 * self.latency_ewma + 0.2 * latency
                     )
+                    self.latency_hist.observe(latency)
+            if latency is not None:
+                self._roundtrip_hist.observe(latency)
             if entry is None:
                 continue
             if not entry.future.set_running_or_notify_cancel():
@@ -502,6 +569,12 @@ class _Shard:
             entries = list(self.pending.values())
             self.pending.clear()
             self.inflight = 0
+            self._inflight_gauge.set(0)
+        # Emitted parent-side: a worker that died cannot report its own exit,
+        # and on a clean stop this records the drain point of the shard.
+        self.telemetry.events.emit(
+            EVENT_SHARD_EXIT, shard=self.index, pending_failed=len(entries)
+        )
         for entry in entries:
             if entry.future.set_running_or_notify_cancel():
                 entry.future.set_exception(
@@ -541,6 +614,12 @@ class ShardedFleetServer:
     start_method:
         ``multiprocessing`` start method; default prefers ``fork`` (fast,
         no re-import) and falls back to ``spawn`` where fork is unavailable.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` sink for the
+        *dispatcher side* (wire-encode time, per-shard roundtrip and
+        inflight, rejections, shard lifecycle events).  Each worker builds
+        its own sink with a ``shard`` const label; :meth:`fleet_metrics` /
+        :meth:`fleet_events` merge both sides into one fleet-wide view.
     """
 
     def __init__(
@@ -556,6 +635,7 @@ class ShardedFleetServer:
         max_batch_size: int = 64,
         batch_window_s: float = 0.002,
         start_method: Optional[str] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -581,6 +661,11 @@ class ShardedFleetServer:
             start_method = "fork" if "fork" in available else "spawn"
         self._context = multiprocessing.get_context(start_method)
         self._ring = ConsistentHashRing(num_workers)
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._encode_hist = self.telemetry.metrics.histogram(
+            "fleet_wire_encode_seconds",
+            "Dispatcher-side flattening of one columnar batch for the pipe",
+        )
         self._shards: List[_Shard] = []
         self._lifecycle_lock = threading.Lock()
         self._request_counter = itertools.count()
@@ -617,7 +702,7 @@ class ShardedFleetServer:
                 parent_end, child_end = self._context.Pipe(duplex=True)
                 process = self._context.Process(
                     target=_shard_worker_main,
-                    args=(child_end, self._spec),
+                    args=(child_end, self._spec, index),
                     name=f"fleet-shard-{index}",
                     daemon=True,
                 )
@@ -627,7 +712,9 @@ class ShardedFleetServer:
             shards = []
             try:
                 for index, process, parent_end in processes:
-                    shard = _Shard(index, process, parent_end, self.max_inflight)
+                    shard = _Shard(
+                        index, process, parent_end, self.max_inflight, self.telemetry
+                    )
                     shard.reader.start()
                     shards.append(shard)
                 for shard in shards:
@@ -730,17 +817,23 @@ class ShardedFleetServer:
             # Pre-check before encoding: a rejected submit must cost the
             # dispatcher nothing, or retries would amplify the overload.
             shard.check_accepting()
-            payload = (
-                _WireBatch.from_batch(records)
-                if isinstance(records, RecordBatch)
-                else tuple(records)
-            )
+            if isinstance(records, RecordBatch):
+                encode_started = time.perf_counter()
+                payload = _WireBatch.from_batch(records)
+                self._encode_hist.observe(time.perf_counter() - encode_started)
+            else:
+                payload = tuple(records)
             if request_id is None:
                 request_id = f"req-{next(self._request_counter)}"
             return shard.submit_label(building_id, payload, request_id)
-        except ShardOverloadedError:
+        except ShardOverloadedError as error:
             with self._stats_lock:
                 self._num_rejected += 1
+            self.telemetry.metrics.counter(
+                "fleet_shard_rejections_total",
+                "Label submits rejected by a full per-shard inflight window",
+                shard=str(error.shard),
+            ).inc()
             raise
 
     def serve(self, requests: Iterable[LabelRequest]) -> List[LabelResponse]:
@@ -813,6 +906,81 @@ class ShardedFleetServer:
                 num_records / elapsed if elapsed > MIN_STATS_WINDOW_S else 0.0
             ),
         )
+
+    # -- fleet-wide telemetry --------------------------------------------------
+
+    def _poll_worker_telemetry(self, timeout_s: float) -> List[tuple]:
+        """``(MetricsSnapshot, events, drops)`` from every live shard.
+
+        Same degraded-mode contract as :meth:`stats`: shards that are dead,
+        or die mid-request, are skipped rather than failing the poll.
+        """
+        futures = []
+        for shard in self._shards:
+            if shard.dead:
+                continue
+            try:
+                futures.append(shard.submit_control("telemetry"))
+            except RuntimeError:
+                continue
+        payloads = []
+        for future in futures:
+            try:
+                payloads.append(future.result(timeout=timeout_s))
+            except Exception:  # noqa: BLE001 - shard died mid-request
+                continue
+        return payloads
+
+    def fleet_metrics(self, timeout_s: float = 30.0) -> MetricsSnapshot:
+        """One merged metrics snapshot: the dispatcher plus every live shard.
+
+        Worker-side families carry each worker's ``shard`` const label, so
+        merging never collapses distinct shards into one sample — a family
+        like ``fleet_request_latency_seconds`` comes back with one child per
+        ``(shard, building)`` pair, and
+        :meth:`~repro.telemetry.MetricsSnapshot.latency_summary` can roll it
+        up along either axis.
+        """
+        snapshots = [self.telemetry.metrics.snapshot()]
+        snapshots.extend(
+            payload[0] for payload in self._poll_worker_telemetry(timeout_s)
+        )
+        return MetricsSnapshot.merge(snapshots)
+
+    def fleet_events(
+        self,
+        timeout_s: float = 30.0,
+        kinds: Optional[Sequence[str]] = None,
+    ) -> Tuple[FleetEvent, ...]:
+        """Every buffered lifecycle event fleet-wide, in timestamp order.
+
+        Merges the dispatcher's own ring (shard exits, observed
+        parent-side) with each worker's (shard starts, drift trips, refresh
+        start/done, rollback eligibility).  ``time.monotonic`` is
+        system-wide on the platforms the fork/spawn workers run on, so the
+        merged ordering is meaningful across processes.
+        """
+        streams = [self.telemetry.events.snapshot()]
+        streams.extend(payload[1] for payload in self._poll_worker_telemetry(timeout_s))
+        return merge_events(streams, kinds=kinds)
+
+    def latency_summary(
+        self,
+        by: str = "shard",
+        name: str = "fleet_request_latency_seconds",
+        timeout_s: float = 30.0,
+    ) -> Dict[str, Dict[str, float]]:
+        """Fleet-merged latency quantiles grouped along one label axis.
+
+        ``by="shard"`` answers "is one worker slow"; ``by="building"``
+        answers "is one building slow" — both from the same histograms, the
+        merge is just along a different axis.
+        """
+        return self.fleet_metrics(timeout_s).latency_summary(name, by)
+
+    def render_prometheus(self, timeout_s: float = 30.0) -> str:
+        """The fleet-merged metrics in Prometheus text exposition format."""
+        return self.fleet_metrics(timeout_s).render_prometheus()
 
     def drift_snapshot(self, building_id: str, timeout_s: float = 30.0) -> DriftSnapshot:
         """The owning shard's drift statistics for one building."""

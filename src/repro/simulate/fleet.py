@@ -15,7 +15,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:
+    # Typing only: repro.telemetry's package __init__ pulls in the capacity
+    # planner, which imports this module — a runtime import here would make
+    # that cycle bidirectional.  replay_traffic only calls methods on the
+    # registry it is handed, so the name never needs to exist at runtime.
+    from repro.telemetry.metrics import MetricsRegistry
 
 import numpy as np
 
@@ -262,6 +269,7 @@ def generate_label_traffic(
 def replay_traffic(
     submit: Callable[[str, RecordBatch], object],
     traffic: Sequence[TrafficRequest],
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Tuple[List[object], int]:
     """Replay a traffic trace open-loop against a server's ``submit``.
 
@@ -272,16 +280,36 @@ def replay_traffic(
     :class:`repro.serving.sharded.ShardOverloadedError` — sleeps out the
     advertised backoff and retries, counting the rejection.
 
+    With a ``metrics`` registry, the replay instruments *itself*: the
+    ``replay_lag_seconds`` histogram records how far behind schedule each
+    request actually left (the generator's own saturation signal — a lag
+    that grows over the trace means the load loop, not the server, is the
+    bottleneck), and ``replay_rejections_total`` counts backpressure
+    rejections.
+
     Returns ``(results, num_rejections)`` where ``results`` holds whatever
     ``submit`` returned (futures, for the fleet servers), in trace order.
     """
     results: List[object] = []
     num_rejections = 0
+    lag_hist = rejection_counter = None
+    if metrics is not None:
+        lag_hist = metrics.histogram(
+            "replay_lag_seconds",
+            "How far behind its scheduled offset each request was submitted",
+        )
+        rejection_counter = metrics.counter(
+            "replay_rejections_total",
+            "Submits rejected with backpressure during the replay",
+        )
     clock_zero = time.perf_counter()
     for request in traffic:
         delay = request.offset_s - (time.perf_counter() - clock_zero)
         if delay > 0:
             time.sleep(delay)
+        if lag_hist is not None:
+            lag = (time.perf_counter() - clock_zero) - request.offset_s
+            lag_hist.observe(max(0.0, lag))
         while True:
             try:
                 results.append(submit(request.building_id, request.records))
@@ -291,6 +319,8 @@ def replay_traffic(
                 if retry_after is None:
                     raise
                 num_rejections += 1
+                if rejection_counter is not None:
+                    rejection_counter.inc()
                 time.sleep(retry_after)
     return results, num_rejections
 

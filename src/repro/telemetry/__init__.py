@@ -1,0 +1,104 @@
+"""Fleet telemetry: latency histograms, labeled metrics, events, capacity.
+
+The observability core the serving stack instruments into:
+
+* :mod:`~repro.telemetry.histogram` — :class:`LatencyHistogram`: fixed
+  log-spaced bins, lock-cheap observation, element-wise mergeable (the
+  shard -> fleet aggregation primitive), p50/p95/p99 estimates with bounded
+  relative error.
+* :mod:`~repro.telemetry.metrics` — :class:`MetricsRegistry`: counter /
+  gauge / histogram families with label sets (``shard``, ``building``,
+  ``op``), frozen picklable :class:`MetricsSnapshot`\\ s that merge across
+  processes, and a Prometheus text exposition.
+* :mod:`~repro.telemetry.events` — :class:`EventRing`: a bounded structured
+  stream of fleet lifecycle events (drift trips, refresh start/done,
+  rollback eligibility, shard starts/exits) with monotonic timestamps and a
+  drop counter.
+* :mod:`~repro.telemetry.context` — :class:`Telemetry`: the
+  metrics-plus-events bundle each serving layer threads through (and the
+  ``Telemetry.disabled()`` zero-cost mode).
+* :mod:`~repro.telemetry.exposition` — :class:`MetricsHTTPServer`: a
+  stdlib ``http.server`` ``/metrics`` endpoint, so the fleet is scrapeable
+  with zero dependencies.
+* :mod:`~repro.telemetry.capacity` — :class:`CapacityPlanner`: drive the
+  open-loop load generator over arrival-rate x skew x worker-count grids and
+  answer ``plan(target_rps, p99_budget_s)`` with a recommended worker count.
+"""
+
+from repro.telemetry.histogram import (
+    BIN_EDGES,
+    BIN_HIGHEST,
+    BIN_LOWEST,
+    BINS_PER_DECADE,
+    NUM_BINS,
+    LatencyHistogram,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    FamilySnapshot,
+    Gauge,
+    HistogramState,
+    MetricsRegistry,
+    MetricsSnapshot,
+    SampleSnapshot,
+)
+from repro.telemetry.events import (
+    EVENT_DRIFT_TRIP,
+    EVENT_REFRESH_DONE,
+    EVENT_REFRESH_START,
+    EVENT_ROLLBACK_ELIGIBLE,
+    EVENT_SHARD_EXIT,
+    EVENT_SHARD_START,
+    EventRing,
+    FleetEvent,
+    merge_events,
+    summarize_events,
+)
+from repro.telemetry.context import Telemetry
+from repro.telemetry.exposition import MetricsHTTPServer
+
+# Imported last: capacity drives the simulator's traffic generator and lazily
+# pulls in the sharded server (which imports this package) — everything above
+# must already be bound before this line for those cycles to resolve.
+from repro.telemetry.capacity import (
+    CapacityPlan,
+    CapacityPlanner,
+    CapacityPoint,
+    measure_capacity_point,
+    plan_to_payload,
+    sweep_capacity,
+)
+
+__all__ = [
+    "BIN_EDGES",
+    "BIN_HIGHEST",
+    "BIN_LOWEST",
+    "BINS_PER_DECADE",
+    "NUM_BINS",
+    "LatencyHistogram",
+    "Counter",
+    "Gauge",
+    "FamilySnapshot",
+    "HistogramState",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "SampleSnapshot",
+    "EVENT_DRIFT_TRIP",
+    "EVENT_REFRESH_DONE",
+    "EVENT_REFRESH_START",
+    "EVENT_ROLLBACK_ELIGIBLE",
+    "EVENT_SHARD_EXIT",
+    "EVENT_SHARD_START",
+    "EventRing",
+    "FleetEvent",
+    "merge_events",
+    "summarize_events",
+    "Telemetry",
+    "MetricsHTTPServer",
+    "CapacityPlan",
+    "CapacityPlanner",
+    "CapacityPoint",
+    "measure_capacity_point",
+    "plan_to_payload",
+    "sweep_capacity",
+]

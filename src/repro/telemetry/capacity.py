@@ -1,0 +1,312 @@
+"""Capacity planning: measure the fleet under load, answer "how many workers".
+
+The planner closes the loop between the open-loop load generator
+(:class:`~repro.simulate.fleet.LoadProfile` / ``replay_traffic``) and the
+telemetry core: it drives traffic grids over **arrival rate x building skew x
+worker count**, records the measured latency distribution of every grid
+point as a :class:`CapacityPoint`, and answers
+``plan(target_rps, p99_budget_s)`` with the smallest worker count whose
+measured capacity meets the target inside the latency budget.
+
+The measured grid serializes to/from plain JSON — ``BENCH_capacity.json`` in
+the benchmark harness — so a plan can be recomputed offline from a committed
+measurement, and the perf-guard can floor the plan's feasibility and margin
+like any other benchmark metric.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.simulate.fleet import (
+    LoadProfile,
+    TrafficRequest,
+    generate_label_traffic,
+    replay_traffic,
+)
+from repro.telemetry.histogram import LatencyHistogram
+
+#: Quantile the latency budget is judged against.
+PLAN_QUANTILE = 0.99
+
+
+@dataclass(frozen=True)
+class CapacityPoint:
+    """One measured grid point: a traffic shape against a worker count.
+
+    ``offered_rps`` is what the open-loop schedule asked for;
+    ``achieved_rps`` is what the fleet actually absorbed (they diverge when
+    the fleet saturates and backpressure stretches the replay).
+    """
+
+    num_workers: int
+    arrival_rate_hz: Optional[float]
+    building_skew: float
+    num_requests: int
+    num_records: int
+    offered_rps: float
+    achieved_rps: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    mean_latency_s: float
+    num_rejections: int
+    elapsed_s: float
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """The planner's answer for one ``(target_rps, p99_budget_s)`` ask.
+
+    ``feasible`` is True when some measured worker count delivered at least
+    ``target_rps`` with a p99 inside the budget; ``num_workers`` is then the
+    smallest such count and ``supporting_point`` its best measurement.
+    When infeasible, ``num_workers`` is the best-capacity worker count
+    measured (what to scale *from*) and ``reason`` says what fell short.
+    """
+
+    target_rps: float
+    p99_budget_s: float
+    feasible: bool
+    num_workers: int
+    capacity_rps: float
+    supporting_point: Optional[CapacityPoint]
+    reason: str
+
+    @property
+    def rps_margin(self) -> float:
+        """Measured capacity over the target (>= 1.0 when feasible)."""
+        return self.capacity_rps / self.target_rps if self.target_rps > 0 else 0.0
+
+
+class CapacityPlanner:
+    """Holds measured :class:`CapacityPoint`\\ s and answers plans over them.
+
+    The planner is deliberately measurement-driven rather than model-driven:
+    it never extrapolates beyond the measured worker counts — an unmeasured
+    configuration is reported as infeasible with a reason, not guessed at.
+    """
+
+    def __init__(self, points: Sequence[CapacityPoint] = ()) -> None:
+        self._points: List[CapacityPoint] = list(points)
+
+    @property
+    def points(self) -> Tuple[CapacityPoint, ...]:
+        return tuple(self._points)
+
+    def add(self, point: CapacityPoint) -> None:
+        self._points.append(point)
+
+    def capacity_at(self, num_workers: int, p99_budget_s: float) -> float:
+        """Best measured throughput of ``num_workers`` inside the budget."""
+        eligible = [
+            point.achieved_rps
+            for point in self._points
+            if point.num_workers == num_workers and point.p99_s <= p99_budget_s
+        ]
+        return max(eligible) if eligible else 0.0
+
+    def plan(self, target_rps: float, p99_budget_s: float) -> CapacityPlan:
+        """The smallest measured worker count meeting the target in budget."""
+        if target_rps <= 0:
+            raise ValueError("target_rps must be positive")
+        if p99_budget_s <= 0:
+            raise ValueError("p99_budget_s must be positive")
+        if not self._points:
+            return CapacityPlan(
+                target_rps=target_rps,
+                p99_budget_s=p99_budget_s,
+                feasible=False,
+                num_workers=0,
+                capacity_rps=0.0,
+                supporting_point=None,
+                reason="no capacity measurements recorded",
+            )
+        worker_counts = sorted({point.num_workers for point in self._points})
+        best_workers, best_capacity, best_point = worker_counts[0], 0.0, None
+        for num_workers in worker_counts:
+            eligible = [
+                point
+                for point in self._points
+                if point.num_workers == num_workers
+                and point.p99_s <= p99_budget_s
+            ]
+            if not eligible:
+                continue
+            supporting = max(eligible, key=lambda point: point.achieved_rps)
+            if supporting.achieved_rps > best_capacity:
+                best_workers = num_workers
+                best_capacity = supporting.achieved_rps
+                best_point = supporting
+            if supporting.achieved_rps >= target_rps:
+                return CapacityPlan(
+                    target_rps=target_rps,
+                    p99_budget_s=p99_budget_s,
+                    feasible=True,
+                    num_workers=num_workers,
+                    capacity_rps=supporting.achieved_rps,
+                    supporting_point=supporting,
+                    reason=(
+                        f"{num_workers} worker(s) measured "
+                        f"{supporting.achieved_rps:.0f} records/s at "
+                        f"p99 {supporting.p99_s * 1e3:.1f}ms "
+                        f"(budget {p99_budget_s * 1e3:.0f}ms)"
+                    ),
+                )
+        if best_point is None:
+            reason = (
+                f"no measured configuration met the p99 budget of "
+                f"{p99_budget_s * 1e3:.0f}ms"
+            )
+        else:
+            reason = (
+                f"best measured capacity inside the budget is "
+                f"{best_capacity:.0f} records/s at {best_workers} worker(s) — "
+                f"short of the {target_rps:.0f} records/s target; measure "
+                f"more workers"
+            )
+        return CapacityPlan(
+            target_rps=target_rps,
+            p99_budget_s=p99_budget_s,
+            feasible=False,
+            num_workers=best_workers,
+            capacity_rps=best_capacity,
+            supporting_point=best_point,
+            reason=reason,
+        )
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_payload(self) -> Dict:
+        """A JSON-serializable dict of the measured grid."""
+        return {"points": [asdict(point) for point in self._points]}
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "CapacityPlanner":
+        """Rebuild a planner from :meth:`to_payload` output."""
+        return cls(
+            points=[CapacityPoint(**point) for point in payload.get("points", [])]
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_payload(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CapacityPlanner":
+        return cls.from_payload(json.loads(text))
+
+
+def plan_to_payload(plan: CapacityPlan) -> Dict:
+    """A JSON-serializable dict of one plan (for ``BENCH_capacity.json``)."""
+    payload = asdict(plan)
+    payload["rps_margin"] = plan.rps_margin
+    return payload
+
+
+def measure_capacity_point(
+    submit: Callable[[str, object], object],
+    traffic: Sequence[TrafficRequest],
+    num_workers: int,
+    profile: LoadProfile,
+    result_timeout_s: float = 600.0,
+) -> CapacityPoint:
+    """Replay one traffic trace against ``submit`` and measure the outcome.
+
+    ``submit`` must return a future resolving to a
+    :class:`~repro.serving.results.LabelResponse` (both fleet servers
+    qualify).  Per-request latency comes from the responses' ``latency_s``
+    (submit-to-completion, including queueing), folded into a
+    :class:`LatencyHistogram` for the quantile estimates.
+    """
+    if not traffic:
+        raise ValueError("traffic must contain at least one request")
+    histogram = LatencyHistogram()
+    start = time.perf_counter()
+    futures, num_rejections = replay_traffic(submit, traffic)
+    responses = [future.result(timeout=result_timeout_s) for future in futures]
+    elapsed = time.perf_counter() - start
+    for response in responses:
+        histogram.observe(response.latency_s)
+    num_records = sum(len(request.records) for request in traffic)
+    schedule_span = traffic[-1].offset_s
+    offered_rps = num_records / schedule_span if schedule_span > 0 else float("inf")
+    p50, p95, p99 = histogram.quantiles()
+    return CapacityPoint(
+        num_workers=num_workers,
+        arrival_rate_hz=profile.arrival_rate_hz,
+        building_skew=profile.building_skew,
+        num_requests=len(traffic),
+        num_records=num_records,
+        offered_rps=offered_rps,
+        achieved_rps=num_records / elapsed if elapsed > 0 else 0.0,
+        p50_s=p50,
+        p95_s=p95,
+        p99_s=p99,
+        mean_latency_s=histogram.mean,
+        num_rejections=num_rejections,
+        elapsed_s=elapsed,
+    )
+
+
+def sweep_capacity(
+    store_dir,
+    streams: Mapping[str, Sequence],
+    worker_counts: Sequence[int] = (1, 2),
+    arrival_rates_hz: Sequence[Optional[float]] = (50.0,),
+    building_skews: Sequence[float] = (0.0,),
+    num_requests: int = 160,
+    batch_size_mix: Tuple[Tuple[int, float], ...] = ((4, 0.5), (16, 0.5)),
+    seed: int = 0,
+    server_kwargs: Optional[Dict] = None,
+    warmup: bool = True,
+) -> CapacityPlanner:
+    """Measure the full worker-count x arrival-rate x skew grid.
+
+    Boots a :class:`~repro.serving.sharded.ShardedFleetServer` over
+    ``store_dir`` per worker count, replays one deterministic trace per
+    ``(rate, skew)`` cell against every worker count (same trace, so the
+    comparison is apples to apples), and returns the populated planner.
+
+    ``warmup`` labels one record per building before measuring, so the
+    grid measures steady-state serving rather than cold artifact loads.
+    """
+    # Imported lazily: repro.serving.sharded itself imports repro.telemetry,
+    # and a module-level import here would close that cycle.
+    from repro.serving.sharded import ShardedFleetServer
+
+    planner = CapacityPlanner()
+    traces: List[Tuple[LoadProfile, List[TrafficRequest]]] = []
+    for arrival_rate_hz in arrival_rates_hz:
+        for building_skew in building_skews:
+            profile = LoadProfile(
+                arrival_rate_hz=arrival_rate_hz,
+                building_skew=building_skew,
+                batch_size_mix=batch_size_mix,
+            )
+            traces.append(
+                (
+                    profile,
+                    generate_label_traffic(
+                        streams, num_requests=num_requests, profile=profile, seed=seed
+                    ),
+                )
+            )
+    for num_workers in worker_counts:
+        with ShardedFleetServer(
+            store_dir, num_workers=num_workers, **(server_kwargs or {})
+        ) as server:
+            if warmup:
+                warmup_futures = [
+                    server.submit(building_id, [next(iter(records))])
+                    for building_id, records in streams.items()
+                ]
+                for future in warmup_futures:
+                    future.result(timeout=600.0)
+            for profile, trace in traces:
+                planner.add(
+                    measure_capacity_point(server.submit, trace, num_workers, profile)
+                )
+    return planner

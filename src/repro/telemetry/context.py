@@ -1,0 +1,60 @@
+"""The :class:`Telemetry` bundle every serving layer threads through.
+
+One object carrying the two observability surfaces — a
+:class:`~repro.telemetry.metrics.MetricsRegistry` (counters / gauges /
+latency histograms with label sets) and an
+:class:`~repro.telemetry.events.EventRing` (bounded structured lifecycle
+events) — so a :class:`~repro.serving.registry.BuildingRegistry`, the
+:class:`~repro.serving.server.FleetServer` driving it, and an
+:class:`~repro.serving.online.OnlineFloorLabeler` all instrument into the
+same sink.  Shard workers construct theirs with ``shard=i`` so every metric
+child and event they produce is attributable after fleet-wide merging.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.telemetry.events import EventRing
+from repro.telemetry.metrics import MetricsRegistry
+
+
+class Telemetry:
+    """A metrics registry plus an event ring, enabled or inert together.
+
+    Parameters
+    ----------
+    enabled:
+        ``Telemetry.disabled()`` (or ``enabled=False``) makes every metric
+        a shared no-op and the ring ignore emits — the zero-cost mode the
+        overhead benchmark measures against.
+    shard:
+        Stamped on every metric child (as a ``shard`` const label) and
+        every event, when set.
+    event_capacity:
+        Bound of the event ring (oldest events beyond it are dropped and
+        counted).
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        shard: Optional[int] = None,
+        event_capacity: int = 1024,
+    ) -> None:
+        self.enabled = enabled
+        self.shard = shard
+        const_labels = {"shard": str(shard)} if shard is not None else None
+        self.metrics = MetricsRegistry(enabled=enabled, const_labels=const_labels)
+        self.events = EventRing(
+            capacity=event_capacity, shard=shard, enabled=enabled
+        )
+
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        """An inert bundle: no-op metrics, emit-ignoring ring."""
+        return cls(enabled=False)
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition of the current metric state."""
+        return self.metrics.render_prometheus()

@@ -1,0 +1,175 @@
+"""A bounded, structured event stream for fleet lifecycle moments.
+
+Metrics answer "how much / how fast"; the event ring answers "what happened
+and when": a drift monitor tripping, a refresh starting and landing, a
+refreshed model becoming rollback-eligible, a shard worker (re)starting or
+dying.  Each :class:`FleetEvent` carries a monotonic timestamp, an optional
+``building_id`` and ``shard``, and free-form details.
+
+The ring is **bounded**: beyond ``capacity`` the oldest events are dropped
+and counted (``drops``), so a chatty fleet can never grow observability
+state without limit — exactly the discipline the bounded inflight windows
+apply to requests.  Events pickle cleanly, which is how shard workers ship
+their rings to the dispatcher for fleet-wide merging
+(:func:`merge_events`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Iterable, List, Mapping, Optional, Tuple
+
+#: Drift monitor breached its thresholds (details: reasons, buffered count).
+EVENT_DRIFT_TRIP = "drift-trip"
+
+#: An incremental refresh began (details: trigger).
+EVENT_REFRESH_START = "refresh-start"
+
+#: An incremental refresh landed (details: duration, new model_version).
+EVENT_REFRESH_DONE = "refresh-done"
+
+#: A refresh produced a lineage the artifact store can roll back through
+#: (details: from/to model versions).
+EVENT_ROLLBACK_ELIGIBLE = "rollback-eligible"
+
+#: A shard worker process came up (details: pid, restart flag).
+EVENT_SHARD_START = "shard-start"
+
+#: A shard worker died or its pipe broke (details: inflight lost).
+EVENT_SHARD_EXIT = "shard-exit"
+
+
+@dataclass(frozen=True)
+class FleetEvent:
+    """One structured lifecycle event.
+
+    Attributes
+    ----------
+    kind:
+        One of the ``EVENT_*`` constants (free-form kinds are allowed).
+    timestamp:
+        ``time.monotonic()`` at emission.  Monotonic is system-wide on the
+        platforms the sharded server runs on, so parent- and worker-side
+        events sort into one coherent fleet timeline.
+    building_id, shard:
+        The subjects, when applicable.
+    details:
+        Free-form key/value payload, stored as a sorted tuple of pairs so
+        the event stays hashable and deterministic.
+    """
+
+    kind: str
+    timestamp: float
+    building_id: Optional[str] = None
+    shard: Optional[int] = None
+    details: Tuple[Tuple[str, object], ...] = field(default_factory=tuple)
+
+    @property
+    def details_dict(self) -> dict:
+        """The details as a plain dict (convenience for consumers)."""
+        return dict(self.details)
+
+
+class EventRing:
+    """Thread-safe bounded ring of :class:`FleetEvent`\\ s, oldest dropped.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained events; older ones are dropped and counted.
+    shard:
+        When set, stamped on every emitted event (shard workers pass their
+        index so merged fleet timelines attribute events correctly).
+    enabled:
+        A disabled ring ignores :meth:`emit` entirely (the zero-cost mode).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        shard: Optional[int] = None,
+        enabled: bool = True,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.shard = shard
+        self.enabled = enabled
+        self._events: Deque[FleetEvent] = deque()
+        self._drops = 0
+        self._lock = threading.Lock()
+
+    def emit(
+        self,
+        kind: str,
+        building_id: Optional[str] = None,
+        shard: Optional[int] = None,
+        **details: object,
+    ) -> Optional[FleetEvent]:
+        """Append one event (dropping the oldest past capacity)."""
+        if not self.enabled:
+            return None
+        event = FleetEvent(
+            kind=kind,
+            timestamp=time.monotonic(),
+            building_id=building_id,
+            shard=shard if shard is not None else self.shard,
+            details=tuple(sorted(details.items())),
+        )
+        with self._lock:
+            self._events.append(event)
+            while len(self._events) > self.capacity:
+                self._events.popleft()
+                self._drops += 1
+        return event
+
+    @property
+    def drops(self) -> int:
+        """Events dropped to honour the capacity bound."""
+        with self._lock:
+            return self._drops
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def snapshot(self) -> Tuple[FleetEvent, ...]:
+        """The retained events, oldest first (a consistent copy)."""
+        with self._lock:
+            return tuple(self._events)
+
+    def clear(self) -> None:
+        """Drop every retained event (drop counter is preserved)."""
+        with self._lock:
+            self._events.clear()
+
+
+def merge_events(
+    streams: Iterable[Iterable[FleetEvent]],
+    kinds: Optional[Iterable[str]] = None,
+) -> Tuple[FleetEvent, ...]:
+    """Merge event streams into one timeline, sorted by monotonic timestamp.
+
+    ``kinds`` optionally filters the merged timeline.  This is the shard →
+    fleet aggregation path: each worker's ring snapshot plus the
+    dispatcher's own ring become one ordered fleet history.
+    """
+    wanted = set(kinds) if kinds is not None else None
+    merged: List[FleetEvent] = []
+    for stream in streams:
+        for event in stream:
+            if wanted is None or event.kind in wanted:
+                merged.append(event)
+    merged.sort(key=lambda event: event.timestamp)
+    return tuple(merged)
+
+
+def summarize_events(events: Iterable[FleetEvent]) -> Mapping[str, int]:
+    """Event counts per kind (a quick operator-facing rollup)."""
+    counts: dict = {}
+    for event in events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    return counts

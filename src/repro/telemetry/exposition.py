@@ -1,0 +1,121 @@
+"""A zero-dependency ``/metrics`` endpoint over the standard library.
+
+:class:`MetricsHTTPServer` wraps ``http.server`` in a daemon thread and
+serves the Prometheus text exposition produced by any callable returning a
+string — a :class:`~repro.telemetry.metrics.MetricsRegistry`'s
+``render_prometheus``, a :class:`~repro.serving.sharded.ShardedFleetServer`'s
+fleet-merged render, or anything else.  ``GET /metrics`` (and ``GET /``)
+answer ``200 text/plain; version=0.0.4``; other paths 404.  A render
+failure answers 500 instead of killing the serving process.
+
+Intended for scrape traffic, not request traffic: one short-lived handler
+thread per scrape, no framework, nothing on the labeling hot path.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Optional
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsHTTPServer:
+    """Serve a render callable at ``/metrics`` on a background thread.
+
+    Parameters
+    ----------
+    render:
+        Zero-argument callable returning the exposition text (called once
+        per scrape, on the scrape's handler thread).
+    host, port:
+        Bind address; ``port=0`` picks a free port (see :attr:`port`).
+
+    Use as a context manager, or call :meth:`start` / :meth:`stop`::
+
+        server = MetricsHTTPServer(registry.render_prometheus, port=9100)
+        server.start()
+        ...  # scrape http://localhost:9100/metrics
+        server.stop()
+    """
+
+    def __init__(
+        self,
+        render: Callable[[], str],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.render = render
+        self.host = host
+        self._requested_port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` after :meth:`start`)."""
+        if self._httpd is None:
+            return self._requested_port
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """The scrape URL."""
+        return f"http://{self.host}:{self.port}/metrics"
+
+    @property
+    def running(self) -> bool:
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    def start(self) -> "MetricsHTTPServer":
+        """Bind and start answering scrapes (idempotent)."""
+        if self.running:
+            return self
+        render = self.render
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+                    self.send_error(404, "only /metrics is served here")
+                    return
+                try:
+                    body = render().encode("utf-8")
+                except Exception as error:  # noqa: BLE001 - a scrape must
+                    # never take the serving process down with it.
+                    self.send_error(500, f"metrics render failed: {error}")
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:  # noqa: D102 - silence
+                pass  # scrape logs belong to the scraper, not stderr
+
+        self._httpd = ThreadingHTTPServer((self.host, self._requested_port), Handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="metrics-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop answering and release the port (idempotent)."""
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

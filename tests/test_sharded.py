@@ -341,6 +341,79 @@ class TestShardedFleetServer:
             ShardedFleetServer(store, shard_capacity=0)
 
 
+class TestFleetTelemetry:
+    def test_fleet_metrics_events_and_exposition(self, fleet_store):
+        """Worker registries merge into one scrapeable fleet-wide view."""
+        store, streams = fleet_store
+        requests_per_building = 2
+        vocab = MacVocab()
+        with ShardedFleetServer(store, num_workers=2, config=FAST_CONFIG) as server:
+            # Columnar payloads take the _WireBatch path, so both wire-side
+            # histograms (parent encode, worker decode) see traffic.
+            futures = [
+                server.submit(
+                    building_id,
+                    RecordBatch.from_records(records[start : start + 5], vocab=vocab),
+                )
+                for building_id, records in streams.items()
+                for start in (0, 5)
+            ]
+            for future in futures:
+                future.result(timeout=120)
+            snapshot = server.fleet_metrics(timeout_s=60)
+            events = server.fleet_events(timeout_s=60)
+            summary = server.latency_summary(by="building", timeout_s=60)
+            text = server.render_prometheus(timeout_s=60)
+
+        # Every completed request is counted exactly once fleet-wide, and
+        # each worker's counters stay attributable through the shard label.
+        requests_family = snapshot.family("fleet_requests_total")
+        assert requests_family is not None and requests_family.kind == "counter"
+        total = sum(sample.value for sample in requests_family.samples)
+        assert total == requests_per_building * len(streams)
+        assert all(
+            dict(sample.labels).keys() == {"shard", "building"}
+            for sample in requests_family.samples
+        )
+
+        # Per-request latency histograms merge across shards per building.
+        assert set(summary) == set(streams)
+        for building_id in streams:
+            assert summary[building_id]["count"] == requests_per_building
+            assert summary[building_id]["p99_s"] > 0.0
+
+        # The wire path is instrumented on both sides of the pipe.
+        assert snapshot.family("fleet_wire_encode_seconds") is not None
+        decode = snapshot.family("fleet_wire_decode_seconds")
+        assert decode is not None
+        assert sum(s.histogram.count for s in decode.samples) > 0
+
+        # Each worker announced itself on the merged fleet timeline.
+        starts = [event for event in events if event.kind == "shard-start"]
+        assert {event.shard for event in starts} == {0, 1}
+        stamps = [event.timestamp for event in events]
+        assert stamps == sorted(stamps)
+
+        # The merged view renders as a valid-looking Prometheus exposition.
+        assert "# TYPE fleet_requests_total counter" in text
+        assert "# TYPE fleet_request_latency_seconds histogram" in text
+        assert 'shard="0"' in text and 'shard="1"' in text
+
+    def test_latency_summary_by_shard_covers_all_workers(self, fleet_store):
+        store, streams = fleet_store
+        with ShardedFleetServer(store, num_workers=2, config=FAST_CONFIG) as server:
+            futures = [
+                server.submit(building_id, records[:4])
+                for building_id, records in streams.items()
+            ]
+            for future in futures:
+                future.result(timeout=120)
+            by_shard = server.latency_summary(by="shard", timeout_s=60)
+        owners = {str(server.shard_for(building_id)) for building_id in streams}
+        assert set(by_shard) == owners
+        assert sum(entry["count"] for entry in by_shard.values()) == len(streams)
+
+
 def test_replay_traffic_honours_schedule_and_backpressure():
     submitted = []
 
