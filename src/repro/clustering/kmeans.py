@@ -66,27 +66,53 @@ class KMeans:
             np.minimum(closest_sq, new_sq, out=closest_sq)
         return centroids
 
+    def _squared_distances(
+        self,
+        points: np.ndarray,
+        centroids: np.ndarray,
+        points_sq: np.ndarray,
+        out: np.ndarray,
+    ) -> np.ndarray:
+        """``||p - c||^2`` into a reusable buffer, bit-identical to the naive
+        ``pp - 2 p@c.T + cc`` expression (same IEEE-754 ops in the same
+        order; only the temporaries are gone: ``(-2.0)*x`` rounds exactly
+        like ``-(2.0*x)``, and the subsequent additions commute bitwise).
+        """
+        np.matmul(points, centroids.T, out=out)
+        out *= -2.0
+        out += points_sq
+        out += np.sum(centroids * centroids, axis=1)[None, :]
+        return out
+
     def _run_once(
-        self, points: np.ndarray, initial_centroids: Optional[np.ndarray] = None
+        self,
+        points: np.ndarray,
+        initial_centroids: Optional[np.ndarray] = None,
+        points_sq: Optional[np.ndarray] = None,
     ) -> tuple:
         centroids = (
             self._init_centroids(points)
             if initial_centroids is None
             else np.array(initial_centroids, dtype=np.float64)
         )
+        if points_sq is None:
+            points_sq = np.sum(points * points, axis=1)[:, None]
+        distances = np.empty((points.shape[0], self.num_clusters), dtype=np.float64)
         labels = np.zeros(points.shape[0], dtype=np.int64)
         for _ in range(self.max_iterations):
-            distances = (
-                np.sum(points * points, axis=1)[:, None]
-                - 2.0 * points @ centroids.T
-                + np.sum(centroids * centroids, axis=1)[None, :]
-            )
+            self._squared_distances(points, centroids, points_sq, distances)
             labels = np.argmin(distances, axis=1)
             new_centroids = centroids.copy()
+            counts = np.bincount(labels, minlength=self.num_clusters)
             for cluster in range(self.num_clusters):
-                mask = labels == cluster
-                if np.any(mask):
-                    new_centroids[cluster] = points[mask].mean(axis=0)
+                if counts[cluster]:
+                    # Same bits as ``points[mask].mean(axis=0)``: the masked
+                    # gather preserves row order, ``np.add.reduce`` is the
+                    # reduction ``mean`` runs internally, and dividing the sum
+                    # by the count afterwards is exactly its final step.
+                    members = points[labels == cluster]
+                    np.add.reduce(members, axis=0, out=new_centroids[cluster])
+                    new_centroids[cluster] /= counts[cluster]
                 else:
                     # Re-seed an empty cluster at the point furthest from its centroid.
                     farthest = int(np.argmax(distances.min(axis=1)))
@@ -95,11 +121,7 @@ class KMeans:
             centroids = new_centroids
             if movement < self.tolerance:
                 break
-        distances = (
-            np.sum(points * points, axis=1)[:, None]
-            - 2.0 * points @ centroids.T
-            + np.sum(centroids * centroids, axis=1)[None, :]
-        )
+        self._squared_distances(points, centroids, points_sq, distances)
         labels = np.argmin(distances, axis=1)
         inertia = float(np.take_along_axis(distances, labels[:, None], axis=1).sum())
         return labels, centroids, inertia
@@ -140,8 +162,12 @@ class KMeans:
             best = self._run_once(points, initial_centroids=initial_centroids)
         else:
             best = None
+            # The point norms never change across iterations or restarts;
+            # computing them once keeps every distance evaluation identical
+            # while dropping the per-iteration reduction.
+            points_sq = np.sum(points * points, axis=1)[:, None]
             for _ in range(self.num_restarts):
-                labels, centroids, inertia = self._run_once(points)
+                labels, centroids, inertia = self._run_once(points, points_sq=points_sq)
                 if best is None or inertia < best[2]:
                     best = (labels, centroids, inertia)
         assert best is not None

@@ -368,7 +368,10 @@ class FisOne:
             max_pairs_per_epoch=config.max_pairs_per_epoch,
             seed=config.seed,
         )
-        trainer.fit()
+        # The pipeline embeds separately (with inference-time sample sizes),
+        # so the full-graph embedding pass fit() would run is pure waste —
+        # skip it while consuming the identical sampler RNG draws.
+        trainer.fit(return_embeddings=False)
         return trainer
 
     def _inference_embeddings(self, trainer: RFGNNTrainer) -> np.ndarray:

@@ -240,7 +240,9 @@ def refresh_fitted(
             weights=encoder.weights, node_features=features
         ),
     )
-    trainer.fit()
+    # Inference embeddings are computed below with inference-time sample
+    # sizes; skip fit()'s discarded full-graph pass (RNG-equivalently).
+    trainer.fit(return_embeddings=False)
     pipeline = FisOne(config)
     embeddings = pipeline._inference_embeddings(trainer)
 

@@ -117,6 +117,23 @@ class RFGNNInitParams:
 
 
 @dataclass
+class SampledTree:
+    """The K-level neighbourhood tree of one minibatch.
+
+    Produced by :meth:`RFGNN.sample_tree` (which consumes sampler RNG) and
+    consumed by :meth:`RFGNN.forward_from_tree` (pure arithmetic).  Splitting
+    the two lets a caller inspect ``layer_nodes[0]`` — every node row the
+    forward pass will read — *between* sampling and arithmetic, which is what
+    the sparse-lazy optimizer needs to catch stale rows up first.
+    """
+
+    targets: np.ndarray
+    layer_nodes: List[np.ndarray]
+    coefficients: List[np.ndarray]
+    config: "RFGNNConfig"
+
+
+@dataclass
 class _ForwardCache:
     """Intermediates of one minibatch forward pass, consumed by backward()."""
 
@@ -127,6 +144,7 @@ class _ForwardCache:
     pre_activation: List[np.ndarray] = field(default_factory=list)
     activated: List[np.ndarray] = field(default_factory=list)
     norms: List[np.ndarray] = field(default_factory=list)
+    config: Optional["RFGNNConfig"] = None
 
 
 class RFGNN:
@@ -223,17 +241,16 @@ class RFGNN:
 
     # -- forward ---------------------------------------------------------------
 
-    def forward(self, targets: Sequence[int]) -> np.ndarray:
-        """Embed a batch of target nodes, caching intermediates for backward().
+    def sample_tree(
+        self, targets: Sequence[int], config: Optional[RFGNNConfig] = None
+    ) -> SampledTree:
+        """Sample the K-level neighbourhood tree of a batch (RNG only, no math).
 
-        Returns an array of shape ``(len(targets), embedding_dim)``.
+        Level K holds the targets, level ``k-1`` holds the level-``k`` nodes
+        followed by their sampled neighbours.
         """
-        config = self.config
+        config = self.config if config is None else config
         targets = np.asarray(targets, dtype=np.int64)
-        cache = _ForwardCache()
-
-        # Build the K-level node tree: level K holds the targets, level k-1
-        # holds [level-k nodes] followed by their sampled neighbours.
         layer_nodes: List[np.ndarray] = [None] * (config.num_hops + 1)  # type: ignore[list-item]
         coefficients: List[np.ndarray] = [None] * (config.num_hops + 1)  # type: ignore[list-item]
         layer_nodes[config.num_hops] = targets
@@ -242,8 +259,48 @@ class RFGNN:
             sampled = self.sampler.sample(layer_nodes[k], sample_size)
             coefficients[k] = self.aggregator.coefficients(sampled.edge_weights)
             layer_nodes[k - 1] = np.concatenate([layer_nodes[k], sampled.neighbors.reshape(-1)])
+        return SampledTree(targets, layer_nodes, coefficients, config)
+
+    def consume_sampler_rng(
+        self, num_targets: int, config: Optional[RFGNNConfig] = None
+    ) -> None:
+        """Advance the sampler RNG exactly as :meth:`sample_tree` would.
+
+        The number and shapes of the sampler's uniform draws depend only on
+        the batch size and the per-hop sample sizes — never on the sampled
+        values — so a caller that needs the RNG stream position of a forward
+        pass without its results (e.g. a training loop whose final
+        full-graph embedding pass is discarded, but whose stream position
+        the subsequent inference passes were seeded against) can skip all
+        gathers and matrix math.  Keep in lockstep with :meth:`sample_tree`.
+        """
+        config = self.config if config is None else config
+        count = int(num_targets)
+        for k in range(config.num_hops, 0, -1):
+            sample_size = config.neighbor_sample_sizes[config.num_hops - k]
+            self.sampler.consume(count, sample_size)
+            count += count * sample_size
+
+    def forward(
+        self, targets: Sequence[int], config: Optional[RFGNNConfig] = None
+    ) -> np.ndarray:
+        """Embed a batch of target nodes, caching intermediates for backward().
+
+        Returns an array of shape ``(len(targets), embedding_dim)``.
+        ``config`` overrides the training-time hyper-parameters for this one
+        pass (inference uses truncated hop counts and larger sample sizes).
+        """
+        return self.forward_from_tree(self.sample_tree(targets, config))
+
+    def forward_from_tree(self, tree: SampledTree) -> np.ndarray:
+        """Run the bottom-up aggregation over an already-sampled tree."""
+        config = tree.config
+        layer_nodes = tree.layer_nodes
+        cache = _ForwardCache()
         cache.layer_nodes = layer_nodes
-        cache.coefficients = coefficients
+        cache.coefficients = tree.coefficients
+        cache.config = config
+        coefficients = tree.coefficients
 
         # Bottom-up aggregation.
         hidden: List[np.ndarray] = [None] * (config.num_hops + 1)  # type: ignore[list-item]
@@ -275,7 +332,9 @@ class RFGNN:
 
     # -- backward ----------------------------------------------------------------
 
-    def backward(self, grad_embeddings: np.ndarray) -> None:
+    def backward(
+        self, grad_embeddings: np.ndarray, compact_features: bool = False
+    ) -> Optional[tuple]:
         """Backpropagate a gradient w.r.t. the last forward() output into the W_k.
 
         Parameters
@@ -283,11 +342,20 @@ class RFGNN:
         grad_embeddings:
             Array of shape ``(batch, embedding_dim)`` — dLoss/dEmbedding for
             the targets passed to the last :meth:`forward` call.
+        compact_features:
+            When ``True``, the initial-representation gradient is *returned*
+            as ``(rows, grads)`` — sorted unique node ids plus their summed
+            gradient rows — instead of being scattered into the dense
+            ``feature_grads`` matrix.  This is the sparse-optimizer hot path:
+            a 512-pair batch touches a few thousand rows, so materialising
+            (and later re-zeroing) the full ``(num_nodes, input_dim)`` matrix
+            is pure waste.  The per-row sums accumulate entries in tree
+            order, exactly like ``np.add.at`` into a zeroed matrix.
         """
         if self._cache is None:
             raise RuntimeError("backward() called before forward()")
         cache = self._cache
-        config = self.config
+        config = cache.config if cache.config is not None else self.config
         grad_hidden = np.asarray(grad_embeddings, dtype=np.float64)
         for k in range(config.num_hops, 0, -1):
             # Undo the L2 normalisation: y = a / ||a||.
@@ -318,9 +386,42 @@ class RFGNN:
             grad_hidden = grad_previous
         # Level 0 holds the initial node representations r^0; scatter the
         # remaining gradient into their rows when they are trainable.
-        if self.config.train_node_features:
-            np.add.at(self.feature_grads, cache.layer_nodes[0], grad_hidden)
+        result = None
+        if config.train_node_features:
+            rows, grads = self._compact_feature_grads(cache.layer_nodes[0], grad_hidden)
+            if compact_features:
+                result = (rows, grads)
+            else:
+                # Equivalent to np.add.at on the repeated tree nodes (the
+                # bincount sums each row's entries in the same order), an
+                # order of magnitude faster at ufunc.at-sized workloads.
+                self.feature_grads[rows] += grads
         self._cache = None
+        return result
+
+    def _compact_feature_grads(
+        self, level0_nodes: np.ndarray, grad_hidden: np.ndarray
+    ) -> tuple:
+        """Sum per-node feature gradients without touching the dense matrix.
+
+        Returns ``(rows, grads)`` where ``rows`` is the sorted unique node
+        ids of the tree's bottom level and ``grads[i]`` the summed gradient
+        of ``rows[i]``.  A flattened-composite ``np.bincount`` accumulates
+        per destination in input order — the same additions, in the same
+        order, as ``np.add.at`` performs on a zeroed dense matrix.
+        """
+        flags = np.zeros(self.node_features.shape[0], dtype=bool)
+        flags[level0_nodes] = True
+        rows = np.flatnonzero(flags)
+        lookup = np.empty(self.node_features.shape[0], dtype=np.int64)
+        lookup[rows] = np.arange(rows.shape[0], dtype=np.int64)
+        inverse = lookup[level0_nodes]
+        dim = grad_hidden.shape[1]
+        flat_keys = inverse[:, None] * dim + np.arange(dim, dtype=np.int64)[None, :]
+        grads = np.bincount(
+            flat_keys.ravel(), weights=grad_hidden.ravel(), minlength=rows.shape[0] * dim
+        ).reshape(rows.shape[0], dim)
+        return rows, grads
 
     # -- inference ------------------------------------------------------------------
 
@@ -385,14 +486,14 @@ class RFGNN:
         else:
             inference_config = config
         outputs = np.empty((nodes.shape[0], config.embedding_dim), dtype=np.float64)
-        original_config = self.config
-        try:
-            self.config = inference_config
-            for start in range(0, nodes.shape[0], batch_size):
-                batch = nodes[start : start + batch_size]
-                outputs[start : start + batch.shape[0]] = self.forward(batch)
-        finally:
-            self.config = original_config
+        # The inference configuration is threaded through forward() explicitly
+        # — self.config is never touched, so concurrent readers (and the
+        # frozen-encoder snapshotters) always see consistent hyper-parameters.
+        for start in range(0, nodes.shape[0], batch_size):
+            batch = nodes[start : start + batch_size]
+            outputs[start : start + batch.shape[0]] = self.forward(
+                batch, config=inference_config
+            )
         self._cache = None
         return outputs
 

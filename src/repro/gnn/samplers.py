@@ -72,6 +72,15 @@ class NeighborSampler:
         neighbors, edge_weights = self._alias.sample(targets, sample_size)
         return SampledNeighborhood(neighbors=neighbors, edge_weights=edge_weights)
 
+    def consume(self, num_targets: int, sample_size: int) -> None:
+        """Advance the RNG exactly as one :meth:`sample` call would.
+
+        ``sample`` draws two uniform blocks of shape ``(num_targets,
+        sample_size)`` regardless of which neighbours come out, so skipping
+        the gathers leaves the stream position identical.
+        """
+        self._alias.consume(num_targets, sample_size)
+
     def full_neighborhood(self, target: int) -> SampledNeighborhood:
         """Return the *entire* neighbourhood of one node (used for inspection)."""
         neighbors, weights = self._alias.neighbors_of(int(target))

@@ -26,6 +26,7 @@ from repro.graph.csr import AnyGraph
 from repro.graph.negative_sampling import NegativeSampler
 from repro.graph.walks import RandomWalkGenerator, WalkConfig
 from repro.nn.optimizers import Adam, clip_gradients
+from repro.nn.sparse import SparseAdam
 
 
 @dataclass
@@ -88,6 +89,14 @@ class RFGNNTrainer:
         ``W_k`` matrices and/or node features from a previous fit instead of
         the cold random initialisation — the incremental-refresh path trains
         a few fine-tune epochs from here rather than from scratch.
+    fused:
+        Use the fused hot path (default): per-epoch batch-tensor
+        deduplication, flattened-``bincount`` gradient scatters, and a
+        row-sparse lazy :class:`~repro.nn.sparse.SparseAdam` over the node
+        features.  ``False`` runs the straightforward per-batch reference
+        implementation with dense :class:`~repro.nn.optimizers.Adam`.  Both
+        paths produce bit-identical parameters, losses, and embeddings
+        (asserted by ``tests/test_fused_trainer.py``).
     """
 
     def __init__(
@@ -103,6 +112,7 @@ class RFGNNTrainer:
         grad_clip_norm: float = 5.0,
         seed: int = 0,
         init_params: Optional[RFGNNInitParams] = None,
+        fused: bool = True,
     ) -> None:
         if num_epochs < 1:
             raise ValueError("num_epochs must be >= 1")
@@ -125,9 +135,18 @@ class RFGNNTrainer:
         self.max_pairs_per_epoch = max_pairs_per_epoch
         self.grad_clip_norm = grad_clip_norm
         self._rng = np.random.default_rng(seed + 3)
-        self.optimizer = Adam(
-            self.model.parameters(), self.model.gradients(), lr=learning_rate
-        )
+        self.fused = fused
+        if fused:
+            self.optimizer: Adam = SparseAdam(
+                self.model.parameters(),
+                self.model.gradients(),
+                lr=learning_rate,
+                sparse_keys=("features",),
+            )
+        else:
+            self.optimizer = Adam(
+                self.model.parameters(), self.model.gradients(), lr=learning_rate
+            )
         self.history = TrainingHistory()
         self._frozen_encoders: dict = {}
 
@@ -166,7 +185,129 @@ class RFGNNTrainer:
         self.optimizer.step()
         return loss
 
+    def _train_batch_fused(
+        self,
+        unique_nodes: np.ndarray,
+        target_index: np.ndarray,
+        context_index: np.ndarray,
+        negative_index: np.ndarray,
+    ) -> float:
+        """One fused gradient step on pre-deduplicated batch tensors.
+
+        Differences to :meth:`_train_batch`, none of which change a single
+        output bit (asserted by ``tests/test_fused_trainer.py``):
+
+        * the ``np.unique`` dedup already happened, once, for the whole epoch;
+        * the three ``np.add.at`` scatters collapse into one flattened
+          ``np.bincount`` (which sums per destination in the same order);
+        * stale feature rows are lazily caught up between tree sampling and
+          the forward gathers, and the feature gradient flows compactly into
+          :meth:`SparseAdam.step <repro.nn.sparse.SparseAdam.step>` without
+          ever materialising the dense ``(num_nodes, input_dim)`` matrix.
+        """
+        model = self.model
+        tree = model.sample_tree(unique_nodes)
+        if model.config.train_node_features:
+            # The forward pass reads every bottom-level row; lazily deferred
+            # rows must reach their exact dense-Adam state first.
+            flags = np.zeros(model.node_features.shape[0], dtype=bool)
+            flags[tree.layer_nodes[0]] = True
+            self.optimizer.catch_up("features", np.flatnonzero(flags))
+        embeddings = model.forward_from_tree(tree)
+
+        loss, grad_target, grad_context, grad_negative = negative_sampling_loss(
+            embeddings[target_index],
+            embeddings[context_index],
+            embeddings[negative_index],
+        )
+
+        # One flattened-composite bincount replaces the three np.add.at
+        # scatters: destinations ordered [targets, contexts, negatives], the
+        # same per-row accumulation order as the sequential add.at calls.
+        dim = embeddings.shape[1]
+        keys = np.concatenate(
+            [target_index, context_index, negative_index.reshape(-1)]
+        )
+        rows = np.concatenate(
+            [grad_target, grad_context, grad_negative.reshape(-1, dim)]
+        )
+        flat_keys = keys[:, None] * dim + np.arange(dim, dtype=np.int64)[None, :]
+        grad_embeddings = np.bincount(
+            flat_keys.ravel(),
+            weights=rows.ravel(),
+            minlength=unique_nodes.shape[0] * dim,
+        ).reshape(unique_nodes.shape[0], dim)
+
+        self.optimizer.zero_grad()
+        compact = model.backward(grad_embeddings, compact_features=True)
+        clip_gradients(
+            self._dense_weight_grads(),
+            self.grad_clip_norm,
+            extra_arrays=None if compact is None else [compact[1]],
+        )
+        sparse_grads = {} if compact is None else {"features": compact}
+        self.optimizer.step(sparse_grads=sparse_grads)
+        return loss
+
+    def _dense_weight_grads(self):
+        """Gradient groups excluding the sparsely-updated feature matrix."""
+        return [group for group in self.model.gradients() if "features" not in group]
+
     # -- epoch / fit ----------------------------------------------------------------
+
+    def _epoch_batch_tensors(self, pairs: np.ndarray, negatives: np.ndarray):
+        """Deduplicate every full batch of the epoch in one sorting sweep.
+
+        Yields ``(unique_nodes, target_index, context_index, negative_index)``
+        per batch — exactly what per-batch ``np.unique(..., return_inverse=
+        True)`` would produce: same sorted unique values, same inverse ranks
+        (ranks depend only on values, so sort stability is irrelevant).  The
+        ragged tail batch falls back to plain ``np.unique``.
+        """
+        num_pairs = pairs.shape[0]
+        batch = self.batch_size
+        tau = self.negatives_per_pair
+        num_full = num_pairs // batch
+        if num_full:
+            span = num_full * batch
+            stacked = np.concatenate(
+                [
+                    pairs[:span, 0].reshape(num_full, batch),
+                    pairs[:span, 1].reshape(num_full, batch),
+                    negatives[:span].reshape(num_full, batch * tau),
+                ],
+                axis=1,
+            )
+            ordered = np.sort(stacked, axis=1)
+            newmask = np.empty(ordered.shape, dtype=bool)
+            newmask[:, 0] = True
+            np.not_equal(ordered[:, 1:], ordered[:, :-1], out=newmask[:, 1:])
+            rank = np.cumsum(newmask, axis=1) - 1
+            inverse = np.empty(stacked.shape, dtype=np.int64)
+            np.put_along_axis(inverse, np.argsort(stacked, axis=1), rank, axis=1)
+            for index in range(num_full):
+                unique_nodes = ordered[index][newmask[index]]
+                inv = inverse[index]
+                yield (
+                    unique_nodes,
+                    inv[:batch],
+                    inv[batch : 2 * batch],
+                    inv[2 * batch :].reshape(batch, tau),
+                )
+        if num_pairs % batch:
+            tail_pairs = pairs[num_full * batch :]
+            tail_negatives = negatives[num_full * batch :]
+            count = tail_pairs.shape[0]
+            all_nodes = np.concatenate(
+                [tail_pairs[:, 0], tail_pairs[:, 1], tail_negatives.reshape(-1)]
+            )
+            unique_nodes, inv = np.unique(all_nodes, return_inverse=True)
+            yield (
+                unique_nodes,
+                inv[:count],
+                inv[count : 2 * count],
+                inv[2 * count :].reshape(count, tau),
+            )
 
     def train_epoch(self) -> float:
         """Run one epoch (a fresh round of walks) and return its mean loss."""
@@ -179,20 +320,42 @@ class RFGNNTrainer:
             pairs.shape[0], self.negatives_per_pair
         )
         losses: List[float] = []
-        for start in range(0, pairs.shape[0], self.batch_size):
-            batch_pairs = pairs[start : start + self.batch_size]
-            batch_negatives = negatives[start : start + self.batch_size]
-            losses.append(self._train_batch(batch_pairs, batch_negatives))
+        if self.fused:
+            for batch_tensors in self._epoch_batch_tensors(pairs, negatives):
+                losses.append(self._train_batch_fused(*batch_tensors))
+            # Deferred rows must reach their dense state before anything
+            # reads the full feature matrix (inference embeddings, frozen
+            # snapshots, next-fit warm starts).
+            self.optimizer.flush()
+        else:
+            for start in range(0, pairs.shape[0], self.batch_size):
+                batch_pairs = pairs[start : start + self.batch_size]
+                batch_negatives = negatives[start : start + self.batch_size]
+                losses.append(self._train_batch(batch_pairs, batch_negatives))
         epoch_loss = float(np.mean(losses))
         self.history.epoch_losses.append(epoch_loss)
         self._frozen_encoders.clear()  # weights moved; cached snapshots are stale
         return epoch_loss
 
-    def fit(self) -> np.ndarray:
-        """Train for ``num_epochs`` epochs and return embeddings of all nodes."""
+    def fit(self, return_embeddings: bool = True) -> Optional[np.ndarray]:
+        """Train for ``num_epochs`` epochs and return embeddings of all nodes.
+
+        ``return_embeddings=False`` skips the full-graph embedding pass but
+        advances the neighbour sampler's RNG by exactly the draws that pass
+        would have made — downstream inference passes observe the identical
+        stream position, so results are bit-for-bit unchanged.  Callers that
+        discard the return value (the pipeline embeds separately, with
+        inference-time sample sizes) save a whole forward sweep.
+        """
         for _ in range(self.num_epochs):
             self.train_epoch()
-        return self.model.embed_nodes()
+        if return_embeddings:
+            return self.model.embed_nodes()
+        num_nodes = self.graph.num_nodes
+        batch_size = 512
+        for start in range(0, num_nodes, batch_size):
+            self.model.consume_sampler_rng(min(batch_size, num_nodes - start))
+        return None
 
     def sample_embeddings(self, sample_sizes=None, records=None) -> np.ndarray:
         """Embeddings of signal samples, in dataset record order.

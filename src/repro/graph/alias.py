@@ -73,17 +73,30 @@ def _vose_fill(scaled, small, large, prob, alias) -> None:
 
 
 class AliasTables:
-    """Immutable per-node alias tables packed into padded 2-D arrays.
+    """Immutable per-node alias tables stored in flat CSR layout.
 
     Holds everything :class:`BatchedAliasSampler` needs except the RNG:
-    ``degrees`` plus ``(num_nodes, max_degree)`` neighbour / weight / prob /
-    alias matrices.  Build from a CSR graph (:meth:`from_csr`, the shared
-    fast path) or from per-node arrays (:meth:`from_neighbor_lists`, the
-    legacy constructor's path).  Instances are treated as frozen — samplers
-    alias the arrays rather than copying them.
+    ``degrees``, ``indptr`` and flat per-edge neighbour / weight / prob /
+    alias arrays (entry ``indptr[i] + j`` is slot ``j`` of node ``i``).  The
+    flat layout is a third of the padded matrices' footprint on skewed
+    degree distributions and is what the batched sampler gathers from; the
+    padded ``(num_nodes, max_degree)`` views remain available as lazily
+    materialised properties for comparison and introspection.  Build from a
+    CSR graph (:meth:`from_csr`, the shared fast path) or from per-node
+    arrays (:meth:`from_neighbor_lists`, the legacy constructor's path).
+    Instances are treated as frozen — samplers alias the arrays rather
+    than copying them.
     """
 
-    __slots__ = ("degrees", "neighbors", "weights", "prob", "alias")
+    __slots__ = (
+        "degrees",
+        "indptr",
+        "flat_neighbors",
+        "flat_weights",
+        "flat_prob",
+        "flat_alias",
+        "_padded_cache",
+    )
 
     def __init__(
         self,
@@ -93,11 +106,91 @@ class AliasTables:
         prob: np.ndarray,
         alias: np.ndarray,
     ) -> None:
+        """Build from padded 2-D matrices (the legacy layout)."""
+        degrees = np.asarray(degrees, dtype=np.int64)
+        indptr = np.concatenate(([0], np.cumsum(degrees)))
+        rows = np.repeat(np.arange(degrees.shape[0], dtype=np.int64), degrees)
+        cols = np.arange(int(indptr[-1]), dtype=np.int64) - np.repeat(indptr[:-1], degrees)
         self.degrees = degrees
-        self.neighbors = neighbors
-        self.weights = weights
-        self.prob = prob
-        self.alias = alias
+        self.indptr = indptr
+        self.flat_neighbors = np.ascontiguousarray(neighbors[rows, cols])
+        self.flat_weights = np.ascontiguousarray(weights[rows, cols])
+        self.flat_prob = np.ascontiguousarray(prob[rows, cols])
+        self.flat_alias = np.ascontiguousarray(alias[rows, cols])
+        self._padded_cache = {
+            "neighbors": neighbors,
+            "weights": weights,
+            "prob": prob,
+            "alias": alias,
+        }
+
+    @classmethod
+    def _from_flat(
+        cls,
+        degrees: np.ndarray,
+        indptr: np.ndarray,
+        flat_neighbors: np.ndarray,
+        flat_weights: np.ndarray,
+        flat_prob: np.ndarray,
+        flat_alias: np.ndarray,
+    ) -> "AliasTables":
+        """Wrap already-flat CSR-layout arrays without any conversion."""
+        self = object.__new__(cls)
+        self.degrees = degrees
+        self.indptr = indptr
+        self.flat_neighbors = flat_neighbors
+        self.flat_weights = flat_weights
+        self.flat_prob = flat_prob
+        self.flat_alias = flat_alias
+        self._padded_cache = {}
+        return self
+
+    def _padded(self, name: str, flat: np.ndarray, fill) -> np.ndarray:
+        cached = self._padded_cache.get(name)
+        if cached is None:
+            max_degree = int(self.degrees.max())
+            padded = np.full((self.num_nodes, max_degree), fill, dtype=flat.dtype)
+            rows = np.repeat(np.arange(self.num_nodes, dtype=np.int64), self.degrees)
+            cols = np.arange(flat.shape[0], dtype=np.int64) - np.repeat(
+                self.indptr[:-1], self.degrees
+            )
+            padded[rows, cols] = flat
+            cached = self._padded_cache[name] = padded
+        return cached
+
+    @property
+    def neighbors(self) -> np.ndarray:
+        """Padded ``(num_nodes, max_degree)`` neighbour matrix (lazy)."""
+        return self._padded("neighbors", self.flat_neighbors, 0)
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Padded ``(num_nodes, max_degree)`` weight matrix (lazy)."""
+        return self._padded("weights", self.flat_weights, 0.0)
+
+    @property
+    def prob(self) -> np.ndarray:
+        """Padded ``(num_nodes, max_degree)`` alias-probability matrix (lazy)."""
+        return self._padded("prob", self.flat_prob, 1.0)
+
+    @property
+    def alias(self) -> np.ndarray:
+        """Padded ``(num_nodes, max_degree)`` alias-slot matrix (lazy)."""
+        return self._padded("alias", self.flat_alias, 0)
+
+    def __getstate__(self):
+        # Drop the padded caches: they are derived data and triple the
+        # pickle (and therefore wire/artifact) size.
+        return tuple(
+            getattr(self, name) for name in self.__slots__ if name != "_padded_cache"
+        )
+
+    def __setstate__(self, state) -> None:
+        for name, value in zip(
+            (n for n in self.__slots__ if n != "_padded_cache"), state
+        ):
+            setattr(self, name, value)
+        self._padded_cache = {}
 
     @property
     def num_nodes(self) -> int:
@@ -123,51 +216,109 @@ class AliasTables:
         if np.any(degrees == 0):
             empty = int(np.argmax(degrees == 0))
             raise ValueError(f"node {empty} has no neighbours")
-        max_degree = int(degrees.max())
-        padded_neighbors = np.zeros((num_nodes, max_degree), dtype=np.int64)
-        padded_weights = np.zeros((num_nodes, max_degree), dtype=np.float64)
-        rows = np.repeat(np.arange(num_nodes, dtype=np.int64), degrees)
-        cols = np.arange(indices.shape[0], dtype=np.int64) - np.repeat(
-            indptr[:-1], degrees
-        )
-        padded_neighbors[rows, cols] = indices
-        padded_weights[rows, cols] = weights
-        prob = np.ones((num_nodes, max_degree), dtype=np.float64)
-        alias = np.zeros((num_nodes, max_degree), dtype=np.int64)
+        total_entries = indices.shape[0]
+        flat_prob = np.ones(total_entries, dtype=np.float64)
+        flat_alias = np.zeros(total_entries, dtype=np.int64)
         if uniform:
             # A uniform distribution depends only on the degree, so distinct
             # degrees (typically few) each build one table, shared bit-exactly
             # by every node of that degree.
             by_degree = {}
+            bounds = indptr.tolist()
             for node in range(num_nodes):
                 degree = int(degrees[node])
                 table = by_degree.get(degree)
                 if table is None:
                     table = build_alias_table(np.full(degree, 1.0 / degree))
                     by_degree[degree] = table
-                prob[node, :degree] = table[0]
-                alias[node, :degree] = table[1]
-            return cls(degrees, padded_neighbors, padded_weights, prob, alias)
-        # Weighted tables: per-node scaling without build_alias_table's
-        # validation (CSRGraph rejects non-positive weights at construction,
-        # so every slice here is strictly positive), then the same shared
-        # _vose_fill recurrence — bit-exact with the per-node path, pinned
-        # by tests/test_csr_graph.py (TestSharedAliasTables).
+                start = bounds[node]
+                flat_prob[start : start + degree] = table[0]
+                flat_alias[start : start + degree] = table[1]
+            return cls._from_flat(degrees, indptr, indices, weights, flat_prob, flat_alias)
+        rows = np.repeat(np.arange(num_nodes, dtype=np.int64), degrees)
+        cols = np.arange(total_entries, dtype=np.int64) - np.repeat(
+            indptr[:-1], degrees
+        )
+        # Weighted tables: all nodes' Vose recurrences run simultaneously as a
+        # masked stack simulation over flat CSR-shaped workspaces — every
+        # iteration pops one (small, large) pair per still-active node with a
+        # handful of vectorised gathers and scatters, so the Python-level loop
+        # runs O(max chain length) times instead of O(total edges).  Each
+        # per-node op sequence is the exact scalar recurrence of
+        # ``_vose_fill`` (same IEEE-754 ops in the same order), so the tables
+        # are bit-identical to the per-node path — pinned by
+        # tests/test_csr_graph.py (TestSharedAliasTables) and the seed-path
+        # equality asserts in benchmarks/test_graph_core.py.
+        #
+        # Per-node totals must come from ``np.sum`` over each exact slice:
+        # summing padded rows along axis 1 would regroup NumPy's pairwise
+        # summation and change the low bits of the scale factor.
+        totals = np.empty(num_nodes, dtype=np.float64)
         bounds = indptr.tolist()
-        degree_list = degrees.tolist()
         for node in range(num_nodes):
-            degree = degree_list[node]
-            node_weights = weights[bounds[node] : bounds[node + 1]]
-            total = node_weights.sum()
+            total = weights[bounds[node] : bounds[node + 1]].sum()
             if total <= 0:
                 raise ValueError(f"node {node}: weights must sum to a positive value")
-            scaled = (node_weights * (degree / total)).tolist()
-            small = []
-            large = []
-            for index, value in enumerate(scaled):
-                (small if value < 1.0 else large).append(index)
-            _vose_fill(scaled, small, large, prob[node], alias[node])
-        return cls(degrees, padded_neighbors, padded_weights, prob, alias)
+            totals[node] = total
+        base = indptr[:-1]
+        scaled = weights * (degrees.astype(np.float64) / totals)[rows]
+        flat_small = scaled < 1.0
+        # Both stacks live inside each node's own CSR segment: smalls grow
+        # rightward from the segment start, larges grow leftward from its
+        # end (the scalar path pushes indices in ascending order and pops
+        # the most recent, so each stack holds its indices ascending with
+        # the top at the open end).  The combined size only shrinks, so the
+        # two regions never collide, and pushing the popped large back —
+        # onto either stack — lands exactly on a just-vacated slot.
+        stack = np.empty(total_entries, dtype=np.int64)
+        small_flat = np.flatnonzero(flat_small)
+        small_rows = rows[small_flat]
+        small_per_node = np.bincount(small_rows, minlength=num_nodes)
+        small_starts = np.concatenate(([0], np.cumsum(small_per_node[:-1])))
+        small_rank = np.arange(small_flat.size, dtype=np.int64) - small_starts[small_rows]
+        stack[base[small_rows] + small_rank] = cols[small_flat]
+        large_flat = np.flatnonzero(~flat_small)
+        large_rows = rows[large_flat]
+        large_per_node = degrees - small_per_node
+        large_starts = np.concatenate(([0], np.cumsum(large_per_node[:-1])))
+        large_rank = np.arange(large_flat.size, dtype=np.int64) - large_starts[large_rows]
+        stack[base[large_rows] + degrees[large_rows] - 1 - large_rank] = cols[large_flat]
+
+        active = np.flatnonzero((small_per_node > 0) & (large_per_node > 0))
+        # Compact per-active-node registers, filtered in lockstep with
+        # ``active`` so the loop never re-gathers global state.
+        seg_start = base[active]
+        seg_end = seg_start + degrees[active]
+        num_small = small_per_node[active]
+        num_large = large_per_node[active]
+        while active.size:
+            s = stack[seg_start + num_small - 1]
+            g = stack[seg_end - num_large]
+            s_flat = seg_start + s
+            ps = scaled[s_flat]
+            flat_prob[s_flat] = ps
+            flat_alias[s_flat] = g
+            g_flat = seg_start + g
+            sg = scaled[g_flat] - (1.0 - ps)
+            scaled[g_flat] = sg
+            to_small = sg < 1.0
+            if to_small.any():
+                # The demoted large takes the slot its paired small vacated.
+                stack[(seg_start + num_small - 1)[to_small]] = g[to_small]
+            # Exactly one stack shrinks per iteration: a demoted large keeps
+            # the small count (pop + push cancel) and costs a large; a
+            # surviving large stays in place (its push is a no-op) and the
+            # small count drops.
+            num_small = num_small - ~to_small
+            num_large = num_large - to_small
+            keep = (num_small > 0) & (num_large > 0)
+            if not keep.all():
+                active = active[keep]
+                seg_start = seg_start[keep]
+                seg_end = seg_end[keep]
+                num_small = num_small[keep]
+                num_large = num_large[keep]
+        return cls._from_flat(degrees, indptr, indices, weights, flat_prob, flat_alias)
 
     @classmethod
     def from_neighbor_lists(
@@ -252,10 +403,11 @@ class BatchedAliasSampler:
             )
         self.tables = tables
         self.degrees = tables.degrees
-        self._neighbors = tables.neighbors
-        self._weights = tables.weights
-        self._prob = tables.prob
-        self._alias = tables.alias
+        self._indptr = tables.indptr
+        self._flat_neighbors = tables.flat_neighbors
+        self._flat_weights = tables.flat_weights
+        self._flat_prob = tables.flat_prob
+        self._flat_alias = tables.flat_alias
         self._rng = np.random.default_rng(seed)
 
     @property
@@ -265,8 +417,12 @@ class BatchedAliasSampler:
 
     def neighbors_of(self, node: int) -> Tuple[np.ndarray, np.ndarray]:
         """The full (unpadded) neighbour and weight arrays of one node."""
-        degree = int(self.degrees[node])
-        return self._neighbors[node, :degree].copy(), self._weights[node, :degree].copy()
+        start = int(self._indptr[node])
+        stop = int(self._indptr[node + 1])
+        return (
+            self._flat_neighbors[start:stop].copy(),
+            self._flat_weights[start:stop].copy(),
+        )
 
     def sample(self, targets: np.ndarray, size: int) -> Tuple[np.ndarray, np.ndarray]:
         """Draw ``size`` neighbours (with replacement) for every target node.
@@ -281,12 +437,24 @@ class BatchedAliasSampler:
         slots = (self._rng.random((targets.shape[0], size)) * degrees[:, None]).astype(np.int64)
         # Guard against the (measure-zero) case random() == 1.0 after scaling.
         slots = np.minimum(slots, degrees[:, None] - 1)
-        keep = self._rng.random((targets.shape[0], size)) < self._prob[targets[:, None], slots]
-        chosen = np.where(keep, slots, self._alias[targets[:, None], slots])
-        return (
-            self._neighbors[targets[:, None], chosen],
-            self._weights[targets[:, None], chosen],
-        )
+        # All gathers run on the flat CSR arrays: alias slots are
+        # within-segment indices, so rebasing by each target's segment start
+        # reads exactly the entries the padded-matrix lookups would.
+        base = self._indptr[targets][:, None]
+        flat_slots = base + slots
+        keep = self._rng.random((targets.shape[0], size)) < self._flat_prob[flat_slots]
+        chosen = np.where(keep, flat_slots, base + self._flat_alias[flat_slots])
+        return self._flat_neighbors[chosen], self._flat_weights[chosen]
+
+    def consume(self, num_targets: int, size: int) -> None:
+        """Advance the RNG by exactly one :meth:`sample` call's draws.
+
+        The two uniform blocks a sample draws have shapes that depend only
+        on ``(num_targets, size)``, never on the tables, so this leaves the
+        stream bit-identical to a discarded real sample.
+        """
+        self._rng.random((num_targets, size))
+        self._rng.random((num_targets, size))
 
     def sample_one(self, targets: np.ndarray) -> np.ndarray:
         """Draw a single neighbour for every target node (random-walk step)."""

@@ -52,6 +52,19 @@ _KIND_BY_CODE = {MAC_KIND: NodeKind.MAC, SAMPLE_KIND: NodeKind.SAMPLE}
 _CODE_BY_KIND = {NodeKind.MAC: MAC_KIND, NodeKind.SAMPLE: SAMPLE_KIND}
 
 
+class _FirstSeenCodes(Dict[str, int]):
+    """Interning dict: ``d[key]`` returns the key's first-seen-order code.
+
+    Lookups of already-seen keys never leave the C dict fast path; a miss
+    assigns ``len(self)`` via ``__missing__``.  Iteration order is insertion
+    (first-seen) order, matching the codes.
+    """
+
+    def __missing__(self, key: str) -> int:
+        self[key] = value = len(self)
+        return value
+
+
 class CSRGraph:
     """Immutable CSR-backed bipartite MAC–sample graph.
 
@@ -139,27 +152,40 @@ class CSRGraph:
         num_records = len(dataset)
         record_ids = dataset.record_ids
         counts = np.empty(num_records, dtype=np.int64)
-        # One flat extraction pass: MAC codes in first-seen order (insertion
-        # order of a dict, exactly the order the mutable builder assigns MAC
-        # node ids in) plus the raw RSS vector.  Everything after this pass
-        # is NumPy (shared with the columnar ``from_batch`` constructor).
-        code_of: Dict[str, int] = {}
-        codes_list: List[int] = []
-        new_macs_before = np.empty(num_records + 1, dtype=np.int64)
+        # One flat extraction pass: MAC keys and RSS values flow out through
+        # C-speed ``list.extend`` calls; the per-reading Python work is gone.
+        # Everything after this pass is NumPy (shared with the columnar
+        # ``from_batch`` constructor).
+        flat_macs: List[str] = []
         rss_list: List[float] = []
         for position, record in enumerate(dataset):
             readings = record.readings
             counts[position] = len(readings)
-            new_macs_before[position] = len(code_of)
-            codes_list.extend(
-                code_of.setdefault(mac, len(code_of)) for mac in readings
-            )
+            flat_macs.extend(readings)
             rss_list.extend(readings.values())
-        new_macs_before[num_records] = len(code_of)
+        # First-seen-order codes (insertion order of a dict, exactly the
+        # order the mutable builder assigns MAC node ids in): dict hits stay
+        # inside the C ``__getitem__`` fast path, only the one miss per
+        # distinct MAC runs ``__missing__``.
+        code_of = _FirstSeenCodes()
+        total = len(flat_macs)
+        codes = np.fromiter(
+            map(code_of.__getitem__, flat_macs), dtype=np.int64, count=total
+        )
+        indptr = np.zeros(num_records + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        # Codes are assigned in first-seen order, so the running maximum of
+        # ``codes + 1`` at any flat position is the number of distinct MACs
+        # seen up to and including it.
+        new_macs_before = np.zeros(num_records + 1, dtype=np.int64)
+        if total:
+            distinct_so_far = np.maximum.accumulate(codes + 1)
+            nonzero = indptr[1:] > 0
+            new_macs_before[1:][nonzero] = distinct_so_far[indptr[1:][nonzero] - 1]
         return cls._assemble(
             record_ids=record_ids,
             counts=counts,
-            codes=np.asarray(codes_list, dtype=np.int64),
+            codes=codes,
             rss=np.asarray(rss_list, dtype=np.float64),
             new_macs_before=new_macs_before,
             unique_macs=np.asarray(list(code_of), dtype=object),

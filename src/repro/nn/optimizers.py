@@ -8,15 +8,24 @@ in place so that layers keep referencing the same arrays.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
 ParamGroup = Dict[str, np.ndarray]
 
 
-def clip_gradients(grad_groups: List[ParamGroup], max_norm: float) -> float:
+def clip_gradients(
+    grad_groups: List[ParamGroup],
+    max_norm: float,
+    extra_arrays: Optional[List[np.ndarray]] = None,
+) -> float:
     """Clip the global L2 norm of all gradients to ``max_norm`` (in place).
+
+    ``extra_arrays`` participate in the global norm and get scaled alongside
+    the groups — the sparse-training path passes its compact per-row feature
+    gradients here, which contribute the same squared sum the zero-padded
+    dense matrix would.
 
     Returns the pre-clipping global norm.
     """
@@ -25,13 +34,22 @@ def clip_gradients(grad_groups: List[ParamGroup], max_norm: float) -> float:
     total = 0.0
     for group in grad_groups:
         for grad in group.values():
-            total += float(np.sum(grad * grad))
+            # BLAS dot on the raveled view: no grad*grad temporary.
+            flat = np.ravel(grad)
+            total += float(np.dot(flat, flat))
+    if extra_arrays:
+        for array in extra_arrays:
+            flat = np.ravel(array)
+            total += float(np.dot(flat, flat))
     norm = float(np.sqrt(total))
     if norm > max_norm and norm > 0:
         scale = max_norm / norm
         for group in grad_groups:
             for grad in group.values():
                 grad *= scale
+        if extra_arrays:
+            for array in extra_arrays:
+                array *= scale
     return norm
 
 
@@ -117,6 +135,15 @@ class Adam(Optimizer):
         self._v = [
             {key: np.zeros_like(value) for key, value in group.items()} for group in params
         ]
+        # Reusable per-parameter scratch: step() runs every minibatch, and
+        # allocating fresh m_hat/v_hat temporaries each call costs more than
+        # the arithmetic on feature-matrix-sized groups.
+        self._scratch_m = [
+            {key: np.empty_like(value) for key, value in group.items()} for group in params
+        ]
+        self._scratch_v = [
+            {key: np.empty_like(value) for key, value in group.items()} for group in params
+        ]
 
     def step(self) -> None:
         self._step_count += 1
@@ -124,13 +151,39 @@ class Adam(Optimizer):
         bias2 = 1.0 - self.beta2**self._step_count
         for group_index, (param_group, grad_group) in enumerate(zip(self.params, self.grads)):
             for key, param in param_group.items():
-                grad = grad_group[key]
-                m = self._m[group_index][key]
-                v = self._v[group_index][key]
-                m *= self.beta1
-                m += (1.0 - self.beta1) * grad
-                v *= self.beta2
-                v += (1.0 - self.beta2) * grad * grad
-                m_hat = m / bias1
-                v_hat = v / bias2
-                param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+                self._update_dense(group_index, key, param, grad_group[key], bias1, bias2)
+
+    def _update_dense(
+        self,
+        group_index: int,
+        key: str,
+        param: np.ndarray,
+        grad: np.ndarray,
+        bias1: float,
+        bias2: float,
+    ) -> None:
+        """One Adam update on a full parameter array, using scratch buffers.
+
+        Every elementwise operation runs in the same order as the classic
+        ``m_hat = m / bias1; param -= lr * m_hat / (sqrt(v_hat) + eps)``
+        formulation, so results are bit-identical — only the temporaries are
+        reused instead of reallocated.
+        """
+        m = self._m[group_index][key]
+        v = self._v[group_index][key]
+        sm = self._scratch_m[group_index][key]
+        sv = self._scratch_v[group_index][key]
+        m *= self.beta1
+        np.multiply(grad, 1.0 - self.beta1, out=sm)
+        m += sm
+        v *= self.beta2
+        np.multiply(grad, 1.0 - self.beta2, out=sv)
+        sv *= grad
+        v += sv
+        np.divide(m, bias1, out=sm)  # m_hat
+        np.divide(v, bias2, out=sv)  # v_hat
+        np.sqrt(sv, out=sv)
+        sv += self.eps
+        sm *= self.lr
+        sm /= sv
+        param -= sm

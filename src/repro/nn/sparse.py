@@ -1,0 +1,226 @@
+"""Sparse-lazy Adam: row-sparse updates that are bit-identical to dense Adam.
+
+A skip-gram minibatch touches a few hundred rows of the ``(num_nodes,
+input_dim)`` initial-representation matrix, yet dense :class:`~repro.nn.
+optimizers.Adam` sweeps the full matrix (plus its ``m``/``v`` moments) every
+step.  :class:`SparseAdam` updates only the touched rows and defers the rest
+— *exactly*:
+
+* A row whose first and second moments are still zero receives, in dense
+  Adam, the update ``param -= lr * (0/bias1) / (sqrt(0/bias2) + eps)`` which
+  is a bitwise no-op.  Skipping it changes nothing.
+* A row with non-zero moments that goes untouched for ``j`` steps decays in
+  dense Adam through ``j`` zero-gradient updates — each one moves the
+  parameter by its momentum tail.  SparseAdam replays those missed steps
+  (vectorised over the gap, with the exact per-step bias corrections and the
+  exact ``m*beta + 0.0`` IEEE-754 op sequence) the next time the row is
+  read or written, via :meth:`SparseAdam.catch_up`.
+
+The contract, asserted bit-for-bit by ``tests/test_sparse_adam.py``: after
+:meth:`flush`, parameters and moments equal what dense Adam fed the same
+per-step dense gradients would hold, to the last ULP.
+
+Usage in a training loop::
+
+    optimizer = SparseAdam(params, grads, lr=..., sparse_keys=("features",))
+    for batch in epoch:
+        tree = model.sample_tree(batch_targets)
+        optimizer.catch_up("features", rows_read_by(tree))  # before forward!
+        ... forward / backward -> (rows, row_grads) ...
+        optimizer.step(sparse_grads={"features": (rows, row_grads)})
+    optimizer.flush()  # downstream full-matrix readers see dense state
+
+``catch_up`` must cover every row the forward pass *reads* (the whole bottom
+tree level), not just the rows the gradient touches — a stale row would
+otherwise feed the forward pass pre-decay values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.optimizers import Adam, ParamGroup
+
+SparseGrads = Dict[str, Tuple[np.ndarray, np.ndarray]]
+
+
+class SparseAdam(Adam):
+    """Adam with lazily-deferred updates for designated row-sparse groups.
+
+    Parameters
+    ----------
+    params, grads, lr, beta1, beta2, eps:
+        As for :class:`~repro.nn.optimizers.Adam`.  The ``grads`` entries of
+        sparse keys are ignored (and never swept): sparse gradients arrive
+        compactly through :meth:`step`.
+    sparse_keys:
+        Parameter keys (unique across groups) whose arrays are updated
+        row-sparsely.  Everything else follows the dense path unchanged.
+    """
+
+    def __init__(
+        self,
+        params: List[ParamGroup],
+        grads: List[ParamGroup],
+        lr: float = 0.01,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        sparse_keys: Sequence[str] = ("features",),
+    ) -> None:
+        super().__init__(params, grads, lr, beta1=beta1, beta2=beta2, eps=eps)
+        self._sparse: Dict[str, Tuple[int, np.ndarray]] = {}
+        for group_index, group in enumerate(params):
+            for key, value in group.items():
+                if key in sparse_keys:
+                    if key in self._sparse:
+                        raise ValueError(f"sparse key {key!r} appears in two groups")
+                    if value.ndim != 2:
+                        raise ValueError(
+                            f"sparse parameter {key!r} must be 2-D (rows x dim), "
+                            f"got shape {value.shape}"
+                        )
+                    # last_step[r]: the global step count at which row r of
+                    # param/m/v last matched the dense-Adam state.
+                    self._sparse[key] = (
+                        group_index,
+                        np.zeros(value.shape[0], dtype=np.int64),
+                    )
+
+    # -- lazy catch-up ---------------------------------------------------------
+
+    def catch_up(self, key: str, rows: np.ndarray) -> None:
+        """Bring ``rows`` of sparse parameter ``key`` up to the current step.
+
+        Rows whose moments are still zero (``last_step == 0``, never touched)
+        are advanced for free — their dense updates are bitwise no-ops.  The
+        rest replay each missed zero-gradient step; rows are sorted by how
+        stale they are so every replayed step operates on one growing prefix
+        of a compact gathered buffer.
+        """
+        group_index, last_step = self._sparse[key]
+        now = self._step_count
+        rows = np.asarray(rows, dtype=np.int64)
+        stale = rows[last_step[rows] < now]
+        if stale.size == 0:
+            return
+        stale_last = last_step[stale]
+        # Untouched-since-init rows: m = v = 0, every missed dense update is
+        # param -= lr*(0/b1)/(sqrt(0/b2)+eps) == param - 0.0, a bitwise no-op.
+        last_step[stale[stale_last == 0]] = now
+        behind = stale[stale_last > 0]
+        if behind.size == 0:
+            return
+        self._replay(key, group_index, behind, now)
+
+    def flush(self) -> None:
+        """Catch every row of every sparse parameter up to the current step.
+
+        After this, parameters *and* moments are exactly the dense-Adam
+        state; call it before any full-matrix read (inference embeddings,
+        snapshotting, checkpointing).
+        """
+        for key, (_, last_step) in self._sparse.items():
+            self.catch_up(key, np.arange(last_step.shape[0], dtype=np.int64))
+
+    def _replay(
+        self, key: str, group_index: int, rows: np.ndarray, now: int
+    ) -> None:
+        """Replay missed zero-gradient Adam steps for ``rows`` (all stale)."""
+        _, last_step = self._sparse[key]
+        param = self.params[group_index][key]
+        m_full = self._m[group_index][key]
+        v_full = self._v[group_index][key]
+        last = last_step[rows]
+        order = np.argsort(last, kind="stable")
+        rows = rows[order]
+        last = last[order]
+        m = m_full[rows]
+        v = v_full[rows]
+        p = param[rows]
+        beta1, beta2, lr, eps = self.beta1, self.beta2, self.lr, self.eps
+        for step in range(int(last[0]) + 1, now + 1):
+            # Rows with last_step < step still owe this update; sorting made
+            # them a prefix.
+            count = int(np.searchsorted(last, step, side="left"))
+            ms = m[:count]
+            vs = v[:count]
+            ps = p[:count]
+            # Dense order: m *= b1; m += (1-b1)*0.0 — the "+ 0.0" normalises
+            # a -0.0 moment to +0.0 exactly like the dense path does.
+            ms *= beta1
+            ms += 0.0
+            vs *= beta2
+            vs += 0.0
+            bias1 = 1.0 - beta1**step
+            bias2 = 1.0 - beta2**step
+            ps -= lr * (ms / bias1) / (np.sqrt(vs / bias2) + eps)
+        param[rows] = p
+        m_full[rows] = m
+        v_full[rows] = v
+        last_step[rows] = now
+
+    # -- stepping --------------------------------------------------------------
+
+    def step(self, sparse_grads: Optional[SparseGrads] = None) -> None:
+        """One optimisation step.
+
+        Dense groups consume their gradient arrays as usual.  Every sparse
+        key must receive a ``(rows, row_grads)`` pair in ``sparse_grads``
+        (rows unique, already caught up via :meth:`catch_up`); its rows get
+        the exact dense-Adam update, and ``last_step`` advances.
+        """
+        sparse_grads = sparse_grads or {}
+        missing = set(self._sparse) - set(sparse_grads)
+        if missing:
+            raise ValueError(
+                f"step() missing sparse gradients for {sorted(missing)}; pass "
+                "(rows, grads) pairs, with empty arrays if nothing was touched"
+            )
+        self._step_count += 1
+        now = self._step_count
+        bias1 = 1.0 - self.beta1**now
+        bias2 = 1.0 - self.beta2**now
+        for group_index, (param_group, grad_group) in enumerate(
+            zip(self.params, self.grads)
+        ):
+            for key, param in param_group.items():
+                if key in self._sparse:
+                    continue
+                self._update_dense(group_index, key, param, grad_group[key], bias1, bias2)
+        for key, (rows, row_grads) in sparse_grads.items():
+            group_index, last_step = self._sparse[key]
+            rows = np.asarray(rows, dtype=np.int64)
+            if rows.size == 0:
+                continue
+            stale = last_step[rows] < now - 1
+            if np.any(stale):
+                raise RuntimeError(
+                    f"step() on rows of {key!r} that were not caught up; call "
+                    "catch_up() on every row the batch reads before stepping"
+                )
+            param = self.params[group_index][key]
+            m_full = self._m[group_index][key]
+            v_full = self._v[group_index][key]
+            grad = np.asarray(row_grads, dtype=np.float64)
+            m = m_full[rows]
+            v = v_full[rows]
+            p = param[rows]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            p -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+            m_full[rows] = m
+            v_full[rows] = v
+            param[rows] = p
+            last_step[rows] = now
+
+    def zero_grad(self) -> None:
+        """Zero dense gradient arrays; sparse keys have none to sweep."""
+        for grads in self.grads:
+            for key, grad in grads.items():
+                if key not in self._sparse:
+                    grad[...] = 0.0

@@ -43,6 +43,7 @@ from repro.graph.bipartite import RSS_OFFSET_DB
 from repro.graph.csr import CSRGraph
 from repro.graph.walks import WalkConfig
 from repro.indexing.indexer import IndexingResult
+from repro.serving.shared_store import SharedArrayStore
 
 PathLike = Union[str, Path]
 
@@ -306,7 +307,11 @@ def _read_arrays(path: Path, mmap: bool) -> Dict[str, np.ndarray]:
     return arrays
 
 
-def load_artifacts(directory: PathLike, mmap: bool = False) -> FittedFisOne:
+def load_artifacts(
+    directory: PathLike,
+    mmap: bool = False,
+    shared_store: Optional[SharedArrayStore] = None,
+) -> FittedFisOne:
     """Load a fitted model saved by :func:`save_artifacts`.
 
     With ``mmap=True`` the NumPy arrays are memory-mapped read-only instead
@@ -317,6 +322,15 @@ def load_artifacts(directory: PathLike, mmap: bool = False) -> FittedFisOne:
     of a fitted model's arrays treats them as immutable (mutating stages
     such as :meth:`~repro.core.pipeline.FittedFisOne.refresh` copy before
     writing), which is exactly the contract a read-only mapping enforces.
+
+    With a ``shared_store`` (which supersedes ``mmap``), the decoded arrays
+    live in a named POSIX shared-memory bundle keyed by this directory and
+    its save token: the first process fleet-wide to load this save decodes
+    the ``.npz`` once and publishes; every later load — including sibling
+    shard workers — attaches read-only views of the same physical pages
+    with zero decode work.  A re-save changes the token and therefore the
+    bundle, so stale generations are never aliased.  The reconstructed
+    model is again bit-identical to an eager load.
 
     Raises
     ------
@@ -348,7 +362,16 @@ def load_artifacts(directory: PathLike, mmap: bool = False) -> FittedFisOne:
         )
 
     try:
-        arrays = _read_arrays(arrays_path, mmap=mmap)
+        if shared_store is not None:
+            # Keyed by resolved path *and* save token: every worker of one
+            # fleet resolves the same bundle, and an overwritten artifact
+            # gets a fresh bundle instead of aliasing the old arrays.
+            bundle = f"artifact:{directory.resolve()}:{manifest['save_token']}"
+            arrays = shared_store.get_or_publish(
+                bundle, lambda: _read_arrays(arrays_path, mmap=False)
+            )
+        else:
+            arrays = _read_arrays(arrays_path, mmap=mmap)
     except Exception as error:  # np.load raises BadZipFile/OSError/ValueError
         raise ArtifactError(f"unreadable arrays in {directory}: {error}") from None
     num_hops = int(manifest["num_hops"])

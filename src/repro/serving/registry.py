@@ -43,6 +43,7 @@ from repro.serving.artifacts import (
     save_artifacts,
 )
 from repro.serving.drift import DriftMonitor, DriftSnapshot, RefreshPolicy
+from repro.serving.shared_store import SharedArrayStore
 from repro.serving.online import OnlineFloorLabeler
 from repro.serving.results import OnlineLabel
 from repro.signals.batch import RecordBatch
@@ -129,6 +130,13 @@ class BuildingRegistry:
         memory maps instead of heap copies) — the mode sharded fleet
         workers run in, so sibling processes serving one store share
         physical pages.  Fits and refreshes still write ordinary files.
+    shared_store:
+        Optional :class:`~repro.serving.shared_store.SharedArrayStore`;
+        when set it supersedes ``mmap`` and artifact loads go through
+        named shared-memory bundles — the first process fleet-wide to load
+        a given save decodes it, every other process attaches the same
+        physical copy with zero decode work.  The caller owns the store's
+        lifecycle (``close()``/``sweep()``).
     telemetry:
         Optional :class:`~repro.telemetry.Telemetry` sink shared with the
         layers above.  Model lifecycle operations (fit / load / evict /
@@ -146,6 +154,7 @@ class BuildingRegistry:
         config: Optional[FisOneConfig] = None,
         refresh_policy: Optional[RefreshPolicy] = None,
         mmap: bool = False,
+        shared_store: Optional[SharedArrayStore] = None,
         telemetry: Optional[Telemetry] = None,
     ) -> None:
         if capacity < 1:
@@ -155,6 +164,7 @@ class BuildingRegistry:
         self.config = config
         self.refresh_policy = refresh_policy or RefreshPolicy()
         self.mmap = mmap
+        self.shared_store = shared_store
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self._stats = RegistryStats()
         self._sources: Dict[str, _TrainingSource] = {}
@@ -595,13 +605,21 @@ class BuildingRegistry:
             ):
                 load_started = time.perf_counter()
                 try:
-                    fitted = load_artifacts(self.store_dir / building_id, mmap=self.mmap)
+                    fitted = load_artifacts(
+                        self.store_dir / building_id,
+                        mmap=self.mmap,
+                        shared_store=self.shared_store,
+                    )
                 except ArtifactError:
                     try:
                         # A mismatch from racing another process's overwrite
                         # is transient: one re-read usually lands after its
                         # final swap and spares a multi-second refit.
-                        fitted = load_artifacts(self.store_dir / building_id, mmap=self.mmap)
+                        fitted = load_artifacts(
+                            self.store_dir / building_id,
+                            mmap=self.mmap,
+                            shared_store=self.shared_store,
+                        )
                     except ArtifactError:
                         # Persistently torn or corrupt (e.g. a writer crashed
                         # mid-swap).  With a registered source the building

@@ -61,6 +61,7 @@ from repro.serving.registry import (
 )
 from repro.serving.results import LabelRequest, LabelResponse, ServerStats
 from repro.serving.server import MIN_STATS_WINDOW_S, FleetServer
+from repro.serving.shared_store import SharedArrayStore
 from repro.signals.batch import MacVocab, RecordBatch
 from repro.signals.record import SignalRecord
 from repro.telemetry import (
@@ -157,6 +158,10 @@ class _ShardSpec:
     inner_workers: int
     max_batch_size: int
     batch_window_s: float
+    #: When set, workers route artifact loads through a SharedArrayStore
+    #: under this segment prefix: the first worker to load a save decodes
+    #: and publishes it, siblings attach one physical copy.
+    shared_prefix: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -257,12 +262,18 @@ def _shard_worker_main(connection, spec: _ShardSpec, shard_index: int = 0) -> No
     """
     telemetry = Telemetry(shard=shard_index)
     telemetry.events.emit(EVENT_SHARD_START, pid=os.getpid())
+    shared_store = (
+        SharedArrayStore(prefix=spec.shared_prefix)
+        if spec.shared_prefix is not None
+        else None
+    )
     registry = BuildingRegistry(
         store_dir=spec.store_dir,
         capacity=spec.capacity,
         config=spec.config,
         refresh_policy=spec.refresh_policy,
         mmap=spec.mmap,
+        shared_store=shared_store,
         telemetry=telemetry,
     )
     wire_decode_hist = telemetry.metrics.histogram(
@@ -356,6 +367,8 @@ def _shard_worker_main(connection, spec: _ShardSpec, shard_index: int = 0) -> No
     finally:
         control_pool.shutdown(wait=True)
         server.stop()  # drains; label callbacks have all sent by return
+        if shared_store is not None:
+            shared_store.close()
         if stop_seq is not None:
             send(("ok", stop_seq, None))
         connection.close()
@@ -606,6 +619,16 @@ class ShardedFleetServer:
         sharding win.
     mmap:
         Zero-copy artifact loads in the workers (default on).
+    shared:
+        Route worker artifact loads through one fleet-wide
+        :class:`~repro.serving.shared_store.SharedArrayStore`: the first
+        worker to load a save decodes and publishes its arrays into named
+        shared-memory segments, and every sibling attaches the same
+        physical copy with zero decode work — per-worker incremental
+        memory for a hot building drops from one full array set to the
+        mapping overhead.  The segment prefix is derived from
+        ``store_dir``, so fleets over different stores never collide;
+        ``stop()`` sweeps any segments left by crashed workers.
     max_inflight:
         Bounded per-shard label-request window; submits beyond it raise
         :class:`ShardOverloadedError` (backpressure, never unbounded queues).
@@ -630,6 +653,7 @@ class ShardedFleetServer:
         refresh_policy: Optional[RefreshPolicy] = None,
         shard_capacity: int = 8,
         mmap: bool = True,
+        shared: bool = False,
         max_inflight: int = 64,
         inner_workers: int = 2,
         max_batch_size: int = 64,
@@ -646,6 +670,17 @@ class ShardedFleetServer:
         self.store_dir = Path(store_dir)
         self.num_workers = num_workers
         self.max_inflight = max_inflight
+        # Deterministic per-store prefix: every worker of this fleet maps a
+        # building to the same segment names, while fleets over other store
+        # directories (or the same one in another test) stay disjoint.
+        self.shared_prefix = (
+            "fisone-"
+            + hashlib.blake2b(
+                str(self.store_dir.resolve()).encode("utf-8"), digest_size=6
+            ).hexdigest()
+            if shared
+            else None
+        )
         self._spec = _ShardSpec(
             store_dir=str(self.store_dir),
             capacity=shard_capacity,
@@ -655,6 +690,7 @@ class ShardedFleetServer:
             inner_workers=inner_workers,
             max_batch_size=max_batch_size,
             batch_window_s=batch_window_s,
+            shared_prefix=self.shared_prefix,
         )
         if start_method is None:
             available = multiprocessing.get_all_start_methods()
@@ -763,6 +799,12 @@ class ShardedFleetServer:
                 shard.connection.close()
                 shard.reader.join(timeout=timeout_s)
             self._shards = []
+            if self.shared_prefix is not None:
+                # Backstop for workers that died without their atexit hook
+                # (SIGKILL, segfault): reap any segment still carrying this
+                # fleet's prefix so crashed shards cannot pin physical
+                # memory past the server's lifetime.
+                SharedArrayStore.sweep(self.shared_prefix)
             with self._stats_lock:
                 if self._started_at is not None:
                     self._stopped_elapsed = time.perf_counter() - self._started_at

@@ -1,0 +1,140 @@
+"""The fused training path must be bit-identical to the reference path.
+
+``RFGNNTrainer(fused=True)`` — per-epoch batch-tensor deduplication,
+flattened-``bincount`` gradient scatters, sparse-lazy Adam, consume-only
+RNG advance — exists purely for speed; every output bit (losses, model
+parameters, embeddings) must match ``fused=False``, which runs the
+straightforward per-batch reference implementation with dense Adam.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gnn.model import RFGNNConfig
+from repro.gnn.trainer import RFGNNTrainer
+from repro.graph.bipartite import BipartiteGraph
+
+
+def make_trainers(dataset, config, seed, **kwargs):
+    graph = BipartiteGraph.from_dataset(dataset)
+    reference = RFGNNTrainer(graph, config, seed=seed, fused=False, **kwargs)
+    fused = RFGNNTrainer(graph, config, seed=seed, fused=True, **kwargs)
+    return reference, fused
+
+
+def assert_models_identical(reference: RFGNNTrainer, fused: RFGNNTrainer) -> None:
+    for ref_group, fused_group in zip(
+        reference.model.parameters(), fused.model.parameters()
+    ):
+        for key in ref_group:
+            assert np.array_equal(ref_group[key], fused_group[key]), (
+                f"parameter {key!r} diverged between fused and reference paths"
+            )
+
+
+CONFIGS = [
+    pytest.param(
+        RFGNNConfig(embedding_dim=16, neighbor_sample_sizes=(8, 4)), id="attention"
+    ),
+    pytest.param(
+        RFGNNConfig(
+            embedding_dim=8, neighbor_sample_sizes=(6, 3), attention=False
+        ),
+        id="uniform",
+    ),
+    pytest.param(
+        RFGNNConfig(
+            embedding_dim=12,
+            neighbor_sample_sizes=(5,),
+            num_hops=1,
+            train_node_features=False,
+        ),
+        id="frozen-features-1hop",
+    ),
+]
+
+
+class TestFusedEqualsReference:
+    @pytest.mark.parametrize("config", CONFIGS)
+    def test_losses_params_and_embeddings_bit_identical(
+        self, small_building_dataset, config
+    ):
+        reference, fused = make_trainers(
+            small_building_dataset,
+            config,
+            seed=5,
+            num_epochs=2,
+            max_pairs_per_epoch=6_000,
+        )
+        ref_embeddings = reference.fit()
+        fused_embeddings = fused.fit()
+        assert reference.history.epoch_losses == fused.history.epoch_losses
+        assert_models_identical(reference, fused)
+        assert np.array_equal(ref_embeddings, fused_embeddings)
+
+    def test_tiny_graph_with_ragged_tail_batches(self, tiny_dataset):
+        """Graphs far smaller than one batch exercise the np.unique tail path."""
+        config = RFGNNConfig(embedding_dim=8, neighbor_sample_sizes=(4, 3))
+        reference, fused = make_trainers(tiny_dataset, config, seed=2, num_epochs=3)
+        ref_embeddings = reference.fit()
+        fused_embeddings = fused.fit()
+        assert reference.history.epoch_losses == fused.history.epoch_losses
+        assert np.array_equal(ref_embeddings, fused_embeddings)
+
+    def test_multiple_full_batches_per_epoch(self, small_building_dataset):
+        """A small batch_size forces several full slab-deduplicated batches."""
+        config = RFGNNConfig(embedding_dim=8, neighbor_sample_sizes=(6, 3))
+        reference, fused = make_trainers(
+            small_building_dataset,
+            config,
+            seed=7,
+            num_epochs=1,
+            batch_size=64,
+            max_pairs_per_epoch=1_000,
+        )
+        reference.fit()
+        fused.fit()
+        assert reference.history.epoch_losses == fused.history.epoch_losses
+        assert_models_identical(reference, fused)
+
+
+class TestConsumeOnlyRngAdvance:
+    def test_fit_without_embeddings_keeps_stream_position(
+        self, small_building_dataset
+    ):
+        """``fit(return_embeddings=False)`` must leave the sampler RNG exactly
+        where the discarded embedding pass would have — embeddings computed
+        *afterwards* (as the pipeline does, with inference sample sizes)
+        depend on that stream position bit-for-bit."""
+        config = RFGNNConfig(embedding_dim=16, neighbor_sample_sizes=(8, 4))
+        graph = BipartiteGraph.from_dataset(small_building_dataset)
+        with_pass = RFGNNTrainer(
+            graph, config, seed=3, num_epochs=1, max_pairs_per_epoch=4_000
+        )
+        without_pass = RFGNNTrainer(
+            graph, config, seed=3, num_epochs=1, max_pairs_per_epoch=4_000
+        )
+        with_pass.fit(return_embeddings=True)
+        assert without_pass.fit(return_embeddings=False) is None
+        after_with = with_pass.model.embed_nodes(sample_sizes=(12, 6))
+        after_without = without_pass.model.embed_nodes(sample_sizes=(12, 6))
+        assert np.array_equal(after_with, after_without)
+
+
+class TestEmbedNodesConfigIsolation:
+    def test_embed_nodes_does_not_mutate_model_config(self, small_building_dataset):
+        """Inference-time sample-size overrides must not leak into the model's
+        training configuration (the old implementation swapped self.config
+        and restored it, which was not concurrency- or exception-safe)."""
+        config = RFGNNConfig(embedding_dim=8, neighbor_sample_sizes=(6, 3))
+        graph = BipartiteGraph.from_dataset(small_building_dataset)
+        trainer = RFGNNTrainer(
+            graph, config, seed=1, num_epochs=1, max_pairs_per_epoch=2_000
+        )
+        trainer.fit(return_embeddings=False)
+        before = trainer.model.config
+        trainer.model.embed_nodes(sample_sizes=(10, 5), num_hops=2)
+        assert trainer.model.config is before
+        assert trainer.model.config.neighbor_sample_sizes == (6, 3)

@@ -1,0 +1,169 @@
+"""SparseAdam must be *bit-identical* to dense Adam, not merely close.
+
+The fused training path relies on row-sparse lazy updates of the node
+feature matrix being indistinguishable — to the last ULP — from dense Adam
+fed the equivalent zero-padded gradients.  These tests drive both
+optimisers through identical random schedules (random touched-row subsets,
+random catch-up supersets, gaps of many untouched steps) and assert exact
+array equality of parameters *and* both moment buffers after ``flush()``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.optimizers import Adam
+from repro.nn.sparse import SparseAdam
+
+NUM_ROWS = 12
+DIM = 4
+
+
+def make_pair(seed: int, lr: float = 0.05):
+    """Identical (dense Adam, SparseAdam) setups over one shared init."""
+    rng = np.random.default_rng(seed)
+    weight = rng.standard_normal((DIM, DIM))
+    features = rng.standard_normal((NUM_ROWS, DIM))
+
+    dense_params = [{"W": weight.copy()}, {"features": features.copy()}]
+    dense_grads = [
+        {key: np.zeros_like(value) for key, value in group.items()}
+        for group in dense_params
+    ]
+    sparse_params = [{"W": weight.copy()}, {"features": features.copy()}]
+    sparse_grads = [
+        {key: np.zeros_like(value) for key, value in group.items()}
+        for group in sparse_params
+    ]
+    dense = Adam(dense_params, dense_grads, lr=lr)
+    sparse = SparseAdam(sparse_params, sparse_grads, lr=lr, sparse_keys=("features",))
+    return dense, sparse
+
+
+def run_schedule(dense: Adam, sparse: SparseAdam, schedule, seed: int) -> None:
+    """Drive both optimisers through one schedule of (touched, read) steps.
+
+    ``schedule`` is a list of ``(touched_rows, extra_read_rows)`` pairs; the
+    dense reference scatters each step's compact row gradients into a full
+    zero matrix, the sparse path passes them compactly and catches up the
+    read set (a superset of the touched set, like a forward pass's bottom
+    tree level) beforehand.
+    """
+    rng = np.random.default_rng(seed + 1000)
+    for touched, extra_read in schedule:
+        touched = np.asarray(sorted(touched), dtype=np.int64)
+        read = np.asarray(sorted(set(touched) | set(extra_read)), dtype=np.int64)
+        w_grad = rng.standard_normal((DIM, DIM))
+        row_grads = rng.standard_normal((touched.size, DIM))
+
+        dense.grads[0]["W"][...] = w_grad
+        dense.grads[1]["features"][...] = 0.0
+        dense.grads[1]["features"][touched] = row_grads
+        dense.step()
+
+        sparse.catch_up("features", read)
+        sparse.grads[0]["W"][...] = w_grad
+        sparse.step(sparse_grads={"features": (touched, row_grads)})
+
+
+def assert_states_identical(dense: Adam, sparse: SparseAdam) -> None:
+    sparse.flush()
+    for group_index in range(2):
+        for key in dense.params[group_index]:
+            assert np.array_equal(
+                dense.params[group_index][key], sparse.params[group_index][key]
+            ), f"param {key} diverged"
+            assert np.array_equal(
+                dense._m[group_index][key], sparse._m[group_index][key]
+            ), f"first moment of {key} diverged"
+            assert np.array_equal(
+                dense._v[group_index][key], sparse._v[group_index][key]
+            ), f"second moment of {key} diverged"
+
+
+row_subsets = st.sets(st.integers(min_value=0, max_value=NUM_ROWS - 1), max_size=NUM_ROWS)
+
+
+class TestBitIdentity:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        schedule=st.lists(st.tuples(row_subsets, row_subsets), min_size=1, max_size=10),
+    )
+    def test_random_touch_patterns_match_dense_bitwise(self, seed, schedule):
+        """The core property: any touch pattern, any gap, any read superset."""
+        dense, sparse = make_pair(seed)
+        run_schedule(dense, sparse, schedule, seed)
+        assert_states_identical(dense, sparse)
+
+    def test_long_gap_replay(self):
+        """A row touched once then idle for many steps decays identically."""
+        dense, sparse = make_pair(3)
+        schedule = [({0, 1, 2}, set())] + [({5}, set())] * 12 + [({0}, {1})]
+        run_schedule(dense, sparse, schedule, 3)
+        assert_states_identical(dense, sparse)
+
+    def test_never_touched_rows_are_untouched_memory(self):
+        """Rows no step ever touches keep their exact initial bits."""
+        dense, sparse = make_pair(4)
+        before = sparse.params[1]["features"][[7, 8, 9]].copy()
+        run_schedule(dense, sparse, [({0, 1}, {2}), ({1, 3}, set())], 4)
+        assert_states_identical(dense, sparse)
+        assert np.array_equal(sparse.params[1]["features"][[7, 8, 9]], before)
+
+    def test_empty_step_then_flush(self):
+        """Steps that touch nothing still advance time for later replays."""
+        dense, sparse = make_pair(5)
+        schedule = [({0}, set()), (set(), set()), (set(), set()), ({0}, set())]
+        run_schedule(dense, sparse, schedule, 5)
+        assert_states_identical(dense, sparse)
+
+    def test_flush_is_idempotent(self):
+        dense, sparse = make_pair(6)
+        run_schedule(dense, sparse, [({0, 4}, set()), ({2}, set())], 6)
+        sparse.flush()
+        snapshot = sparse.params[1]["features"].copy()
+        sparse.flush()
+        assert np.array_equal(sparse.params[1]["features"], snapshot)
+        assert_states_identical(dense, sparse)
+
+
+class TestContract:
+    def test_step_requires_sparse_grads(self):
+        _, sparse = make_pair(0)
+        with pytest.raises(ValueError, match="missing sparse gradients"):
+            sparse.step()
+
+    def test_step_on_stale_rows_raises(self):
+        _, sparse = make_pair(0)
+        rows = np.array([0], dtype=np.int64)
+        grads = np.ones((1, DIM))
+        sparse.step(sparse_grads={"features": (rows, grads)})
+        # Two steps later, row 0 is stale; stepping it without catch_up
+        # would silently skip its decay — must raise instead.
+        empty = (np.empty(0, dtype=np.int64), np.empty((0, DIM)))
+        sparse.step(sparse_grads={"features": empty})
+        sparse.step(sparse_grads={"features": empty})
+        with pytest.raises(RuntimeError, match="not caught up"):
+            sparse.step(sparse_grads={"features": (rows, grads)})
+
+    def test_sparse_param_must_be_2d(self):
+        params = [{"features": np.zeros(5)}]
+        grads = [{"features": np.zeros(5)}]
+        with pytest.raises(ValueError, match="must be 2-D"):
+            SparseAdam(params, grads, sparse_keys=("features",))
+
+    def test_sparse_key_unique_across_groups(self):
+        params = [{"features": np.zeros((2, 2))}, {"features": np.zeros((3, 2))}]
+        grads = [{"features": np.zeros((2, 2))}, {"features": np.zeros((3, 2))}]
+        with pytest.raises(ValueError, match="two groups"):
+            SparseAdam(params, grads, sparse_keys=("features",))
+
+    def test_zero_grad_skips_sparse_keys(self):
+        _, sparse = make_pair(1)
+        sparse.grads[0]["W"][...] = 7.0
+        sparse.zero_grad()
+        assert np.all(sparse.grads[0]["W"] == 0.0)
