@@ -74,6 +74,18 @@ GUARDED_METRICS: Sequence[GuardedMetric] = (
     # Incremental refresh over a cold refit, and its label stability.
     GuardedMetric("BENCH_refresh.json", "refresh_vs_refit_speedup", ("speedup",)),
     GuardedMetric("BENCH_refresh.json", "refresh_label_stability", ("label_stability",)),
+    # Guarded lifecycle: canary validation must stay near-free next to the
+    # refresh it gates, and rollback must stay far cheaper than re-refreshing.
+    GuardedMetric(
+        "BENCH_refresh.json",
+        "refresh_vs_canary_speedup",
+        ("refresh_vs_canary_speedup",),
+    ),
+    GuardedMetric(
+        "BENCH_refresh.json",
+        "rollback_vs_refresh_speedup",
+        ("rollback_vs_refresh_speedup",),
+    ),
     # Graph core: vectorised CSR build, shared alias tables, end-to-end fit.
     GuardedMetric("BENCH_graph.json", "csr_build_speedup", ("build_speedup",)),
     GuardedMetric("BENCH_graph.json", "alias_tables_speedup", ("alias_tables_speedup",)),

@@ -13,10 +13,19 @@ the pre-drift survey, then measures
 
 and asserts refresh is at least 3x faster, its accuracy on the post-drift
 records is within 2 points of the refit's, and at least 95% of pre-drift
-records keep their previous floor label.  The measured numbers are written
-to ``BENCH_refresh.json`` at the repository root.
+records keep their previous floor label.
+
+A second test prices the *guarded* lifecycle: canary validation
+(:func:`repro.core.refresh.score_refresh_canary`) must cost at most 15% of
+the refresh compute it protects, and a registry rollback must be far
+cheaper than the refresh it undoes.  Both are measured on CPU process time
+(best-of-N with the GC parked) so single-core CI wall-clock noise cannot
+flake them.  All measured numbers are merged into ``BENCH_refresh.json``
+at the repository root.
 """
 
+import dataclasses
+import gc
 import json
 import time
 from pathlib import Path
@@ -24,7 +33,9 @@ from pathlib import Path
 import numpy as np
 
 from repro.core import FisOne, FisOneConfig
+from repro.core.refresh import score_refresh_canary
 from repro.gnn.model import RFGNNConfig
+from repro.serving import BuildingRegistry, CanaryPolicy
 from repro.signals.dataset import SignalDataset
 from repro.simulate import BuildingConfig, DriftScenarioConfig, generate_drift_scenario
 from repro.simulate.collector import CollectionConfig
@@ -33,6 +44,10 @@ BENCH_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_refresh.json"
 
 #: Required wall-time advantage of refresh over a full refit.
 MIN_SPEEDUP = 3.0
+
+#: Canary validation may cost at most this fraction of the refresh compute
+#: it gates (CPU time) — the gate must be near-free next to what it guards.
+MAX_CANARY_OVERHEAD = 0.15
 
 #: Refresh accuracy on the post-drift wave may trail the full refit by at
 #: most this much (in practice the warm start *beats* the refit, which must
@@ -78,6 +93,39 @@ def drift_scenario():
         ),
         seed=1,
     )
+
+
+def _merge_bench_output(payload: dict) -> None:
+    """Update ``BENCH_refresh.json`` in place — the lifecycle test and the
+    refit test each own a disjoint set of keys in the same file."""
+    existing = {}
+    if BENCH_OUTPUT.is_file():
+        try:
+            existing = json.loads(BENCH_OUTPUT.read_text())
+        except ValueError:
+            existing = {}
+    existing.update(payload)
+    BENCH_OUTPUT.write_text(json.dumps(existing, indent=2) + "\n")
+
+
+def _best_cpu_seconds(fn, rounds: int) -> float:
+    """Best-of-``rounds`` CPU time of ``fn()`` with the GC parked.
+
+    Process time, not wall clock: single-core CI boxes flake wall-clock
+    measurements by ±30%, but the instructions executed do not change.
+    """
+    best = float("inf")
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(rounds):
+            started = time.process_time()
+            fn()
+            best = min(best, time.process_time() - started)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return best
 
 
 def test_refresh_vs_full_refit(benchmark):
@@ -137,7 +185,7 @@ def test_refresh_vs_full_refit(benchmark):
         "fine_tune_epochs": result.report.fine_tune_epochs,
         "floor_mapping_source": result.report.floor_mapping_source,
     }
-    BENCH_OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    _merge_bench_output(payload)
 
     print("\nIncremental refresh vs full refit "
           f"({len(post)} post-drift records, "
@@ -151,3 +199,79 @@ def test_refresh_vs_full_refit(benchmark):
     assert speedup >= MIN_SPEEDUP
     assert refresh_accuracy >= refit_accuracy - MAX_ACCURACY_GAP
     assert label_stability >= MIN_LABEL_STABILITY
+
+
+def test_canary_and_rollback_latency(tmp_path):
+    """Price the guarded lifecycle: canary scoring vs the refresh it gates,
+    and a registry rollback vs the refresh it undoes.
+
+    Both guard metrics are relative CPU ratios measured in the same run, so
+    they survive machine changes: ``refresh_vs_canary_speedup`` (how many
+    canary validations fit in one refresh) and
+    ``rollback_vs_refresh_speedup`` (how much faster undoing a bad refresh
+    is than shipping it was).
+    """
+    scenario = drift_scenario()
+    initial = scenario.initial
+    anchor = initial.pick_labeled_sample(floor=0)
+    observed = initial.strip_labels(keep_record_ids=[anchor.record_id])
+    config = refresh_config()
+    fitted = FisOne(config).fit(observed, anchor.record_id)
+
+    wave = [record.without_floor() for record in scenario.drifted]
+    policy = CanaryPolicy()
+    holdout_size = policy.holdout_size(len(wave))
+    train, holdout = wave[:-holdout_size], wave[-holdout_size:]
+
+    # (a) the refresh compute the canary gates.
+    results = []
+    refresh_cpu = _best_cpu_seconds(
+        lambda: results.append(fitted.refresh(train)), rounds=2
+    )
+    result = results[-1]
+
+    # (b) scoring the candidate over the holdout window.
+    canary_cpu = _best_cpu_seconds(
+        lambda: score_refresh_canary(
+            fitted, result.fitted, holdout, result.report.label_stability
+        ),
+        rounds=5,
+    )
+    canary_overhead = canary_cpu / refresh_cpu
+
+    # (c) rollback through a registry over a two-generation versioned store.
+    building_id = "drift-bench"
+    registry = BuildingRegistry(
+        store_dir=tmp_path / "store", config=config, keep_generations=3
+    )
+    registry.add_fitted(building_id, fitted)
+    registry.add_fitted(
+        building_id, dataclasses.replace(result.fitted, building_id=building_id)
+    )
+    versions = iter([0, 1, 0, 1, 0, 1])
+    rollback_cpu = _best_cpu_seconds(
+        lambda: registry.rollback(building_id, to_version=next(versions)),
+        rounds=6,
+    )
+
+    payload = {
+        "canary_holdout_records": holdout_size,
+        "refresh_cpu_seconds": refresh_cpu,
+        "canary_cpu_seconds": canary_cpu,
+        "rollback_cpu_seconds": rollback_cpu,
+        "canary_overhead_fraction": canary_overhead,
+        "refresh_vs_canary_speedup": refresh_cpu / canary_cpu,
+        "rollback_vs_refresh_speedup": refresh_cpu / rollback_cpu,
+    }
+    _merge_bench_output(payload)
+
+    print(f"\nGuarded lifecycle ({len(wave)} wave records, "
+          f"{holdout_size} held out):")
+    print(f"  refresh : {refresh_cpu:8.3f} s CPU")
+    print(f"  canary  : {canary_cpu:8.3f} s CPU "
+          f"({canary_overhead:6.1%} of refresh)")
+    print(f"  rollback: {rollback_cpu:8.3f} s CPU "
+          f"({refresh_cpu / rollback_cpu:6.1f}x faster than refresh)")
+
+    assert canary_overhead <= MAX_CANARY_OVERHEAD
+    assert rollback_cpu < refresh_cpu

@@ -538,7 +538,8 @@ def test_training_engine_throughput(tmp_path):
     for count in WORKER_COUNTS:
         entry = curve[str(count)]
         print(
-            f"  rss    : {count} worker(s)  private {entry['private_kb_per_worker']:8.0f} KiB/worker   "
+            f"  rss    : {count} worker(s)  "
+            f"private {entry['private_kb_per_worker']:8.0f} KiB/worker   "
             f"shared {entry['shared_kb_per_worker']:8.0f} KiB/worker"
         )
     print(

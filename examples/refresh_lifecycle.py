@@ -1,20 +1,33 @@
-"""The full refresh lifecycle: fit → serve → drift → refresh → persist.
+"""The guarded refresh lifecycle: fit → serve → drift → refresh → persist,
+with canary validation, artifact history, and rollback.
 
 A deployed FIS-ONE model ages: access points are replaced (new MACs), and
 transmit powers shift.  This example walks the loop that keeps a building
-fresh without ever paying a full refit:
+fresh without ever paying a full refit — and the guard rails around it,
+because crowdsourced refresh material is not curated:
 
 1. generate an AP-churn / RSS-drift scenario (pre-drift survey + post-drift
    signal wave),
 2. fit a model on the survey and persist it through a write-through
-   BuildingRegistry,
+   BuildingRegistry with ``keep_generations`` so superseded artifact
+   generations stay on disk,
 3. serve the post-drift wave — the per-building DriftMonitor watches the
    unknown-MAC fraction and confidences sag,
 4. sweep the fleet with ``FleetServer.refresh_drifted()`` — the drifted
    building is incrementally refreshed (graph growth + warm-start
-   fine-tune + label-stable re-clustering) and the refreshed artifact is
-   written back with a bumped model version and a lineage entry,
-5. compare pre- and post-refresh online accuracy on the drifted wave.
+   fine-tune + label-stable re-clustering), the candidate passes the
+   canary gate, and the artifact is written back into a new versioned
+   generation with a bumped model version and a lineage entry,
+5. compare pre- and post-refresh online accuracy on the drifted wave,
+6. feed the registry a *poisoned* wave (scrambled MAC/RSS readings, as a
+   buggy firmware rollout or a data-poisoning batch would produce) — the
+   canary scores the candidate on held-back honest traffic, rejects it
+   with ``RefreshRejectedError``, and the serving model stays untouched,
+7. force the bad refresh through anyway (the operator override), watch
+   accuracy collapse,
+8. ``registry.rollback()`` — the ``CURRENT`` pointer swaps back to the
+   previous retained generation and serving output is restored
+   bit-identically.
 
 Run it with::
 
@@ -34,8 +47,15 @@ from repro.serving import (
     DriftThresholds,
     FleetServer,
     RefreshPolicy,
+    RefreshRejectedError,
+    current_version,
 )
-from repro.simulate import BuildingConfig, DriftScenarioConfig, generate_drift_scenario
+from repro.simulate import (
+    BuildingConfig,
+    DriftScenarioConfig,
+    generate_drift_scenario,
+    scramble_records,
+)
 from repro.simulate.collector import CollectionConfig
 
 #: A reduced configuration so the example runs in seconds.
@@ -46,6 +66,13 @@ CONFIG = FisOneConfig(
     inference_passes=2,
     inference_sample_sizes=(30, 15),
 )
+
+
+def wave_accuracy(registry: BuildingRegistry, wave, truth) -> float:
+    labels = registry.label("hq", wave)
+    return sum(
+        int(label.floor == floor) for label, floor in zip(labels, truth)
+    ) / len(wave)
 
 
 def main() -> None:
@@ -75,7 +102,8 @@ def main() -> None:
 
     with tempfile.TemporaryDirectory(prefix="fisone-refresh-") as store:
         # 2. Fit through a write-through registry with an eager refresh
-        #    policy (low thresholds so the example drifts decisively).
+        #    policy (low thresholds so the example drifts decisively) and
+        #    versioned artifact retention, so bad generations can be undone.
         policy = RefreshPolicy(
             thresholds=DriftThresholds(
                 min_records=30,
@@ -83,10 +111,14 @@ def main() -> None:
                 min_mean_confidence=0.0,
             ),
             min_new_records=30,
-            fine_tune_epochs=1,
+            fine_tune_epochs=3,
         )
         registry = BuildingRegistry(
-            store_dir=store, capacity=4, config=CONFIG, refresh_policy=policy
+            store_dir=store,
+            capacity=4,
+            config=CONFIG,
+            refresh_policy=policy,
+            keep_generations=3,
         )
         registry.register("hq", scenario.initial.strip_labels(
             keep_record_ids=[scenario.initial.pick_labeled_sample(floor=0).record_id]
@@ -95,10 +127,7 @@ def main() -> None:
         # 3. Serve the drifted wave; the monitor sees the staleness.
         wave = [record.without_floor() for record in scenario.drifted]
         truth = [record.floor for record in scenario.drifted]
-        before = registry.label("hq", wave)
-        accuracy_before = sum(
-            int(label.floor == floor) for label, floor in zip(before, truth)
-        ) / len(wave)
+        accuracy_before = wave_accuracy(registry, wave, truth)
         snapshot = registry.drift_snapshot("hq")
         print(
             f"pre-refresh: accuracy {accuracy_before:.3f}, "
@@ -107,6 +136,9 @@ def main() -> None:
         )
 
         # 4. Fleet-wide sweep: the drifted building refreshes incrementally.
+        #    The canary gate (RefreshPolicy.canary, on by default) holds back
+        #    the most recent slice of the wave and scores the candidate on it
+        #    before the swap — this honest refresh passes.
         server = FleetServer(registry)
         reports = server.refresh_drifted()
         for building_id, report in reports.items():
@@ -118,18 +150,60 @@ def main() -> None:
             )
 
         # 5. The refreshed generation serves the same wave better — and its
-        #    artifact on disk carries the bumped version + lineage.
-        after = registry.label("hq", wave)
-        accuracy_after = sum(
-            int(label.floor == floor) for label, floor in zip(after, truth)
-        ) / len(wave)
+        #    artifact lands in a per-version subdirectory with the bumped
+        #    version + lineage, next to the retained parent generation.
+        accuracy_after = wave_accuracy(registry, wave, truth)
+        version = current_version(Path(store) / "hq")
         manifest = json.loads(
-            (Path(store) / "hq" / "manifest.json").read_text()
+            (Path(store) / "hq" / f"v{version}" / "manifest.json").read_text()
         )
         print(f"post-refresh: accuracy {accuracy_after:.3f}")
         print(
             f"persisted model_version={manifest['model_version']}, "
-            f"lineage={manifest['lineage']}"
+            f"lineage={manifest['lineage']}, "
+            f"retained generations={registry.retained_versions('hq')}"
+        )
+
+        # 6. A poisoned wave arrives: the body of the traffic is scrambled
+        #    (each record's readings resampled from the whole building with
+        #    noise — floor structure destroyed, vocabulary intact), but the
+        #    freshest slice is still honest.  The canary holds that slice
+        #    back, trains the candidate on the garbage, scores it on the
+        #    honest window, and rejects the refresh.  Serving is untouched.
+        holdout = max(8, len(wave) // 4)
+        poisoned = scramble_records(wave[:-holdout], seed=23) + wave[-holdout:]
+        labels_before_attempt = registry.label("hq", wave)
+        try:
+            registry.refresh("hq", records=poisoned, fine_tune_epochs=30)
+        except RefreshRejectedError as rejected:
+            print(f"canary rejected the poisoned refresh: {rejected.reasons}")
+        labels_after_attempt = registry.label("hq", wave)
+        assert [label.floor for label in labels_before_attempt] == [
+            label.floor for label in labels_after_attempt
+        ], "a rejected refresh must leave serving output bit-identical"
+        print(
+            "serving unchanged after rejection: "
+            f"accuracy {wave_accuracy(registry, wave, truth):.3f}, "
+            f"CURRENT=v{current_version(Path(store) / 'hq')}"
+        )
+
+        # 7. An operator forces the bad candidate past the gate anyway.
+        registry.refresh("hq", records=poisoned, fine_tune_epochs=30, force=True)
+        accuracy_forced = wave_accuracy(registry, wave, truth)
+        print(
+            f"forced the poisoned refresh through: accuracy "
+            f"{accuracy_forced:.3f}, CURRENT=v{current_version(Path(store) / 'hq')}, "
+            f"retained generations={registry.retained_versions('hq')}"
+        )
+
+        # 8. Rollback: swap CURRENT back to the previous retained generation
+        #    and restore the cached model — serving output returns exactly.
+        restored = registry.rollback("hq")
+        accuracy_restored = wave_accuracy(registry, wave, truth)
+        assert accuracy_restored == accuracy_after
+        print(
+            f"rolled back to model_version={restored.model_version}: accuracy "
+            f"{accuracy_restored:.3f}, CURRENT=v{current_version(Path(store) / 'hq')}"
         )
 
 

@@ -213,6 +213,16 @@ class FittedFisOne:
         ``fitted`` is the next-generation model (``model_version`` bumped,
         lineage recorded) and whose ``report`` quantifies the refresh.
 
+        A refresh is only as good as the records it ate: nothing here
+        validates that the candidate actually *serves* better than its
+        parent.  The serving layer closes that gap — a
+        :class:`~repro.serving.drift.CanaryPolicy` scores each candidate on
+        held-back traffic (:func:`repro.core.refresh.score_refresh_canary`)
+        before it replaces the parent, versioned artifact retention keeps
+        superseded generations on disk, and
+        :meth:`~repro.serving.registry.BuildingRegistry.rollback` restores
+        one when a bad refresh ships anyway.
+
         See :func:`repro.core.refresh.refresh_fitted` for the mechanics.
         """
         from repro.core.refresh import refresh_fitted

@@ -118,6 +118,87 @@ def default_fine_tune_epochs(num_epochs: int) -> int:
     return max(1, num_epochs // 3)
 
 
+@dataclass(frozen=True)
+class CanaryScore:
+    """How a refreshed candidate compares to its parent on held-back traffic.
+
+    The raw numbers behind a canary decision; judging them against
+    thresholds is the serving layer's job
+    (:meth:`~repro.serving.drift.CanaryPolicy.judge`), so the same score can
+    be logged, tested, and re-judged under different policies.
+
+    Attributes
+    ----------
+    num_holdout:
+        Records in the validation window (0 when no traffic was held back —
+        only the stability gate applies then).
+    label_stability:
+        Fraction of the parent's own training records whose floor label the
+        candidate preserves (copied from the refresh report — the "previous
+        model's own labels" reference).
+    parent_mean_confidence / candidate_mean_confidence:
+        Mean online-label confidence of each model over the holdout; a
+        candidate whose embedding space collapsed scores visibly lower than
+        the generation it would replace.
+    parent_accuracy / candidate_accuracy:
+        Floor accuracy over the holdout records that carry ground-truth
+        floors; ``None`` when none do (typical online traffic is unlabeled).
+    """
+
+    num_holdout: int
+    label_stability: float
+    parent_mean_confidence: float
+    candidate_mean_confidence: float
+    parent_accuracy: Optional[float]
+    candidate_accuracy: Optional[float]
+
+
+def score_refresh_canary(
+    parent: "FittedFisOne",  # noqa: F821 - forward ref, see RefreshResult
+    candidate: "FittedFisOne",  # noqa: F821
+    holdout: Sequence[SignalRecord],
+    label_stability: float,
+) -> CanaryScore:
+    """Score a refresh ``candidate`` against its ``parent`` on ``holdout``.
+
+    Both models label the same held-back records through their online paths;
+    the score pairs each model's mean confidence (and floor accuracy, where
+    the holdout carries ground truth) so a policy can reject candidates that
+    are *worse than what is already serving* rather than merely imperfect.
+    An empty holdout yields a score that only carries ``label_stability``.
+    """
+    records = list(holdout)
+    if not records:
+        return CanaryScore(
+            num_holdout=0,
+            label_stability=float(label_stability),
+            parent_mean_confidence=1.0,
+            candidate_mean_confidence=1.0,
+            parent_accuracy=None,
+            candidate_accuracy=None,
+        )
+    parent_floors, parent_conf, _ = parent.online_floors(records)
+    candidate_floors, candidate_conf, _ = candidate.online_floors(records)
+    labeled = [
+        index for index, record in enumerate(records) if record.floor is not None
+    ]
+    parent_accuracy: Optional[float] = None
+    candidate_accuracy: Optional[float] = None
+    if labeled:
+        truth = np.asarray([records[index].floor for index in labeled])
+        rows = np.asarray(labeled)
+        parent_accuracy = float(np.mean(parent_floors[rows] == truth))
+        candidate_accuracy = float(np.mean(candidate_floors[rows] == truth))
+    return CanaryScore(
+        num_holdout=len(records),
+        label_stability=float(label_stability),
+        parent_mean_confidence=float(parent_conf.mean()),
+        candidate_mean_confidence=float(candidate_conf.mean()),
+        parent_accuracy=parent_accuracy,
+        candidate_accuracy=candidate_accuracy,
+    )
+
+
 def refresh_fitted(
     fitted: "FittedFisOne",  # noqa: F821
     new_records: Union[Sequence[SignalRecord], RecordBatch],

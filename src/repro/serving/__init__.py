@@ -47,19 +47,28 @@ Typical flow::
 from repro.serving.artifacts import (
     ARTIFACT_FORMAT_VERSION,
     ArtifactError,
+    current_version,
     has_artifacts,
+    list_versions,
     load_artifacts,
     save_artifacts,
+    set_current_version,
 )
 from repro.serving.drift import (
+    CanaryPolicy,
     DriftMonitor,
     DriftSnapshot,
     DriftThresholds,
     RefreshPolicy,
 )
 from repro.serving.online import OnlineFloorLabeler
-from repro.serving.registry import BuildingRegistry, RegistryStats
+from repro.serving.registry import (
+    BuildingRegistry,
+    RefreshRejectedError,
+    RegistryStats,
+)
 from repro.serving.results import LabelRequest, LabelResponse, OnlineLabel, ServerStats
+from repro.serving.scheduler import RefreshScheduler
 from repro.serving.server import FleetServer
 from repro.serving.sharded import (
     ConsistentHashRing,
@@ -72,15 +81,21 @@ from repro.serving.sharded import (
 __all__ = [
     "ARTIFACT_FORMAT_VERSION",
     "ArtifactError",
+    "current_version",
     "has_artifacts",
+    "list_versions",
     "load_artifacts",
     "save_artifacts",
+    "set_current_version",
+    "CanaryPolicy",
     "DriftMonitor",
     "DriftSnapshot",
     "DriftThresholds",
     "RefreshPolicy",
     "OnlineFloorLabeler",
     "BuildingRegistry",
+    "RefreshRejectedError",
+    "RefreshScheduler",
     "RegistryStats",
     "LabelRequest",
     "LabelResponse",

@@ -25,11 +25,13 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import re
+import shutil
 import time
 import uuid
 import zipfile
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -54,6 +56,14 @@ ARTIFACT_FORMAT_VERSION = 1
 #: File names inside an artifact directory.
 MANIFEST_FILENAME = "manifest.json"
 ARRAYS_FILENAME = "arrays.npz"
+
+#: Pointer file of a *versioned* store: names the generation subdirectory
+#: currently being served.  Swapped with ``os.replace`` so readers always see
+#: either the old or the new pointer, never a torn one.
+CURRENT_FILENAME = "CURRENT"
+
+#: Generation subdirectories are named ``v<model_version>``.
+_VERSION_DIR_RE = re.compile(r"^v(\d+)$")
 
 #: Temp files older than this are leftovers of a crashed writer and are
 #: swept on the next save (live writers finish in well under this).
@@ -109,6 +119,7 @@ def save_artifacts(
     directory: PathLike,
     include_graph: bool = True,
     compress: bool = False,
+    keep_generations: Optional[int] = None,
 ) -> Path:
     """Write a fitted model to ``directory`` and return that path.
 
@@ -126,15 +137,56 @@ def save_artifacts(
     in both modes — ``mmap=True`` just falls back to an eager read for
     deflated members.
 
+    ``keep_generations`` switches the store into *retention mode*: each
+    generation is written to a per-version subdirectory
+    (``v<model_version>``) and a ``CURRENT`` pointer file is swapped in
+    atomically afterwards, so prior generations survive an overwrite and
+    remain loadable via ``load_artifacts(..., version=N)`` — the raw
+    material for :meth:`~repro.serving.registry.BuildingRegistry.rollback`.
+    The newest ``keep_generations`` generations (counting the one being
+    written) are retained; older ones are pruned.  A store that already
+    carries a ``CURRENT`` pointer stays versioned even when a later save
+    omits ``keep_generations`` (nothing is pruned then); a flat store being
+    upgraded has its existing generation migrated into a version
+    subdirectory first, so the pre-upgrade model stays rollback-eligible.
+
     The directory is created if needed.  Both files are written to
     temporary names and swapped in with ``os.replace`` (arrays first,
     manifest last), so a reader never sees a torn or half-written file.
     A reader racing an *overwrite* of an existing artifact could still
     pair the old manifest with new arrays for the instant between the two
     renames; a per-save token stamped into both files lets
-    :func:`load_artifacts` detect and reject that mismatched pairing.
+    :func:`load_artifacts` detect and reject that mismatched pairing.  In
+    retention mode the new generation's files are fully written *before*
+    the ``CURRENT`` swap, so a writer crashing mid-save leaves the pointer
+    on the previous, fully-consistent generation.
     """
     directory = Path(directory)
+    if keep_generations is not None and keep_generations < 1:
+        raise ValueError(f"keep_generations must be >= 1, got {keep_generations}")
+    directory.mkdir(parents=True, exist_ok=True)
+    versioned = keep_generations is not None or (directory / CURRENT_FILENAME).is_file()
+    if not versioned:
+        _write_artifact_files(fitted, directory, include_graph, compress)
+        return directory
+    _migrate_flat_store(directory)
+    target = directory / f"v{int(fitted.model_version)}"
+    _write_artifact_files(fitted, target, include_graph, compress)
+    _swap_current(directory, target.name)
+    if keep_generations is not None:
+        _prune_generations(directory, keep_generations)
+    _sweep_stale_tmp_files(directory)
+    return directory
+
+
+def _write_artifact_files(
+    fitted: FittedFisOne,
+    directory: Path,
+    include_graph: bool,
+    compress: bool,
+) -> str:
+    """Write ``manifest.json`` + ``arrays.npz`` into ``directory`` (created
+    if needed) with the atomic two-file swap; returns the save token."""
     directory.mkdir(parents=True, exist_ok=True)
     _sweep_stale_tmp_files(directory)
     encoder = fitted.encoder
@@ -211,7 +263,153 @@ def save_artifacts(
     except BaseException:
         manifest_tmp.unlink(missing_ok=True)
         raise
-    return directory
+    return save_token
+
+
+def _read_current(directory: Path) -> Optional[str]:
+    """The generation subdirectory named by ``CURRENT``; ``None`` when the
+    store is flat (no pointer file).  Raises :class:`ArtifactError` when the
+    pointer exists but does not name a valid version directory."""
+    pointer = directory / CURRENT_FILENAME
+    try:
+        name = pointer.read_text(encoding="utf-8").strip()
+    except FileNotFoundError:
+        return None
+    except OSError as error:
+        raise ArtifactError(
+            f"unreadable {CURRENT_FILENAME} in {directory}: {error}"
+        ) from None
+    if not _VERSION_DIR_RE.match(name):
+        raise ArtifactError(
+            f"corrupt {CURRENT_FILENAME} pointer in {directory}: {name!r}"
+        )
+    return name
+
+
+def _swap_current(directory: Path, name: str) -> None:
+    """Atomically repoint ``CURRENT`` at the generation subdirectory ``name``."""
+    token = uuid.uuid4().hex
+    pointer_tmp = directory / f"{CURRENT_FILENAME}.{token}.tmp"
+    try:
+        pointer_tmp.write_text(name + "\n", encoding="utf-8")
+        os.replace(pointer_tmp, directory / CURRENT_FILENAME)
+    except BaseException:
+        pointer_tmp.unlink(missing_ok=True)
+        raise
+
+
+def _migrate_flat_store(directory: Path) -> None:
+    """Move a flat store's generation into its ``v<model_version>``
+    subdirectory and point ``CURRENT`` at it.
+
+    Called when a flat store is first saved with retention enabled, so the
+    pre-upgrade generation stays retained instead of being orphaned by the
+    first versioned save.  ``CURRENT`` is written immediately after the move:
+    a writer crashing between migration and its own save leaves a store that
+    still loads the migrated generation.
+    """
+    if (directory / CURRENT_FILENAME).is_file():
+        return
+    manifest_path = directory / MANIFEST_FILENAME
+    arrays_path = directory / ARRAYS_FILENAME
+    if not manifest_path.is_file() or not arrays_path.is_file():
+        return
+    try:
+        with manifest_path.open("r", encoding="utf-8") as handle:
+            version = int(json.load(handle).get("model_version", 0))
+    except (OSError, ValueError, TypeError):
+        return  # unreadable flat manifest: leave it; versioned loads ignore it
+    target = directory / f"v{version}"
+    target.mkdir(parents=True, exist_ok=True)
+    os.replace(arrays_path, target / ARRAYS_FILENAME)
+    os.replace(manifest_path, target / MANIFEST_FILENAME)
+    _swap_current(directory, target.name)
+
+
+def _prune_generations(directory: Path, keep_generations: int) -> None:
+    """Delete retained generations beyond the newest ``keep_generations``.
+
+    The generation named by ``CURRENT`` is never pruned (a rollback may have
+    repointed it at an old directory); the others are ranked by manifest
+    write time so a rolled-back-then-refreshed store drops its stalest data
+    first rather than the lowest version number.
+    """
+    current = _read_current(directory)
+    entries = []
+    for child in directory.iterdir():
+        match = _VERSION_DIR_RE.match(child.name)
+        if match is None or not child.is_dir() or child.name == current:
+            continue
+        try:
+            mtime = (child / MANIFEST_FILENAME).stat().st_mtime
+        except OSError:
+            mtime = 0.0
+        entries.append((mtime, int(match.group(1)), child))
+    entries.sort()
+    excess = len(entries) - (keep_generations - 1)
+    for _, _, child in entries[: max(0, excess)]:
+        shutil.rmtree(child, ignore_errors=True)
+
+
+def list_versions(directory: PathLike) -> List[int]:
+    """Model versions retained in a versioned store, sorted ascending.
+
+    A flat (non-retention) store or a missing directory yields ``[]``; only
+    subdirectories holding both artifact files count as retained.
+    """
+    directory = Path(directory)
+    versions = []
+    try:
+        children = list(directory.iterdir())
+    except OSError:
+        return []
+    for child in children:
+        match = _VERSION_DIR_RE.match(child.name)
+        if (
+            match is not None
+            and (child / MANIFEST_FILENAME).is_file()
+            and (child / ARRAYS_FILENAME).is_file()
+        ):
+            versions.append(int(match.group(1)))
+    return sorted(versions)
+
+
+def current_version(directory: PathLike) -> Optional[int]:
+    """The model version ``CURRENT`` points at, or ``None`` for flat stores."""
+    directory = Path(directory)
+    try:
+        name = _read_current(directory)
+    except ArtifactError:
+        return None
+    if name is None:
+        return None
+    match = _VERSION_DIR_RE.match(name)
+    return int(match.group(1)) if match else None
+
+
+def set_current_version(directory: PathLike, version: int) -> Path:
+    """Atomically repoint a versioned store's ``CURRENT`` at a retained
+    ``version`` and return that generation's directory.
+
+    This is the persistence half of a rollback: the generation's files are
+    already on disk, so the swap is a single ``os.replace`` of the pointer.
+
+    Raises
+    ------
+    ArtifactError
+        If ``version`` is not retained in ``directory``.
+    """
+    directory = Path(directory)
+    target = directory / f"v{int(version)}"
+    if not (target / MANIFEST_FILENAME).is_file() or not (
+        target / ARRAYS_FILENAME
+    ).is_file():
+        raise ArtifactError(
+            f"version {version} is not retained in {directory}; "
+            f"retained versions: {list_versions(directory)}"
+        )
+    _swap_current(directory, target.name)
+    return target
 
 
 def _sweep_stale_tmp_files(directory: Path) -> None:
@@ -226,8 +424,18 @@ def _sweep_stale_tmp_files(directory: Path) -> None:
 
 
 def has_artifacts(directory: PathLike) -> bool:
-    """Whether ``directory`` looks like a saved artifact (manifest + arrays)."""
+    """Whether ``directory`` looks like a saved artifact (manifest + arrays).
+
+    For versioned stores the check follows the ``CURRENT`` pointer into the
+    served generation's subdirectory.
+    """
     directory = Path(directory)
+    try:
+        current = _read_current(directory)
+    except ArtifactError:
+        return False
+    if current is not None:
+        directory = directory / current
     return (directory / MANIFEST_FILENAME).is_file() and (
         directory / ARRAYS_FILENAME
     ).is_file()
@@ -311,6 +519,7 @@ def load_artifacts(
     directory: PathLike,
     mmap: bool = False,
     shared_store: Optional[SharedArrayStore] = None,
+    version: Optional[int] = None,
 ) -> FittedFisOne:
     """Load a fitted model saved by :func:`save_artifacts`.
 
@@ -332,13 +541,31 @@ def load_artifacts(
     bundle, so stale generations are never aliased.  The reconstructed
     model is again bit-identical to an eager load.
 
+    In a versioned store (one written with ``keep_generations``), the load
+    follows the ``CURRENT`` pointer by default; ``version=N`` opens the
+    retained generation ``v<N>`` instead, whatever ``CURRENT`` says — this
+    is how a rollback inspects candidate generations before repointing.
+
     Raises
     ------
     ArtifactError
         If the directory is not an artifact, the format version is
-        unsupported, or required entries are missing.
+        unsupported, required entries are missing, or ``version`` names a
+        generation that is not retained.
     """
     directory = Path(directory)
+    if version is not None:
+        target = directory / f"v{int(version)}"
+        if not (target / MANIFEST_FILENAME).is_file():
+            raise ArtifactError(
+                f"version {version} is not retained in {directory}; "
+                f"retained versions: {list_versions(directory)}"
+            )
+        directory = target
+    else:
+        current = _read_current(directory)
+        if current is not None:
+            directory = directory / current
     manifest_path = directory / MANIFEST_FILENAME
     arrays_path = directory / ARRAYS_FILENAME
     if not manifest_path.is_file():

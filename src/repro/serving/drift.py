@@ -111,6 +111,110 @@ class DriftSnapshot:
 
 
 @dataclass(frozen=True)
+class CanaryPolicy:
+    """Acceptance gate a refreshed model must pass before it may serve.
+
+    The registry holds back the most recent slice of the refresh material as
+    a validation window, scores the candidate against the generation it
+    would replace (:func:`repro.core.refresh.score_refresh_canary`), and
+    judges the score here.  Any breach rejects the refresh: the serving
+    model, the store, and the drift state stay exactly as they were.
+
+    Attributes
+    ----------
+    holdout_fraction:
+        Share of the refresh material held back from training as the
+        validation window (most recent records first — the traffic closest
+        to what the candidate will actually serve).
+    min_holdout:
+        Below this many holdout records, nothing is held back and only the
+        label-stability gate applies — scoring a candidate on a handful of
+        records is noise, and starving a small refresh of training material
+        hurts more than it protects.
+    max_holdout:
+        Upper bound on the validation window, so a huge buffer does not
+        spend a quarter of itself on scoring.
+    min_label_stability:
+        Floor on the refresh report's ``label_stability`` — the fraction of
+        the parent's own records whose labels the candidate preserves.  A
+        candidate that re-shuffles the parent's floors is how a degrading
+        refresh looks long before ground truth exists.
+    max_confidence_drop:
+        Tolerated drop in mean online confidence over the holdout,
+        candidate versus parent.  A collapsed embedding space scores
+        near-uniform softmax confidences and trips this.
+    max_accuracy_drop:
+        Tolerated accuracy drop over holdout records carrying ground-truth
+        floors (skipped when the window has none, the common online case).
+    """
+
+    holdout_fraction: float = 0.25
+    min_holdout: int = 8
+    max_holdout: int = 256
+    min_label_stability: float = 0.85
+    max_confidence_drop: float = 0.15
+    max_accuracy_drop: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.holdout_fraction < 1.0):
+            raise ValueError(
+                f"holdout_fraction must lie in (0, 1), got {self.holdout_fraction}"
+            )
+        if self.min_holdout < 1:
+            raise ValueError("min_holdout must be >= 1")
+        if self.max_holdout < self.min_holdout:
+            raise ValueError("max_holdout must be >= min_holdout")
+        if not (0.0 <= self.min_label_stability <= 1.0):
+            raise ValueError("min_label_stability must lie in [0, 1]")
+        for name in ("max_confidence_drop", "max_accuracy_drop"):
+            if getattr(self, name) < 0.0:
+                raise ValueError(f"{name} must be >= 0")
+
+    def holdout_size(self, num_records: int) -> int:
+        """Validation-window size for ``num_records`` of refresh material.
+
+        0 when the fractional window would fall below ``min_holdout`` —
+        the holdout must never eat the whole training set.
+        """
+        size = min(int(num_records * self.holdout_fraction), self.max_holdout)
+        return size if size >= self.min_holdout else 0
+
+    def judge(self, score) -> Tuple[str, ...]:
+        """Breach descriptions for a :class:`~repro.core.refresh.CanaryScore`
+        (empty tuple means the candidate may serve)."""
+        reasons = []
+        if score.label_stability < self.min_label_stability:
+            reasons.append(
+                f"label stability {score.label_stability:.3f} < "
+                f"{self.min_label_stability:.3f}"
+            )
+        if score.num_holdout >= self.min_holdout:
+            confidence_drop = (
+                score.parent_mean_confidence - score.candidate_mean_confidence
+            )
+            if confidence_drop > self.max_confidence_drop:
+                reasons.append(
+                    f"holdout mean confidence dropped {confidence_drop:.3f} "
+                    f"({score.parent_mean_confidence:.3f} -> "
+                    f"{score.candidate_mean_confidence:.3f}) > "
+                    f"{self.max_confidence_drop:.3f}"
+                )
+            if (
+                score.parent_accuracy is not None
+                and score.candidate_accuracy is not None
+            ):
+                accuracy_drop = score.parent_accuracy - score.candidate_accuracy
+                if accuracy_drop > self.max_accuracy_drop:
+                    reasons.append(
+                        f"holdout accuracy dropped {accuracy_drop:.3f} "
+                        f"({score.parent_accuracy:.3f} -> "
+                        f"{score.candidate_accuracy:.3f}) > "
+                        f"{self.max_accuracy_drop:.3f}"
+                    )
+        return tuple(reasons)
+
+
+@dataclass(frozen=True)
 class RefreshPolicy:
     """When and how a registry refreshes a drifted building's model.
 
@@ -130,6 +234,10 @@ class RefreshPolicy:
         Warm-start epochs passed to
         :meth:`~repro.core.pipeline.FittedFisOne.refresh`; ``None`` uses
         the pipeline's default short budget.
+    canary:
+        Acceptance gate a refreshed model must pass before it replaces the
+        serving generation (:class:`CanaryPolicy`); ``None`` ships every
+        refresh unvalidated (the pre-canary behaviour).
     """
 
     thresholds: DriftThresholds = field(default_factory=DriftThresholds)
@@ -137,6 +245,7 @@ class RefreshPolicy:
     buffer_size: int = 1024
     min_new_records: int = 32
     fine_tune_epochs: Optional[int] = None
+    canary: Optional[CanaryPolicy] = field(default_factory=CanaryPolicy)
 
     def __post_init__(self) -> None:
         if self.monitor_window < 1:

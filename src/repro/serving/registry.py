@@ -26,21 +26,27 @@ same cold building trigger exactly one fit.
 
 from __future__ import annotations
 
+import shutil
 import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import FisOneConfig
 from repro.core.pipeline import FisOne, FittedFisOne
-from repro.core.refresh import RefreshReport
+from repro.core.refresh import CanaryScore, RefreshReport, score_refresh_canary
 from repro.serving.artifacts import (
+    ARRAYS_FILENAME,
+    MANIFEST_FILENAME,
     ArtifactError,
+    current_version,
     has_artifacts,
+    list_versions,
     load_artifacts,
     save_artifacts,
+    set_current_version,
 )
 from repro.serving.drift import DriftMonitor, DriftSnapshot, RefreshPolicy
 from repro.serving.shared_store import SharedArrayStore
@@ -52,7 +58,9 @@ from repro.signals.record import SignalRecord
 from repro.telemetry import (
     EVENT_DRIFT_TRIP,
     EVENT_REFRESH_DONE,
+    EVENT_REFRESH_REJECTED,
     EVENT_REFRESH_START,
+    EVENT_ROLLBACK_DONE,
     EVENT_ROLLBACK_ELIGIBLE,
     Telemetry,
 )
@@ -86,6 +94,33 @@ def validate_building_id(building_id: str) -> str:
     return building_id
 
 
+class RefreshRejectedError(RuntimeError):
+    """A refreshed candidate failed canary validation and was discarded.
+
+    The serving model, the artifact store, the drift monitor, and the
+    record buffer are exactly as they were before the refresh attempt.
+    Carries the refresh report, the canary score, and the breach reasons so
+    an operator (or a test) can see *why* the candidate was turned away;
+    ``refresh(..., force=True)`` ships a candidate past the gate.
+    """
+
+    def __init__(
+        self,
+        building_id: str,
+        report: RefreshReport,
+        score: CanaryScore,
+        reasons: Sequence[str],
+    ) -> None:
+        super().__init__(
+            f"refresh of building {building_id!r} rejected by canary: "
+            + "; ".join(reasons)
+        )
+        self.building_id = building_id
+        self.report = report
+        self.score = score
+        self.reasons: Tuple[str, ...] = tuple(reasons)
+
+
 @dataclass(frozen=True)
 class _TrainingSource:
     """Everything needed to (re)fit one registered building on demand."""
@@ -106,6 +141,8 @@ class RegistryStats:
     loads: int = 0
     evictions: int = 0
     refreshes: int = 0
+    rejected_refreshes: int = 0
+    rollbacks: int = 0
 
 
 class BuildingRegistry:
@@ -124,7 +161,15 @@ class BuildingRegistry:
         their own.
     refresh_policy:
         When and how drifted buildings are incrementally refreshed; see
-        :class:`~repro.serving.drift.RefreshPolicy` for the defaults.
+        :class:`~repro.serving.drift.RefreshPolicy` for the defaults.  The
+        policy's ``canary`` gate makes :meth:`refresh` validate every
+        candidate against the generation it would replace before swapping.
+    keep_generations:
+        When set, artifact write-throughs run in retention mode: each
+        generation lands in its own ``v<model_version>`` subdirectory (the
+        newest ``keep_generations`` are kept) behind an atomically swapped
+        ``CURRENT`` pointer, and :meth:`rollback` can restore any retained
+        generation.  ``None`` keeps the flat single-generation layout.
     mmap:
         Load stored artifacts with ``mmap=True`` (zero-copy, read-only
         memory maps instead of heap copies) — the mode sharded fleet
@@ -156,13 +201,17 @@ class BuildingRegistry:
         mmap: bool = False,
         shared_store: Optional[SharedArrayStore] = None,
         telemetry: Optional[Telemetry] = None,
+        keep_generations: Optional[int] = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
+        if keep_generations is not None and keep_generations < 1:
+            raise ValueError("keep_generations must be >= 1 or None")
         self.store_dir = Path(store_dir) if store_dir is not None else None
         self.capacity = capacity
         self.config = config
         self.refresh_policy = refresh_policy or RefreshPolicy()
+        self.keep_generations = keep_generations
         self.mmap = mmap
         self.shared_store = shared_store
         self.telemetry = telemetry if telemetry is not None else Telemetry()
@@ -252,7 +301,11 @@ class BuildingRegistry:
             source_before = self._sources.get(building_id)
         with building_lock:
             if self.store_dir is not None:
-                save_artifacts(fitted, self.store_dir / building_id)
+                save_artifacts(
+                    fitted,
+                    self.store_dir / building_id,
+                    keep_generations=self.keep_generations,
+                )
             with self._lock:
                 if self.store_dir is not None:
                     self._persisted.add(building_id)
@@ -401,19 +454,35 @@ class BuildingRegistry:
         building_id: str,
         records: Optional[Union[Sequence[SignalRecord], RecordBatch]] = None,
         fine_tune_epochs: Optional[int] = None,
+        force: bool = False,
     ) -> RefreshReport:
         """Incrementally refresh one building's model and write it through.
 
-        ``records`` defaults to the building's buffered recent traffic.  The
-        refreshed model (bumped ``model_version``, extended lineage) replaces
-        the cached model and, with a store, overwrites the artifact; the
-        drift monitor and record buffer are reset so the new generation is
-        judged on its own traffic.
+        ``records`` defaults to the building's buffered recent traffic.
+        With a canary gate configured (``refresh_policy.canary``, the
+        default), the most recent slice of the refresh material is held back
+        from training as a validation window and the refreshed candidate is
+        scored against the generation it would replace — a candidate that
+        re-shuffles the previous model's own labels or scores worse on the
+        held-back traffic is rejected: a ``refresh-rejected`` event is
+        emitted, :class:`RefreshRejectedError` is raised, and the serving
+        model, store, monitor, and buffer stay untouched.  ``force=True``
+        skips the gate (an operator override; :meth:`rollback` is the way
+        back if the forced candidate turns out bad).
+
+        On success the refreshed model (bumped ``model_version``, extended
+        lineage) replaces the cached model and, with a store, is written
+        through — into a per-version subdirectory when the registry runs
+        with ``keep_generations``, overwriting the single artifact
+        otherwise; the drift monitor is reset and the consumed records leave
+        the buffer so the new generation is judged on its own traffic.
 
         Raises
         ------
         KeyError
             If the building is unknown.
+        RefreshRejectedError
+            If the canary gate turned the refreshed candidate away.
         ValueError
             If the model carries no training graph (saved with
             ``include_graph=False``) and therefore cannot warm-start.
@@ -450,25 +519,66 @@ class BuildingRegistry:
                 from_version=fitted.model_version,
                 num_records=len(records),
             )
-            started = time.perf_counter()
-            result = fitted.refresh(records, fine_tune_epochs=fine_tune_epochs)
+            # Hold back the most recent slice as the canary's validation
+            # window — the traffic closest to what the candidate will serve.
+            canary = self.refresh_policy.canary if not force else None
+            holdout: List[SignalRecord] = []
+            train: Union[Sequence[SignalRecord], RecordBatch] = records
+            if canary is not None:
+                holdout_size = canary.holdout_size(len(records))
+                if holdout_size:
+                    as_records = (
+                        [records.record(index) for index in range(len(records))]
+                        if isinstance(records, RecordBatch)
+                        else list(records)
+                    )
+                    train = as_records[:-holdout_size]
+                    holdout = as_records[-holdout_size:]
+            refresh_started = time.perf_counter()
+            result = fitted.refresh(train, fine_tune_epochs=fine_tune_epochs)
+            refresh_seconds = time.perf_counter() - refresh_started
+            if canary is not None:
+                score = score_refresh_canary(
+                    fitted, result.fitted, holdout, result.report.label_stability
+                )
+                reasons = canary.judge(score)
+                if reasons:
+                    self._reject_refresh(building_id, fitted, result, score, reasons)
+            # Write-through is gated on the supersede check: a register()
+            # landing mid-refresh means this candidate was trained on
+            # superseded data and must not overwrite the store (a later
+            # eviction + cold _materialize would resurrect it).  The check
+            # runs before the save and again after it — a register() sneaking
+            # into the save window gets the save undone.
+            persisted = False
+            persist_seconds: Optional[float] = None
             if self.store_dir is not None:
-                save_artifacts(result.fitted, self.store_dir / building_id)
-            refresh_seconds = time.perf_counter() - started
+                with self._lock:
+                    superseded = self._sources.get(building_id) is not source_before
+                if not superseded:
+                    persist_started = time.perf_counter()
+                    save_artifacts(
+                        result.fitted,
+                        self.store_dir / building_id,
+                        keep_generations=self.keep_generations,
+                    )
+                    persist_seconds = time.perf_counter() - persist_started
+                    persisted = True
             with self._lock:
                 self._stats.refreshes += 1
-                if self.store_dir is not None:
-                    self._persisted.add(building_id)
-                # A register() landing mid-refresh supersedes this model the
-                # same way it supersedes add_fitted: keep its dirty mark and
-                # let the next request refit from the new training data.
-                if self._sources.get(building_id) is source_before:
+                superseded = self._sources.get(building_id) is not source_before
+                if not superseded:
+                    if persisted:
+                        self._persisted.add(building_id)
                     self._dirty.discard(building_id)
                     self._insert(building_id, result.fitted)
-                # Evict only the records this refresh consumed; material
-                # buffered by concurrent traffic (or deliberately withheld
-                # by a caller passing an explicit wave) stays available for
-                # the next refresh.
+                elif persisted:
+                    self._persisted.discard(building_id)
+                # Evict only the records this refresh consumed (trained on or
+                # scored as the canary window); material buffered by
+                # concurrent traffic (or deliberately withheld by a caller
+                # passing an explicit wave) stays available for the next
+                # refresh.
                 buffer = self._recent.get(building_id)
                 if buffer is not None:
                     consumed = (
@@ -478,31 +588,99 @@ class BuildingRegistry:
                     )
                     for record_id in consumed:
                         buffer.pop(str(record_id), None)
+            if superseded and persisted:
+                # Undo the save that raced the register(): restore the
+                # previous generation's pointer (retention mode) or delete
+                # the overwrite (flat mode) — the registered data's refit
+                # rewrites the store on the next request either way.
+                self._discard_superseded_save(
+                    building_id, parent_version=fitted.model_version
+                )
             self._monitor(building_id).reset()
+            # Compute and persist are separate ops: the op="refresh" histogram
+            # measures model refresh time only, not artifact serialization.
             self._observe_model_op("refresh", building_id, refresh_seconds)
+            if persist_seconds is not None:
+                self._observe_model_op("persist", building_id, persist_seconds)
             self.telemetry.events.emit(
                 EVENT_REFRESH_DONE,
                 building_id=building_id,
                 model_version=result.fitted.model_version,
                 duration_s=round(refresh_seconds, 6),
             )
-            # The superseded generation stays identifiable in the refreshed
-            # model's lineage; an operator can roll back to it by refitting
-            # from that version's training state.
+            # With retention the superseded generation is literally on disk;
+            # without it, the lineage still identifies the version an
+            # operator could rebuild from its training state.
             self.telemetry.events.emit(
                 EVENT_ROLLBACK_ELIGIBLE,
                 building_id=building_id,
                 from_version=result.fitted.model_version,
                 to_version=fitted.model_version,
+                retained=self.keep_generations is not None,
             )
         return result.report
+
+    def _reject_refresh(
+        self,
+        building_id: str,
+        parent: FittedFisOne,
+        result,
+        score: CanaryScore,
+        reasons: Sequence[str],
+    ) -> None:
+        """Record and raise a canary rejection (serving state untouched)."""
+        with self._lock:
+            self._stats.rejected_refreshes += 1
+        self.telemetry.metrics.counter(
+            "fisone_refresh_rejected_total",
+            "Refresh candidates rejected by canary validation",
+            building=building_id,
+        ).inc()
+        self.telemetry.events.emit(
+            EVENT_REFRESH_REJECTED,
+            building_id=building_id,
+            from_version=parent.model_version,
+            candidate_version=result.fitted.model_version,
+            reasons="; ".join(reasons),
+            label_stability=round(score.label_stability, 6),
+            num_holdout=score.num_holdout,
+        )
+        raise RefreshRejectedError(building_id, result.report, score, reasons)
+
+    def _discard_superseded_save(
+        self, building_id: str, parent_version: int
+    ) -> None:
+        """Undo a refresh write-through that lost the supersede race.
+
+        Retention mode repoints ``CURRENT`` at the parent generation (still
+        on disk) and drops the candidate's subdirectory; flat mode can only
+        delete the overwrite — either way the store no longer claims the
+        superseded candidate as the building's current model, and the dirty
+        mark set by ``register()`` makes the next request refit and rewrite.
+        """
+        directory = self.store_dir / building_id
+        candidate_version = current_version(directory)
+        if candidate_version is not None:
+            if parent_version != candidate_version and parent_version in list_versions(
+                directory
+            ):
+                set_current_version(directory, parent_version)
+                shutil.rmtree(directory / f"v{candidate_version}", ignore_errors=True)
+                with self._lock:
+                    self._persisted.add(building_id)
+        else:
+            (directory / MANIFEST_FILENAME).unlink(missing_ok=True)
+            (directory / ARRAYS_FILENAME).unlink(missing_ok=True)
 
     def refresh_if_drifted(self, building_id: str) -> Optional[RefreshReport]:
         """Refresh one building if its monitor signals drift.
 
         Returns the :class:`~repro.core.refresh.RefreshReport` when a
-        refresh ran, ``None`` when the building is not drifted or has fewer
-        than ``refresh_policy.min_new_records`` buffered records.
+        refresh ran and passed canary validation, ``None`` when the building
+        is not drifted, has fewer than ``refresh_policy.min_new_records``
+        buffered records, or produced a candidate the canary gate rejected
+        (the rejection is already recorded as a ``refresh-rejected`` event
+        and counter; the previous generation keeps serving).
         """
         validate_building_id(building_id)
         policy = self.refresh_policy
@@ -525,7 +703,130 @@ class BuildingRegistry:
         ).inc()
         if not proceeding:
             return None
-        return self.refresh(building_id)
+        try:
+            return self.refresh(building_id)
+        except RefreshRejectedError:
+            return None
+
+    # -- rollback --------------------------------------------------------------
+
+    def retained_versions(self, building_id: str) -> List[int]:
+        """Model versions retained on disk for one building (ascending);
+        empty for flat stores or store-less registries."""
+        validate_building_id(building_id)
+        if self.store_dir is None:
+            return []
+        return list_versions(self.store_dir / building_id)
+
+    def rollback(
+        self, building_id: str, to_version: Optional[int] = None
+    ) -> FittedFisOne:
+        """Restore a retained generation as the building's serving model.
+
+        ``to_version`` defaults to the newest retained generation below the
+        one ``CURRENT`` points at — "undo the last refresh"; any retained
+        version is accepted, so an operator can also pin forward again after
+        inspecting.  The restored model replaces the cached one, the store's
+        ``CURRENT`` pointer is swapped atomically, and the drift monitor is
+        reset so the restored generation is judged on its own traffic (the
+        record buffer is kept — it is material for a future, better
+        refresh).  Returns the restored model.
+
+        Requires a registry with a ``store_dir`` whose building directory is
+        versioned (saved under ``keep_generations``); there is nothing to
+        roll back to in a flat store.
+
+        Raises
+        ------
+        ValueError
+            If the registry has no store, the building has no retained
+            generations, or no generation precedes the current one.
+        ArtifactError
+            If ``to_version`` names a generation that is not retained.
+        """
+        validate_building_id(building_id)
+        if self.store_dir is None:
+            raise ValueError(
+                "rollback requires a store_dir with retained generations"
+            )
+        directory = self.store_dir / building_id
+        with self._lock:
+            building_lock = self._building_locks.setdefault(
+                building_id, threading.Lock()
+            )
+        with building_lock:
+            retained = list_versions(directory)
+            if not retained:
+                raise ValueError(
+                    f"building {building_id!r} has no retained generations to "
+                    "roll back to (store is flat or empty; save with "
+                    "keep_generations to retain history)"
+                )
+            current = current_version(directory)
+            if to_version is None:
+                candidates = [
+                    version
+                    for version in retained
+                    if current is None or version < current
+                ]
+                if not candidates:
+                    raise ValueError(
+                        f"no retained generation precedes v{current} for "
+                        f"building {building_id!r}; retained: {retained}"
+                    )
+                to_version = max(candidates)
+            started = time.perf_counter()
+            fitted = load_artifacts(
+                directory,
+                mmap=self.mmap,
+                shared_store=self.shared_store,
+                version=to_version,
+            )
+            set_current_version(directory, to_version)
+            with self._lock:
+                self._stats.rollbacks += 1
+                self._persisted.add(building_id)
+                # A register() that superseded the building keeps its claim:
+                # the dirty mark survives and the next request refits — the
+                # rollback then only served until that fresher data landed.
+                if building_id not in self._dirty:
+                    self._insert(building_id, fitted)
+            self._monitor(building_id).reset()
+            self._observe_model_op(
+                "rollback", building_id, time.perf_counter() - started
+            )
+            self.telemetry.events.emit(
+                EVENT_ROLLBACK_DONE,
+                building_id=building_id,
+                from_version=current,
+                to_version=to_version,
+            )
+            return fitted
+
+    def rollback_if_drifted(self, building_id: str) -> Optional[int]:
+        """Roll back one building if its *current* generation signals drift.
+
+        The operator-facing sweep primitive behind
+        :meth:`~repro.serving.server.FleetServer.rollback_drifted`: when a
+        shipped refresh turns out bad (its own traffic trips the drift
+        thresholds) and a prior generation is retained, restore that
+        generation.  Returns the restored ``model_version``, or ``None``
+        when the building is not drifted or has nothing to roll back to.
+        """
+        validate_building_id(building_id)
+        snapshot = self._monitor(building_id).snapshot(
+            self.refresh_policy.thresholds
+        )
+        if not snapshot.drifted:
+            return None
+        if self.store_dir is None:
+            return None
+        directory = self.store_dir / building_id
+        current = current_version(directory)
+        retained = list_versions(directory)
+        if current is None or not any(version < current for version in retained):
+            return None
+        return int(self.rollback(building_id).model_version)
 
     def _monitor(self, building_id: str) -> DriftMonitor:
         """Get-or-create the building's drift monitor."""
@@ -572,7 +873,8 @@ class BuildingRegistry:
         metrics = self.telemetry.metrics
         metrics.counter(
             "fisone_registry_model_ops_total",
-            "Model lifecycle operations by kind (fit/load/evict/refresh)",
+            "Model lifecycle operations by kind "
+            "(fit/load/evict/refresh/persist/rollback)",
             op=op,
             building=building_id,
         ).inc()
@@ -659,7 +961,11 @@ class BuildingRegistry:
                 labeled_floor=source.labeled_floor,
             )
             if self.store_dir is not None:
-                save_artifacts(fitted, self.store_dir / building_id)
+                save_artifacts(
+                    fitted,
+                    self.store_dir / building_id,
+                    keep_generations=self.keep_generations,
+                )
             with self._lock:
                 if self._sources.get(building_id) is source:
                     self._stats.fits += 1

@@ -1,0 +1,210 @@
+"""Background refresh scheduling: drift sweeps off the request path.
+
+:meth:`~repro.serving.registry.BuildingRegistry.refresh_if_drifted` is a
+pull primitive — somebody has to call it, and until now that somebody was
+either request-path code or an operator.  :class:`RefreshScheduler` makes it
+a daemon: a thread that periodically sweeps the registry's buildings and
+refreshes the drifted ones, with two fleet-hygiene behaviours baked in:
+
+* **Jittered intervals.**  Every sweep waits ``interval_s`` scaled by a
+  uniform random factor in ``[1 - jitter, 1 + jitter]``; a fleet of
+  schedulers started together therefore de-synchronises instead of
+  thundering onto the CPU at the same instant forever.
+* **Per-building cooldowns.**  After a refresh *attempt* — successful,
+  canary-rejected, or unrefreshable — the building is left alone for
+  ``cooldown_s``.  This is what keeps a building whose every candidate the
+  canary rejects from burning a full retrain per sweep: the gate rejects
+  once, then the building cools down while fresh traffic accumulates.
+
+The scheduler holds no locks of its own beyond a stop event and the
+cooldown map; all model state and thread-safety live in the registry it
+drives.  Sweeps run one building at a time (refreshes are CPU-bound; a
+sweep is already off the request path, so there is nothing to win by
+parallelising it against itself).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Sequence
+
+from repro.core.refresh import RefreshUnavailableError
+from repro.serving.registry import BuildingRegistry
+
+#: Default sweep interval; matched to the drift monitor's time horizon —
+#: sweeping much faster than traffic accumulates just burns snapshots.
+DEFAULT_INTERVAL_S = 30.0
+
+#: Default per-building cooldown after a refresh attempt.
+DEFAULT_COOLDOWN_S = 300.0
+
+
+@dataclass
+class SchedulerStats:
+    """Counters describing what the scheduler's sweeps did."""
+
+    sweeps: int = 0
+    attempts: int = 0
+    refreshes: int = 0
+    rejections: int = 0
+    unavailable: int = 0
+
+
+class RefreshScheduler:
+    """Policy-driven background sweep over a registry's drifted buildings.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.serving.registry.BuildingRegistry` to sweep; its
+        ``refresh_policy`` decides drift, minimum material, and canary
+        validation — the scheduler adds only *when*, never *whether*.
+    interval_s:
+        Base seconds between sweeps (jittered per sweep).
+    jitter_fraction:
+        Uniform jitter applied to every wait: the actual delay is drawn
+        from ``interval_s * [1 - jitter_fraction, 1 + jitter_fraction]``.
+    cooldown_s:
+        Seconds a building is skipped after any refresh attempt, so a
+        repeatedly-rejected candidate cannot turn the sweep into a retrain
+        loop.
+    building_ids:
+        Optional fixed sweep set; defaults to whatever
+        ``registry.building_ids`` reports at each sweep (so buildings
+        registered after start are picked up automatically).
+    seed:
+        Seeds the jitter RNG for reproducible tests; ``None`` draws from
+        the global entropy pool like any other daemon.
+    """
+
+    def __init__(
+        self,
+        registry: BuildingRegistry,
+        interval_s: float = DEFAULT_INTERVAL_S,
+        jitter_fraction: float = 0.2,
+        cooldown_s: float = DEFAULT_COOLDOWN_S,
+        building_ids: Optional[Sequence[str]] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be > 0")
+        if not (0.0 <= jitter_fraction < 1.0):
+            raise ValueError("jitter_fraction must lie in [0, 1)")
+        if cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+        self.registry = registry
+        self.interval_s = interval_s
+        self.jitter_fraction = jitter_fraction
+        self.cooldown_s = cooldown_s
+        self._building_ids = list(building_ids) if building_ids is not None else None
+        self._rng = random.Random(seed)
+        self._last_attempt: Dict[str, float] = {}
+        self._stats = SchedulerStats()
+        self._stats_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def stats(self) -> SchedulerStats:
+        """A consistent snapshot of the sweep counters (by value)."""
+        with self._stats_lock:
+            return replace(self._stats)
+
+    @property
+    def is_running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "RefreshScheduler":
+        """Start the daemon sweep thread (idempotent)."""
+        if self.is_running:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="fisone-refresh-scheduler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: Optional[float] = 10.0) -> None:
+        """Signal the sweep thread to exit and join it."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=timeout)
+        self._thread = None
+
+    def __enter__(self) -> "RefreshScheduler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _next_delay(self) -> float:
+        jitter = self._rng.uniform(-self.jitter_fraction, self.jitter_fraction)
+        return self.interval_s * (1.0 + jitter)
+
+    def _run(self) -> None:
+        # First wait before the first sweep: a scheduler started alongside a
+        # cold registry should not race its initial fits.
+        while not self._stop.wait(self._next_delay()):
+            self.sweep_once()
+
+    def sweep_once(self) -> int:
+        """One synchronous pass over the sweep set; returns refreshes landed.
+
+        Public so tests (and operators embedding the scheduler in their own
+        loop) can drive sweeps without waiting out the interval.
+        """
+        registry = self.registry
+        policy = registry.refresh_policy
+        refreshed = 0
+        with self._stats_lock:
+            self._stats.sweeps += 1
+        building_ids = (
+            self._building_ids
+            if self._building_ids is not None
+            else registry.building_ids
+        )
+        for building_id in building_ids:
+            if self._stop.is_set():
+                break
+            now = time.monotonic()
+            last = self._last_attempt.get(building_id)
+            if last is not None and now - last < self.cooldown_s:
+                continue
+            try:
+                if not registry.drift_snapshot(building_id).drifted:
+                    continue
+                if (
+                    registry.buffered_record_count(building_id)
+                    < policy.min_new_records
+                ):
+                    continue
+                # From here on this is an attempt: whatever the outcome,
+                # the building cools down before the next try.
+                self._last_attempt[building_id] = now
+                with self._stats_lock:
+                    self._stats.attempts += 1
+                report = registry.refresh_if_drifted(building_id)
+            except RefreshUnavailableError:
+                with self._stats_lock:
+                    self._stats.unavailable += 1
+                continue
+            except KeyError:
+                # Building vanished between listing and refresh (concurrent
+                # store cleanup); the next sweep re-lists.
+                continue
+            if report is None:
+                # Drifted with enough material but no report: the canary
+                # turned the candidate away (already recorded by the
+                # registry as event + counter).
+                with self._stats_lock:
+                    self._stats.rejections += 1
+            else:
+                refreshed += 1
+                with self._stats_lock:
+                    self._stats.refreshes += 1
+        return refreshed

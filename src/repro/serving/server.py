@@ -283,6 +283,47 @@ class FleetServer:
                     reports[building_id] = report
         return reports
 
+    def rollback_drifted(
+        self,
+        building_ids: Optional[Sequence[str]] = None,
+        max_workers: int = 4,
+    ) -> Dict[str, int]:
+        """Roll back every building whose *current* generation shows drift.
+
+        The fleet-wide panic button for a refresh that shipped and then went
+        bad: for each building whose monitor trips the drift thresholds and
+        whose store retains a prior generation, restore that generation
+        (:meth:`~repro.serving.registry.BuildingRegistry.rollback_if_drifted`).
+        Returns a mapping of building id to the restored ``model_version``
+        for the buildings that actually rolled back; healthy buildings and
+        buildings with nothing retained are left untouched.  Like
+        :meth:`refresh_drifted`, this runs on its own short-lived pool and
+        never blocks label traffic — each building swaps under its own
+        registry lock.
+        """
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if building_ids is None:
+            building_ids = self.registry.building_ids
+        restored: Dict[str, int] = {}
+        if not building_ids:
+            return restored
+        with ThreadPoolExecutor(
+            max_workers=min(max_workers, len(building_ids)),
+            thread_name_prefix="fleet-rollback",
+        ) as pool:
+            futures = {
+                building_id: pool.submit(
+                    self.registry.rollback_if_drifted, building_id
+                )
+                for building_id in building_ids
+            }
+            for building_id, future in futures.items():
+                version = future.result()
+                if version is not None:
+                    restored[building_id] = version
+        return restored
+
     def stats(self) -> ServerStats:
         """Aggregate throughput counters since :meth:`start`.
 

@@ -158,6 +158,9 @@ class _ShardSpec:
     inner_workers: int
     max_batch_size: int
     batch_window_s: float
+    #: Artifact retention depth of each worker's registry (None = flat
+    #: store); all workers share one store, so they must agree on layout.
+    keep_generations: Optional[int] = None
     #: When set, workers route artifact loads through a SharedArrayStore
     #: under this segment prefix: the first worker to load a save decodes
     #: and publishes it, siblings attach one physical copy.
@@ -253,6 +256,9 @@ def _shard_worker_main(connection, spec: _ShardSpec, shard_index: int = 0) -> No
     * ``("drift", seq, building_id)`` — the building's drift snapshot.
     * ``("refresh", seq, building_ids)`` — refresh the listed drifted
       buildings; runs on a side thread so label traffic keeps flowing.
+    * ``("rollback", seq, building_ids)`` — roll the listed buildings back
+      to a retained prior generation where their current one shows drift;
+      same side-thread discipline as ``refresh``.
     * ``("telemetry", seq)`` — ``(MetricsSnapshot, events, drops)`` triple:
       the worker's merged metric state (every family carrying this shard's
       ``shard`` const label), its buffered lifecycle events, and the event
@@ -275,6 +281,7 @@ def _shard_worker_main(connection, spec: _ShardSpec, shard_index: int = 0) -> No
         mmap=spec.mmap,
         shared_store=shared_store,
         telemetry=telemetry,
+        keep_generations=spec.keep_generations,
     )
     wire_decode_hist = telemetry.metrics.histogram(
         "fleet_wire_decode_seconds",
@@ -344,6 +351,16 @@ def _shard_worker_main(connection, spec: _ShardSpec, shard_index: int = 0) -> No
                         send(("err", seq, _picklable(error)))
 
                 control_pool.submit(run_refresh)
+            elif op == "rollback":
+                building_ids = message[2]
+
+                def run_rollback(seq: int = seq, building_ids=building_ids) -> None:
+                    try:
+                        send(("ok", seq, server.rollback_drifted(building_ids)))
+                    except Exception as error:  # noqa: BLE001 - travels the pipe
+                        send(("err", seq, _picklable(error)))
+
+                control_pool.submit(run_rollback)
             elif op == "telemetry":
                 server.sync_gauges()  # sampled gauges are set when scraped
                 send(
@@ -613,6 +630,12 @@ class ShardedFleetServer:
         Worker processes; the fleet is consistent-hash partitioned over them.
     config, refresh_policy:
         Forwarded to each worker's :class:`BuildingRegistry`.
+    keep_generations:
+        Artifact retention depth forwarded to each worker's registry: with
+        it set, worker refreshes write per-version subdirectories behind a
+        ``CURRENT`` pointer and :meth:`rollback_drifted` can restore prior
+        generations.  All workers share one store, so the fleet (not
+        individual workers) owns this setting.
     shard_capacity:
         Per-worker LRU capacity — the aggregate in-memory fleet grows as
         ``num_workers * shard_capacity``, which is the memory half of the
@@ -660,6 +683,7 @@ class ShardedFleetServer:
         batch_window_s: float = 0.002,
         start_method: Optional[str] = None,
         telemetry: Optional[Telemetry] = None,
+        keep_generations: Optional[int] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -691,6 +715,7 @@ class ShardedFleetServer:
             max_batch_size=max_batch_size,
             batch_window_s=batch_window_s,
             shared_prefix=self.shared_prefix,
+            keep_generations=keep_generations,
         )
         if start_method is None:
             available = multiprocessing.get_all_start_methods()
@@ -1065,3 +1090,40 @@ class ShardedFleetServer:
         for _, future in futures:
             reports.update(future.result(timeout=timeout_s))
         return reports
+
+    def rollback_drifted(
+        self,
+        building_ids: Optional[Sequence[str]] = None,
+        timeout_s: Optional[float] = None,
+    ) -> Dict[str, int]:
+        """Roll back drifted buildings fleet-wide, each on its owning shard.
+
+        The sharded form of
+        :meth:`~repro.serving.server.FleetServer.rollback_drifted`:
+        ``building_ids`` (default: every building in the store) are
+        partitioned by the ring exactly like :meth:`refresh_drifted`, each
+        worker rolls back only the drifted buildings it owns — drift state
+        lives in the owning worker's monitors, and single-writer-per-
+        building discipline must hold for the ``CURRENT`` pointer swap —
+        and the per-shard results merge into one mapping of building id to
+        restored ``model_version``.
+        """
+        shards = self._shards
+        if not shards:
+            raise RuntimeError("the server is not running; call start() first")
+        if building_ids is None:
+            building_ids = self.building_ids
+        by_shard: Dict[int, List[str]] = {}
+        for building_id in building_ids:
+            validate_building_id(building_id)
+            by_shard.setdefault(self._ring.shard_for(building_id), []).append(
+                building_id
+            )
+        futures = [
+            (index, shards[index].submit_control("rollback", owned))
+            for index, owned in by_shard.items()
+        ]
+        restored: Dict[str, int] = {}
+        for _, future in futures:
+            restored.update(future.result(timeout=timeout_s))
+        return restored

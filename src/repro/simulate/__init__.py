@@ -54,7 +54,9 @@ from repro.simulate.drift import (
     DriftScenario,
     DriftScenarioConfig,
     drift_building,
+    generate_degrading_scenario,
     generate_drift_scenario,
+    scramble_records,
 )
 
 __all__ = [
@@ -88,5 +90,7 @@ __all__ = [
     "DriftScenario",
     "DriftScenarioConfig",
     "drift_building",
+    "generate_degrading_scenario",
     "generate_drift_scenario",
+    "scramble_records",
 ]

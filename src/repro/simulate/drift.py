@@ -37,6 +37,10 @@ from repro.simulate.generators import BuildingConfig, generate_building
 #: of one building can never collide on record ids when merged.
 POST_DRIFT_RECORD_PREFIX = "post-"
 
+#: Record-id prefix marking scrambled (degrading) records, distinct from
+#: both the initial survey's and the honest post-drift wave's.
+SCRAMBLED_RECORD_PREFIX = "scrambled-"
+
 #: The plausible transmit-power range enforced by AccessPoint, used to clamp
 #: shifted powers so a drift scenario can never produce an invalid AP.
 _TX_POWER_RANGE_DBM = (-10.0, 36.0)
@@ -194,4 +198,94 @@ def generate_drift_scenario(
         drifted=drifted,
         replaced_macs=replaced,
         introduced_macs=introduced,
+    )
+
+
+def scramble_records(
+    records: List[SignalRecord], seed: int = 0
+) -> List[SignalRecord]:
+    """Cross-floor scrambled variants of ``records`` — plausible but toxic.
+
+    Each output record keeps its template's id (re-prefixed with
+    :data:`SCRAMBLED_RECORD_PREFIX`), floor, position, and reading *count*,
+    but its readings are drawn uniformly from the pooled ``(mac, rss)``
+    observations of **all** input records regardless of floor.  Every MAC is
+    therefore in-vocabulary and every RSS individually plausible, yet the
+    co-occurrence structure that ties readings to floors is destroyed: a
+    graph grown from these records wires MACs across floors, and an encoder
+    fine-tuned on them blurs the very cluster structure a refresh is
+    supposed to sharpen.  This is the adversarial wave for the canary gate
+    (:mod:`repro.serving.drift`) — a refresh trained on it genuinely
+    degrades, and the gate must notice.
+    """
+    if not records:
+        return []
+    rng = random.Random(seed)
+    pool = [
+        (mac, rss) for record in records for mac, rss in record.readings.items()
+    ]
+    scrambled: List[SignalRecord] = []
+    for record in records:
+        readings = {}
+        # Sample with replacement until the template's reading count is met;
+        # duplicate MACs collapse in the dict, so keep drawing (bounded).
+        attempts = 0
+        while len(readings) < len(record.readings) and attempts < 10 * len(
+            record.readings
+        ):
+            mac, rss = pool[rng.randrange(len(pool))]
+            readings[mac] = rss + rng.uniform(-3.0, 3.0)
+            attempts += 1
+        scrambled.append(
+            SignalRecord(
+                record_id=f"{SCRAMBLED_RECORD_PREFIX}{record.record_id}",
+                readings=readings,
+                floor=record.floor,
+                position=record.position,
+                device_id=record.device_id,
+                timestamp=record.timestamp,
+            )
+        )
+    return scrambled
+
+
+def generate_degrading_scenario(
+    config: DriftScenarioConfig,
+    seed: int = 0,
+    honest_tail_fraction: float = 0.25,
+) -> DriftScenario:
+    """A drift scenario whose post wave actively *degrades* a refresh.
+
+    Same shape as :func:`generate_drift_scenario` — a clean pre-drift
+    survey plus a post wave — but the bulk of the post wave is the honest
+    drifted collection passed through :func:`scramble_records`: a corrupt
+    batch (think buggy collection firmware, or poisoning) that lands in
+    the refresh buffer ahead of normal traffic.  The final
+    ``honest_tail_fraction`` of the wave stays honest, modelling the fresh
+    legitimate records that keep arriving after the corrupt batch; a
+    canary that holds back the *most recent* slice therefore scores the
+    candidate on real drifted traffic while its training set ate garbage.
+    A refresh trained on this wave genuinely gets worse — this is the
+    fixture for exercising canary rejection and rollback.
+    ``replaced_macs`` / ``introduced_macs`` describe the underlying churn
+    before scrambling.
+    """
+    if not (0.0 <= honest_tail_fraction < 1.0):
+        raise ValueError("honest_tail_fraction must lie in [0, 1)")
+    honest = generate_drift_scenario(config, seed=seed)
+    wave = honest.drifted_records
+    tail_size = int(len(wave) * honest_tail_fraction)
+    body = wave[: len(wave) - tail_size] if tail_size else wave
+    tail = wave[len(wave) - tail_size :] if tail_size else []
+    records = scramble_records(body, seed=seed + 31_337) + tail
+    drifted = SignalDataset(
+        records,
+        building_id=honest.initial.building_id,
+        num_floors=honest.initial.num_floors,
+    )
+    return DriftScenario(
+        initial=honest.initial,
+        drifted=drifted,
+        replaced_macs=honest.replaced_macs,
+        introduced_macs=honest.introduced_macs,
     )

@@ -45,7 +45,9 @@ from repro.telemetry.metrics import (
 from repro.telemetry.events import (
     EVENT_DRIFT_TRIP,
     EVENT_REFRESH_DONE,
+    EVENT_REFRESH_REJECTED,
     EVENT_REFRESH_START,
+    EVENT_ROLLBACK_DONE,
     EVENT_ROLLBACK_ELIGIBLE,
     EVENT_SHARD_EXIT,
     EVENT_SHARD_START,
@@ -85,7 +87,9 @@ __all__ = [
     "SampleSnapshot",
     "EVENT_DRIFT_TRIP",
     "EVENT_REFRESH_DONE",
+    "EVENT_REFRESH_REJECTED",
     "EVENT_REFRESH_START",
+    "EVENT_ROLLBACK_DONE",
     "EVENT_ROLLBACK_ELIGIBLE",
     "EVENT_SHARD_EXIT",
     "EVENT_SHARD_START",

@@ -31,9 +31,17 @@ EVENT_REFRESH_START = "refresh-start"
 #: An incremental refresh landed (details: duration, new model_version).
 EVENT_REFRESH_DONE = "refresh-done"
 
+#: A refreshed model failed canary validation and was discarded; the
+#: previous generation keeps serving (details: reasons, canary score).
+EVENT_REFRESH_REJECTED = "refresh-rejected"
+
 #: A refresh produced a lineage the artifact store can roll back through
 #: (details: from/to model versions).
 EVENT_ROLLBACK_ELIGIBLE = "rollback-eligible"
+
+#: A retained generation was restored as the serving model
+#: (details: from/to model versions).
+EVENT_ROLLBACK_DONE = "rollback-done"
 
 #: A shard worker process came up (details: pid, restart flag).
 EVENT_SHARD_START = "shard-start"

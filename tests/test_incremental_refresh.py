@@ -408,12 +408,16 @@ def served_drift(drift_world, tmp_path_factory):
     """A registry serving the drift building, with drifted traffic labeled."""
     scenario, observed, fitted = drift_world
     store = tmp_path_factory.mktemp("refresh-store")
+    # canary=None: these tests pin the *ungated* refresh accounting (every
+    # buffered record trains, the buffer fully drains); the canary gate has
+    # its own suite in test_refresh_lifecycle.py.
     policy = RefreshPolicy(
         thresholds=DriftThresholds(
             min_records=20, max_unknown_mac_fraction=0.15, min_mean_confidence=0.0
         ),
         min_new_records=20,
         fine_tune_epochs=1,
+        canary=None,
     )
     registry = BuildingRegistry(
         store_dir=store, capacity=4, config=REFRESH_CONFIG, refresh_policy=policy
