@@ -69,6 +69,12 @@ GUARDED_METRICS: Sequence[GuardedMetric] = (
     GuardedMetric(
         "BENCH_serving.json", "sharded_speedup_4w_vs_1w", ("sharded_speedup_4w_vs_1w",)
     ),
+    # Network transport: loopback TCP must stay within striking distance of
+    # the pipe transport at 4 workers (the zero-copy binary framing is what
+    # keeps the socket path's tax down).
+    GuardedMetric(
+        "BENCH_serving.json", "tcp_vs_pipe_ratio_4w", ("tcp_vs_pipe_ratio_4w",)
+    ),
     # Columnar RecordBatch path over the per-record path.
     GuardedMetric("BENCH_batching.json", "batch_vs_record_speedup", ("speedup",)),
     # Incremental refresh over a cold refit, and its label stability.

@@ -31,12 +31,29 @@ Prometheus exposition while requests are in flight (fleet-merged across the
 worker processes in sharded mode; ``P=0`` picks a free port)::
 
     python examples/serving_fleet.py --workers 2 --metrics-port 9100
+
+``--transport tcp`` swaps the worker pipes for loopback TCP sockets —
+labels travel as zero-copy binary frames, and a heartbeat thread fails a
+dead shard over by resizing the consistent-hash ring::
+
+    python examples/serving_fleet.py --workers 2 --transport tcp
+
+The transport also crosses real process boundaries.  ``--listen`` turns
+one invocation into a standalone shard server (it fits the same simulated
+fleet, then serves it over TCP until interrupted), and ``--connect``
+points a dispatcher at one or more already-listening shards::
+
+    python examples/serving_fleet.py --listen 127.0.0.1:7071   # terminal 1
+    python examples/serving_fleet.py --listen 127.0.0.1:7072   # terminal 2
+    python examples/serving_fleet.py --connect 127.0.0.1:7071 \\
+        --connect 127.0.0.1:7072                               # terminal 3
 """
 
 from __future__ import annotations
 
 import argparse
 import tempfile
+import time
 import urllib.request
 
 from repro.core import FisOneConfig
@@ -46,6 +63,7 @@ from repro.serving import (
     FleetServer,
     LabelRequest,
     ShardedFleetServer,
+    ShardServer,
 )
 from repro.signals import MacVocab, RecordBatch
 from repro.simulate import generate_single_building
@@ -102,6 +120,29 @@ def main() -> None:
         help="serve the live Prometheus exposition at "
         "http://127.0.0.1:P/metrics while requests run (0 picks a free port)",
     )
+    parser.add_argument(
+        "--transport",
+        choices=("pipe", "tcp"),
+        default="pipe",
+        help="how the dispatcher talks to spawned workers: anonymous pipes "
+        "(default) or loopback TCP with binary frames, heartbeats, and "
+        "failover",
+    )
+    parser.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        default=None,
+        help="run as a standalone TCP shard server on this address instead "
+        "of a dispatcher (fit the simulated fleet, then serve until Ctrl-C)",
+    )
+    parser.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        action="append",
+        default=None,
+        help="dispatch to an already-listening shard server (repeat for "
+        "several shards; implies --transport tcp)",
+    )
     args = parser.parse_args()
 
     # 1. Three buildings; per building, train on 30 samples/floor and keep
@@ -130,6 +171,27 @@ def main() -> None:
                   f"{fitted.result.training_history.final_loss:.3f}")
         print(f"registry after fitting: {registry.stats}")
 
+        if args.listen is not None:
+            # Standalone shard mode: this process *is* one TCP shard.  A
+            # dispatcher started with --connect pointing here drives label
+            # traffic over the wire; the simulated fit is deterministic, so
+            # every listener serves bit-identical models.
+            host, _, port = args.listen.rpartition(":")
+            server = ShardServer(
+                store, host=host, port=int(port), config=CONFIG, capacity=2
+            ).start()
+            bound_host, bound_port = server.address
+            print(f"\nshard server listening on {bound_host}:{bound_port} "
+                  "(Ctrl-C to stop)")
+            try:
+                while True:
+                    time.sleep(3600)
+            except KeyboardInterrupt:
+                pass
+            finally:
+                server.stop()
+            return
+
         # 3. A fresh registry on the same store: every model loads from its
         #    artifact directory, nothing refits.  (In sharded mode each
         #    worker process builds its own registry over the store instead.)
@@ -155,12 +217,18 @@ def main() -> None:
                         ),
                     )
                 )
-        if args.workers > 0:
-            print(f"\nserving through {args.workers} sharded worker processes "
-                  "(consistent-hash routing, zero-copy mmap loads)")
+        if args.workers > 0 or args.connect:
+            if args.connect:
+                print(f"\ndispatching over TCP to {len(args.connect)} remote "
+                      f"shard server(s): {', '.join(args.connect)}")
+            else:
+                print(f"\nserving through {args.workers} sharded worker "
+                      f"processes ({args.transport} transport, "
+                      "consistent-hash routing, zero-copy mmap loads)")
             with ShardedFleetServer(
-                store, num_workers=args.workers, config=CONFIG,
+                store, num_workers=max(args.workers, 1), config=CONFIG,
                 shard_capacity=2, batch_window_s=0.005,
+                transport=args.transport, shard_addresses=args.connect,
             ) as sharded:
                 for building_id in fleet:
                     print(f"  {building_id} -> shard {sharded.shard_for(building_id)}")

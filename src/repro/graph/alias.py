@@ -18,9 +18,71 @@ stream (a walker seeded with ``s+1`` and a neighbour sampler seeded with
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+#: Per-degree verdicts of :func:`_row_sums_match_slice_sums`, probed once per
+#: process — the answer depends only on the reduce length and this NumPy
+#: build's pairwise-summation blocking, never on the data.
+_ROW_SUM_MATCH_BY_DEGREE: Dict[int, bool] = {}
+
+
+def _row_sums_match_slice_sums(degree: int) -> bool:
+    """Whether axis-1 sums of a C-contiguous matrix reproduce 1-D slice sums
+    bitwise at this row length on the running NumPy build.
+
+    NumPy's pairwise summation regroups additions by a blocking scheme that
+    is a pure function of the reduce length and memory layout, so probing
+    one randomized matrix settles the question for every same-length row.
+    """
+    cached = _ROW_SUM_MATCH_BY_DEGREE.get(degree)
+    if cached is None:
+        probe = np.random.default_rng(degree).standard_normal((2, degree))
+        row_sums = probe.sum(axis=1)
+        cached = bool(row_sums[0] == probe[0].sum() and row_sums[1] == probe[1].sum())
+        _ROW_SUM_MATCH_BY_DEGREE[degree] = cached
+    return cached
+
+
+def _segment_totals(
+    weights: np.ndarray, indptr: np.ndarray, degrees: np.ndarray
+) -> np.ndarray:
+    """Per-node totals of CSR ``weights``, bit-identical to per-slice ``np.sum``.
+
+    The naive form is a Python loop of ``weights[start:end].sum()`` — the
+    dominant cost of :meth:`AliasTables.from_csr` once the Vose recurrence
+    itself is vectorised.  Nodes are bucketed by degree instead, and each
+    bucket's segments are gathered into one C-contiguous ``(nodes, degree)``
+    matrix whose ``sum(axis=1)`` runs the same pairwise reduce per row as
+    the 1-D slice sum, keeping every low bit of the alias scale factors
+    (pinned by TestSharedAliasTables and the golden-pipeline test).  Any
+    degree where that identity fails the one-time probe falls back to the
+    scalar slice loop for exactly those nodes.
+    """
+    num_nodes = degrees.shape[0]
+    totals = np.empty(num_nodes, dtype=np.float64)
+    starts = indptr[:-1]
+    order = np.argsort(degrees, kind="stable")
+    sorted_degrees = degrees[order]
+    boundaries = np.flatnonzero(np.diff(sorted_degrees)) + 1
+    run_edges = np.concatenate(([0], boundaries, [num_nodes]))
+    for run_index in range(run_edges.size - 1):
+        nodes = order[run_edges[run_index] : run_edges[run_index + 1]]
+        degree = int(sorted_degrees[run_edges[run_index]])
+        if degree == 1:
+            # A one-element sum is the element itself; skip the gather.
+            totals[nodes] = weights[starts[nodes]]
+        elif _row_sums_match_slice_sums(degree):
+            gathered = weights[
+                starts[nodes][:, None] + np.arange(degree, dtype=np.int64)
+            ]
+            totals[nodes] = gathered.sum(axis=1)
+        else:
+            bounds = starts[nodes].tolist()
+            for node, start in zip(nodes.tolist(), bounds):
+                totals[node] = weights[start : start + degree].sum()
+    return totals
 
 
 def build_alias_table(probabilities: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -250,16 +312,15 @@ class AliasTables:
         # tests/test_csr_graph.py (TestSharedAliasTables) and the seed-path
         # equality asserts in benchmarks/test_graph_core.py.
         #
-        # Per-node totals must come from ``np.sum`` over each exact slice:
-        # summing padded rows along axis 1 would regroup NumPy's pairwise
-        # summation and change the low bits of the scale factor.
-        totals = np.empty(num_nodes, dtype=np.float64)
-        bounds = indptr.tolist()
-        for node in range(num_nodes):
-            total = weights[bounds[node] : bounds[node + 1]].sum()
-            if total <= 0:
-                raise ValueError(f"node {node}: weights must sum to a positive value")
-            totals[node] = total
+        # Per-node totals must match ``np.sum`` over each exact slice —
+        # regrouping the pairwise summation would change the low bits of
+        # the scale factor; _segment_totals vectorises exactly that sum.
+        totals = _segment_totals(weights, indptr, degrees)
+        bad = np.flatnonzero(totals <= 0)
+        if bad.size:
+            raise ValueError(
+                f"node {int(bad[0])}: weights must sum to a positive value"
+            )
         base = indptr[:-1]
         scaled = weights * (degrees.astype(np.float64) / totals)[rows]
         flat_small = scaled < 1.0

@@ -25,6 +25,12 @@ Everything the seed's batch pipeline lacked for production traffic:
   :class:`FleetServer` over zero-copy (mmap) artifact loads, with bounded
   per-shard queues (:class:`ShardOverloadedError` backpressure) and
   fleet-wide stats/drift/refresh aggregation.
+* :mod:`~repro.serving.transport` — the versioned length-prefixed binary
+  frame protocol (zero-copy columnar label batches, pickle only for
+  control ops) shared by the TCP transport's two halves.
+* :mod:`~repro.serving.netserver` — :class:`ShardServer`: one fleet shard
+  behind a TCP listener (asyncio, pipelined, bounded-inflight with NACK
+  backpressure), the worker half of ``transport="tcp"`` sharded serving.
 * :mod:`~repro.serving.results` — the typed request/response dataclasses
   shared by all of the above.
 
@@ -68,15 +74,18 @@ from repro.serving.registry import (
     RegistryStats,
 )
 from repro.serving.results import LabelRequest, LabelResponse, OnlineLabel, ServerStats
+from repro.serving.netserver import ShardServer
 from repro.serving.scheduler import RefreshScheduler
 from repro.serving.server import FleetServer
 from repro.serving.sharded import (
     ConsistentHashRing,
     FleetWideStats,
+    ShardDownError,
     ShardedFleetServer,
     ShardOverloadedError,
     ShardStats,
 )
+from repro.serving.transport import FrameError, PROTOCOL_VERSION
 
 __all__ = [
     "ARTIFACT_FORMAT_VERSION",
@@ -104,6 +113,10 @@ __all__ = [
     "FleetServer",
     "ConsistentHashRing",
     "FleetWideStats",
+    "FrameError",
+    "PROTOCOL_VERSION",
+    "ShardDownError",
+    "ShardServer",
     "ShardedFleetServer",
     "ShardOverloadedError",
     "ShardStats",

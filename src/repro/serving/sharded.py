@@ -28,6 +28,21 @@ fleet across worker processes:
 * ``stats()``, ``drift_snapshot()`` and ``refresh_drifted()`` aggregate
   fleet-wide across the shards.
 
+Two transports carry the dispatcher-to-shard protocol:
+
+* ``transport="pipe"`` (default): pickle over multiprocessing pipes to
+  forked child processes — unchanged from the original design;
+* ``transport="tcp"``: the binary frame protocol of
+  :mod:`~repro.serving.transport` over persistent TCP connections to
+  :class:`~repro.serving.netserver.ShardServer` processes.  Shards may be
+  spawned locally on loopback ports, or the dispatcher may *connect only*
+  (``shard_addresses=[...]``) to shards it does not own — possibly on
+  other machines.  TCP shards are heartbeat-monitored: a shard that misses
+  ``heartbeat_miss_threshold`` consecutive pings (or drops its connection)
+  is removed from the ring, which remaps only ``~1/N`` of the fleet onto
+  the survivors — they lazily reload those buildings from the shared
+  artifact store, so serving continues through a shard loss.
+
 The single-process server remains the engine — this module only adds the
 process fan-out, routing, and aggregation around it.
 """
@@ -40,6 +55,7 @@ import itertools
 import multiprocessing
 import os
 import pickle
+import socket
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -54,6 +70,7 @@ from repro.core.config import FisOneConfig
 from repro.core.refresh import RefreshReport
 from repro.serving.artifacts import has_artifacts
 from repro.serving.drift import DriftSnapshot, RefreshPolicy
+from repro.serving.netserver import _tcp_shard_main
 from repro.serving.registry import (
     BuildingRegistry,
     RegistryStats,
@@ -62,10 +79,33 @@ from repro.serving.registry import (
 from repro.serving.results import LabelRequest, LabelResponse, ServerStats
 from repro.serving.server import MIN_STATS_WINDOW_S, FleetServer
 from repro.serving.shared_store import SharedArrayStore
+from repro.serving.transport import (
+    HEADER_SIZE,
+    OP_CONTROL,
+    OP_ERR,
+    OP_LABEL_BATCH,
+    OP_LABEL_PICKLE,
+    OP_NACK,
+    OP_OK_LABELS,
+    OP_OK_PICKLE,
+    OP_PING,
+    OP_PONG,
+    FrameError,
+    _WireBatch,
+    decode_labels,
+    decode_nack,
+    decode_pong,
+    encode_control,
+    encode_frame,
+    encode_label_batch,
+    recv_frame,
+)
 from repro.signals.batch import MacVocab, RecordBatch
 from repro.signals.record import SignalRecord
 from repro.telemetry import (
+    EVENT_SHARD_DOWN,
     EVENT_SHARD_EXIT,
+    EVENT_SHARD_RECOVERED,
     EVENT_SHARD_START,
     FleetEvent,
     LatencyHistogram,
@@ -73,6 +113,19 @@ from repro.telemetry import (
     Telemetry,
     merge_events,
 )
+
+__all__ = [
+    "ConsistentHashRing",
+    "FleetWideStats",
+    "ShardDownError",
+    "ShardOverloadedError",
+    "ShardStats",
+    "ShardedFleetServer",
+    "stable_hash64",
+    # Relocated to repro.serving.transport (shared by both transports);
+    # re-exported here for existing importers.
+    "_WireBatch",
+]
 
 PathLike = Union[str, Path]
 
@@ -95,6 +148,30 @@ def stable_hash64(key: str) -> int:
     return int.from_bytes(digest, "big")
 
 
+#: A ring entry: a worker index (pipe / locally-spawned shards) or an
+#: opaque address string like ``"host:port"`` (connect-only TCP shards).
+RingEntry = Union[int, str]
+
+
+def _parse_address(address: Union[str, Tuple[str, int]]) -> Tuple[str, int]:
+    """Normalise one shard address to a ``(host, port)`` pair."""
+    if isinstance(address, (tuple, list)):
+        if len(address) != 2:
+            raise ValueError(f"address pair must be (host, port), got {address!r}")
+        host, port = address
+    else:
+        host, _, port = str(address).rpartition(":")
+        if not host:
+            raise ValueError(f"address {address!r} is not 'host:port'")
+    try:
+        port = int(port)
+    except (TypeError, ValueError):
+        raise ValueError(f"address {address!r} has a non-integer port") from None
+    if not 0 < port < 65536:
+        raise ValueError(f"address {address!r} has an out-of-range port")
+    return str(host), port
+
+
 class ConsistentHashRing:
     """Classic consistent hashing: keys map to the next shard point clockwise.
 
@@ -102,28 +179,68 @@ class ConsistentHashRing:
     ring; a key belongs to the shard owning the first point at or after the
     key's own hash.  Adding or removing one shard therefore remaps only the
     arcs adjacent to that shard's points (``~1/num_shards`` of all keys),
-    which is what lets a fleet resize workers without re-homing — and
-    re-warming — every building.
+    which is what lets a fleet resize workers — or fail one over — without
+    re-homing and re-warming every building.
+
+    Entries are worker indices (the classic form; constructing with an
+    ``int`` is shorthand for ``range(n)`` and places points identically) or
+    address strings for shards known only by where they listen.  The ring
+    is immutable; :meth:`without` / :meth:`with_entry` build the resized
+    ring a failover or recovery swaps in.
     """
 
-    def __init__(self, num_shards: int, replicas: int = RING_REPLICAS) -> None:
-        if num_shards < 1:
-            raise ValueError("num_shards must be >= 1")
+    def __init__(
+        self,
+        shards: Union[int, Sequence[RingEntry]],
+        replicas: int = RING_REPLICAS,
+    ) -> None:
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
-        self.num_shards = num_shards
+        if isinstance(shards, int):
+            if shards < 1:
+                raise ValueError("num_shards must be >= 1")
+            entries: List[RingEntry] = list(range(shards))
+        else:
+            entries = list(shards)
+            if not entries:
+                raise ValueError("the ring needs at least one shard entry")
+            if len(set(entries)) != len(entries):
+                raise ValueError("shard entries must be unique")
+        self.entries: Tuple[RingEntry, ...] = tuple(entries)
+        self.num_shards = len(entries)
+        self.replicas = replicas
         points = sorted(
-            (stable_hash64(f"shard-{shard}-replica-{replica}"), shard)
-            for shard in range(num_shards)
-            for replica in range(replicas)
+            (
+                (stable_hash64(f"shard-{entry}-replica-{replica}"), entry)
+                for entry in entries
+                for replica in range(replicas)
+            ),
+            key=lambda point: point[0],
         )
         self._hashes = [point for point, _ in points]
-        self._owners = [shard for _, shard in points]
+        self._owners = [entry for _, entry in points]
 
-    def shard_for(self, key: str) -> int:
-        """The shard owning ``key``."""
+    def shard_for(self, key: str) -> RingEntry:
+        """The shard entry owning ``key``."""
         index = bisect.bisect_right(self._hashes, stable_hash64(key))
         return self._owners[index % len(self._owners)]
+
+    def without(self, entry: RingEntry) -> "ConsistentHashRing":
+        """The ring with ``entry`` removed (failover)."""
+        if entry not in self.entries:
+            raise ValueError(f"entry {entry!r} is not on the ring")
+        remaining = [other for other in self.entries if other != entry]
+        if not remaining:
+            raise ValueError("cannot remove the last shard entry")
+        return ConsistentHashRing(remaining, replicas=self.replicas)
+
+    def with_entry(self, entry: RingEntry) -> "ConsistentHashRing":
+        """The ring with ``entry`` added back (recovery)."""
+        if entry in self.entries:
+            return self
+        return ConsistentHashRing(
+            list(self.entries) + [entry], replicas=self.replicas
+        )
 
 
 class ShardOverloadedError(RuntimeError):
@@ -146,6 +263,19 @@ class ShardOverloadedError(RuntimeError):
         self.retry_after_s = retry_after_s
 
 
+class ShardDownError(RuntimeError):
+    """The shard owning a request is gone (process exit, broken connection,
+    or missed heartbeats).
+
+    Subclasses :class:`RuntimeError` for compatibility with callers that
+    caught the untyped error the pipe transport used to raise.  On the TCP
+    transport this is *retryable*: once the heartbeat monitor (or the
+    connection reader) removes the shard from the ring, resubmitting routes
+    the request to a surviving shard — :meth:`ShardedFleetServer.serve`
+    does exactly that.
+    """
+
+
 @dataclass(frozen=True)
 class _ShardSpec:
     """Everything a worker process needs to build its serving stack."""
@@ -165,68 +295,10 @@ class _ShardSpec:
     #: under this segment prefix: the first worker to load a save decodes
     #: and publishes it, siblings attach one physical copy.
     shared_prefix: Optional[str] = None
-
-
-@dataclass(frozen=True)
-class _WireBatch:
-    """A :class:`RecordBatch` flattened for the pipe, without its vocabulary.
-
-    Pickling a batch directly would ship its whole (fleet-wide, append-only)
-    :class:`MacVocab` with every request *and* hand each worker a fresh
-    vocabulary object per request, thrashing the frozen encoders'
-    per-vocabulary translation caches.  The wire form instead carries only
-    the MAC strings the batch actually uses, as a dense local id space;
-    :meth:`to_batch` re-interns them into one shard-wide vocabulary, so ids
-    stay stable per worker and the encoder cache only ever extends.
-    """
-
-    record_ids: np.ndarray
-    indptr: np.ndarray
-    local_mac_ids: np.ndarray
-    macs: Tuple[str, ...]
-    rss: np.ndarray
-    floors: np.ndarray
-    positions: np.ndarray
-    device_ids: np.ndarray
-    timestamps: np.ndarray
-
-    @classmethod
-    def from_batch(cls, batch: RecordBatch) -> "_WireBatch":
-        unique, local = np.unique(batch.mac_ids, return_inverse=True)
-        # Index the vocabulary per unique id (O(batch)); macs_at would
-        # materialise the whole fleet-wide MAC table per request, making
-        # submit cost grow with cumulative vocabulary size.
-        mac_of = batch.vocab.mac_of
-        return cls(
-            record_ids=batch.record_ids,
-            indptr=batch.indptr,
-            local_mac_ids=local.astype(np.int64),
-            macs=tuple(mac_of(int(mac_id)) for mac_id in unique),
-            rss=batch.rss,
-            floors=batch.floors,
-            positions=batch.positions,
-            device_ids=batch.device_ids,
-            timestamps=batch.timestamps,
-        )
-
-    def to_batch(self, vocab: MacVocab) -> RecordBatch:
-        mac_ids = vocab.intern_many(self.macs)[self.local_mac_ids]
-        # The columns are slices of a batch that was validated at
-        # construction parent-side, so the trusted assembly path applies.
-        return RecordBatch._trusted(
-            indptr=self.indptr,
-            mac_ids=mac_ids,
-            rss=self.rss,
-            record_ids=self.record_ids,
-            vocab=vocab,
-            floors=self.floors,
-            positions=self.positions,
-            device_ids=self.device_ids,
-            timestamps=self.timestamps,
-        )
-
-    def __len__(self) -> int:
-        return int(self.record_ids.shape[0])
+    #: Server-side bounded label window of a spawned TCP shard
+    #: (:class:`~repro.serving.netserver.ShardServer`); the pipe worker has
+    #: no server-side window (the dispatcher's is authoritative there).
+    max_inflight: int = 64
 
 
 def _picklable(error: BaseException) -> BaseException:
@@ -429,25 +501,34 @@ class FleetWideStats:
     records_per_second: float
 
 
-class _Shard:
-    """Parent-side handle of one worker: pipe, pending map, backpressure."""
+class _ShardHandle:
+    """Dispatcher-side bookkeeping one shard needs, whatever its transport.
+
+    Owns the pending map, the bounded inflight window, and the latency
+    estimators behind ``retry_after_s``.  Subclasses supply the wire
+    (:meth:`_send_label` / :meth:`_send_control`, raising
+    :class:`ShardDownError` on a broken link) and a reader loop that pops
+    completions through :meth:`_pop_pending` and ends in
+    :meth:`_fail_pending`.
+    """
+
+    transport = "?"
 
     def __init__(
-        self,
-        index: int,
-        process,
-        connection,
-        max_inflight: int,
-        telemetry: Optional[Telemetry] = None,
+        self, index: int, max_inflight: int, telemetry: Optional[Telemetry] = None
     ) -> None:
         self.index = index
-        self.process = process
-        self.connection = connection
+        #: This shard's identity on the consistent-hash ring: the worker
+        #: index for owned shards, an address string for connect-only ones.
+        self.entry: "RingEntry" = index
         self.max_inflight = max_inflight
         self.lock = threading.Lock()
         self.pending: Dict[int, _Pending] = {}
         self.inflight = 0
         self.dead = False
+        #: Set by the server before an intentional teardown, so the reader
+        #: observing the closed connection does not trigger failover.
+        self.closed = False
         self.latency_ewma: Optional[float] = None
         # The full submit-to-completion distribution of this shard, parent
         # side.  Deliberately independent of the telemetry registry: the
@@ -466,8 +547,24 @@ class _Shard:
         )
         self._seq = itertools.count()
         self.reader = threading.Thread(
-            target=self._read_loop, name=f"fleet-shard-{index}-reader", daemon=True
+            target=self._read_loop,
+            name=f"fleet-{self.transport}-shard-{index}-reader",
+            daemon=True,
         )
+
+    # -- wire hooks (subclass responsibility) -----------------------------------
+
+    def _send_label(self, seq: int, building_id: str, payload) -> None:
+        raise NotImplementedError
+
+    def _send_control(self, seq: int, op: str, args: tuple) -> None:
+        raise NotImplementedError
+
+    def _read_loop(self) -> None:
+        raise NotImplementedError
+
+    def _down_error(self) -> ShardDownError:
+        raise NotImplementedError
 
     # -- submission ------------------------------------------------------------
 
@@ -495,7 +592,7 @@ class _Shard:
         """
         with self.lock:
             if self.dead:
-                raise RuntimeError(f"fleet shard {self.index} worker has exited")
+                raise self._down_error()
             if self.inflight >= self.max_inflight:
                 raise ShardOverloadedError(
                     self.index, self.max_inflight, self.retry_after_hint()
@@ -506,7 +603,7 @@ class _Shard:
     ) -> "Future[LabelResponse]":
         with self.lock:
             if self.dead:
-                raise RuntimeError(f"fleet shard {self.index} worker has exited")
+                raise self._down_error()
             if self.inflight >= self.max_inflight:
                 raise ShardOverloadedError(
                     self.index, self.max_inflight, self.retry_after_hint()
@@ -522,35 +619,115 @@ class _Shard:
             self.inflight += 1
             self._inflight_gauge.set(self.inflight)
             try:
-                self.connection.send(("label", seq, building_id, payload))
-            except (OSError, ValueError, BrokenPipeError) as error:
+                self._send_label(seq, building_id, payload)
+            except ShardDownError:
                 self.pending.pop(seq, None)
                 self.inflight -= 1
                 self._inflight_gauge.set(self.inflight)
                 self.dead = True
-                raise RuntimeError(
-                    f"fleet shard {self.index} pipe is broken: {error}"
-                ) from None
+                raise
         return pending.future
 
     def submit_control(self, op: str, *args) -> Future:
         with self.lock:
             if self.dead:
-                raise RuntimeError(f"fleet shard {self.index} worker has exited")
+                raise self._down_error()
             seq = next(self._seq)
             pending = _Pending(kind="control", future=Future())
             self.pending[seq] = pending
             try:
-                self.connection.send((op, seq) + args)
-            except (OSError, ValueError, BrokenPipeError) as error:
+                self._send_control(seq, op, args)
+            except ShardDownError:
                 self.pending.pop(seq, None)
                 self.dead = True
-                raise RuntimeError(
-                    f"fleet shard {self.index} pipe is broken: {error}"
-                ) from None
+                raise
         return pending.future
 
-    # -- responses -------------------------------------------------------------
+    # -- response bookkeeping ---------------------------------------------------
+
+    def _pop_pending(
+        self, seq: int, count_latency: bool = True
+    ) -> Tuple[Optional[_Pending], Optional[float]]:
+        """Pop one completion: window, gauge, and latency estimators.
+
+        ``count_latency=False`` skips the estimators — a NACK comes back
+        immediately and would drag the retry hint toward zero exactly when
+        the shard is at its slowest.
+        """
+        latency = None
+        with self.lock:
+            entry = self.pending.pop(seq, None)
+            if entry is not None and entry.kind == "label":
+                self.inflight -= 1
+                self._inflight_gauge.set(self.inflight)
+                if count_latency:
+                    latency = time.perf_counter() - entry.submitted_at
+                    self.latency_ewma = (
+                        latency
+                        if self.latency_ewma is None
+                        else 0.8 * self.latency_ewma + 0.2 * latency
+                    )
+                    self.latency_hist.observe(latency)
+        if latency is not None:
+            self._roundtrip_hist.observe(latency)
+        return entry, latency
+
+    def _fail_pending(self) -> None:
+        with self.lock:
+            self.dead = True
+            entries = list(self.pending.values())
+            self.pending.clear()
+            self.inflight = 0
+            self._inflight_gauge.set(0)
+        # Emitted parent-side: a worker that died cannot report its own exit,
+        # and on a clean stop this records the drain point of the shard.
+        self.telemetry.events.emit(
+            EVENT_SHARD_EXIT, shard=self.index, pending_failed=len(entries)
+        )
+        for entry in entries:
+            if entry.future.set_running_or_notify_cancel():
+                entry.future.set_exception(
+                    ShardDownError(
+                        f"fleet shard {self.index} exited with requests in flight"
+                    )
+                )
+
+
+class _Shard(_ShardHandle):
+    """Handle of one owned worker process over a multiprocessing pipe."""
+
+    transport = "pipe"
+
+    def __init__(
+        self,
+        index: int,
+        process,
+        connection,
+        max_inflight: int,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        super().__init__(index, max_inflight, telemetry)
+        self.process = process
+        self.connection = connection
+
+    def _down_error(self) -> ShardDownError:
+        return ShardDownError(f"fleet shard {self.index} worker has exited")
+
+    def _send_label(self, seq: int, building_id: str, payload) -> None:
+        try:
+            self.connection.send(("label", seq, building_id, payload))
+        except (OSError, ValueError, BrokenPipeError) as error:
+            raise ShardDownError(
+                f"fleet shard {self.index} pipe is broken: {error}"
+            ) from None
+
+    def _send_control(self, seq: int, op: str, args: tuple) -> None:
+        try:
+            self.connection.send((op, seq) + args)
+        except (OSError, ValueError, BrokenPipeError) as error:
+            raise ShardDownError(
+                f"fleet shard {self.index} pipe is broken: {error}"
+            ) from None
 
     def _read_loop(self) -> None:
         while True:
@@ -559,21 +736,7 @@ class _Shard:
             except (EOFError, OSError):
                 break
             kind, seq, payload = message
-            latency = None
-            with self.lock:
-                entry = self.pending.pop(seq, None)
-                if entry is not None and entry.kind == "label":
-                    self.inflight -= 1
-                    self._inflight_gauge.set(self.inflight)
-                    latency = time.perf_counter() - entry.submitted_at
-                    self.latency_ewma = (
-                        latency
-                        if self.latency_ewma is None
-                        else 0.8 * self.latency_ewma + 0.2 * latency
-                    )
-                    self.latency_hist.observe(latency)
-            if latency is not None:
-                self._roundtrip_hist.observe(latency)
+            entry, latency = self._pop_pending(seq)
             if entry is None:
                 continue
             if not entry.future.set_running_or_notify_cancel():
@@ -593,25 +756,191 @@ class _Shard:
                 entry.future.set_result(payload)
         self._fail_pending()
 
-    def _fail_pending(self) -> None:
-        with self.lock:
-            self.dead = True
-            entries = list(self.pending.values())
-            self.pending.clear()
-            self.inflight = 0
-            self._inflight_gauge.set(0)
-        # Emitted parent-side: a worker that died cannot report its own exit,
-        # and on a clean stop this records the drain point of the shard.
-        self.telemetry.events.emit(
-            EVENT_SHARD_EXIT, shard=self.index, pending_failed=len(entries)
+
+class _TcpShard(_ShardHandle):
+    """Handle of one TCP shard: persistent framed connection, same window.
+
+    Label payloads go out as binary ``OP_LABEL_BATCH`` frames (or pickled
+    ``OP_LABEL_PICKLE`` frames for tuple-of-record requests); control ops
+    ride pickled ``OP_CONTROL`` frames, and ``"ping"`` maps to the tiny
+    ``OP_PING`` heartbeat.  A server-side ``OP_NACK`` completes the pending
+    future with :class:`ShardOverloadedError`, so saturation at the far end
+    surfaces exactly like saturation of the local window.  When the
+    connection drops, pending futures fail and ``on_connection_lost`` fires
+    once — the dispatcher uses it to resize the ring.
+    """
+
+    transport = "tcp"
+
+    def __init__(
+        self,
+        index: int,
+        address: Tuple[str, int],
+        max_inflight: int,
+        telemetry: Optional[Telemetry] = None,
+        entry: Optional["RingEntry"] = None,
+        connect_timeout_s: float = 10.0,
+        on_connection_lost=None,
+    ) -> None:
+        super().__init__(index, max_inflight, telemetry)
+        self.address = address
+        if entry is not None:
+            self.entry = entry
+        #: Process / control-pipe handles of a locally-spawned shard;
+        #: ``None`` for connect-only shards the dispatcher does not own.
+        self.process = None
+        self.control_conn = None
+        self.missed_heartbeats = 0
+        self.on_connection_lost = on_connection_lost
+        self._lost_reported = False
+        metrics = self.telemetry.metrics
+        self._frame_encode_hist = metrics.histogram(
+            "fleet_frame_encode_seconds",
+            "Encode of one label batch into a binary frame",
+            side="dispatcher",
+            shard=str(index),
         )
-        for entry in entries:
-            if entry.future.set_running_or_notify_cancel():
+        self._frame_decode_hist = metrics.histogram(
+            "fleet_frame_decode_seconds",
+            "Decode of one binary label response frame",
+            side="dispatcher",
+            shard=str(index),
+        )
+        self._bytes_sent = metrics.counter(
+            "fleet_transport_bytes_sent_total",
+            "Frame bytes written to shard connections",
+            side="dispatcher",
+            shard=str(index),
+        )
+        self._bytes_received = metrics.counter(
+            "fleet_transport_bytes_received_total",
+            "Frame bytes read from shard connections",
+            side="dispatcher",
+            shard=str(index),
+        )
+        self.sock = socket.create_connection(address, timeout=connect_timeout_s)
+        self.sock.settimeout(None)
+        try:
+            self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass  # platform without TCP_NODELAY; latency hint only
+
+    def _down_error(self) -> ShardDownError:
+        host, port = self.address
+        return ShardDownError(
+            f"fleet shard {self.index} connection to {host}:{port} is down"
+        )
+
+    def _sendall(self, frame: bytes) -> None:
+        try:
+            self.sock.sendall(frame)
+        except OSError as error:
+            raise ShardDownError(
+                f"fleet shard {self.index} connection is broken: {error}"
+            ) from None
+        self._bytes_sent.inc(len(frame))
+
+    def _send_label(self, seq: int, building_id: str, payload) -> None:
+        if isinstance(payload, _WireBatch):
+            encode_started = time.perf_counter()
+            frame = encode_frame(
+                OP_LABEL_BATCH, seq, encode_label_batch(building_id, payload)
+            )
+            self._frame_encode_hist.observe(time.perf_counter() - encode_started)
+        else:
+            frame = encode_frame(
+                OP_LABEL_PICKLE,
+                seq,
+                pickle.dumps(
+                    (building_id, payload), protocol=pickle.HIGHEST_PROTOCOL
+                ),
+            )
+        self._sendall(frame)
+
+    def _send_control(self, seq: int, op: str, args: tuple) -> None:
+        if op == "ping":
+            frame = encode_frame(OP_PING, seq)
+        else:
+            frame = encode_frame(OP_CONTROL, seq, encode_control(op, args))
+        self._sendall(frame)
+
+    def _read_loop(self) -> None:
+        while True:
+            try:
+                op, seq, payload = recv_frame(self.sock)
+            except (EOFError, OSError, FrameError):
+                break
+            self._bytes_received.inc(HEADER_SIZE + len(payload))
+            if op == OP_NACK:
+                entry, _ = self._pop_pending(seq, count_latency=False)
+                if entry is None or not entry.future.set_running_or_notify_cancel():
+                    continue
+                try:
+                    retry_after_s = decode_nack(payload)
+                except FrameError:
+                    retry_after_s = DEFAULT_RETRY_AFTER_S
                 entry.future.set_exception(
-                    RuntimeError(
-                        f"fleet shard {self.index} exited with requests in flight"
-                    )
+                    ShardOverloadedError(self.index, self.max_inflight, retry_after_s)
                 )
+                continue
+            entry, latency = self._pop_pending(seq)
+            if entry is None:
+                continue
+            if not entry.future.set_running_or_notify_cancel():
+                continue
+            try:
+                if op == OP_ERR:
+                    entry.future.set_exception(pickle.loads(payload))
+                elif op == OP_OK_LABELS:
+                    decode_started = time.perf_counter()
+                    labels = decode_labels(payload)
+                    self._frame_decode_hist.observe(
+                        time.perf_counter() - decode_started
+                    )
+                    entry.future.set_result(
+                        LabelResponse(
+                            request_id=entry.request_id,
+                            building_id=entry.building_id,
+                            labels=labels,
+                            latency_s=latency,
+                        )
+                    )
+                elif op == OP_OK_PICKLE:
+                    entry.future.set_result(pickle.loads(payload))
+                elif op == OP_PONG:
+                    entry.future.set_result(decode_pong(payload))
+                else:
+                    entry.future.set_exception(
+                        RuntimeError(
+                            f"unexpected frame op 0x{op:02x} from shard {self.index}"
+                        )
+                    )
+            except Exception as error:  # noqa: BLE001 - payload decode failed
+                entry.future.set_exception(error)
+        self._fail_pending()
+        with self.lock:
+            if self._lost_reported:
+                return
+            self._lost_reported = True
+            callback = self.on_connection_lost
+        if callback is not None:
+            callback(self)
+
+    def close(self) -> None:
+        """Tear the connection down intentionally (no failover callback)."""
+        self.closed = True
+        self.abort()
+
+    def abort(self) -> None:
+        """Force the socket shut; the reader observes EOF and fails pending."""
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
 
 
 class ShardedFleetServer:
@@ -666,6 +995,27 @@ class ShardedFleetServer:
         inflight, rejections, shard lifecycle events).  Each worker builds
         its own sink with a ``shard`` const label; :meth:`fleet_metrics` /
         :meth:`fleet_events` merge both sides into one fleet-wide view.
+    transport:
+        ``"pipe"`` (default, pickle over multiprocessing pipes — unchanged
+        behaviour) or ``"tcp"`` (binary frames over persistent loopback
+        connections to spawned :class:`~repro.serving.netserver.ShardServer`
+        processes).
+    shard_addresses:
+        Connect-only TCP mode: ``"host:port"`` strings (or ``(host, port)``
+        pairs) of externally-managed shard servers.  Implies
+        ``transport="tcp"``; ``num_workers`` is taken from the list, the
+        ring keys shards by address, and :meth:`stop` disconnects without
+        stopping the remote servers.
+    listen_host:
+        Bind host of locally-spawned TCP shards (default loopback).
+    heartbeat_interval_s, heartbeat_miss_threshold, heartbeat_timeout_s:
+        TCP liveness monitoring: every interval each shard is pinged; a
+        shard missing ``heartbeat_miss_threshold`` consecutive answers
+        (each waited on for ``heartbeat_timeout_s``, default the interval)
+        is marked down and failed over.  Connection drops short-circuit
+        the wait — the reader detects those immediately.
+    connect_timeout_s:
+        TCP connect (and reconnect) timeout per shard.
     """
 
     def __init__(
@@ -684,16 +1034,50 @@ class ShardedFleetServer:
         start_method: Optional[str] = None,
         telemetry: Optional[Telemetry] = None,
         keep_generations: Optional[int] = None,
+        transport: str = "pipe",
+        shard_addresses: Optional[Sequence[Union[str, Tuple[str, int]]]] = None,
+        listen_host: str = "127.0.0.1",
+        heartbeat_interval_s: float = 1.0,
+        heartbeat_miss_threshold: int = 3,
+        heartbeat_timeout_s: Optional[float] = None,
+        connect_timeout_s: float = 10.0,
     ) -> None:
+        if shard_addresses is not None:
+            transport = "tcp"
+            shard_addresses = list(shard_addresses)
+            if not shard_addresses:
+                raise ValueError("shard_addresses must name at least one shard")
+            num_workers = len(shard_addresses)
+        if transport not in ("pipe", "tcp"):
+            raise ValueError(f"unknown transport {transport!r}")
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         if max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
         if shard_capacity < 1:
             raise ValueError("shard_capacity must be >= 1")
+        if heartbeat_interval_s <= 0:
+            raise ValueError("heartbeat_interval_s must be positive")
+        if heartbeat_miss_threshold < 1:
+            raise ValueError("heartbeat_miss_threshold must be >= 1")
         self.store_dir = Path(store_dir)
         self.num_workers = num_workers
         self.max_inflight = max_inflight
+        self.transport = transport
+        self._addresses = (
+            [_parse_address(address) for address in shard_addresses]
+            if shard_addresses is not None
+            else None
+        )
+        self._listen_host = listen_host
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.heartbeat_miss_threshold = heartbeat_miss_threshold
+        self._heartbeat_timeout_s = (
+            heartbeat_timeout_s
+            if heartbeat_timeout_s is not None
+            else heartbeat_interval_s
+        )
+        self._connect_timeout_s = connect_timeout_s
         # Deterministic per-store prefix: every worker of this fleet maps a
         # building to the same segment names, while fleets over other store
         # directories (or the same one in another test) stay disjoint.
@@ -716,24 +1100,47 @@ class ShardedFleetServer:
             batch_window_s=batch_window_s,
             shared_prefix=self.shared_prefix,
             keep_generations=keep_generations,
+            max_inflight=max_inflight,
         )
         if start_method is None:
             available = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in available else "spawn"
         self._context = multiprocessing.get_context(start_method)
-        self._ring = ConsistentHashRing(num_workers)
+        self._ring_lock = threading.Lock()
+        self._ring = ConsistentHashRing(self._full_membership())
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self._encode_hist = self.telemetry.metrics.histogram(
             "fleet_wire_encode_seconds",
             "Dispatcher-side flattening of one columnar batch for the pipe",
         )
-        self._shards: List[_Shard] = []
+        if transport == "tcp":
+            self._failovers = self.telemetry.metrics.counter(
+                "fleet_transport_failovers_total",
+                "Shards removed from the ring after missed heartbeats or drops",
+            )
+            self._reconnects = self.telemetry.metrics.counter(
+                "fleet_transport_reconnects_total",
+                "Successful reconnects to previously-down shards",
+            )
+        else:
+            self._failovers = None
+            self._reconnects = None
+        self._shards: List[_ShardHandle] = []
+        self._shard_by_entry: Dict[RingEntry, _ShardHandle] = {}
+        self._heartbeat_thread: Optional[threading.Thread] = None
+        self._heartbeat_stop = threading.Event()
         self._lifecycle_lock = threading.Lock()
         self._request_counter = itertools.count()
         self._stats_lock = threading.Lock()
         self._num_rejected = 0
         self._started_at: Optional[float] = None
         self._stopped_elapsed: Optional[float] = None
+
+    def _full_membership(self) -> Union[int, List[RingEntry]]:
+        """Ring entries with every configured shard present."""
+        if self._addresses is not None:
+            return [f"{host}:{port}" for host, port in self._addresses]
+        return self.num_workers
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -744,7 +1151,7 @@ class ShardedFleetServer:
         return bool(shards) and not all(shard.dead for shard in shards)
 
     def start(self, ping_timeout_s: float = 120.0) -> "ShardedFleetServer":
-        """Spawn the workers and wait until every one answers a ping.
+        """Spawn (or connect) the shards and wait until every one answers a ping.
 
         All-or-nothing: ``self._shards`` is only assigned after every
         worker pinged back, and a partial startup failure tears the
@@ -755,42 +1162,24 @@ class ShardedFleetServer:
         with self._lifecycle_lock:
             if self._shards:
                 return self
-            processes = []
-            # Fork every worker before starting any parent-side reader
-            # thread: forking a multi-threaded process is where the
-            # fork/threads hazards live.
-            for index in range(self.num_workers):
-                parent_end, child_end = self._context.Pipe(duplex=True)
-                process = self._context.Process(
-                    target=_shard_worker_main,
-                    args=(child_end, self._spec, index),
-                    name=f"fleet-shard-{index}",
-                    daemon=True,
-                )
-                process.start()
-                child_end.close()
-                processes.append((index, process, parent_end))
-            shards = []
-            try:
-                for index, process, parent_end in processes:
-                    shard = _Shard(
-                        index, process, parent_end, self.max_inflight, self.telemetry
-                    )
-                    shard.reader.start()
-                    shards.append(shard)
-                for shard in shards:
-                    shard.submit_control("ping").result(timeout=ping_timeout_s)
-            except BaseException:
-                # Tear down everything spawned so far — including workers
-                # whose _Shard handle was never constructed.
-                for _, process, parent_end in processes:
-                    parent_end.close()
-                    process.terminate()
-                    process.join(timeout=5.0)
-                for shard in shards:
-                    shard.reader.join(timeout=5.0)
-                raise
+            if self.transport == "pipe":
+                shards = self._start_pipe_shards(ping_timeout_s)
+            elif self._addresses is not None:
+                shards = self._connect_tcp_shards(ping_timeout_s)
+            else:
+                shards = self._spawn_tcp_shards(ping_timeout_s)
             self._shards = shards
+            self._shard_by_entry = {shard.entry: shard for shard in shards}
+            with self._ring_lock:
+                # Restore full membership: a prior run may have failed
+                # shards over, and a restart gets every shard back.
+                self._ring = ConsistentHashRing(self._full_membership())
+            if self.transport == "tcp":
+                self._heartbeat_stop.clear()
+                self._heartbeat_thread = threading.Thread(
+                    target=self._heartbeat_loop, name="fleet-heartbeat", daemon=True
+                )
+                self._heartbeat_thread.start()
             now = time.perf_counter()
             with self._stats_lock:
                 if self._stopped_elapsed is not None:
@@ -800,30 +1189,148 @@ class ShardedFleetServer:
                 self._stopped_elapsed = None
             return self
 
+    def _start_pipe_shards(self, ping_timeout_s: float) -> List[_ShardHandle]:
+        processes = []
+        # Fork every worker before starting any parent-side reader
+        # thread: forking a multi-threaded process is where the
+        # fork/threads hazards live.
+        for index in range(self.num_workers):
+            parent_end, child_end = self._context.Pipe(duplex=True)
+            process = self._context.Process(
+                target=_shard_worker_main,
+                args=(child_end, self._spec, index),
+                name=f"fleet-shard-{index}",
+                daemon=True,
+            )
+            process.start()
+            child_end.close()
+            processes.append((index, process, parent_end))
+        shards: List[_ShardHandle] = []
+        try:
+            for index, process, parent_end in processes:
+                shard = _Shard(
+                    index, process, parent_end, self.max_inflight, self.telemetry
+                )
+                shard.reader.start()
+                shards.append(shard)
+            for shard in shards:
+                shard.submit_control("ping").result(timeout=ping_timeout_s)
+        except BaseException:
+            # Tear down everything spawned so far — including workers
+            # whose _Shard handle was never constructed.
+            for _, process, parent_end in processes:
+                parent_end.close()
+                process.terminate()
+                process.join(timeout=5.0)
+            for shard in shards:
+                shard.reader.join(timeout=5.0)
+            raise
+        return shards
+
+    def _spawn_tcp_shards(self, ping_timeout_s: float) -> List[_ShardHandle]:
+        """Spawn ShardServer processes on ephemeral loopback ports."""
+        processes = []
+        for index in range(self.num_workers):
+            parent_end, child_end = self._context.Pipe(duplex=True)
+            process = self._context.Process(
+                target=_tcp_shard_main,
+                args=(child_end, self._spec, index, self._listen_host),
+                name=f"fleet-tcp-shard-{index}",
+                daemon=True,
+            )
+            process.start()
+            child_end.close()
+            processes.append((index, process, parent_end))
+        shards: List[_ShardHandle] = []
+        try:
+            endpoints = []
+            for index, process, conn in processes:
+                if not conn.poll(ping_timeout_s):
+                    raise RuntimeError(
+                        f"fleet shard {index} did not report its port "
+                        f"within {ping_timeout_s}s"
+                    )
+                status, detail = conn.recv()
+                if status != "ready":
+                    if isinstance(detail, BaseException):
+                        raise detail
+                    raise RuntimeError(f"fleet shard {index} failed to start: {detail}")
+                endpoints.append((index, process, conn, detail))
+            for index, process, conn, port in endpoints:
+                shard = _TcpShard(
+                    index,
+                    (self._listen_host, port),
+                    self.max_inflight,
+                    self.telemetry,
+                    connect_timeout_s=self._connect_timeout_s,
+                    on_connection_lost=self._on_shard_connection_lost,
+                )
+                shard.process = process
+                shard.control_conn = conn
+                shard.reader.start()
+                shards.append(shard)
+            for shard in shards:
+                shard.submit_control("ping").result(timeout=ping_timeout_s)
+        except BaseException:
+            for shard in shards:
+                shard.close()
+            for _, process, conn in processes:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                process.terminate()
+                process.join(timeout=5.0)
+            for shard in shards:
+                shard.reader.join(timeout=5.0)
+            raise
+        return shards
+
+    def _connect_tcp_shards(self, ping_timeout_s: float) -> List[_ShardHandle]:
+        """Connect to externally-managed shard servers (no spawning)."""
+        shards: List[_ShardHandle] = []
+        try:
+            for index, (host, port) in enumerate(self._addresses):
+                shard = _TcpShard(
+                    index,
+                    (host, port),
+                    self.max_inflight,
+                    self.telemetry,
+                    entry=f"{host}:{port}",
+                    connect_timeout_s=self._connect_timeout_s,
+                    on_connection_lost=self._on_shard_connection_lost,
+                )
+                shard.reader.start()
+                shards.append(shard)
+            for shard in shards:
+                shard.submit_control("ping").result(timeout=ping_timeout_s)
+        except BaseException:
+            for shard in shards:
+                shard.close()
+            for shard in shards:
+                shard.reader.join(timeout=5.0)
+            raise
+        return shards
+
     def stop(self, timeout_s: float = 60.0) -> None:
-        """Drain every shard, stop the workers, and join their processes."""
+        """Drain every shard, stop owned workers, and join their processes.
+
+        Connect-only TCP shards are merely disconnected — the dispatcher
+        does not own their lifecycle.
+        """
         with self._lifecycle_lock:
             if not self._shards:
                 return
-            acks = []
-            for shard in self._shards:
-                try:
-                    acks.append(shard.submit_control("stop"))
-                except RuntimeError:
-                    pass  # already dead; nothing to drain
-            for ack in acks:
-                try:
-                    ack.result(timeout=timeout_s)
-                except Exception:  # noqa: BLE001 - worker died mid-drain
-                    pass
-            for shard in self._shards:
-                shard.process.join(timeout=timeout_s)
-                if shard.process.is_alive():
-                    shard.process.terminate()
-                    shard.process.join(timeout=5.0)
-                shard.connection.close()
-                shard.reader.join(timeout=timeout_s)
+            if self._heartbeat_thread is not None:
+                self._heartbeat_stop.set()
+                self._heartbeat_thread.join(timeout=timeout_s)
+                self._heartbeat_thread = None
+            if self.transport == "pipe":
+                self._stop_pipe_shards(timeout_s)
+            else:
+                self._stop_tcp_shards(timeout_s)
             self._shards = []
+            self._shard_by_entry = {}
             if self.shared_prefix is not None:
                 # Backstop for workers that died without their atexit hook
                 # (SIGKILL, segfault): reap any segment still carrying this
@@ -834,6 +1341,53 @@ class ShardedFleetServer:
                 if self._started_at is not None:
                     self._stopped_elapsed = time.perf_counter() - self._started_at
 
+    def _stop_pipe_shards(self, timeout_s: float) -> None:
+        acks = []
+        for shard in self._shards:
+            try:
+                acks.append(shard.submit_control("stop"))
+            except RuntimeError:
+                pass  # already dead; nothing to drain
+        for ack in acks:
+            try:
+                ack.result(timeout=timeout_s)
+            except Exception:  # noqa: BLE001 - worker died mid-drain
+                pass
+        for shard in self._shards:
+            shard.process.join(timeout=timeout_s)
+            if shard.process.is_alive():
+                shard.process.terminate()
+                shard.process.join(timeout=5.0)
+            shard.connection.close()
+            shard.reader.join(timeout=timeout_s)
+
+    def _stop_tcp_shards(self, timeout_s: float) -> None:
+        # Mark closed first: the readers observing the teardown must not
+        # treat it as a failure and start failing shards over.
+        for shard in self._shards:
+            shard.closed = True
+        for shard in self._shards:
+            # Spawned workers drain in-flight labels (flushing their
+            # responses) before exiting; the stop signal is the mp pipe.
+            if shard.control_conn is not None and not shard.dead:
+                try:
+                    shard.control_conn.send(("stop",))
+                except (OSError, ValueError, BrokenPipeError):
+                    pass
+        for shard in self._shards:
+            if shard.process is not None:
+                shard.process.join(timeout=timeout_s)
+                if shard.process.is_alive():
+                    shard.process.terminate()
+                    shard.process.join(timeout=5.0)
+            if shard.control_conn is not None:
+                try:
+                    shard.control_conn.close()
+                except OSError:
+                    pass
+            shard.close()
+            shard.reader.join(timeout=timeout_s)
+
     def __enter__(self) -> "ShardedFleetServer":
         return self.start()
 
@@ -842,9 +1396,138 @@ class ShardedFleetServer:
 
     # -- routing ---------------------------------------------------------------
 
-    def shard_for(self, building_id: str) -> int:
-        """The worker index that owns ``building_id``."""
-        return self._ring.shard_for(building_id)
+    def shard_for(self, building_id: str) -> RingEntry:
+        """The ring entry (worker index or address) owning ``building_id``."""
+        with self._ring_lock:
+            return self._ring.shard_for(building_id)
+
+    def _route(self, building_id: str) -> _ShardHandle:
+        """The live shard handle owning ``building_id``.
+
+        On TCP, a shard found dead at routing time is failed over on the
+        spot — the ring resizes and the lookup repeats against the
+        survivors — rather than bouncing the request off a handle the
+        failure detector has not yet processed.  The pipe transport keeps
+        its original behaviour: route to the owner and let the submit
+        raise if the worker has exited (no failover without a shared
+        network store of truth about *why* it exited).
+        """
+        shards = self._shards
+        if not shards:
+            raise RuntimeError("the server is not running; call start() first")
+        for _ in range(len(shards) + 1):
+            with self._ring_lock:
+                entry = self._ring.shard_for(building_id)
+            shard = self._shard_by_entry.get(entry)
+            if shard is None:  # stop() raced the lookup
+                raise RuntimeError("the server is not running; call start() first")
+            if self.transport == "pipe" or not shard.dead:
+                return shard
+            if not self._mark_shard_down(shard, reason="dead at routing"):
+                raise shard._down_error()
+        raise ShardDownError("no live shard available")
+
+    def _mark_shard_down(self, shard: _ShardHandle, reason: str) -> bool:
+        """Remove ``shard`` from the routing ring (failover).
+
+        Returns ``True`` once the ring no longer routes to the shard —
+        whether this call removed it or a racing one already had — and
+        ``False`` only when it is the last entry (nothing to fail over to).
+        Removal remaps only ``~1/N`` of the fleet; survivors lazily reload
+        those buildings from the shared artifact store.
+        """
+        with self._ring_lock:
+            if shard.entry not in self._ring.entries:
+                return True
+            try:
+                self._ring = self._ring.without(shard.entry)
+            except ValueError:
+                return False
+        if self._failovers is not None:
+            self._failovers.inc()
+        self.telemetry.events.emit(
+            EVENT_SHARD_DOWN,
+            shard=shard.index,
+            entry=str(shard.entry),
+            reason=reason,
+        )
+        return True
+
+    def _on_shard_connection_lost(self, shard: _ShardHandle) -> None:
+        """Reader-thread callback: a TCP shard's connection dropped."""
+        if shard.closed:
+            return  # intentional teardown, not a failure
+        self._mark_shard_down(shard, reason="connection lost")
+
+    def _heartbeat_loop(self) -> None:
+        """Ping every TCP shard each interval; fail over persistent silence.
+
+        A shard that misses ``heartbeat_miss_threshold`` consecutive pings
+        is removed from the ring and its connection aborted (failing any
+        stuck in-flight requests).  In connect mode a down shard is also
+        re-dialled here — answering again puts it back on the ring.
+        """
+        while not self._heartbeat_stop.wait(self.heartbeat_interval_s):
+            for shard in list(self._shards):
+                if self._heartbeat_stop.is_set():
+                    return
+                if shard.closed:
+                    continue
+                if shard.dead:
+                    if self._addresses is not None:
+                        self._try_reconnect(shard)
+                    continue
+                try:
+                    shard.submit_control("ping").result(
+                        timeout=self._heartbeat_timeout_s
+                    )
+                except Exception:  # noqa: BLE001 - any failure is a miss
+                    shard.missed_heartbeats += 1
+                    if shard.missed_heartbeats >= self.heartbeat_miss_threshold:
+                        if self._mark_shard_down(
+                            shard,
+                            reason=f"missed {shard.missed_heartbeats} heartbeats",
+                        ):
+                            shard.abort()
+                else:
+                    shard.missed_heartbeats = 0
+
+    def _try_reconnect(self, shard: _ShardHandle) -> None:
+        """One reconnect attempt to a down connect-mode shard."""
+        try:
+            replacement = _TcpShard(
+                shard.index,
+                shard.address,
+                self.max_inflight,
+                self.telemetry,
+                entry=shard.entry,
+                connect_timeout_s=self._connect_timeout_s,
+                on_connection_lost=self._on_shard_connection_lost,
+            )
+        except OSError:
+            return  # still down; next tick tries again
+        replacement.reader.start()
+        try:
+            replacement.submit_control("ping").result(
+                timeout=self._heartbeat_timeout_s
+            )
+        except Exception:  # noqa: BLE001 - connected but not serving yet
+            replacement.close()
+            return
+        try:
+            position = self._shards.index(shard)
+        except ValueError:
+            replacement.close()
+            return
+        self._shards[position] = replacement
+        self._shard_by_entry[replacement.entry] = replacement
+        with self._ring_lock:
+            self._ring = self._ring.with_entry(replacement.entry)
+        if self._reconnects is not None:
+            self._reconnects.inc()
+        self.telemetry.events.emit(
+            EVENT_SHARD_RECOVERED, shard=shard.index, entry=str(shard.entry)
+        )
 
     @property
     def building_ids(self) -> List[str]:
@@ -876,10 +1559,7 @@ class ShardedFleetServer:
         validate_building_id(building_id)
         if len(records) == 0:
             raise ValueError("a label request needs at least one record")
-        shards = self._shards
-        if not shards:
-            raise RuntimeError("the server is not running; call start() first")
-        shard = shards[self._ring.shard_for(building_id)]
+        shard = self._route(building_id)
         try:
             # Pre-check before encoding: a rejected submit must cost the
             # dispatcher nothing, or retries would amplify the overload.
@@ -908,22 +1588,63 @@ class ShardedFleetServer:
 
         A submit rejected by a full shard sleeps out the advertised
         ``retry_after_s`` and retries — the closed-loop discipline
-        backpressure asks of well-behaved clients.  Responses come back in
-        request order.
+        backpressure asks of well-behaved clients.  On TCP the same
+        discipline extends past the local window: a server-side ``NACK``
+        (the remote window was full) backs off and resubmits, and a request
+        stranded on a shard that died mid-flight is resubmitted once the
+        ring has failed the shard over — labeling is idempotent and the
+        ``request_id`` is preserved, so a retry is indistinguishable from
+        the original.  Responses come back in request order.
         """
-        futures = []
-        for request in requests:
-            while True:
-                try:
-                    futures.append(
-                        self.submit(
-                            request.building_id, request.records, request.request_id
-                        )
-                    )
-                    break
-                except ShardOverloadedError as error:
-                    time.sleep(error.retry_after_s)
-        return [future.result() for future in futures]
+        pairs = [(request, self._submit_retrying(request)) for request in requests]
+        return [self._result_retrying(request, future) for request, future in pairs]
+
+    def _submit_retrying(self, request: LabelRequest) -> "Future[LabelResponse]":
+        down_attempts = 0
+        while True:
+            try:
+                return self.submit(
+                    request.building_id, request.records, request.request_id
+                )
+            except ShardOverloadedError as error:
+                time.sleep(error.retry_after_s)
+            except ShardDownError:
+                # The send itself hit a broken connection before the
+                # heartbeat could: the shard marked itself dead, so routing
+                # again fails it over to a survivor.  Each failed attempt
+                # removes a shard from the ring, so the retry budget is one
+                # pass over the fleet.
+                if self.transport != "tcp" or not self.running:
+                    raise
+                down_attempts += 1
+                if down_attempts > len(self._shards):
+                    raise
+
+    def _result_retrying(
+        self, request: LabelRequest, future: "Future[LabelResponse]"
+    ) -> LabelResponse:
+        while True:
+            try:
+                return future.result()
+            except ShardOverloadedError as error:
+                # Server-side NACK: the remote shard's own window was full.
+                # Count it like a local rejection, back off, resubmit.
+                with self._stats_lock:
+                    self._num_rejected += 1
+                self.telemetry.metrics.counter(
+                    "fleet_shard_rejections_total",
+                    "Label submits rejected by a full per-shard inflight window",
+                    shard=str(error.shard),
+                ).inc()
+                time.sleep(error.retry_after_s)
+                future = self._submit_retrying(request)
+            except ShardDownError:
+                if self.transport != "tcp" or not self.running:
+                    raise
+                # The owning shard died with this request in flight; the
+                # ring has (or is about to have) failed it over, so the
+                # resubmit routes to a survivor.
+                future = self._submit_retrying(request)
 
     # -- fleet-wide operations -------------------------------------------------
 
@@ -1052,10 +1773,7 @@ class ShardedFleetServer:
     def drift_snapshot(self, building_id: str, timeout_s: float = 30.0) -> DriftSnapshot:
         """The owning shard's drift statistics for one building."""
         validate_building_id(building_id)
-        shards = self._shards
-        if not shards:
-            raise RuntimeError("the server is not running; call start() first")
-        shard = shards[self._ring.shard_for(building_id)]
+        shard = self._route(building_id)
         return shard.submit_control("drift", building_id).result(timeout=timeout_s)
 
     def refresh_drifted(
@@ -1071,20 +1789,17 @@ class ShardedFleetServer:
         explicit), refreshes concurrently with its label traffic, and the
         per-shard reports are merged into one fleet-wide mapping.
         """
-        shards = self._shards
-        if not shards:
+        if not self._shards:
             raise RuntimeError("the server is not running; call start() first")
         if building_ids is None:
             building_ids = self.building_ids
-        by_shard: Dict[int, List[str]] = {}
+        by_shard: Dict[_ShardHandle, List[str]] = {}
         for building_id in building_ids:
             validate_building_id(building_id)
-            by_shard.setdefault(self._ring.shard_for(building_id), []).append(
-                building_id
-            )
+            by_shard.setdefault(self._route(building_id), []).append(building_id)
         futures = [
-            (index, shards[index].submit_control("refresh", owned))
-            for index, owned in by_shard.items()
+            (shard, shard.submit_control("refresh", owned))
+            for shard, owned in by_shard.items()
         ]
         reports: Dict[str, RefreshReport] = {}
         for _, future in futures:
@@ -1108,20 +1823,17 @@ class ShardedFleetServer:
         and the per-shard results merge into one mapping of building id to
         restored ``model_version``.
         """
-        shards = self._shards
-        if not shards:
+        if not self._shards:
             raise RuntimeError("the server is not running; call start() first")
         if building_ids is None:
             building_ids = self.building_ids
-        by_shard: Dict[int, List[str]] = {}
+        by_shard: Dict[_ShardHandle, List[str]] = {}
         for building_id in building_ids:
             validate_building_id(building_id)
-            by_shard.setdefault(self._ring.shard_for(building_id), []).append(
-                building_id
-            )
+            by_shard.setdefault(self._route(building_id), []).append(building_id)
         futures = [
-            (index, shards[index].submit_control("rollback", owned))
-            for index, owned in by_shard.items()
+            (shard, shard.submit_control("rollback", owned))
+            for shard, owned in by_shard.items()
         ]
         restored: Dict[str, int] = {}
         for _, future in futures:

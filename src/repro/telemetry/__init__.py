@@ -49,7 +49,9 @@ from repro.telemetry.events import (
     EVENT_REFRESH_START,
     EVENT_ROLLBACK_DONE,
     EVENT_ROLLBACK_ELIGIBLE,
+    EVENT_SHARD_DOWN,
     EVENT_SHARD_EXIT,
+    EVENT_SHARD_RECOVERED,
     EVENT_SHARD_START,
     EventRing,
     FleetEvent,
@@ -91,7 +93,9 @@ __all__ = [
     "EVENT_REFRESH_START",
     "EVENT_ROLLBACK_DONE",
     "EVENT_ROLLBACK_ELIGIBLE",
+    "EVENT_SHARD_DOWN",
     "EVENT_SHARD_EXIT",
+    "EVENT_SHARD_RECOVERED",
     "EVENT_SHARD_START",
     "EventRing",
     "FleetEvent",

@@ -49,6 +49,15 @@ EVENT_SHARD_START = "shard-start"
 #: A shard worker died or its pipe broke (details: inflight lost).
 EVENT_SHARD_EXIT = "shard-exit"
 
+#: A TCP shard missed enough heartbeats (or dropped its connection) to be
+#: removed from the routing ring; its buildings failed over to survivors
+#: (details: entry, missed heartbeats).
+EVENT_SHARD_DOWN = "shard-down"
+
+#: A previously-down TCP shard answered again and rejoined the routing
+#: ring (details: entry).
+EVENT_SHARD_RECOVERED = "shard-recovered"
+
 
 @dataclass(frozen=True)
 class FleetEvent:

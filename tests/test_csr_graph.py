@@ -11,7 +11,12 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.graph.alias import AliasTables
+from repro.graph.alias import (
+    AliasTables,
+    _ROW_SUM_MATCH_BY_DEGREE,
+    _row_sums_match_slice_sums,
+    _segment_totals,
+)
 from repro.graph.bipartite import BipartiteGraph
 from repro.graph.csr import CSRGraph, MAC_KIND, SAMPLE_KIND
 from repro.signals.dataset import SignalDataset
@@ -216,3 +221,55 @@ class TestVectorizedMatrixViews:
         smaller = tiny_dataset.subset(lambda record: record.record_id != "r0")
         with pytest.raises(ValueError, match="sample nodes"):
             frozen.sample_feature_matrix(smaller)
+
+
+class TestSegmentTotals:
+    """The vectorised per-node totals behind AliasTables.from_csr."""
+
+    @staticmethod
+    def _random_csr(seed, num_nodes=500, max_degree=30):
+        rng = np.random.default_rng(seed)
+        degrees = rng.integers(1, max_degree + 1, num_nodes)
+        indptr = np.concatenate(([0], np.cumsum(degrees))).astype(np.int64)
+        weights = (rng.random(indptr[-1]) + 1e-3).astype(np.float64)
+        return indptr, np.diff(indptr), weights
+
+    def test_bit_identical_to_scalar_slice_sums(self):
+        for seed in range(5):
+            indptr, degrees, weights = self._random_csr(seed)
+            expected = np.array(
+                [
+                    weights[indptr[node] : indptr[node + 1]].sum()
+                    for node in range(degrees.shape[0])
+                ]
+            )
+            assert np.array_equal(_segment_totals(weights, indptr, degrees), expected)
+
+    def test_scalar_fallback_stays_bit_identical(self, monkeypatch):
+        # Force the probe verdict to "regrouped" for every degree: the
+        # fallback path must still reproduce the slice sums exactly.
+        monkeypatch.setattr(
+            "repro.graph.alias._row_sums_match_slice_sums", lambda degree: False
+        )
+        indptr, degrees, weights = self._random_csr(7)
+        expected = np.array(
+            [
+                weights[indptr[node] : indptr[node + 1]].sum()
+                for node in range(degrees.shape[0])
+            ]
+        )
+        assert np.array_equal(_segment_totals(weights, indptr, degrees), expected)
+
+    def test_from_csr_reports_first_nonpositive_node(self):
+        indptr = np.array([0, 2, 4, 6], dtype=np.int64)
+        indices = np.array([1, 2, 0, 2, 0, 1], dtype=np.int64)
+        weights = np.array([1.0, 1.0, 0.0, 0.0, -1.0, 1.0])
+        with pytest.raises(ValueError, match="node 1"):
+            AliasTables.from_csr(indptr, indices, weights)
+
+    def test_probe_cache_is_populated(self):
+        _ROW_SUM_MATCH_BY_DEGREE.clear()
+        indptr, degrees, weights = self._random_csr(11, num_nodes=50, max_degree=9)
+        _segment_totals(weights, indptr, degrees)
+        probed = set(_ROW_SUM_MATCH_BY_DEGREE)
+        assert probed == {int(d) for d in np.unique(degrees) if d > 1}

@@ -1,0 +1,411 @@
+"""TCP fleet transport end-to-end: identity, backpressure, failover.
+
+The contract under test: ``transport="tcp"`` is an invisible substitution —
+labels bit-identical to the pipe transport and to a single-process
+:class:`FleetServer` — while adding what only a network transport can
+offer: shards in unrelated processes (connect mode), server-side NACK
+backpressure that survives the wire, and heartbeat-driven failover that
+keeps serving through a SIGKILLed shard.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import FisOneConfig
+from repro.gnn.model import RFGNNConfig
+from repro.serving import (
+    BuildingRegistry,
+    FleetServer,
+    LabelRequest,
+    ShardedFleetServer,
+    ShardServer,
+)
+from repro.serving.sharded import ConsistentHashRing, ShardDownError, stable_hash64
+from repro.serving.transport import OP_ERR, OP_PING, OP_PONG, encode_frame, recv_frame
+from repro.simulate import generate_single_building
+from repro.telemetry import EVENT_SHARD_DOWN, EVENT_SHARD_RECOVERED
+
+FAST_CONFIG = FisOneConfig(
+    gnn=RFGNNConfig(embedding_dim=16, neighbor_sample_sizes=(10, 5)),
+    num_epochs=2,
+    max_pairs_per_epoch=8_000,
+    inference_passes=1,
+    inference_sample_sizes=(20, 10),
+)
+
+BUILDING_IDS = ("net-a", "net-b", "net-c", "net-d")
+
+
+@pytest.fixture(scope="module")
+def net_store(tmp_path_factory):
+    """Four small fitted buildings persisted to one store, plus streams."""
+    store = tmp_path_factory.mktemp("net-store")
+    registry = BuildingRegistry(store_dir=store, config=FAST_CONFIG, capacity=4)
+    streams = {}
+    for index, building_id in enumerate(BUILDING_IDS):
+        labeled = generate_single_building(
+            num_floors=3, samples_per_floor=25, seed=60 + index
+        )
+        train, stream = labeled.holdout_split(train_per_floor=18)
+        anchor = train.pick_labeled_sample(floor=0)
+        observed = train.strip_labels(keep_record_ids=[anchor.record_id])
+        registry.register(building_id, observed, anchor_record_id=anchor.record_id)
+        registry.get(building_id)
+        streams[building_id] = [record.without_floor() for record in stream]
+    return store, streams
+
+
+def make_requests(streams, chunk=5):
+    requests = []
+    for building_id, stream in streams.items():
+        for start in range(0, len(stream), chunk):
+            block = stream[start : start + chunk]
+            if block:
+                requests.append(
+                    LabelRequest(
+                        request_id=f"req-{len(requests)}",
+                        building_id=building_id,
+                        records=tuple(block),
+                    )
+                )
+    return requests
+
+
+def label_tuples(responses):
+    return [
+        (label.record_id, label.floor, label.confidence, label.known_mac_fraction)
+        for response in responses
+        for label in response.labels
+    ]
+
+
+def serve_sequentially(submit, requests):
+    """Submit one request at a time, awaiting each before the next.
+
+    Bit-identity comparisons need identical *batch composition* on every
+    topology: the centroid scoring runs one BLAS matmul per coalesced
+    batch, and BLAS kernels may regroup reductions differently for
+    different matrix shapes (ulp-level differences).  Sequential
+    submit-and-wait pins every topology to one-request-per-batch, making
+    the comparison deterministic; the pipelined paths get their own
+    (composition-insensitive) assertions.
+    """
+    return [submit(request).result(timeout=120) for request in requests]
+
+
+@pytest.fixture(scope="module")
+def reference_labels(net_store):
+    """Single-process FleetServer labels: the bit-identity ground truth.
+
+    ``mmap=True`` matches how fleet workers load artifacts: BLAS kernel
+    selection keys off buffer alignment, so a heap-loaded and an mmap'd
+    copy of the same model can score centroids ulps apart.  Bit-identity
+    across topologies requires the same artifact representation on both
+    sides of the comparison.
+    """
+    store, streams = net_store
+    registry = BuildingRegistry(store_dir=store, config=FAST_CONFIG, mmap=True)
+    with FleetServer(registry) as server:
+        responses = serve_sequentially(
+            lambda request: server.submit(request.building_id, request.records),
+            make_requests(streams),
+        )
+    return label_tuples(responses)
+
+
+def fleet_submit(fleet):
+    return lambda request: fleet.submit(
+        request.building_id, request.records, request.request_id
+    )
+
+
+class TestTcpIdentity:
+    @pytest.mark.parametrize("num_workers", [1, 2, 4])
+    def test_tcp_labels_match_single_process_server(
+        self, net_store, reference_labels, num_workers
+    ):
+        store, streams = net_store
+        with ShardedFleetServer(
+            store,
+            num_workers=num_workers,
+            config=FAST_CONFIG,
+            shard_capacity=4,
+            transport="tcp",
+        ) as fleet:
+            responses = serve_sequentially(fleet_submit(fleet), make_requests(streams))
+        assert label_tuples(responses) == reference_labels
+
+    def test_tcp_labels_match_pipe_labels(self, net_store):
+        store, streams = net_store
+        requests = make_requests(streams)
+        with ShardedFleetServer(
+            store, num_workers=2, config=FAST_CONFIG, shard_capacity=4
+        ) as pipe_fleet:
+            pipe_labels = label_tuples(
+                serve_sequentially(fleet_submit(pipe_fleet), requests)
+            )
+        with ShardedFleetServer(
+            store,
+            num_workers=2,
+            config=FAST_CONFIG,
+            shard_capacity=4,
+            transport="tcp",
+        ) as tcp_fleet:
+            tcp_labels = label_tuples(
+                serve_sequentially(fleet_submit(tcp_fleet), requests)
+            )
+        assert tcp_labels == pipe_labels
+
+    def test_pipelined_serve_completes_in_request_order(self, net_store):
+        store, streams = net_store
+        requests = make_requests(streams)
+        with ShardedFleetServer(
+            store, num_workers=2, config=FAST_CONFIG, transport="tcp"
+        ) as fleet:
+            responses = fleet.serve(requests)
+        assert [r.request_id for r in responses] == [r.request_id for r in requests]
+        assert all(
+            [label.record_id for label in response.labels]
+            == [record.record_id for record in request.records]
+            for response, request in zip(responses, requests)
+        )
+
+    def test_connect_mode_against_external_shard_servers(self, net_store):
+        store, streams = net_store
+        requests = make_requests(streams)
+        servers = [
+            ShardServer(store, shard_index=index, config=FAST_CONFIG, capacity=4).start()
+            for index in range(2)
+        ]
+        try:
+            addresses = [f"{host}:{port}" for host, port in (s.address for s in servers)]
+            with ShardedFleetServer(
+                store, config=FAST_CONFIG, shard_addresses=addresses
+            ) as fleet:
+                assert fleet.transport == "tcp"
+                assert fleet.num_workers == 2
+                responses = fleet.serve(requests)
+            assert len(responses) == len(requests)
+            # The external servers outlive the dispatcher (connect mode
+            # does not own them): they still answer a fresh dispatcher.
+            with ShardedFleetServer(store, shard_addresses=addresses) as fleet:
+                again = fleet.serve(requests[:2])
+            assert len(again) == 2
+        finally:
+            for server in servers:
+                server.stop()
+
+    def test_fleet_stats_and_telemetry_merge_over_tcp(self, net_store):
+        store, streams = net_store
+        with ShardedFleetServer(
+            store, num_workers=2, config=FAST_CONFIG, transport="tcp"
+        ) as fleet:
+            fleet.serve(make_requests(streams)[:4])
+            stats = fleet.stats()
+            assert stats.num_requests == 4
+            assert len(stats.shards) >= 1
+            exposition = fleet.render_prometheus()
+        assert "fleet_frame_encode_seconds" in exposition
+        assert 'side="server"' in exposition
+        assert 'side="dispatcher"' in exposition
+        assert "fleet_transport_bytes_sent_total" in exposition
+
+
+class TestBackpressure:
+    def test_server_side_nack_travels_end_to_end(self, net_store):
+        """A saturated TCP shard NACKs; serve() retries until all complete.
+
+        The server's window (1) is stricter than the dispatcher's (8), so
+        pipelined submits overrun the *remote* bound and the rejection has
+        to travel back as an OP_NACK frame — the dispatcher surfaces it as
+        ShardOverloadedError and serve() honours the retry hint.
+        """
+        store, streams = net_store
+        server = ShardServer(
+            store, config=FAST_CONFIG, capacity=4, max_inflight=1
+        ).start()
+        try:
+            host, port = server.address
+            with ShardedFleetServer(
+                store,
+                config=FAST_CONFIG,
+                shard_addresses=[f"{host}:{port}"],
+                max_inflight=8,
+            ) as fleet:
+                requests = make_requests(streams, chunk=3)
+                responses = fleet.serve(requests)
+                assert len(responses) == len(requests)
+                assert [r.request_id for r in responses] == [
+                    r.request_id for r in requests
+                ]
+                stats = fleet.stats()
+            assert stats.num_rejected > 0  # NACKs were actually exercised
+        finally:
+            server.stop()
+
+
+class TestFailover:
+    def test_ring_without_remaps_about_one_nth(self):
+        ring = ConsistentHashRing(4)
+        resized = ring.without(2)
+        keys = [f"building-{i}" for i in range(2000)]
+        before = [ring.shard_for(k) for k in keys]
+        after = [resized.shard_for(k) for k in keys]
+        moved = sum(1 for b, a in zip(before, after) if b != a)
+        # Exactly the keys owned by the removed shard move (~1/4 of them).
+        assert all(a != 2 for a in after)
+        assert all(b == a for b, a in zip(before, after) if b != 2)
+        assert 0.10 < moved / len(keys) < 0.45
+
+    def test_sigkill_one_shard_serving_continues_bit_identical(
+        self, net_store, reference_labels
+    ):
+        """Kill a TCP shard mid-traffic: the fleet fails over and the full
+        request set still completes with labels bit-identical to the
+        single-process server."""
+        store, streams = net_store
+        requests = make_requests(streams)
+        with ShardedFleetServer(
+            store,
+            num_workers=3,
+            config=FAST_CONFIG,
+            shard_capacity=4,
+            transport="tcp",
+            heartbeat_interval_s=0.1,
+            heartbeat_miss_threshold=2,
+        ) as fleet:
+            # Warm every shard with the first few requests.
+            fleet.serve(requests[:3])
+            victim = fleet._shards[0]
+            os.kill(victim.process.pid, signal.SIGKILL)
+            # The pipelined drain must complete every request despite the
+            # kill: in-flight requests on the victim fail over and resubmit.
+            responses = fleet.serve(requests)
+            assert [r.request_id for r in responses] == [
+                r.request_id for r in requests
+            ]
+            # Post-failover labels stay bit-identical to the single-process
+            # server (sequential submits pin the batch composition).
+            settled = serve_sequentially(fleet_submit(fleet), requests)
+            assert label_tuples(settled) == reference_labels
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                events = [e for e in fleet.fleet_events() if e.kind == EVENT_SHARD_DOWN]
+                if events:
+                    break
+                time.sleep(0.05)
+            assert events, "shard death never produced a shard-down event"
+            with fleet._ring_lock:
+                assert victim.entry not in fleet._ring.entries
+            assert fleet.running
+        # The dead worker is reaped by stop() without hanging.
+
+    def test_last_shard_down_raises_rather_than_spinning(self, net_store):
+        store, streams = net_store
+        with ShardedFleetServer(
+            store,
+            num_workers=1,
+            config=FAST_CONFIG,
+            transport="tcp",
+            heartbeat_interval_s=0.1,
+            heartbeat_miss_threshold=2,
+        ) as fleet:
+            requests = make_requests(streams)[:1]
+            fleet.serve(requests)
+            os.kill(fleet._shards[0].process.pid, signal.SIGKILL)
+            time.sleep(0.3)
+            with pytest.raises((ShardDownError, RuntimeError)):
+                fleet.serve(requests)
+
+    def test_connect_mode_reconnects_after_server_restart(self, net_store):
+        store, streams = net_store
+        host = "127.0.0.1"
+        # Pin a port so the restarted server is reachable at the same entry.
+        probe = socket.socket()
+        probe.bind((host, 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        server = ShardServer(store, host, port, config=FAST_CONFIG, capacity=4).start()
+        requests = make_requests(streams)[:2]
+        try:
+            with ShardedFleetServer(
+                store,
+                config=FAST_CONFIG,
+                shard_addresses=[f"{host}:{port}"],
+                heartbeat_interval_s=0.1,
+                heartbeat_miss_threshold=2,
+            ) as fleet:
+                fleet.serve(requests)
+                server.stop()
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline and not fleet._shards[0].dead:
+                    time.sleep(0.05)
+                assert fleet._shards[0].dead
+                server = ShardServer(
+                    store, host, port, config=FAST_CONFIG, capacity=4
+                ).start()
+                deadline = time.monotonic() + 10.0
+                recovered = ()
+                while time.monotonic() < deadline:
+                    recovered = [
+                        e
+                        for e in fleet.telemetry.events.snapshot()
+                        if e.kind == EVENT_SHARD_RECOVERED
+                    ]
+                    if recovered:
+                        break
+                    time.sleep(0.1)
+                assert recovered, "down shard never rejoined the ring"
+                responses = fleet.serve(requests)
+                assert len(responses) == len(requests)
+        finally:
+            server.stop()
+
+
+class TestServerRobustness:
+    def test_garbage_connection_does_not_kill_the_server(self, net_store):
+        store, _ = net_store
+        server = ShardServer(store, config=FAST_CONFIG).start()
+        try:
+            # A peer speaking not-the-protocol gets an error (or a close),
+            # and the listener keeps serving well-formed peers.
+            hostile = socket.create_connection(server.address, timeout=5.0)
+            hostile.sendall(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+            try:
+                op, _, _ = recv_frame(hostile)
+                assert op == OP_ERR
+            except (EOFError, OSError, RuntimeError):
+                pass  # closing without the courtesy ERR is also acceptable
+            hostile.close()
+
+            polite = socket.create_connection(server.address, timeout=5.0)
+            polite.sendall(encode_frame(OP_PING, 5))
+            op, seq, payload = recv_frame(polite)
+            assert (op, seq) == (OP_PONG, 5)
+            polite.close()
+        finally:
+            server.stop()
+
+    def test_mid_frame_disconnect_leaves_server_healthy(self, net_store):
+        store, _ = net_store
+        server = ShardServer(store, config=FAST_CONFIG).start()
+        try:
+            for _ in range(3):
+                rude = socket.create_connection(server.address, timeout=5.0)
+                frame = encode_frame(OP_PING, 1, b"")
+                # Oversized claim, then vanish mid-payload.
+                rude.sendall(frame[:10])
+                rude.close()
+            polite = socket.create_connection(server.address, timeout=5.0)
+            polite.sendall(encode_frame(OP_PING, 9))
+            assert recv_frame(polite)[0] == OP_PONG
+            polite.close()
+        finally:
+            server.stop()
