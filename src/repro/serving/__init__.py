@@ -31,6 +31,13 @@ Everything the seed's batch pipeline lacked for production traffic:
 * :mod:`~repro.serving.netserver` — :class:`ShardServer`: one fleet shard
   behind a TCP listener (asyncio, pipelined, bounded-inflight with NACK
   backpressure), the worker half of ``transport="tcp"`` sharded serving.
+* :mod:`~repro.serving.scheduler` — :class:`RefreshScheduler`: a jittered
+  daemon that sweeps a registry's drifted buildings off the request path,
+  with per-building cooldowns.
+* :mod:`~repro.serving.autoscale` — :class:`Autoscaler`: the same daemon
+  shape pointed at fleet membership — watches per-shard pressure and p99
+  and grows/shrinks a live TCP fleet via ``join_shard``/``drain_shard``
+  within policy bounds.
 * :mod:`~repro.serving.results` — the typed request/response dataclasses
   shared by all of the above.
 
@@ -50,6 +57,12 @@ Typical flow::
         reports = server.refresh_drifted()   # fit → serve → drift → refresh
 """
 
+from repro.serving.autoscale import (
+    AutoscaleDecision,
+    AutoscalePolicy,
+    Autoscaler,
+    AutoscalerStats,
+)
 from repro.serving.artifacts import (
     ARTIFACT_FORMAT_VERSION,
     ArtifactError,
@@ -81,6 +94,7 @@ from repro.serving.sharded import (
     ConsistentHashRing,
     FleetWideStats,
     ShardDownError,
+    ShardPressure,
     ShardedFleetServer,
     ShardOverloadedError,
     ShardStats,
@@ -89,6 +103,10 @@ from repro.serving.transport import FrameError, PROTOCOL_VERSION
 
 __all__ = [
     "ARTIFACT_FORMAT_VERSION",
+    "AutoscaleDecision",
+    "AutoscalePolicy",
+    "Autoscaler",
+    "AutoscalerStats",
     "ArtifactError",
     "current_version",
     "has_artifacts",
@@ -116,6 +134,7 @@ __all__ = [
     "FrameError",
     "PROTOCOL_VERSION",
     "ShardDownError",
+    "ShardPressure",
     "ShardServer",
     "ShardedFleetServer",
     "ShardOverloadedError",

@@ -204,6 +204,7 @@ class ShardServer:
 
     @property
     def running(self) -> bool:
+        """Whether the asyncio serving thread is alive and accepting."""
         return self._thread is not None and self._thread.is_alive()
 
     def start(self) -> "ShardServer":
@@ -472,6 +473,12 @@ class ShardServer:
             return self._server.refresh_drifted(args[0])
         if name == "rollback":
             return self._server.rollback_drifted(args[0])
+        if name == "warm":
+            return self._registry.warm(args[0])
+        if name == "handoff_export":
+            return self._registry.export_building_state(args[0])
+        if name == "handoff_import":
+            return self._registry.import_building_state(args[0])
         if name == "telemetry":
             self._server.sync_gauges()  # sampled gauges are set when scraped
             return (

@@ -449,6 +449,95 @@ class BuildingRegistry:
         with self._lock:
             return len(self._recent.get(building_id, ()))
 
+    # -- membership handoff ----------------------------------------------------
+
+    def warm(self, building_ids: Sequence[str]) -> int:
+        """Preload buildings into the LRU cache; returns how many are now hot.
+
+        The membership-change primitive: a shard joining a fleet (or acting
+        as a replication follower) warms the buildings the ring will route
+        to it *before* taking traffic, so its first requests hit the cache
+        instead of paying a cold artifact load.  Buildings that are unknown
+        or whose stored artifact cannot be read are skipped, not raised —
+        a warm is advisory, never load-bearing for correctness.
+
+        Thread-safe; loads of different buildings from concurrent warms
+        serialize per building exactly like :meth:`get`.  Note the LRU
+        bound still holds: warming more buildings than ``capacity`` churns
+        the cache, so callers should warm at most a shard's partition.
+        """
+        warmed = 0
+        for building_id in building_ids:
+            try:
+                self.get(building_id)
+            except (KeyError, ValueError, ArtifactError):
+                continue
+            warmed += 1
+        return warmed
+
+    def export_building_state(
+        self, building_ids: Optional[Sequence[str]] = None
+    ) -> Dict[str, dict]:
+        """Portable per-building serving state for a drain handoff.
+
+        Returns ``{building_id: {"records": (...), "hot": bool}}`` where
+        ``records`` is the building's buffered refresh material (distinct
+        recent :class:`~repro.signals.record.SignalRecord`\\ s the model has
+        not trained on) and ``hot`` marks buildings currently in the LRU
+        cache.  ``building_ids`` restricts the export (a draining shard
+        exports only the buildings it owned); ``None`` exports everything
+        with any state.  Buildings with neither buffered records nor a hot
+        model are omitted.
+
+        Thread-safe: the whole export is one consistent snapshot taken
+        under the registry lock.  The payload pickles cleanly — it is
+        shipped over the control plane to :meth:`import_building_state`
+        on the new owners.
+        """
+        with self._lock:
+            if building_ids is None:
+                ids = sorted(set(self._recent) | set(self._cache))
+            else:
+                ids = [validate_building_id(building_id) for building_id in building_ids]
+            state: Dict[str, dict] = {}
+            for building_id in ids:
+                records = tuple(self._recent.get(building_id, {}).values())
+                hot = building_id in self._cache
+                if records or hot:
+                    state[building_id] = {"records": records, "hot": hot}
+            return state
+
+    def import_building_state(self, state: Dict[str, dict]) -> int:
+        """Adopt a draining peer's exported state; returns records imported.
+
+        The receiving half of a drain handoff: buildings marked ``hot`` are
+        warmed into this registry's cache (the new owner serves them
+        without a cold load), and buffered drift records re-enter the
+        bounded per-building refresh buffers through the same
+        known-record filter as live traffic — so refresh material
+        accumulated on the old owner survives the membership change.
+
+        Buildings this registry cannot materialise (no artifact, torn
+        store) are skipped rather than raised: a handoff is best-effort by
+        design — losing buffered records must never stop the drain.
+        Thread-safe; see :meth:`export_building_state` for the payload
+        shape.
+        """
+        imported = 0
+        for building_id, entry in state.items():
+            validate_building_id(building_id)
+            records = tuple(entry.get("records", ()))
+            if not records and not entry.get("hot"):
+                continue
+            try:
+                fitted = self.get(building_id)
+            except (KeyError, ArtifactError):
+                continue
+            if records:
+                self._buffer_records(building_id, fitted, records)
+                imported += len(records)
+        return imported
+
     def refresh(
         self,
         building_id: str,

@@ -115,6 +115,7 @@ class RefreshScheduler:
 
     @property
     def is_running(self) -> bool:
+        """Whether the daemon sweep thread is alive."""
         return self._thread is not None and self._thread.is_alive()
 
     def start(self) -> "RefreshScheduler":

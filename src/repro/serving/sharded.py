@@ -104,7 +104,9 @@ from repro.signals.batch import MacVocab, RecordBatch
 from repro.signals.record import SignalRecord
 from repro.telemetry import (
     EVENT_SHARD_DOWN,
+    EVENT_SHARD_DRAINED,
     EVENT_SHARD_EXIT,
+    EVENT_SHARD_JOINED,
     EVENT_SHARD_RECOVERED,
     EVENT_SHARD_START,
     FleetEvent,
@@ -119,6 +121,7 @@ __all__ = [
     "FleetWideStats",
     "ShardDownError",
     "ShardOverloadedError",
+    "ShardPressure",
     "ShardStats",
     "ShardedFleetServer",
     "stable_hash64",
@@ -224,6 +227,40 @@ class ConsistentHashRing:
         """The shard entry owning ``key``."""
         index = bisect.bisect_right(self._hashes, stable_hash64(key))
         return self._owners[index % len(self._owners)]
+
+    def shards_for(self, key: str, count: int = 1) -> Tuple[RingEntry, ...]:
+        """The first ``count`` distinct entries clockwise from ``key``.
+
+        ``shards_for(key, 1) == (shard_for(key),)``; with ``count=2`` the
+        second entry is the key's **follower** replica.  The follower is
+        chosen by ring order, which gives replication its failover
+        guarantee for free: removing the primary deletes only the
+        primary's points, so the next distinct owner clockwise — exactly
+        this follower — becomes the key's new primary.  A replicated
+        fleet that keeps followers warm therefore promotes without a cold
+        load.
+
+        ``count`` is clamped to the number of distinct entries on the
+        ring.
+
+        Raises
+        ------
+        ValueError
+            If ``count`` is not positive.
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        count = min(count, self.num_shards)
+        start = bisect.bisect_right(self._hashes, stable_hash64(key))
+        total = len(self._owners)
+        owners: List[RingEntry] = []
+        for offset in range(total):
+            owner = self._owners[(start + offset) % total]
+            if owner not in owners:
+                owners.append(owner)
+                if len(owners) == count:
+                    break
+        return tuple(owners)
 
     def without(self, entry: RingEntry) -> "ConsistentHashRing":
         """The ring with ``entry`` removed (failover)."""
@@ -335,6 +372,15 @@ def _shard_worker_main(connection, spec: _ShardSpec, shard_index: int = 0) -> No
       the worker's merged metric state (every family carrying this shard's
       ``shard`` const label), its buffered lifecycle events, and the event
       ring's drop count.
+    * ``("warm", seq, building_ids)`` — preload the listed buildings into
+      the registry cache (membership changes and replication followers);
+      answers with the warmed count.  Runs on the control thread so label
+      traffic keeps flowing through the loads.
+    * ``("handoff_export", seq, building_ids_or_None)`` — the registry's
+      portable per-building serving state (buffered drift records + hot
+      flags) for a planned drain; ``None`` exports everything.
+    * ``("handoff_import", seq, state)`` — adopt a draining peer's
+      exported state; answers with the number of records imported.
     * ``("ping", seq)`` — liveness check; answers with the worker pid.
     * ``("stop", seq)`` — drain in-flight batches, ack, and exit.
     """
@@ -433,6 +479,22 @@ def _shard_worker_main(connection, spec: _ShardSpec, shard_index: int = 0) -> No
                         send(("err", seq, _picklable(error)))
 
                 control_pool.submit(run_rollback)
+            elif op in ("warm", "handoff_export", "handoff_import"):
+                argument = message[2]
+
+                def run_registry_op(seq: int = seq, op: str = op, argument=argument) -> None:
+                    try:
+                        if op == "warm":
+                            result = registry.warm(argument)
+                        elif op == "handoff_export":
+                            result = registry.export_building_state(argument)
+                        else:
+                            result = registry.import_building_state(argument)
+                        send(("ok", seq, result))
+                    except Exception as error:  # noqa: BLE001 - travels the pipe
+                        send(("err", seq, _picklable(error)))
+
+                control_pool.submit(run_registry_op)
             elif op == "telemetry":
                 server.sync_gauges()  # sampled gauges are set when scraped
                 send(
@@ -499,6 +561,24 @@ class FleetWideStats:
     num_rejected: int
     elapsed_s: float
     records_per_second: float
+
+
+@dataclass(frozen=True)
+class ShardPressure:
+    """One live shard's instantaneous load, as the autoscaler reads it.
+
+    ``utilization`` is the fraction of the shard's bounded inflight window
+    in use (``inflight / max_inflight``), the backpressure signal; ``p99_s``
+    is the parent-observed submit-to-completion p99, or ``None`` before the
+    shard has completed any request.
+    """
+
+    entry: RingEntry
+    index: int
+    inflight: int
+    max_inflight: int
+    utilization: float
+    p99_s: Optional[float]
 
 
 class _ShardHandle:
@@ -1016,6 +1096,21 @@ class ShardedFleetServer:
         the wait — the reader detects those immediately.
     connect_timeout_s:
         TCP connect (and reconnect) timeout per shard.
+    replication:
+        Placement factor: each building maps to ``replication`` distinct
+        ring entries — a primary (the classic owner, which serves its
+        traffic) plus warm **followers** (the next distinct entries
+        clockwise, kept hot via :meth:`warm_followers`).  Ring order
+        guarantees that when a primary leaves the ring its first follower
+        *is* the new primary, so heartbeat-miss failover promotes a shard
+        that already holds the building's model — no cold load, no refit.
+    read_fanout:
+        With ``replication >= 2``, a label submit rejected by the
+        primary's full inflight window is retried on a live follower
+        before surfacing :class:`ShardOverloadedError` — trading strict
+        single-home routing for throughput under hot-building overload.
+        Labels are identical wherever they are served: every replica
+        loads the same versioned artifacts.
     """
 
     def __init__(
@@ -1041,6 +1136,8 @@ class ShardedFleetServer:
         heartbeat_miss_threshold: int = 3,
         heartbeat_timeout_s: Optional[float] = None,
         connect_timeout_s: float = 10.0,
+        replication: int = 1,
+        read_fanout: bool = False,
     ) -> None:
         if shard_addresses is not None:
             transport = "tcp"
@@ -1060,6 +1157,15 @@ class ShardedFleetServer:
             raise ValueError("heartbeat_interval_s must be positive")
         if heartbeat_miss_threshold < 1:
             raise ValueError("heartbeat_miss_threshold must be >= 1")
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        if replication > num_workers:
+            raise ValueError(
+                f"replication={replication} needs at least that many shards "
+                f"(got num_workers={num_workers})"
+            )
+        self.replication = replication
+        self.read_fanout = read_fanout
         self.store_dir = Path(store_dir)
         self.num_workers = num_workers
         self.max_inflight = max_inflight
@@ -1127,9 +1233,35 @@ class ShardedFleetServer:
             self._reconnects = None
         self._shards: List[_ShardHandle] = []
         self._shard_by_entry: Dict[RingEntry, _ShardHandle] = {}
+        # Guards _shards/_shard_by_entry against concurrent membership
+        # changes (join, drain, reconnect) — every iteration over the
+        # shard list goes through _live_shards() and every handle lookup
+        # holds this lock.  Reentrant: drain paths look entries up while
+        # already mutating membership.
+        self._membership_lock = threading.RLock()
+        # Worker indices of shards spawned after start() — join_shard
+        # numbers them past the initial num_workers so telemetry labels
+        # never collide with a live or historical shard.
+        self._next_spawn_index = num_workers
         self._heartbeat_thread: Optional[threading.Thread] = None
         self._heartbeat_stop = threading.Event()
         self._lifecycle_lock = threading.Lock()
+        self._live_shards_gauge = self.telemetry.metrics.gauge(
+            "fleet_live_shards",
+            "Shard entries currently on the routing ring",
+        )
+        self._membership_joins = self.telemetry.metrics.counter(
+            "fleet_membership_joins_total",
+            "Shards added to the live routing ring by join_shard",
+        )
+        self._membership_drains = self.telemetry.metrics.counter(
+            "fleet_membership_drains_total",
+            "Shards removed from the live routing ring by drain_shard",
+        )
+        self._fanout_counter = self.telemetry.metrics.counter(
+            "fleet_replica_fanout_total",
+            "Label submits routed to a follower replica under primary overload",
+        )
         self._request_counter = itertools.count()
         self._stats_lock = threading.Lock()
         self._num_rejected = 0
@@ -1144,10 +1276,32 @@ class ShardedFleetServer:
 
     # -- lifecycle -------------------------------------------------------------
 
+    def _live_shards(self) -> List[_ShardHandle]:
+        """A consistent snapshot of the current shard handles.
+
+        Every iteration over fleet membership goes through this copy:
+        ``self._shards`` is mutated by reconnects, :meth:`join_shard` and
+        :meth:`drain_shard` on other threads, and iterating the live list
+        directly races those resizes.
+        """
+        with self._membership_lock:
+            return list(self._shards)
+
+    def _lookup_entry(self, entry: RingEntry) -> Optional[_ShardHandle]:
+        """The handle currently registered for a ring entry, if any."""
+        with self._membership_lock:
+            return self._shard_by_entry.get(entry)
+
+    @property
+    def num_live_shards(self) -> int:
+        """Entries currently on the routing ring (the autoscaler's count)."""
+        with self._ring_lock:
+            return self._ring.num_shards
+
     @property
     def running(self) -> bool:
         """Whether worker processes are up and accepting requests."""
-        shards = self._shards
+        shards = self._live_shards()
         return bool(shards) and not all(shard.dead for shard in shards)
 
     def start(self, ping_timeout_s: float = 120.0) -> "ShardedFleetServer":
@@ -1168,12 +1322,20 @@ class ShardedFleetServer:
                 shards = self._connect_tcp_shards(ping_timeout_s)
             else:
                 shards = self._spawn_tcp_shards(ping_timeout_s)
-            self._shards = shards
-            self._shard_by_entry = {shard.entry: shard for shard in shards}
+            with self._membership_lock:
+                self._shards = shards
+                self._shard_by_entry = {shard.entry: shard for shard in shards}
+                self._next_spawn_index = self.num_workers
             with self._ring_lock:
                 # Restore full membership: a prior run may have failed
                 # shards over, and a restart gets every shard back.
                 self._ring = ConsistentHashRing(self._full_membership())
+                self._live_shards_gauge.set(self._ring.num_shards)
+            if self.replication > 1:
+                # Synchronous on purpose: the replication contract is that
+                # failover promotes a *warm* follower, which only holds
+                # once this first sweep has completed.
+                self.warm_followers(timeout_s=ping_timeout_s)
             if self.transport == "tcp":
                 self._heartbeat_stop.clear()
                 self._heartbeat_thread = threading.Thread(
@@ -1227,48 +1389,68 @@ class ShardedFleetServer:
             raise
         return shards
 
+    def _fork_tcp_worker(self, index: int):
+        """Fork one ShardServer worker process; returns ``(process, conn)``."""
+        parent_end, child_end = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_tcp_shard_main,
+            args=(child_end, self._spec, index, self._listen_host),
+            name=f"fleet-tcp-shard-{index}",
+            daemon=True,
+        )
+        process.start()
+        child_end.close()
+        return process, parent_end
+
+    def _await_tcp_worker_port(
+        self, index: int, conn, ping_timeout_s: float
+    ) -> int:
+        """Wait for a forked worker's ``("ready", port)`` handshake."""
+        if not conn.poll(ping_timeout_s):
+            raise RuntimeError(
+                f"fleet shard {index} did not report its port "
+                f"within {ping_timeout_s}s"
+            )
+        status, detail = conn.recv()
+        if status != "ready":
+            if isinstance(detail, BaseException):
+                raise detail
+            raise RuntimeError(f"fleet shard {index} failed to start: {detail}")
+        return detail
+
+    def _connect_spawned_worker(self, index: int, process, conn, port: int) -> _TcpShard:
+        """Dial a spawned worker's port and start its reader thread."""
+        shard = _TcpShard(
+            index,
+            (self._listen_host, port),
+            self.max_inflight,
+            self.telemetry,
+            connect_timeout_s=self._connect_timeout_s,
+            on_connection_lost=self._on_shard_connection_lost,
+        )
+        shard.process = process
+        shard.control_conn = conn
+        shard.reader.start()
+        return shard
+
     def _spawn_tcp_shards(self, ping_timeout_s: float) -> List[_ShardHandle]:
         """Spawn ShardServer processes on ephemeral loopback ports."""
-        processes = []
-        for index in range(self.num_workers):
-            parent_end, child_end = self._context.Pipe(duplex=True)
-            process = self._context.Process(
-                target=_tcp_shard_main,
-                args=(child_end, self._spec, index, self._listen_host),
-                name=f"fleet-tcp-shard-{index}",
-                daemon=True,
-            )
-            process.start()
-            child_end.close()
-            processes.append((index, process, parent_end))
+        # Fork every worker before starting any parent-side reader thread
+        # (same fork/threads discipline as the pipe transport).
+        processes = [
+            (index, *self._fork_tcp_worker(index))
+            for index in range(self.num_workers)
+        ]
         shards: List[_ShardHandle] = []
         try:
             endpoints = []
             for index, process, conn in processes:
-                if not conn.poll(ping_timeout_s):
-                    raise RuntimeError(
-                        f"fleet shard {index} did not report its port "
-                        f"within {ping_timeout_s}s"
-                    )
-                status, detail = conn.recv()
-                if status != "ready":
-                    if isinstance(detail, BaseException):
-                        raise detail
-                    raise RuntimeError(f"fleet shard {index} failed to start: {detail}")
-                endpoints.append((index, process, conn, detail))
+                port = self._await_tcp_worker_port(index, conn, ping_timeout_s)
+                endpoints.append((index, process, conn, port))
             for index, process, conn, port in endpoints:
-                shard = _TcpShard(
-                    index,
-                    (self._listen_host, port),
-                    self.max_inflight,
-                    self.telemetry,
-                    connect_timeout_s=self._connect_timeout_s,
-                    on_connection_lost=self._on_shard_connection_lost,
+                shards.append(
+                    self._connect_spawned_worker(index, process, conn, port)
                 )
-                shard.process = process
-                shard.control_conn = conn
-                shard.reader.start()
-                shards.append(shard)
             for shard in shards:
                 shard.submit_control("ping").result(timeout=ping_timeout_s)
         except BaseException:
@@ -1329,8 +1511,10 @@ class ShardedFleetServer:
                 self._stop_pipe_shards(timeout_s)
             else:
                 self._stop_tcp_shards(timeout_s)
-            self._shards = []
-            self._shard_by_entry = {}
+            with self._membership_lock:
+                self._shards = []
+                self._shard_by_entry = {}
+            self._live_shards_gauge.set(0)
             if self.shared_prefix is not None:
                 # Backstop for workers that died without their atexit hook
                 # (SIGKILL, segfault): reap any segment still carrying this
@@ -1412,13 +1596,13 @@ class ShardedFleetServer:
         raise if the worker has exited (no failover without a shared
         network store of truth about *why* it exited).
         """
-        shards = self._shards
+        shards = self._live_shards()
         if not shards:
             raise RuntimeError("the server is not running; call start() first")
         for _ in range(len(shards) + 1):
             with self._ring_lock:
                 entry = self._ring.shard_for(building_id)
-            shard = self._shard_by_entry.get(entry)
+            shard = self._lookup_entry(entry)
             if shard is None:  # stop() raced the lookup
                 raise RuntimeError("the server is not running; call start() first")
             if self.transport == "pipe" or not shard.dead:
@@ -1443,6 +1627,7 @@ class ShardedFleetServer:
                 self._ring = self._ring.without(shard.entry)
             except ValueError:
                 return False
+            self._live_shards_gauge.set(self._ring.num_shards)
         if self._failovers is not None:
             self._failovers.inc()
         self.telemetry.events.emit(
@@ -1451,6 +1636,10 @@ class ShardedFleetServer:
             entry=str(shard.entry),
             reason=reason,
         )
+        if self.replication > 1:
+            # The failed primary's buildings promoted onto their (warm)
+            # followers; give those buildings fresh followers in turn.
+            self._warm_followers_async()
         return True
 
     def _on_shard_connection_lost(self, shard: _ShardHandle) -> None:
@@ -1468,7 +1657,7 @@ class ShardedFleetServer:
         re-dialled here — answering again puts it back on the ring.
         """
         while not self._heartbeat_stop.wait(self.heartbeat_interval_s):
-            for shard in list(self._shards):
+            for shard in self._live_shards():
                 if self._heartbeat_stop.is_set():
                     return
                 if shard.closed:
@@ -1514,20 +1703,394 @@ class ShardedFleetServer:
         except Exception:  # noqa: BLE001 - connected but not serving yet
             replacement.close()
             return
-        try:
-            position = self._shards.index(shard)
-        except ValueError:
-            replacement.close()
-            return
-        self._shards[position] = replacement
-        self._shard_by_entry[replacement.entry] = replacement
+        with self._membership_lock:
+            try:
+                position = self._shards.index(shard)
+            except ValueError:
+                replacement.close()
+                return
+            self._shards[position] = replacement
+            self._shard_by_entry[replacement.entry] = replacement
         with self._ring_lock:
             self._ring = self._ring.with_entry(replacement.entry)
+            self._live_shards_gauge.set(self._ring.num_shards)
         if self._reconnects is not None:
             self._reconnects.inc()
         self.telemetry.events.emit(
             EVENT_SHARD_RECOVERED, shard=shard.index, entry=str(shard.entry)
         )
+        if self.replication > 1:
+            self._warm_followers_async()
+
+    # -- live membership --------------------------------------------------------
+
+    def join_shard(
+        self,
+        address: Optional[Union[str, Tuple[str, int]]] = None,
+        warm: bool = True,
+        timeout_s: float = 120.0,
+    ) -> RingEntry:
+        """Add one shard to the live fleet; returns its new ring entry.
+
+        With ``address=None`` (owned fleets only) a fresh
+        :class:`~repro.serving.netserver.ShardServer` worker is spawned on
+        an ephemeral loopback port — the autoscaler's grow path.  With an
+        ``address`` (``"host:port"`` or a pair) the dispatcher connects to
+        an externally-managed shard server instead.
+
+        The join is **warm-before-traffic**: the buildings the grown ring
+        will route to the newcomer (as primary or replication follower)
+        are preloaded on it first, and only then does the entry go onto
+        the ring — so the remapped ``~1/N`` of the fleet never pays a cold
+        load on its first request.  Routing, heartbeats and telemetry pick
+        the shard up atomically at the ring swap; labels are bit-identical
+        before, during, and after (same artifacts, same models).
+
+        Parameters
+        ----------
+        address:
+            ``None`` to spawn a worker (requires a fleet that owns its
+            shards), or the endpoint of a running shard server to adopt.
+        warm:
+            Preload the newcomer's buildings before routing to it
+            (default).  Disable only when the caller has warmed the shard
+            itself.
+        timeout_s:
+            Bound on the spawn handshake, the ping, and the warm sweep.
+
+        Raises
+        ------
+        RuntimeError
+            If the fleet is not running, not on the TCP transport, or a
+            spawn was requested from a connect-only fleet.
+        ValueError
+            If ``address`` is malformed or already on the ring.
+
+        Thread-safe: serialized against :meth:`drain_shard`, :meth:`start`
+        and :meth:`stop` by the lifecycle lock.
+        """
+        if self.transport != "tcp":
+            raise RuntimeError("join_shard requires the TCP transport")
+        with self._lifecycle_lock:
+            if not self._live_shards():
+                raise RuntimeError("the server is not running; call start() first")
+            if address is None:
+                if self._addresses is not None:
+                    raise RuntimeError(
+                        "this fleet connects to externally-managed shards; "
+                        "join_shard needs their address"
+                    )
+                with self._membership_lock:
+                    index = self._next_spawn_index
+                    self._next_spawn_index += 1
+                process, conn = self._fork_tcp_worker(index)
+                shard: _ShardHandle
+                try:
+                    port = self._await_tcp_worker_port(index, conn, timeout_s)
+                    shard = self._connect_spawned_worker(index, process, conn, port)
+                    shard.submit_control("ping").result(timeout=timeout_s)
+                except BaseException:
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
+                    process.terminate()
+                    process.join(timeout=5.0)
+                    raise
+                entry: RingEntry = index
+            else:
+                host, port = _parse_address(address)
+                entry = f"{host}:{port}"
+                if self._lookup_entry(entry) is not None:
+                    raise ValueError(f"shard {entry} is already part of the fleet")
+                with self._membership_lock:
+                    index = self._next_spawn_index
+                    self._next_spawn_index += 1
+                shard = _TcpShard(
+                    index,
+                    (host, port),
+                    self.max_inflight,
+                    self.telemetry,
+                    entry=entry,
+                    connect_timeout_s=self._connect_timeout_s,
+                    on_connection_lost=self._on_shard_connection_lost,
+                )
+                shard.reader.start()
+                try:
+                    shard.submit_control("ping").result(timeout=timeout_s)
+                except BaseException:
+                    shard.close()
+                    raise
+            with self._ring_lock:
+                candidate = self._ring.with_entry(entry)
+            warmed = 0
+            if warm:
+                owned = [
+                    building_id
+                    for building_id in self.building_ids
+                    if entry in candidate.shards_for(building_id, self.replication)
+                ]
+                if owned:
+                    try:
+                        warmed = shard.submit_control("warm", owned).result(
+                            timeout=timeout_s
+                        )
+                    except Exception:  # noqa: BLE001 - warming is advisory
+                        warmed = 0
+            # Handle map before ring swap: the instant the ring routes to
+            # the entry, _route must be able to resolve it.
+            with self._membership_lock:
+                self._shards.append(shard)
+                self._shard_by_entry[entry] = shard
+            with self._ring_lock:
+                self._ring = self._ring.with_entry(entry)
+                self._live_shards_gauge.set(self._ring.num_shards)
+            self._membership_joins.inc()
+            self.telemetry.events.emit(
+                EVENT_SHARD_JOINED,
+                shard=shard.index,
+                entry=str(entry),
+                warmed=warmed,
+            )
+            if self.replication > 1:
+                # Follower assignments shifted with the ring; re-warm them
+                # off the caller's critical path.
+                self._warm_followers_async()
+            return entry
+
+    def drain_shard(
+        self,
+        entry: Union[RingEntry, Tuple[str, int]],
+        timeout_s: float = 120.0,
+    ) -> Dict[str, object]:
+        """Planned removal of one shard from the live fleet.
+
+        The drain sequence: (1) the entry leaves the routing ring, so no
+        new request lands on the shard; (2) the shard's accumulated
+        serving state — buffered drift records and hot registry entries —
+        is exported over the control plane and imported by the buildings'
+        new owners, so refresh material survives the membership change;
+        (3) in-flight requests drain; (4) the shard is stopped (owned
+        workers) or disconnected (external shards) and dropped from the
+        handle table.
+
+        Every step past the ring swap is **best-effort**: a shard that is
+        already dead — or is SIGKILLed mid-drain — simply hands nothing
+        off, and the drain still completes with serving uninterrupted
+        (survivors lazily reload from the shared artifact store, exactly
+        like failover).
+
+        Parameters
+        ----------
+        entry:
+            The ring entry to remove: a worker index, a ``"host:port"``
+            string, or a ``(host, port)`` pair.
+        timeout_s:
+            Bound on each handoff control call and the process join.
+
+        Returns
+        -------
+        dict
+            ``{"entry", "handed_off_records", "handed_off_buildings"}``.
+
+        Raises
+        ------
+        RuntimeError
+            If the fleet is not running or not on the TCP transport.
+        ValueError
+            If the entry is unknown, or it is the last shard (a fleet
+            cannot drain itself to zero).
+
+        Thread-safe: serialized against :meth:`join_shard`, :meth:`start`
+        and :meth:`stop` by the lifecycle lock.
+        """
+        if self.transport != "tcp":
+            raise RuntimeError("drain_shard requires the TCP transport")
+        if isinstance(entry, (tuple, list)):
+            host, port = _parse_address(entry)
+            entry = f"{host}:{port}"
+        with self._lifecycle_lock:
+            shard = self._lookup_entry(entry)
+            if shard is None:
+                raise ValueError(f"shard {entry!r} is not part of the fleet")
+            # No failover once the teardown begins: the reader observing
+            # the final disconnect must not re-remove the entry.
+            shard.closed = True
+            with self._ring_lock:
+                if entry in self._ring.entries:
+                    try:
+                        self._ring = self._ring.without(entry)
+                    except ValueError:
+                        # Refused drains must leave the shard fully live,
+                        # including reader-side failover on a later drop.
+                        shard.closed = False
+                        raise ValueError(
+                            "cannot drain the last shard on the ring"
+                        ) from None
+                    self._live_shards_gauge.set(self._ring.num_shards)
+            handed_off_records = 0
+            export: Dict[str, dict] = {}
+            if not shard.dead:
+                try:
+                    export = shard.submit_control("handoff_export", None).result(
+                        timeout=timeout_s
+                    )
+                except Exception:  # noqa: BLE001 - died mid-drain; nothing to hand off
+                    export = {}
+            if export:
+                with self._ring_lock:
+                    ring = self._ring
+                by_target: Dict[RingEntry, Dict[str, dict]] = {}
+                for building_id, state in export.items():
+                    target = ring.shard_for(building_id)
+                    by_target.setdefault(target, {})[building_id] = state
+                imports = []
+                for target_entry, payload in by_target.items():
+                    target = self._lookup_entry(target_entry)
+                    if target is None or target is shard or target.dead:
+                        continue
+                    try:
+                        imports.append(target.submit_control("handoff_import", payload))
+                    except RuntimeError:
+                        continue
+                for future in imports:
+                    try:
+                        handed_off_records += future.result(timeout=timeout_s)
+                    except Exception:  # noqa: BLE001 - target died; best-effort
+                        continue
+            # Let requests accepted before the ring swap finish draining.
+            deadline = time.perf_counter() + min(timeout_s, 10.0)
+            while time.perf_counter() < deadline:
+                with shard.lock:
+                    if shard.inflight == 0 or shard.dead:
+                        break
+                time.sleep(0.01)
+            with self._membership_lock:
+                if shard in self._shards:
+                    self._shards.remove(shard)
+                if self._shard_by_entry.get(entry) is shard:
+                    del self._shard_by_entry[entry]
+            if shard.control_conn is not None:
+                try:
+                    shard.control_conn.send(("stop",))
+                except (OSError, ValueError, BrokenPipeError):
+                    pass
+            if shard.process is not None:
+                shard.process.join(timeout=timeout_s)
+                if shard.process.is_alive():
+                    shard.process.terminate()
+                    shard.process.join(timeout=5.0)
+            if shard.control_conn is not None:
+                try:
+                    shard.control_conn.close()
+                except OSError:
+                    pass
+            shard.close()
+            shard.reader.join(timeout=timeout_s)
+            self._membership_drains.inc()
+            self.telemetry.events.emit(
+                EVENT_SHARD_DRAINED,
+                shard=shard.index,
+                entry=str(entry),
+                handed_off=handed_off_records,
+                buildings=len(export),
+            )
+            if self.replication > 1:
+                self._warm_followers_async()
+            return {
+                "entry": entry,
+                "handed_off_records": handed_off_records,
+                "handed_off_buildings": len(export),
+            }
+
+    def warm_followers(self, timeout_s: float = 120.0) -> Dict[RingEntry, int]:
+        """Preload every building's follower replicas; returns counts per entry.
+
+        For each building in the store, the ``replication - 1`` entries
+        after its primary in ring order are told to load its model
+        artifacts now — so the shard that would inherit the building on
+        failover already holds it.  A no-op with ``replication=1``.
+        Dead shards are skipped (their buildings re-warm once they are
+        back); warming is advisory and never raises for an individual
+        building.
+
+        Thread-safe; :meth:`start` runs one blocking sweep, and every
+        membership change schedules an asynchronous one.
+        """
+        if self.replication < 2:
+            return {}
+        with self._ring_lock:
+            ring = self._ring
+        by_entry: Dict[RingEntry, List[str]] = {}
+        for building_id in self.building_ids:
+            for entry in ring.shards_for(building_id, self.replication)[1:]:
+                by_entry.setdefault(entry, []).append(building_id)
+        futures = []
+        for entry, owned in by_entry.items():
+            shard = self._lookup_entry(entry)
+            if shard is None or shard.dead:
+                continue
+            try:
+                futures.append((entry, shard.submit_control("warm", owned)))
+            except RuntimeError:
+                continue
+        warmed: Dict[RingEntry, int] = {}
+        for entry, future in futures:
+            try:
+                warmed[entry] = future.result(timeout=timeout_s)
+            except Exception:  # noqa: BLE001 - shard died mid-warm
+                continue
+        return warmed
+
+    def _warm_followers_async(self) -> None:
+        """Fire-and-forget follower re-warm after a membership change.
+
+        Runs on its own daemon thread: callers include reader and
+        heartbeat threads, which must never block on cross-shard control
+        round-trips.
+        """
+        threading.Thread(
+            target=self._warm_followers_quietly,
+            name="fleet-follower-warm",
+            daemon=True,
+        ).start()
+
+    def _warm_followers_quietly(self) -> None:
+        try:
+            self.warm_followers()
+        except Exception:  # noqa: BLE001 - advisory; the fleet keeps serving
+            pass
+
+    def pressure_snapshot(self) -> List[ShardPressure]:
+        """Instantaneous per-shard load: the autoscaler's input signal.
+
+        One :class:`ShardPressure` per live shard — inflight-window
+        utilization plus the parent-observed p99.  Dead shards are
+        omitted.  Thread-safe and cheap (no control round-trips; reads
+        dispatcher-side state only).
+        """
+        pressures: List[ShardPressure] = []
+        for shard in self._live_shards():
+            with shard.lock:
+                if shard.dead:
+                    continue
+                inflight = shard.inflight
+                p99 = (
+                    shard.latency_hist.quantile(0.99)
+                    if shard.latency_hist.count
+                    else None
+                )
+            pressures.append(
+                ShardPressure(
+                    entry=shard.entry,
+                    index=shard.index,
+                    inflight=inflight,
+                    max_inflight=shard.max_inflight,
+                    utilization=inflight / shard.max_inflight,
+                    p99_s=p99,
+                )
+            )
+        return pressures
 
     @property
     def building_ids(self) -> List[str]:
@@ -1564,6 +2127,13 @@ class ShardedFleetServer:
             # Pre-check before encoding: a rejected submit must cost the
             # dispatcher nothing, or retries would amplify the overload.
             shard.check_accepting()
+        except ShardOverloadedError as error:
+            replica = self._fanout_replica(building_id, shard)
+            if replica is None:
+                self._count_rejection(error.shard)
+                raise
+            shard = replica
+        try:
             if isinstance(records, RecordBatch):
                 encode_started = time.perf_counter()
                 payload = _WireBatch.from_batch(records)
@@ -1574,14 +2144,45 @@ class ShardedFleetServer:
                 request_id = f"req-{next(self._request_counter)}"
             return shard.submit_label(building_id, payload, request_id)
         except ShardOverloadedError as error:
-            with self._stats_lock:
-                self._num_rejected += 1
-            self.telemetry.metrics.counter(
-                "fleet_shard_rejections_total",
-                "Label submits rejected by a full per-shard inflight window",
-                shard=str(error.shard),
-            ).inc()
+            self._count_rejection(error.shard)
             raise
+
+    def _count_rejection(self, shard_index: int) -> None:
+        """Account one backpressure rejection (stats counter + telemetry)."""
+        with self._stats_lock:
+            self._num_rejected += 1
+        self.telemetry.metrics.counter(
+            "fleet_shard_rejections_total",
+            "Label submits rejected by a full per-shard inflight window",
+            shard=str(shard_index),
+        ).inc()
+
+    def _fanout_replica(
+        self, building_id: str, primary: _ShardHandle
+    ) -> Optional[_ShardHandle]:
+        """The first live, accepting follower replica — or ``None``.
+
+        Consulted only when the primary's window rejected a submit and the
+        fleet runs with ``read_fanout`` and ``replication >= 2``.  The
+        follower holds the same versioned artifacts (kept warm by
+        :meth:`warm_followers`), so serving from it changes which process
+        answers, never the labels.
+        """
+        if not self.read_fanout or self.replication < 2:
+            return None
+        with self._ring_lock:
+            entries = self._ring.shards_for(building_id, self.replication)[1:]
+        for entry in entries:
+            shard = self._lookup_entry(entry)
+            if shard is None or shard is primary:
+                continue
+            try:
+                shard.check_accepting()
+            except (ShardOverloadedError, ShardDownError):
+                continue
+            self._fanout_counter.inc()
+            return shard
+        return None
 
     def serve(self, requests: Iterable[LabelRequest]) -> List[LabelResponse]:
         """Submit many requests (honouring backpressure) and await them all.
@@ -1617,7 +2218,7 @@ class ShardedFleetServer:
                 if self.transport != "tcp" or not self.running:
                     raise
                 down_attempts += 1
-                if down_attempts > len(self._shards):
+                if down_attempts > len(self._live_shards()):
                     raise
 
     def _result_retrying(
@@ -1653,11 +2254,14 @@ class ShardedFleetServer:
 
         Shards that are dead — or die between the stats request and their
         reply — are skipped, so a single crashed worker cannot take fleet
-        observability down with it.
+        observability down with it.  Thread-safe against concurrent
+        membership changes: the shard list is snapshotted under the
+        membership lock before iterating, so a racing join, drain, or
+        reconnect can never resize it mid-loop.
         """
         shard_stats: List[ShardStats] = []
         futures = []
-        for shard in self._shards:
+        for shard in self._live_shards():
             if shard.dead:
                 continue
             try:
@@ -1701,10 +2305,12 @@ class ShardedFleetServer:
         """``(MetricsSnapshot, events, drops)`` from every live shard.
 
         Same degraded-mode contract as :meth:`stats`: shards that are dead,
-        or die mid-request, are skipped rather than failing the poll.
+        or die mid-request, are skipped rather than failing the poll — and
+        the same snapshot-under-lock discipline protects the iteration
+        from concurrent membership changes.
         """
         futures = []
-        for shard in self._shards:
+        for shard in self._live_shards():
             if shard.dead:
                 continue
             try:
@@ -1789,7 +2395,7 @@ class ShardedFleetServer:
         explicit), refreshes concurrently with its label traffic, and the
         per-shard reports are merged into one fleet-wide mapping.
         """
-        if not self._shards:
+        if not self._live_shards():
             raise RuntimeError("the server is not running; call start() first")
         if building_ids is None:
             building_ids = self.building_ids
@@ -1823,7 +2429,7 @@ class ShardedFleetServer:
         and the per-shard results merge into one mapping of building id to
         restored ``model_version``.
         """
-        if not self._shards:
+        if not self._live_shards():
             raise RuntimeError("the server is not running; call start() first")
         if building_ids is None:
             building_ids = self.building_ids

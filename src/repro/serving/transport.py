@@ -27,9 +27,26 @@ machine.  This module defines the network-native replacement:
   consistent lengths) because a network peer, unlike a forked child, is
   untrusted.
 
-* **Control plane (pickle)** — stats, drift, refresh, rollback and
-  telemetry snapshots are low-rate and carry rich dataclasses; they stay
-  pickled inside ``OP_CONTROL`` / ``OP_OK_PICKLE`` frames.
+* **Control plane (pickle)** — low-rate commands carrying rich
+  dataclasses stay pickled inside ``OP_CONTROL`` / ``OP_OK_PICKLE``
+  frames as ``(name, args)`` pairs, so new verbs never need a protocol
+  bump.  The vocabulary both ends speak today:
+
+  ======================  =====================================================
+  verb                    meaning
+  ======================  =====================================================
+  ``stats``               ``(ServerStats, RegistryStats)`` snapshot pair
+  ``drift``               one building's :class:`DriftSnapshot`
+  ``refresh``             refresh the listed drifted buildings
+  ``rollback``            roll the listed drifted buildings back a generation
+  ``telemetry``           ``(MetricsSnapshot, events, drops)`` triple
+  ``warm``                preload the listed buildings (membership changes and
+                          replication followers warm before taking traffic)
+  ``handoff_export``      a draining shard's portable per-building state
+                          (buffered drift records + hot flags)
+  ``handoff_import``      adopt a draining peer's exported state
+  ``stop``                drain and shut the shard server down
+  ======================  =====================================================
 
 The dispatcher and :class:`~repro.serving.netserver.ShardServer` both build
 on these helpers; neither side ever unpickles a data-plane frame.

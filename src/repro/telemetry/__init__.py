@@ -50,7 +50,9 @@ from repro.telemetry.events import (
     EVENT_ROLLBACK_DONE,
     EVENT_ROLLBACK_ELIGIBLE,
     EVENT_SHARD_DOWN,
+    EVENT_SHARD_DRAINED,
     EVENT_SHARD_EXIT,
+    EVENT_SHARD_JOINED,
     EVENT_SHARD_RECOVERED,
     EVENT_SHARD_START,
     EventRing,
@@ -94,7 +96,9 @@ __all__ = [
     "EVENT_ROLLBACK_DONE",
     "EVENT_ROLLBACK_ELIGIBLE",
     "EVENT_SHARD_DOWN",
+    "EVENT_SHARD_DRAINED",
     "EVENT_SHARD_EXIT",
+    "EVENT_SHARD_JOINED",
     "EVENT_SHARD_RECOVERED",
     "EVENT_SHARD_START",
     "EventRing",

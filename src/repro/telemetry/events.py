@@ -58,6 +58,17 @@ EVENT_SHARD_DOWN = "shard-down"
 #: ring (details: entry).
 EVENT_SHARD_RECOVERED = "shard-recovered"
 
+#: A shard was added to a live fleet's routing ring — spawned by the
+#: autoscaler or joined by an operator — after its buildings were warmed
+#: (details: entry, warmed count).
+EVENT_SHARD_JOINED = "shard-joined"
+
+#: A shard was removed from a live fleet by planned drain: routing stopped
+#: first, buffered drift records and hot registry entries were handed to
+#: the new owners, then the entry left the ring (details: entry,
+#: handed-off record count).
+EVENT_SHARD_DRAINED = "shard-drained"
+
 
 @dataclass(frozen=True)
 class FleetEvent:

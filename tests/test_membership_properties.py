@@ -1,0 +1,95 @@
+"""Property tests for the membership math under the live-operations API.
+
+The guarantees join/drain/replication lean on are ring-geometry facts, so
+they get property-level coverage: a single ``with_entry``/``without``
+remaps a bounded slice of the fleet and touches no other key, removal
+promotes exactly each key's follower, and replication never places a
+primary and its follower on the same shard.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving.sharded import ConsistentHashRing
+
+KEYS = [f"building-{i}" for i in range(400)]
+
+entry_sets = st.lists(
+    st.integers(min_value=0, max_value=50), min_size=2, max_size=8, unique=True
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(entries=entry_sets, data=st.data())
+def test_without_moves_only_the_removed_entrys_keys(entries, data):
+    removed = data.draw(st.sampled_from(entries))
+    ring = ConsistentHashRing(entries)
+    resized = ring.without(removed)
+    for key in KEYS:
+        before = ring.shard_for(key)
+        after = resized.shard_for(key)
+        if before != removed:
+            assert after == before
+        else:
+            assert after != removed
+
+
+@settings(max_examples=30, deadline=None)
+@given(entries=entry_sets, data=st.data())
+def test_removal_promotes_exactly_the_follower(entries, data):
+    """The new owner after a removal is the old ring's second replica.
+
+    This is the identity warm-follower failover rests on: a follower kept
+    hot by ``warm_followers`` is, by construction, the shard every one of
+    the primary's keys lands on when the primary leaves the ring.
+    """
+    removed = data.draw(st.sampled_from(entries))
+    ring = ConsistentHashRing(entries)
+    resized = ring.without(removed)
+    for key in KEYS:
+        if ring.shard_for(key) == removed:
+            assert resized.shard_for(key) == ring.shards_for(key, 2)[1]
+
+
+@settings(max_examples=30, deadline=None)
+@given(entries=entry_sets, new_entry=st.integers(min_value=100, max_value=199))
+def test_with_entry_steals_a_bounded_slice_and_nothing_else(entries, new_entry):
+    ring = ConsistentHashRing(entries)
+    grown = ring.with_entry(new_entry)
+    moved = 0
+    for key in KEYS:
+        before = ring.shard_for(key)
+        after = grown.shard_for(key)
+        if after != before:
+            # A join only ever moves keys *onto* the newcomer.
+            assert after == new_entry
+            moved += 1
+    # Expected share is B/N on the grown ring; 64 vnodes per entry keep
+    # the variance modest, so twice the fair share is a generous slack
+    # that still rules out quadratic remapping.
+    fair_share = math.ceil(len(KEYS) / grown.num_shards)
+    assert moved <= 2 * fair_share
+
+
+@settings(max_examples=30, deadline=None)
+@given(entries=entry_sets)
+def test_replication_never_collocates_primary_and_follower(entries):
+    ring = ConsistentHashRing(entries)
+    count = min(2, ring.num_shards)
+    for key in KEYS[:100]:
+        owners = ring.shards_for(key, count)
+        assert owners[0] == ring.shard_for(key)
+        assert len(owners) == len(set(owners)) == count
+
+
+def test_shards_for_validates_and_clamps():
+    ring = ConsistentHashRing(3)
+    with pytest.raises(ValueError):
+        ring.shards_for("b", 0)
+    assert len(ring.shards_for("b", 10)) == 3
+    assert ring.shards_for("b", 1) == (ring.shard_for("b"),)
